@@ -1,0 +1,38 @@
+"""Shared fixtures for the experiment benches (E1-E11).
+
+Every bench regenerates one table/figure analogue from the paper; the rows
+are printed (run with ``-s`` to see them) and the claim *shape* is asserted.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def square_array():
+    """20 cm square array at 1 m height (the default SSL geometry)."""
+    return np.array(
+        [[0.1, 0.1, 1.0], [0.1, -0.1, 1.0], [-0.1, -0.1, 1.0], [-0.1, 0.1, 1.0]]
+    )
+
+
+@pytest.fixture(scope="session")
+def compact_array():
+    """6 cm square array (unaliased for siren harmonics)."""
+    return np.array(
+        [[0.045, 0.045, 1.0], [0.045, -0.045, 1.0], [-0.045, -0.045, 1.0], [-0.045, 0.045, 1.0]]
+    )
+
+
+def print_table(title, header, rows):
+    """Uniform table printer for bench output."""
+    print(f"\n=== {title} ===")
+    print(" | ".join(f"{h:>14}" for h in header))
+    for row in rows:
+        cells = []
+        for v in row:
+            if isinstance(v, float):
+                cells.append(f"{v:>14.4g}")
+            else:
+                cells.append(f"{str(v):>14}")
+        print(" | ".join(cells))

@@ -1,0 +1,151 @@
+"""E10 — Microphone-array geometry assessment (Sec. V system challenge).
+
+Regenerates: localization error vs topology/aperture/#mics, alongside the
+geometric predictors (aperture, aliasing frequency, condition number).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.arrays import (
+    AssessmentConfig,
+    assess_geometry,
+    car_corner_array,
+    car_roof_array,
+    uniform_circular_array,
+    uniform_linear_array,
+)
+
+CFG = AssessmentConfig(n_directions=10, seed=0, snr_db=-10.0)
+
+GEOMETRIES = {
+    "uca4_r0.05": uniform_circular_array(4, 0.05, center=(0, 0, 1.0)),
+    "uca4_r0.15": uniform_circular_array(4, 0.15, center=(0, 0, 1.0)),
+    "uca8_r0.15": uniform_circular_array(8, 0.15, center=(0, 0, 1.0)),
+    "ula4_d0.1": uniform_linear_array(4, 0.1),
+    "car_roof": car_roof_array(),
+    "car_corner": car_corner_array(),
+}
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {name: assess_geometry(pos, CFG) for name, pos in GEOMETRIES.items()}
+
+
+def test_e10_geometry_table(results):
+    """The headline E10 table."""
+    rows = [
+        (
+            name,
+            r.mean_error_deg,
+            r.median_error_deg,
+            r.aperture_m,
+            r.aliasing_hz,
+            r.condition_number,
+        )
+        for name, r in results.items()
+    ]
+    print_table(
+        "E10 localization error per geometry (SNR -10 dB)",
+        ["geometry", "mean deg", "median deg", "aperture m", "alias Hz", "cond"],
+        rows,
+    )
+    for r in results.values():
+        assert np.isfinite(r.mean_error_deg)
+
+
+def test_e10_more_mics_help(results):
+    """8-mic UCA at equal radius beats the 4-mic UCA."""
+    assert results["uca8_r0.15"].mean_error_deg <= results["uca4_r0.15"].mean_error_deg + 1e-9
+
+
+def test_e10_aperture_helps_until_aliasing(results):
+    """Moderate aperture beats the tiny array at low SNR."""
+    assert results["uca4_r0.15"].mean_error_deg <= results["uca4_r0.05"].mean_error_deg + 1e-9
+
+
+def test_e10_ula_endfire_weakness(results):
+    """The collinear ULA has an infinite condition number (endfire ambiguity)
+    and a worst-case error no better than the isotropic UCA's."""
+    assert results["ula4_d0.1"].condition_number == float("inf")
+    assert results["ula4_d0.1"].p90_error_deg >= results["uca4_r0.15"].p90_error_deg - 1e-9
+
+
+def test_e10_car_placements_usable():
+    """At moderate SNR the manufacturer-feasible placements localize usefully.
+
+    Their multi-metre spacings spatially alias broadband noise, so unlike the
+    compact UCAs they need the SNR headroom — exactly the placement trade-off
+    Sec. V flags.
+    """
+    cfg = AssessmentConfig(n_directions=10, seed=0, snr_db=5.0)
+    for pos in (car_roof_array(), car_corner_array()):
+        res = assess_geometry(pos, cfg)
+        assert res.mean_error_deg < 30.0
+
+
+def test_e10_assessment_benchmark(benchmark):
+    """Cost of assessing one geometry (bounds large sweeps)."""
+    cfg = AssessmentConfig(n_directions=4, seed=1)
+    res = benchmark(assess_geometry, GEOMETRIES["uca4_r0.15"], cfg)
+    assert res.errors_deg.shape == (4,)
+
+
+def test_e10_placement_optimizer():
+    """Sec. V sensor selection: the greedy optimizer's pick beats a naive
+    same-size subset of the car's candidate points."""
+    from repro.arrays import car_candidate_points, greedy_placement, placement_score
+
+    cands = car_candidate_points()
+    chosen, idx = greedy_placement(cands, 4)
+    naive = cands[:4]  # the four bumper corners
+    s_opt = placement_score(chosen)
+    s_naive = placement_score(naive)
+    cfg_val = AssessmentConfig(n_directions=8, seed=3, snr_db=5.0)
+    res_opt = assess_geometry(chosen, cfg_val)
+    res_naive = assess_geometry(naive, cfg_val)
+    print_table(
+        "E10 placement optimization (4 of 12 candidate points)",
+        ["placement", "geom score", "mean err deg"],
+        [
+            ("greedy-optimized", s_opt, res_opt.mean_error_deg),
+            ("bumper corners", s_naive, res_naive.mean_error_deg),
+        ],
+    )
+    assert s_opt <= s_naive
+
+
+def test_e10_wind_robustness():
+    """Challenge-1 stressor: wind noise degrades localization gracefully.
+
+    Wind is uncorrelated across capsules, so PHAT weighting spreads it over
+    all lags; moderate wind should cost accuracy but not break the array.
+    """
+    import numpy as np
+
+    from repro.acoustics import MicrophoneArray, RoadAcousticsSimulator, Scene, StaticPosition, add_wind
+    from repro.signals import white_noise
+    from repro.ssl import DoaGrid, FastSrpPhat, angular_error_deg, azel_to_unit
+
+    fs = 16000.0
+    mics = uniform_circular_array(4, 0.15, center=(0, 0, 1.0))
+    grid = DoaGrid(n_azimuth=72, n_elevation=1, el_min=0.0, el_max=0.0)
+    loc = FastSrpPhat(mics, fs, grid=grid, n_fft=2048)
+    rows = []
+    for wind_db in (None, -10.0, 0.0):
+        errs = []
+        for i, az in enumerate(np.linspace(-np.pi, np.pi, 6, endpoint=False) + 0.04):
+            src = 30.0 * azel_to_unit(az, 0.0) + np.array([0, 0, 1.0])
+            scene = Scene(StaticPosition(src), MicrophoneArray(mics), surface=None)
+            sim = RoadAcousticsSimulator(scene, fs, air_absorption=False, interpolation="linear")
+            received = sim.simulate(white_noise(0.4, fs, rng=np.random.default_rng(i)))
+            if wind_db is not None:
+                received = add_wind(received, fs, level_db=wind_db, rng=np.random.default_rng(100 + i))
+            res = loc.localize(received[:, 3000:4024])
+            errs.append(float(angular_error_deg(azel_to_unit(res.azimuth, 0.0), azel_to_unit(az, 0.0))))
+        rows.append(("none" if wind_db is None else f"{wind_db:+.0f} dB", float(np.mean(errs))))
+    print_table("E10 wind robustness (4-mic UCA)", ["wind level", "mean err deg"], rows)
+    assert rows[0][1] <= rows[-1][1] + 1e-9  # no wind is never worse than heavy wind
+    assert rows[1][1] < 30.0  # moderate wind stays usable

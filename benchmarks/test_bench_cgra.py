@@ -1,0 +1,94 @@
+"""E11 — CGRA mapping of the pipeline IR (Sec. III/V hardware direction).
+
+Regenerates: IR lowering + greedy mapping onto CGRA fabrics of different
+sizes, reporting makespan, utilization, and the latency edge over embedded
+CPUs — the motivation for the paper's CGRA target.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import AcousticPerceptionPipeline, PipelineConfig
+from repro.hw import (
+    CORTEX_M7,
+    CgraFabric,
+    RASPI4,
+    estimate_cost,
+    lower_module,
+    map_graph,
+)
+from repro.ssl import Cross3DConfig, Cross3DNet
+
+
+@pytest.fixture(scope="module")
+def pipeline_ir(square_array):
+    return AcousticPerceptionPipeline(square_array, PipelineConfig()).to_ir()
+
+
+@pytest.fixture(scope="module")
+def cross3d_ir():
+    cfg = Cross3DConfig(map_shape=(24, 8), base_channels=16, n_blocks=2)
+    return lower_module(Cross3DNet(cfg), (1, 4, 24, 8), name="cross3d")
+
+
+def test_e11_fabric_size_sweep(pipeline_ir):
+    """DESIGN.md ablation: fabric size vs makespan and utilization."""
+    rows = []
+    latencies = []
+    for size in (4, 8, 16):
+        fabric = CgraFabric(size, size)
+        res = map_graph(pipeline_ir, fabric)
+        assert res.ok, f"unmapped ops on {size}x{size}: {res.unmapped}"
+        rows.append((f"{size}x{size}", res.latency_s * 1e3, res.utilization))
+        latencies.append(res.latency_s)
+    print_table("E11 fabric size sweep (pipeline IR)", ["fabric", "ms", "utilization"], rows)
+    assert latencies[-1] <= latencies[0]  # bigger fabric is no slower
+
+
+def test_e11_cgra_vs_cpus(pipeline_ir, cross3d_ir):
+    """The motivating comparison: CGRA vs embedded CPUs per graph."""
+    fabric = CgraFabric(16, 16)
+    rows = []
+    for name, ir in (("pipeline", pipeline_ir), ("cross3d", cross3d_ir)):
+        mapped = map_graph(ir, fabric)
+        assert mapped.ok
+        t_raspi = estimate_cost(ir, RASPI4).latency_s
+        t_mcu = estimate_cost(ir, CORTEX_M7).latency_s
+        rows.append((name, mapped.latency_s * 1e3, t_raspi * 1e3, t_mcu * 1e3))
+        assert mapped.latency_s < t_mcu  # CGRA beats the MCU on both graphs
+    print_table(
+        "E11 latency per target (ms)",
+        ["graph", "cgra 16x16", "raspi4", "cortex_m7"],
+        rows,
+    )
+
+
+def test_e11_heterogeneity_matters(cross3d_ir):
+    """All-MAC fabrics cannot place activation/pool ops."""
+    from repro.hw import PeSpec
+
+    homogeneous = CgraFabric(8, 8, pe_pattern=PeSpec("mac"))
+    res = map_graph(cross3d_ir, homogeneous)
+    assert not res.ok
+    assert any("batchnorm" in n or "relu" in n or "mean" in n for n in res.unmapped)
+
+
+def test_e11_parallelism_ablation(cross3d_ir):
+    """Spatial unrolling sweep: more parallel PEs, shorter makespan."""
+    fabric = CgraFabric(16, 16)
+    rows = []
+    prev = None
+    for par in (1, 4, 16):
+        res = map_graph(cross3d_ir, fabric, max_parallel_pes=par)
+        rows.append((par, res.latency_s * 1e3, res.utilization))
+        if prev is not None:
+            assert res.latency_s <= prev + 1e-12
+        prev = res.latency_s
+    print_table("E11 unrolling ablation (cross3d IR)", ["parallel PEs", "ms", "util"], rows)
+
+
+def test_e11_mapping_benchmark(benchmark, pipeline_ir):
+    """Mapper runtime (the paper notes CGRA mapping is the hard part)."""
+    fabric = CgraFabric(16, 16)
+    res = benchmark(map_graph, pipeline_ir, fabric)
+    assert res.ok

@@ -1,0 +1,98 @@
+"""E7 — The co-design DSE loop (Fig. 4 workflow).
+
+Regenerates: the bottleneck table, the accepted-move trace, and the
+accuracy-latency Pareto frontier over the explored design space.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.hw import (
+    DesignPoint,
+    RASPI4,
+    estimate_cost,
+    evaluate_point,
+    hypervolume_2d,
+    lower_module,
+    run_codesign,
+)
+from repro.ssl import Cross3DNet
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_codesign(DesignPoint(base_channels=32, n_blocks=3), sequence_length=8)
+
+
+def test_e7_dse_trace(result):
+    """The accepted-move trace: latency falls, error stays in budget."""
+    rows = [("(baseline)", result.baseline.latency_ms, result.baseline.error_deg,
+             result.baseline.n_params)]
+    for step in result.steps:
+        ev = step.evaluated
+        rows.append((step.action, ev.latency_ms, ev.error_deg, ev.n_params))
+    print_table("E7 DSE trace", ["move", "latency ms", "error deg", "params"], rows)
+    print(
+        f"speedup {result.speedup:.2f}x, size reduction {100 * result.size_reduction:.1f}% "
+        f"(paper model finetune: ~47% faster, ~86% smaller)"
+    )
+    assert result.speedup > 1.5
+    assert result.size_reduction > 0.5
+    assert result.final.error_deg - result.baseline.error_deg <= 2.0 + 1e-9
+
+
+def test_e7_pareto_frontier(result):
+    """Pareto frontier of everything the DSE explored."""
+    front = result.pareto_points()
+    front_sorted = sorted(front, key=lambda e: e.latency_ms)
+    rows = [(e.latency_ms, e.error_deg, e.n_params) for e in front_sorted]
+    print_table("E7 Pareto frontier (latency vs error)", ["latency ms", "error deg", "params"], rows)
+    assert len(front) >= 3
+    # Along the frontier, lower latency costs error.
+    errs = [e.error_deg for e in front_sorted]
+    assert errs[0] >= errs[-1]
+
+
+def test_e7_bottleneck_analysis():
+    """Step (i) of Fig. 4: rank the baseline's operators."""
+    point = DesignPoint(base_channels=32, n_blocks=3)
+    net = Cross3DNet(point.to_config())
+    ir = lower_module(net, (1, 8, point.map_azimuth, point.map_elevation))
+    report = estimate_cost(ir, RASPI4)
+    rows = [
+        (c.op_name.split(".")[-1], c.kind, c.latency_s * 1e3, c.bound)
+        for c in report.bottleneck(5)
+    ]
+    print_table("E7 Cross3D bottlenecks on RasPi-4B", ["op", "kind", "ms", "bound"], rows)
+    assert report.bottleneck(1)[0].kind == "conv3d"
+
+
+def test_e7_budget_ablation():
+    """DESIGN.md ablation: error budget vs achieved speedup/hypervolume."""
+    rows = []
+    for budget in (0.5, 1.0, 2.0, 4.0):
+        res = run_codesign(
+            DesignPoint(base_channels=16, n_blocks=2),
+            error_budget_deg=budget,
+            sequence_length=4,
+        )
+        pts = np.array([[e.latency_ms, e.error_deg] for e in res.explored])
+        ref = (
+            float(res.baseline.latency_ms * 1.1),
+            float(max(p[1] for p in pts) * 1.1),
+        )
+        rows.append((budget, res.speedup, 100 * res.size_reduction, hypervolume_2d(pts, ref)))
+    print_table(
+        "E7 error-budget ablation",
+        ["budget deg", "speedup", "size red %", "hypervolume"],
+        rows,
+    )
+    speedups = [r[1] for r in rows]
+    assert speedups[-1] >= speedups[0]  # looser budget, at least as fast
+
+
+def test_e7_evaluate_point_benchmark(benchmark):
+    """Cost of one DSE evaluation (IR lowering + cost model)."""
+    ev = benchmark(evaluate_point, DesignPoint(base_channels=8, n_blocks=2), sequence_length=4)
+    assert ev.latency_ms > 0

@@ -1,0 +1,105 @@
+"""E5 — Cross3D baseline vs co-optimized edge variant (Sec. IV-B).
+
+Paper claim: the finetuned edge model is "~86% smaller while ~47% faster"
+at held accuracy.  This bench reports parameter counts, cost-model latency
+on the RasPi-4B device model, host wall-clock, and trained accuracy of both
+variants on synthetic SRP-map scenes.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.hw import RASPI4, estimate_cost, lower_module, time_callable
+from repro.ssl import (
+    Cross3DConfig,
+    Cross3DNet,
+    edge_variant,
+    evaluate_cross3d,
+    train_cross3d,
+)
+from repro.ssl.doa import azel_to_unit
+
+BASE = Cross3DConfig(map_shape=(24, 8), base_channels=16, n_blocks=2, kernel_time=5)
+SEQ = 8
+
+
+def synthetic_scenes(n, t_steps, cfg, seed=0):
+    rng = np.random.default_rng(seed)
+    a, e = cfg.map_shape
+    maps = np.zeros((n, 1, t_steps, a, e))
+    targets = np.zeros((n, t_steps, 3))
+    azs = np.linspace(-np.pi, np.pi, a, endpoint=False)
+    els = np.linspace(0, np.pi / 4, e)
+    for i in range(n):
+        start = rng.uniform(-np.pi, np.pi)
+        rate = rng.uniform(-0.2, 0.2)
+        el_idx = int(rng.integers(0, e))
+        for t in range(t_steps):
+            az = (start + rate * t + np.pi) % (2 * np.pi) - np.pi
+            dist = np.abs((azs - az + np.pi) % (2 * np.pi) - np.pi)
+            maps[i, 0, t, :, el_idx] = np.exp(-0.5 * (dist / 0.35) ** 2)
+            maps[i, 0, t] += 0.15 * rng.standard_normal((a, e))
+            targets[i, t] = azel_to_unit(az, els[el_idx])
+    return maps, targets
+
+
+@pytest.fixture(scope="module")
+def variants():
+    base = Cross3DNet(BASE, rng=np.random.default_rng(0))
+    edge = Cross3DNet(edge_variant(BASE), rng=np.random.default_rng(0))
+    return base, edge
+
+
+def test_e5_size_and_latency(variants):
+    """The ~86% smaller / ~47% faster table."""
+    base, edge = variants
+    p_base, p_edge = base.n_parameters(), edge.n_parameters()
+    ir_base = lower_module(base, (1, SEQ, *BASE.map_shape), name="base")
+    ir_edge = lower_module(edge, (1, SEQ, *edge.config.map_shape), name="edge")
+    c_base = estimate_cost(ir_base, RASPI4)
+    c_edge = estimate_cost(ir_edge, RASPI4)
+    w_base, _ = time_callable(lambda: base.forward(np.zeros((1, 1, SEQ, *BASE.map_shape))), repeats=3)
+    w_edge, _ = time_callable(lambda: edge.forward(np.zeros((1, 1, SEQ, *BASE.map_shape))), repeats=3)
+    size_reduction = 1.0 - p_edge / p_base
+    model_speedup = 1.0 - c_edge.latency_s / c_base.latency_s
+    rows = [
+        ("baseline", p_base, c_base.latency_ms, w_base * 1e3),
+        ("edge", p_edge, c_edge.latency_ms, w_edge * 1e3),
+    ]
+    print_table(
+        "E5 Cross3D baseline vs edge (per 8-frame sequence)",
+        ["variant", "params", "raspi4 ms", "host ms"],
+        rows,
+    )
+    print(f"size reduction: {100 * size_reduction:.1f}% (paper: ~86%)")
+    print(f"latency reduction: {100 * model_speedup:.1f}% (paper: ~47%)")
+    assert size_reduction > 0.75
+    assert model_speedup > 0.35
+    assert w_edge < w_base
+
+
+def test_e5_accuracy_held(variants):
+    """Both variants train to similar angular error on synthetic scenes."""
+    base, edge = variants
+    maps, targets = synthetic_scenes(24, SEQ, BASE, seed=1)
+    train_cross3d(base, maps, targets, epochs=10, lr=3e-3, batch_size=8)
+    train_cross3d(edge, maps, targets, epochs=10, lr=3e-3, batch_size=8)
+    test_maps, test_targets = synthetic_scenes(8, SEQ, BASE, seed=2)
+    err_base = evaluate_cross3d(base, test_maps, test_targets)
+    err_edge = evaluate_cross3d(edge, test_maps, test_targets)
+    print_table(
+        "E5 angular error after equal training",
+        ["variant", "error deg"],
+        [("baseline", err_base), ("edge", err_edge)],
+    )
+    # Edge variant stays within a small factor of the baseline.
+    assert err_edge < max(2.0 * err_base, err_base + 15.0)
+
+
+def test_e5_edge_forward_benchmark(benchmark, variants):
+    """Wall-clock of the deployed (edge) model's forward pass."""
+    _, edge = variants
+    x = np.zeros((1, 1, SEQ, *edge.config.map_shape))
+    out = benchmark(edge.forward, x)
+    assert out.shape == (1, 3, SEQ)

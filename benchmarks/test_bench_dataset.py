@@ -1,0 +1,62 @@
+"""E2 — Dataset generation (Sec. IV-A, 15 000-clip pipeline at reduced scale).
+
+Regenerates: class balance, SNR distribution within the [-30, 0] dB design
+range, and the generation throughput that bounds full-scale (15 k) runs.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.sed import DatasetConfig, dataset_arrays, generate_clip, generate_dataset
+from repro.sed.events import EVENT_CLASSES
+
+CFG = DatasetConfig(n_samples=60, duration=1.0, fs=8000.0)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(CFG, seed=42)
+
+
+def test_e2_class_distribution(dataset):
+    """Classes are drawn uniformly; every class appears."""
+    _, y, _ = dataset_arrays(dataset)
+    counts = np.bincount(y, minlength=len(EVENT_CLASSES))
+    rows = [(EVENT_CLASSES[i], int(c)) for i, c in enumerate(counts)]
+    print_table("E2 class distribution (60 clips)", ["class", "count"], rows)
+    assert np.all(counts > 0)
+
+
+def test_e2_snr_distribution(dataset):
+    """Event clips respect the paper's SNR in [-30, 0] dB (uniform)."""
+    _, y, snr = dataset_arrays(dataset)
+    event_snr = snr[~np.isnan(snr)]
+    lo, hi = CFG.snr_range_db
+    rows = [
+        ("min", float(event_snr.min())),
+        ("median", float(np.median(event_snr))),
+        ("max", float(event_snr.max())),
+    ]
+    print_table("E2 SNR of event clips (dB)", ["stat", "value"], rows)
+    assert event_snr.min() >= lo and event_snr.max() <= hi
+    # Roughly uniform: both halves populated.
+    assert (event_snr < (lo + hi) / 2).any() and (event_snr > (lo + hi) / 2).any()
+
+
+def test_e2_speed_range(dataset):
+    """Source speeds stay in the configured arbitrary-speed range."""
+    speeds = np.array([s.speed for s in dataset if not np.isnan(s.speed)])
+    assert speeds.min() >= CFG.speed_range[0]
+    assert speeds.max() <= CFG.speed_range[1]
+
+
+def test_e2_generation_throughput(benchmark):
+    """Per-clip generation time; full 15 k-scale cost is extrapolated."""
+    rng = np.random.default_rng(0)
+
+    def one_clip():
+        return generate_clip("siren_wail", CFG, rng)
+
+    clip = benchmark(one_clip)
+    assert clip.waveform.size == int(CFG.duration * CFG.fs)

@@ -1,0 +1,120 @@
+"""E9 — Drive vs park mode: latency and average power (Sec. II, mode 3).
+
+Regenerates: the multi-mode requirement table — drive mode must hold the
+frame deadline, park mode must cut average power by a large factor via the
+trigger-gated duty cycle, at a bounded detection-delay cost.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import (
+    AcousticPerceptionPipeline,
+    EnergyTrigger,
+    ParkModeController,
+    PipelineConfig,
+    mode_energy_report,
+)
+from repro.hw import CORTEX_M7, RASPI4, estimate_cost
+from repro.signals import synthesize_siren
+
+CFG = PipelineConfig(fs=16000.0, frame_length=512, hop_length=256, n_azimuth=24, n_elevation=2)
+
+
+@pytest.fixture(scope="module")
+def pipeline(square_array):
+    return AcousticPerceptionPipeline(square_array, CFG)
+
+
+@pytest.fixture(scope="module")
+def night_with_event(square_array):
+    """A quiet 'parked' scene with one siren event in the middle."""
+    rng = np.random.default_rng(0)
+    fs = int(CFG.fs)
+    n = 6 * fs
+    sig = 0.004 * rng.standard_normal((square_array.shape[0], n))
+    siren = 0.8 * synthesize_siren("yelp", 1.0, CFG.fs)
+    start = 3 * fs
+    sig[:, start : start + siren.size] += siren
+    return sig, start
+
+
+def test_e9_duty_cycle_and_wakeup(pipeline, night_with_event):
+    """Park mode sleeps through the night and wakes for the event."""
+    sig, event_start = night_with_event
+    pipeline.reset()
+    park = ParkModeController(pipeline, wake_frames=20)
+    results = park.process_signal(sig)
+    awake_frames = [i for i, r in enumerate(results) if r is not None]
+    duty = park.duty_cycle
+    event_frame = event_start // CFG.hop_length
+    woke_in_time = any(event_frame <= i <= event_frame + 30 for i in awake_frames)
+    rows = [
+        ("frames total", park.frames_total),
+        ("frames awake", park.frames_awake),
+        ("duty cycle", duty),
+        ("event frame", event_frame),
+        ("woke for event", woke_in_time),
+    ]
+    print_table("E9 park-mode trigger behaviour", ["metric", "value"], rows)
+    assert duty < 0.35
+    assert woke_in_time
+
+
+def test_e9_power_table(pipeline, night_with_event):
+    """Average power: drive vs park on both device models."""
+    sig, _ = night_with_event
+    pipeline.reset()
+    park = ParkModeController(pipeline, wake_frames=20)
+    park.process_signal(sig)
+    duty = park.duty_cycle
+    rows = []
+    for device in (RASPI4, CORTEX_M7):
+        report = mode_energy_report(pipeline, device, duty_cycle=duty)
+        rows.append(
+            (device.name, report.drive_power_w, report.park_power_w, report.savings_factor)
+        )
+        assert report.savings_factor > 1.0
+    print_table(
+        f"E9 average power (measured duty cycle {duty:.3f})",
+        ["device", "drive W", "park W", "savings x"],
+        rows,
+    )
+
+
+def test_e9_trigger_cheaper_than_pipeline(pipeline):
+    """The wake-up trigger must be orders of magnitude cheaper per frame."""
+    trig = EnergyTrigger(CFG.fs, CFG.frame_length)
+    c_trig = estimate_cost(trig.to_ir(), RASPI4)
+    c_full = estimate_cost(pipeline.to_ir(), RASPI4)
+    ratio = c_full.energy_j / c_trig.energy_j
+    print(f"\nE9 energy ratio full-pipeline / trigger per frame: {ratio:.1f}x")
+    assert ratio > 3.0
+
+
+def test_e9_detection_delay_cost(pipeline, night_with_event):
+    """Park mode trades some detection delay (bounded by one trigger frame)."""
+    sig, event_start = night_with_event
+    pipeline.reset()
+    park = ParkModeController(pipeline, wake_frames=20)
+    results = park.process_signal(sig)
+    event_frame = event_start // CFG.hop_length
+    first_awake_after = next(
+        (i for i, r in enumerate(results) if r is not None and i >= event_frame), None
+    )
+    assert first_awake_after is not None
+    delay_frames = first_awake_after - event_frame
+    delay_ms = delay_frames * CFG.frame_period_s * 1e3
+    print(f"\nE9 wake-up delay: {delay_frames} frames = {delay_ms:.0f} ms")
+    assert delay_ms < 500.0
+
+
+def test_e9_park_tick_benchmark(benchmark, pipeline):
+    """Cost of one asleep park-mode tick (trigger only)."""
+    pipeline.reset()
+    park = ParkModeController(pipeline, wake_frames=5)
+    rng = np.random.default_rng(1)
+    frames = 0.001 * rng.standard_normal((4, CFG.frame_length))
+    result = benchmark(park.process_frame, frames)
+    assert result is None or result.label is not None

@@ -1,0 +1,68 @@
+"""E8 — Roofline analysis of the pipeline operators (Fig. 4 cost level).
+
+Regenerates: the roofline placement (arithmetic intensity, attainable
+throughput, bound classification) of every end-to-end pipeline operator on
+the RasPi-4B and CGRA device models.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import AcousticPerceptionPipeline, PipelineConfig
+from repro.hw import CGRA_16x16, RASPI4, attainable_gflops, place_op, roofline_report
+
+
+@pytest.fixture(scope="module")
+def pipeline_ir(square_array):
+    pipeline = AcousticPerceptionPipeline(square_array, PipelineConfig())
+    return pipeline.to_ir()
+
+
+def test_e8_roofline_placement_raspi(pipeline_ir):
+    """Placement table on the RasPi-4B roofline."""
+    points = roofline_report(pipeline_ir, RASPI4)
+    rows = [
+        (p.op_name.split(".")[-1], p.kind, p.arithmetic_intensity, p.attainable_gflops, p.bound)
+        for p in points
+    ]
+    print_table(
+        f"E8 roofline on {RASPI4.name} (ridge {RASPI4.ridge_point:.1f} flop/B)",
+        ["op", "kind", "AI", "attainable", "bound"],
+        rows,
+    )
+    bounds = {p.bound for p in points}
+    # The hybrid pipeline mixes memory- and compute-bound operators, which
+    # is exactly why the paper needs heterogeneous hardware (Sec. II).
+    assert "memory" in bounds
+    assert all(p.attainable_gflops <= RASPI4.peak_gflops for p in points)
+
+
+def test_e8_devices_disagree(pipeline_ir):
+    """The same op lands differently on different rooflines."""
+    ops = pipeline_ir.ops()
+    rows = []
+    flips = 0
+    for op in ops:
+        pi = place_op(op, RASPI4)
+        cg = place_op(op, CGRA_16x16)
+        rows.append((op.name.split(".")[-1], pi.bound, cg.bound))
+        if pi.bound != cg.bound:
+            flips += 1
+    print_table("E8 bound per device", ["op", RASPI4.name, CGRA_16x16.name], rows)
+    assert flips >= 1  # a higher compute-roof device shifts ops to memory-bound
+
+
+def test_e8_roofline_model_properties():
+    """Model invariants: monotone in AI, capped at the compute roof."""
+    ais = np.logspace(-2, 3, 50)
+    vals = [attainable_gflops(a, RASPI4) for a in ais]
+    assert all(b >= a - 1e-12 for a, b in zip(vals, vals[1:]))
+    assert vals[-1] == RASPI4.peak_gflops
+    assert vals[0] == pytest.approx(ais[0] * RASPI4.mem_bandwidth_gbps)
+
+
+def test_e8_report_benchmark(benchmark, pipeline_ir):
+    """Cost of producing the roofline report (tooling overhead)."""
+    report = benchmark(roofline_report, pipeline_ir, RASPI4)
+    assert len(report) == len(pipeline_ir)

@@ -1,0 +1,105 @@
+"""E1 — Simulator physics (Fig. 2 + Fig. 3 of the paper).
+
+Regenerates: Doppler shift vs relative speed (simulated vs analytic),
+1/r spreading, and the fractional-delay interpolator ablation called out in
+DESIGN.md.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.acoustics import (
+    LinearTrajectory,
+    MicrophoneArray,
+    RoadAcousticsSimulator,
+    Scene,
+    StaticPosition,
+)
+from repro.signals import tone
+
+FS = 16000.0
+
+
+def _peak_freq(x, fs):
+    spec = np.abs(np.fft.rfft(x * np.hanning(x.size)))
+    return np.fft.rfftfreq(x.size, 1 / fs)[np.argmax(spec)]
+
+
+@pytest.fixture(scope="module")
+def mono():
+    return MicrophoneArray(np.array([[0.0, 0.0, 1.0]]))
+
+
+def test_e1_doppler_table(mono):
+    """Doppler shift: simulated vs analytic for approach speeds."""
+    f0 = 1000.0
+    rows = []
+    for speed in (10.0, 20.0, 30.0):
+        scene = Scene(
+            LinearTrajectory([-300, 0.5, 1.0], [0, 0.5, 1.0], speed), mono, surface=None
+        )
+        sim = RoadAcousticsSimulator(scene, FS, air_absorption=False)
+        out = sim.simulate(tone(f0, 2.0, FS))[0]
+        c = scene.speed_of_sound
+        measured = _peak_freq(out[int(FS) : int(2 * FS)], FS)
+        analytic = f0 * c / (c - speed)
+        rows.append((speed, analytic, measured, abs(measured - analytic)))
+        assert measured == pytest.approx(analytic, rel=0.01)
+    print_table(
+        "E1 Doppler (approaching source, 1 kHz tone)",
+        ["speed m/s", "analytic Hz", "simulated Hz", "abs err Hz"],
+        rows,
+    )
+
+
+def test_e1_spreading_law(mono):
+    """Received level follows 1/r over a decade of distances."""
+    rows = []
+    ref = None
+    for d in (5.0, 10.0, 20.0, 40.0):
+        scene = Scene(StaticPosition([d, 0.0, 1.0]), mono, surface=None)
+        sim = RoadAcousticsSimulator(scene, FS, air_absorption=False)
+        y = sim.simulate(tone(1000.0, 0.4, FS))[0]
+        level = float(np.std(y[int(0.2 * FS) :]))
+        if ref is None:
+            ref = level * 5.0  # level * d should be constant
+        rows.append((d, level, level * d / ref))
+        assert level * d / ref == pytest.approx(1.0, rel=0.05)
+    print_table("E1 spherical spreading", ["distance m", "rms", "rms*d (norm)"], rows)
+
+
+def test_e1_interpolator_ablation(mono):
+    """DESIGN.md ablation: interpolation order vs tone fidelity."""
+    f0, d = 1000.0, 25.0
+    scene = Scene(StaticPosition([d, 0.0, 1.0]), mono, surface=None)
+    n = int(FS)
+    expected_delay = np.sqrt(d * d) / scene.speed_of_sound  # horizontal offset only in x
+    rows = []
+    errors = {}
+    for interp in ("linear", "lagrange", "sinc"):
+        sim = RoadAcousticsSimulator(
+            scene, FS, air_absorption=False, interpolation=interp
+        )
+        y = sim.simulate(tone(f0, 1.0, FS))[0]
+        t = np.arange(n) / FS
+        snap = sim.path_snapshot(0.0)
+        ideal = np.sin(2 * np.pi * f0 * (t - snap.direct_delay_s)) / snap.direct_distance
+        seg = slice(int(0.2 * FS), int(0.8 * FS))
+        err = float(np.sqrt(np.mean((y[seg] - ideal[seg]) ** 2)) / np.std(ideal[seg]))
+        errors[interp] = err
+        rows.append((interp, err))
+    print_table("E1 interpolator ablation (relative tone error)", ["interp", "rel err"], rows)
+    assert errors["lagrange"] <= errors["linear"]
+    assert errors["sinc"] <= errors["linear"]
+
+
+def test_e1_render_throughput(benchmark, mono):
+    """Wall-clock of rendering 2 s of a moving-source scene."""
+    scene = Scene(
+        LinearTrajectory([-30, 5.0, 1.0], [30, 5.0, 1.0], 15.0), mono, surface="dense_asphalt"
+    )
+    sim = RoadAcousticsSimulator(scene, FS, interpolation="linear")
+    sig = tone(800.0, 2.0, FS)
+    out = benchmark(sim.simulate, sig)
+    assert out.shape == (1, sig.size)

@@ -1,0 +1,51 @@
+"""Component-anomaly monitoring (Fig. 1 use case ii).
+
+    python examples/anomaly_monitoring.py
+
+Fits a healthy-engine spectral template, then screens recordings with
+synthetic faults (bearing clicks, belt whine, misfire) — the
+"identifying anomalies in car components" use case the paper lists for the
+always-on acoustic system.
+"""
+
+import numpy as np
+
+from repro.sed import anomaly_scores, detect_anomaly, fit_template, synthesize_engine
+
+FS = 16000.0
+
+print("Recording healthy-engine audio across the idle rpm band (2300-2550) ...")
+healthy = np.concatenate(
+    [
+        synthesize_engine(3.0, FS, rpm=rpm, rng=np.random.default_rng(i))
+        for i, rpm in enumerate((2300.0, 2400.0, 2500.0, 2550.0))
+    ]
+)
+template = fit_template(healthy, FS)
+print(f"template: {template.n_mels} mel bands, threshold {template.threshold:.2f}")
+
+cases = {
+    "healthy (same rpm)": synthesize_engine(3.0, FS, rng=np.random.default_rng(1)),
+    "healthy (2500 rpm)": synthesize_engine(3.0, FS, rpm=2500.0, rng=np.random.default_rng(2)),
+    "bearing clicks": synthesize_engine(
+        3.0, FS, defect="bearing", defect_level=0.8, rng=np.random.default_rng(3)
+    ),
+    "belt whine": synthesize_engine(
+        3.0, FS, defect="whine", defect_level=0.6, rng=np.random.default_rng(4)
+    ),
+    "misfire": synthesize_engine(
+        3.0, FS, defect="misfire", defect_level=0.9, rng=np.random.default_rng(5)
+    ),
+}
+
+print(f"\n{'case':<22}{'mean score':>12}{'bad frames':>12}{'verdict':>12}")
+for name, audio in cases.items():
+    scores = anomaly_scores(audio, template)
+    is_bad, fraction = detect_anomaly(audio, template)
+    verdict = "ANOMALY" if is_bad else "ok"
+    print(f"{name:<22}{scores.mean():>12.2f}{fraction:>11.1%}{verdict:>12}")
+
+print(
+    "\nThe template flags every planted fault while tolerating the small\n"
+    "rpm drift — the behaviour an always-on park-mode monitor needs."
+)

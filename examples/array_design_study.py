@@ -1,0 +1,45 @@
+"""Microphone-array placement study (the Sec. V system-level challenge).
+
+    python examples/array_design_study.py
+
+Assesses candidate geometries — compact UCAs and the manufacturer-feasible
+car placements — with the simulator-in-the-loop SRP-PHAT error sweep, and
+relates the results to the geometric predictors (aperture, spatial-aliasing
+frequency, DOA condition number).
+"""
+
+from repro.arrays import (
+    AssessmentConfig,
+    assess_geometry,
+    car_corner_array,
+    car_roof_array,
+    uniform_circular_array,
+    uniform_linear_array,
+)
+
+GEOMETRIES = {
+    "uca4 r=5cm": uniform_circular_array(4, 0.05, center=(0, 0, 1.0)),
+    "uca4 r=15cm": uniform_circular_array(4, 0.15, center=(0, 0, 1.0)),
+    "uca8 r=15cm": uniform_circular_array(8, 0.15, center=(0, 0, 1.0)),
+    "ula4 d=10cm": uniform_linear_array(4, 0.1),
+    "car roof": car_roof_array(),
+    "car corners": car_corner_array(),
+}
+
+for snr in (5.0, -10.0):
+    cfg = AssessmentConfig(n_directions=12, seed=0, snr_db=snr)
+    print(f"\n=== localization error sweep @ SNR {snr:+.0f} dB ===")
+    print(f"{'geometry':<14}{'mean deg':>10}{'p90 deg':>10}{'aperture':>10}{'alias Hz':>10}{'cond':>8}")
+    for name, positions in GEOMETRIES.items():
+        res = assess_geometry(positions, cfg)
+        cond = "inf" if res.condition_number == float("inf") else f"{res.condition_number:.1f}"
+        print(
+            f"{name:<14}{res.mean_error_deg:>10.1f}{res.p90_error_deg:>10.1f}"
+            f"{res.aperture_m:>10.2f}{res.aliasing_hz:>10.0f}{cond:>8}"
+        )
+
+print(
+    "\nReading the table: moderate apertures win at low SNR; the wide car\n"
+    "placements spatially alias broadband noise (low alias Hz) and need SNR\n"
+    "headroom; the collinear ULA shows its end-fire ambiguity in p90."
+)

@@ -1,0 +1,69 @@
+"""Emergency-sound detection: the Sec. IV-A dataset pipeline end-to-end.
+
+    python examples/emergency_vehicle_detection.py
+
+Generates a (scaled-down) version of the paper's 15 000-clip dataset with
+the road-acoustics simulator, trains a small CNN on log-mel maps, and
+reports accuracy overall and per SNR bin — the robustness curve the
+automotive use case cares about (paper challenge 1: strong, dynamic
+background noise down to -30 dB SNR).
+"""
+
+import numpy as np
+
+from repro.sed import (
+    DatasetConfig,
+    SedCnnConfig,
+    TrainConfig,
+    accuracy,
+    accuracy_vs_snr,
+    build_sed_cnn,
+    confusion_matrix,
+    dataset_arrays,
+    generate_dataset,
+    predict,
+    train_classifier,
+)
+from repro.sed.events import EVENT_CLASSES
+from repro.sed.models import FeatureFrontEnd
+
+FS = 8000.0
+N_TRAIN, N_TEST = 200, 80
+
+print(f"Generating {N_TRAIN + N_TEST} clips with pyroadacoustics-style simulation ...")
+train_cfg = DatasetConfig(n_samples=N_TRAIN, duration=1.0, fs=FS, snr_range_db=(-15.0, 10.0))
+test_cfg = DatasetConfig(n_samples=N_TEST, duration=1.0, fs=FS, snr_range_db=(-25.0, 5.0))
+x_train, y_train, _ = dataset_arrays(generate_dataset(train_cfg, seed=0))
+x_test, y_test, snr_test = dataset_arrays(generate_dataset(test_cfg, seed=1))
+
+print("Extracting log-mel feature maps ...")
+front_end = FeatureFrontEnd("log_mel", FS, n_frames=32, n_mels=32)
+maps_train = front_end(x_train)
+maps_test = front_end(x_test)
+
+print("Training the detection CNN ...")
+model = build_sed_cnn(SedCnnConfig(n_classes=5, base_channels=8, n_blocks=2))
+history = train_classifier(
+    model,
+    maps_train,
+    y_train,
+    config=TrainConfig(epochs=20, batch_size=16, lr=2e-3, seed=0),
+    x_val=maps_test,
+    y_val=y_test,
+    verbose=True,
+)
+
+pred = predict(model, maps_test)
+print(f"\noverall test accuracy: {accuracy(y_test, pred):.3f} (chance = 0.20)")
+
+print("\nconfusion matrix (rows = truth):")
+cm = confusion_matrix(y_test, pred, len(EVENT_CLASSES))
+header = " ".join(f"{c[:9]:>10}" for c in EVENT_CLASSES)
+print(f"{'':>12}{header}")
+for i, name in enumerate(EVENT_CLASSES):
+    print(f"{name[:11]:>12}" + " ".join(f"{v:>10d}" for v in cm[i]))
+
+print("\naccuracy vs SNR (event clips only):")
+for lo, hi, acc, n in accuracy_vs_snr(y_test, pred, snr_test, bin_edges_db=np.arange(-25, 6, 10.0)):
+    shown = f"{acc:.2f}" if n else "  - "
+    print(f"  [{lo:+6.1f}, {hi:+6.1f}) dB : acc {shown}  (n={n})")

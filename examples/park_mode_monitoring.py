@@ -1,0 +1,57 @@
+"""Always-on park-mode monitoring (the paper's trigger-based low-power mode).
+
+    python examples/park_mode_monitoring.py
+
+Simulates a parked car through a quiet period with one passing emergency
+vehicle, runs the trigger-gated pipeline, and prints the duty cycle plus
+the average-power comparison on two device models (Sec. II requirement 3:
+optimized energy in park mode).
+"""
+
+import numpy as np
+
+from repro.core import (
+    AcousticPerceptionPipeline,
+    ParkModeController,
+    PipelineConfig,
+    mode_energy_report,
+)
+from repro.hw import CORTEX_M7, RASPI4
+from repro.signals import synthesize_siren
+
+FS = 16000.0
+mics = np.array(
+    [[0.1, 0.1, 1.0], [0.1, -0.1, 1.0], [-0.1, -0.1, 1.0], [-0.1, 0.1, 1.0]]
+)
+config = PipelineConfig(fs=FS, frame_length=512, hop_length=256, n_azimuth=24, n_elevation=2)
+pipeline = AcousticPerceptionPipeline(mics, config)
+park = ParkModeController(pipeline, wake_frames=20)
+
+print("Simulating 10 s of a parked night with one siren pass at t = 5 s ...")
+rng = np.random.default_rng(0)
+n = int(10 * FS)
+signals = 0.004 * rng.standard_normal((4, n))
+siren = 0.7 * synthesize_siren("yelp", 1.5, FS)
+start = int(5 * FS)
+signals[:, start : start + siren.size] += siren
+
+results = park.process_signal(signals)
+awake = [i for i, r in enumerate(results) if r is not None]
+detections = [r for r in results if r is not None and r.detected]
+
+print(f"frames processed : {park.frames_total}")
+print(f"frames awake     : {park.frames_awake}  (duty cycle {park.duty_cycle:.1%})")
+if awake:
+    first_wake_s = awake[0] * config.frame_period_s
+    print(f"first wake-up    : t = {first_wake_s:.2f} s (event at 5.00 s)")
+print(f"emergency frames : {len(detections)}")
+
+print("\naverage power (device cost models):")
+print(f"{'device':<12}{'drive W':>10}{'park W':>10}{'savings':>10}")
+for device in (RASPI4, CORTEX_M7):
+    report = mode_energy_report(pipeline, device, duty_cycle=park.duty_cycle)
+    print(
+        f"{device.name:<12}{report.drive_power_w:>10.3f}{report.park_power_w:>10.3f}"
+        f"{report.savings_factor:>9.1f}x"
+    )
+print("\nPark mode holds the always-on requirement at a fraction of drive power.")

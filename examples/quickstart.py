@@ -1,0 +1,62 @@
+"""Quickstart: simulate a siren drive-by and localize it.
+
+Runs in a few seconds with no extra dependencies:
+
+    python examples/quickstart.py
+
+Covers the three core layers of the library: the road-acoustics simulator
+(Doppler, spreading, asphalt reflection), the SRP-PHAT localizer, and the
+DOA tracker.
+"""
+
+import numpy as np
+
+from repro.acoustics import LinearTrajectory, MicrophoneArray, RoadAcousticsSimulator, Scene
+from repro.signals import synthesize_siren
+from repro.ssl import DoaGrid, FastSrpPhat, track_sequence
+
+FS = 16000.0
+
+# A compact 4-mic square array on the car roof (9 cm spacing keeps siren
+# harmonics below the spatial-aliasing frequency).
+mics = np.array(
+    [[0.045, 0.045, 1.5], [0.045, -0.045, 1.5], [-0.045, -0.045, 1.5], [-0.045, 0.045, 1.5]]
+)
+
+# An ambulance with a 'wail' siren drives past, 25 m to the left.
+trajectory = LinearTrajectory(start=[-60, 25, 1.0], end=[60, 25, 1.0], speed=22.0)
+scene = Scene(trajectory, MicrophoneArray(mics), surface="dense_asphalt")
+simulator = RoadAcousticsSimulator(scene, FS)
+
+print("Synthesizing and propagating a 5 s wail siren ...")
+siren = synthesize_siren("wail", duration=5.0, fs=FS)
+received = simulator.simulate(siren)
+print(f"received signals: {received.shape[0]} channels x {received.shape[1]} samples")
+
+# Doppler check: the approaching siren is pitched up, the receding one down.
+def dominant_freq(x):
+    spec = np.abs(np.fft.rfft(x * np.hanning(x.size)))
+    return np.fft.rfftfreq(x.size, 1 / FS)[np.argmax(spec)]
+
+n = received.shape[1]
+print(f"dominant frequency, first second : {dominant_freq(received[0, : int(FS)]):7.1f} Hz")
+print(f"dominant frequency, last second  : {dominant_freq(received[0, -int(FS):]):7.1f} Hz")
+
+# Localize frame by frame with the low-complexity SRP-PHAT.
+grid = DoaGrid(n_azimuth=72, n_elevation=1, el_min=0.0, el_max=0.0)
+localizer = FastSrpPhat(mics, FS, grid=grid, n_fft=2048)
+frame, hop = 1024, 2048
+azimuths = []
+for start in range(int(FS), n - frame, hop):
+    result = localizer.localize(received[:, start : start + frame])
+    azimuths.append(result.azimuth)
+
+# Smooth the raw estimates with the constant-velocity Kalman tracker.
+states = track_sequence(np.asarray(azimuths), measurement_noise=0.15)
+
+print("\n time s | raw azimuth deg | tracked azimuth deg")
+for i in range(0, len(states), 6):
+    t = (int(FS) + i * hop + frame / 2) / FS
+    print(f" {t:6.2f} | {np.degrees(azimuths[i]):15.1f} | {np.degrees(states[i].azimuth):19.1f}")
+
+print("\nThe azimuth sweeps from ahead-left to behind-left as the siren passes.")

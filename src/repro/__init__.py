@@ -1,0 +1,46 @@
+"""repro: Real-Time Acoustic Perception for Automotive Applications.
+
+A full reproduction of the I-SPOT project paper (DATE 2023,
+arXiv:2301.12808): road-acoustics simulation, emergency-sound detection,
+sound-source localization (SRP-PHAT / Cross3D), microphone-array
+assessment, and the hardware-algorithm co-design workflow with operator IR,
+cost models and a CGRA mapping substrate.
+
+Subpackages
+-----------
+acoustics
+    Road-acoustics simulator (pyroadacoustics reimplementation).
+signals
+    Siren/horn/urban-noise synthesis.
+dsp
+    STFT, FIR design, levels, resampling.
+features
+    Spectrogram/mel/MFCC/gammatone/GFCC/CQT/chroma front-ends.
+nn
+    From-scratch numpy neural-network framework.
+sed
+    Detection dataset, models, training, metrics.
+ssl
+    GCC-PHAT, SRP-PHAT (conventional + low-complexity), Cross3D, tracking.
+arrays
+    Microphone-array topologies and assessment.
+hw
+    Operator IR, roofline/cost models, CGRA fabric + mapper, co-design DSE.
+core
+    The end-to-end streaming pipeline with drive/park modes.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "acoustics",
+    "signals",
+    "dsp",
+    "features",
+    "nn",
+    "sed",
+    "ssl",
+    "arrays",
+    "hw",
+    "core",
+]

@@ -1,0 +1,77 @@
+"""Road-acoustics simulator (pyroadacoustics reimplementation, Fig. 2-3)."""
+
+from repro.acoustics.air import (
+    Atmosphere,
+    air_absorption_coefficient,
+    air_absorption_fir,
+    speed_of_sound,
+)
+from repro.acoustics.asphalt import (
+    SURFACE_PRESETS,
+    RoadSurface,
+    asphalt_reflection_fir,
+    reflection_magnitude,
+)
+from repro.acoustics.delay_line import (
+    INTERPOLATORS,
+    VariableDelayLine,
+    render_varying_delay,
+)
+from repro.acoustics.environment import MicrophoneArray, Scene
+from repro.acoustics.geometry import (
+    SPEED_OF_SOUND,
+    direct_distance,
+    image_source,
+    incidence_angle,
+    propagation_delay,
+    reflected_distance,
+    reflection_point,
+)
+from repro.acoustics.simulator import PathSnapshot, RoadAcousticsSimulator
+from repro.acoustics.trajectory import (
+    BezierTrajectory,
+    CircularTrajectory,
+    LinearTrajectory,
+    StaticPosition,
+    Trajectory,
+    WaypointTrajectory,
+)
+
+from repro.acoustics.diffuse import diffuse_coherence, diffuse_noise_field
+from repro.acoustics.wind import add_wind, wind_noise
+__all__ = [
+    "add_wind",
+    "wind_noise",
+
+    "diffuse_coherence",
+    "diffuse_noise_field",
+
+    "Atmosphere",
+    "air_absorption_coefficient",
+    "air_absorption_fir",
+    "speed_of_sound",
+    "SURFACE_PRESETS",
+    "RoadSurface",
+    "asphalt_reflection_fir",
+    "reflection_magnitude",
+    "INTERPOLATORS",
+    "VariableDelayLine",
+    "render_varying_delay",
+    "MicrophoneArray",
+    "Scene",
+    "SPEED_OF_SOUND",
+    "direct_distance",
+    "image_source",
+    "incidence_angle",
+    "propagation_delay",
+    "reflected_distance",
+    "reflection_point",
+    "PathSnapshot",
+    "RoadAcousticsSimulator",
+    "BezierTrajectory",
+    "CircularTrajectory",
+    "LinearTrajectory",
+    "StaticPosition",
+    "Trajectory",
+    "WaypointTrajectory",
+]

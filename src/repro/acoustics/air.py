@@ -1,0 +1,115 @@
+"""Atmospheric absorption model (ISO 9613-1) and FIR realization.
+
+The simulator of Fig. 2 applies air-absorption FIR filters ``H_air`` on both
+the direct and the reflected propagation paths.  This module implements the
+full ISO 9613-1 attenuation-coefficient formula (temperature, humidity and
+pressure dependent) and designs a linear-phase FIR filter realizing the
+distance-dependent magnitude response 10^(-alpha(f) * d / 20).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.filters import fir_from_magnitude
+
+__all__ = ["Atmosphere", "air_absorption_coefficient", "air_absorption_fir", "speed_of_sound"]
+
+_T0 = 293.15  # reference temperature, K (20 degC)
+_T01 = 273.16  # triple point of water, K
+_PR = 101.325  # reference pressure, kPa
+
+
+@dataclass(frozen=True)
+class Atmosphere:
+    """Atmospheric conditions for the absorption model.
+
+    Attributes
+    ----------
+    temperature_c:
+        Air temperature in degrees Celsius.
+    humidity:
+        Relative humidity in percent (0-100).
+    pressure_kpa:
+        Static pressure in kPa.
+    """
+
+    temperature_c: float = 20.0
+    humidity: float = 50.0
+    pressure_kpa: float = 101.325
+
+    def __post_init__(self) -> None:
+        if not -50.0 <= self.temperature_c <= 60.0:
+            raise ValueError("temperature out of the model's validity range")
+        if not 0.0 < self.humidity <= 100.0:
+            raise ValueError("humidity must be in (0, 100]")
+        if self.pressure_kpa <= 0:
+            raise ValueError("pressure must be positive")
+
+    @property
+    def temperature_k(self) -> float:
+        """Absolute temperature in Kelvin."""
+        return self.temperature_c + 273.15
+
+
+def speed_of_sound(atmosphere: Atmosphere | None = None) -> float:
+    """Speed of sound (m/s) at the given conditions (ideal-gas approximation)."""
+    atm = atmosphere or Atmosphere()
+    return 343.2 * np.sqrt(atm.temperature_k / _T0)
+
+
+def air_absorption_coefficient(freqs_hz: np.ndarray, atmosphere: Atmosphere | None = None) -> np.ndarray:
+    """ISO 9613-1 pure-tone attenuation coefficient alpha, in dB per metre.
+
+    Parameters
+    ----------
+    freqs_hz:
+        Frequencies in Hz (non-negative).
+    atmosphere:
+        Conditions; defaults to 20 degC, 50 % RH, 101.325 kPa.
+    """
+    atm = atmosphere or Atmosphere()
+    f = np.asarray(freqs_hz, dtype=np.float64)
+    if np.any(f < 0):
+        raise ValueError("frequencies must be non-negative")
+    T = atm.temperature_k
+    pa = atm.pressure_kpa / _PR  # normalized pressure
+
+    # Saturation vapour pressure ratio and molar concentration of water vapour.
+    csat = -6.8346 * (_T01 / T) ** 1.261 + 4.6151
+    h = atm.humidity * (10.0**csat) / pa
+
+    # Relaxation frequencies of oxygen and nitrogen (Hz).
+    fr_o = pa * (24.0 + 4.04e4 * h * (0.02 + h) / (0.391 + h))
+    fr_n = pa * (T / _T0) ** (-0.5) * (9.0 + 280.0 * h * np.exp(-4.170 * ((T / _T0) ** (-1.0 / 3.0) - 1.0)))
+
+    f2 = f**2
+    term_classical = 1.84e-11 / pa * np.sqrt(T / _T0)
+    term_o = 0.01275 * np.exp(-2239.1 / T) / (fr_o + f2 / fr_o)
+    term_n = 0.1068 * np.exp(-3352.0 / T) / (fr_n + f2 / fr_n)
+    alpha = 8.686 * f2 * (term_classical + (T / _T0) ** (-2.5) * (term_o + term_n))
+    return alpha
+
+
+def air_absorption_fir(
+    distance_m: float,
+    fs: float,
+    *,
+    atmosphere: Atmosphere | None = None,
+    n_taps: int = 63,
+) -> np.ndarray:
+    """Linear-phase FIR realizing air absorption over ``distance_m`` metres.
+
+    The magnitude response is ``10 ** (-alpha(f) * d / 20)`` on a log-spaced
+    grid up to Nyquist.
+    """
+    if distance_m < 0:
+        raise ValueError("distance must be non-negative")
+    if fs <= 0:
+        raise ValueError("fs must be positive")
+    grid = np.concatenate([[0.0], np.logspace(np.log10(20.0), np.log10(fs / 2.0), 64)])
+    alpha = air_absorption_coefficient(grid, atmosphere)
+    mags = 10.0 ** (-alpha * distance_m / 20.0)
+    return fir_from_magnitude(grid, mags, n_taps, fs)

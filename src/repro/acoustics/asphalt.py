@@ -1,0 +1,102 @@
+"""Asphalt reflection model and FIR realization (``H_refl`` in Fig. 2).
+
+The paper models the road surface's reflection with a user-adjustable FIR
+filter designed from the asphalt's acoustic absorption characteristics.  We
+ship octave-band absorption tables for common road surfaces (dense asphalt
+reflects strongly; porous "quiet" asphalt absorbs heavily above 500 Hz) and
+design the reflection filter as ``|R(f)| = sqrt(1 - absorption(f))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dsp.filters import fir_from_magnitude, octave_band_centers
+
+__all__ = ["RoadSurface", "SURFACE_PRESETS", "reflection_magnitude", "asphalt_reflection_fir"]
+
+_BANDS = octave_band_centers(62.5, 8)  # 62.5 Hz ... 8 kHz
+
+
+@dataclass(frozen=True)
+class RoadSurface:
+    """Acoustic description of a road surface.
+
+    Attributes
+    ----------
+    name:
+        Surface label.
+    band_freqs_hz:
+        Octave-band centre frequencies of the absorption table.
+    absorption:
+        Energy absorption coefficient per band, each in [0, 1).
+    """
+
+    name: str
+    band_freqs_hz: tuple[float, ...] = tuple(_BANDS)
+    absorption: tuple[float, ...] = (0.02, 0.02, 0.03, 0.03, 0.04, 0.05, 0.06, 0.08)
+
+    def __post_init__(self) -> None:
+        if len(self.band_freqs_hz) != len(self.absorption):
+            raise ValueError("band_freqs_hz and absorption must have equal length")
+        if len(self.absorption) < 2:
+            raise ValueError("need at least two absorption bands")
+        if any(not 0.0 <= a < 1.0 for a in self.absorption):
+            raise ValueError("absorption coefficients must lie in [0, 1)")
+        if any(f2 <= f1 for f1, f2 in zip(self.band_freqs_hz, self.band_freqs_hz[1:])):
+            raise ValueError("band frequencies must be strictly increasing")
+
+
+SURFACE_PRESETS: dict[str, RoadSurface] = {
+    "dense_asphalt": RoadSurface("dense_asphalt"),
+    "porous_asphalt": RoadSurface(
+        "porous_asphalt",
+        absorption=(0.05, 0.08, 0.15, 0.35, 0.6, 0.7, 0.6, 0.5),
+    ),
+    "concrete": RoadSurface(
+        "concrete",
+        absorption=(0.01, 0.01, 0.015, 0.02, 0.02, 0.02, 0.03, 0.04),
+    ),
+    "wet_asphalt": RoadSurface(
+        "wet_asphalt",
+        absorption=(0.01, 0.01, 0.02, 0.02, 0.03, 0.03, 0.04, 0.05),
+    ),
+}
+
+
+def reflection_magnitude(freqs_hz: np.ndarray, surface: RoadSurface) -> np.ndarray:
+    """Pressure reflection-coefficient magnitude |R(f)| for a surface.
+
+    Interpolates the band absorption table in log-frequency and converts the
+    energy absorption coefficient to a pressure magnitude.
+    """
+    f = np.asarray(freqs_hz, dtype=np.float64)
+    if np.any(f < 0):
+        raise ValueError("frequencies must be non-negative")
+    bands = np.asarray(surface.band_freqs_hz)
+    absorption = np.asarray(surface.absorption)
+    log_f = np.log10(np.maximum(f, 1.0))
+    alpha = np.interp(log_f, np.log10(bands), absorption, left=absorption[0], right=absorption[-1])
+    return np.sqrt(1.0 - alpha)
+
+
+def asphalt_reflection_fir(surface: RoadSurface | str, fs: float, *, n_taps: int = 33) -> np.ndarray:
+    """Linear-phase FIR realizing the surface reflection magnitude.
+
+    ``surface`` may be a :class:`RoadSurface` or the name of a preset in
+    :data:`SURFACE_PRESETS`.
+    """
+    if isinstance(surface, str):
+        try:
+            surface = SURFACE_PRESETS[surface]
+        except KeyError:
+            raise ValueError(
+                f"unknown surface preset {surface!r}; available: {sorted(SURFACE_PRESETS)}"
+            ) from None
+    if fs <= 0:
+        raise ValueError("fs must be positive")
+    grid = np.concatenate([[0.0], np.logspace(np.log10(20.0), np.log10(fs / 2.0), 64)])
+    mags = reflection_magnitude(grid, surface)
+    return fir_from_magnitude(grid, mags, n_taps, fs)

@@ -1,0 +1,96 @@
+"""Scene description for the road-acoustics simulator.
+
+Bundles the moving source, the static microphone array, the road surface and
+the atmospheric conditions into a single validated object consumed by
+:class:`repro.acoustics.simulator.RoadAcousticsSimulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.acoustics.air import Atmosphere, speed_of_sound
+from repro.acoustics.asphalt import SURFACE_PRESETS, RoadSurface
+from repro.acoustics.trajectory import Trajectory
+
+__all__ = ["MicrophoneArray", "Scene"]
+
+
+@dataclass(frozen=True)
+class MicrophoneArray:
+    """A set of static omnidirectional microphones.
+
+    Attributes
+    ----------
+    positions:
+        Array of shape ``(n_mics, 3)``, metres; all strictly above the road
+        plane (z > 0).
+    """
+
+    positions: np.ndarray
+
+    def __post_init__(self) -> None:
+        p = np.asarray(self.positions, dtype=np.float64)
+        if p.ndim != 2 or p.shape[1] != 3 or p.shape[0] < 1:
+            raise ValueError("positions must be an (n_mics >= 1, 3) array")
+        if np.any(p[:, 2] <= 0):
+            raise ValueError("all microphones must sit strictly above the road (z > 0)")
+        object.__setattr__(self, "positions", p)
+
+    @property
+    def n_mics(self) -> int:
+        """Number of microphones."""
+        return self.positions.shape[0]
+
+    @property
+    def centroid(self) -> np.ndarray:
+        """Geometric centre of the array."""
+        return self.positions.mean(axis=0)
+
+    @property
+    def aperture(self) -> float:
+        """Largest inter-microphone distance, metres."""
+        if self.n_mics == 1:
+            return 0.0
+        diffs = self.positions[:, None, :] - self.positions[None, :, :]
+        return float(np.linalg.norm(diffs, axis=2).max())
+
+
+@dataclass
+class Scene:
+    """Complete simulation scene.
+
+    Attributes
+    ----------
+    trajectory:
+        Source motion (see :mod:`repro.acoustics.trajectory`); positions must
+        stay strictly above the road plane.
+    array:
+        Receiving :class:`MicrophoneArray`.
+    surface:
+        Road surface model or preset name; ``None`` disables the reflection
+        path entirely (free-field simulation).
+    atmosphere:
+        Atmospheric conditions (temperature/humidity/pressure).
+    """
+
+    trajectory: Trajectory
+    array: MicrophoneArray
+    surface: RoadSurface | str | None = "dense_asphalt"
+    atmosphere: Atmosphere = field(default_factory=Atmosphere)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.surface, str):
+            try:
+                self.surface = SURFACE_PRESETS[self.surface]
+            except KeyError:
+                raise ValueError(
+                    f"unknown surface preset {self.surface!r}; available: {sorted(SURFACE_PRESETS)}"
+                ) from None
+
+    @property
+    def speed_of_sound(self) -> float:
+        """Speed of sound under the scene's atmospheric conditions, m/s."""
+        return float(speed_of_sound(self.atmosphere))

@@ -1,0 +1,98 @@
+"""Reflection geometry for the single road reflection (Fig. 3 of the paper).
+
+The road surface is the plane z = 0.  The reflected path from source S to
+microphone M is computed with the image-source method: the image S' of S
+below the road has z -> -z, the reflected path length equals |S' - M|, and
+the reflection point is where the segment S'-M crosses the road plane.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "image_source",
+    "direct_distance",
+    "reflected_distance",
+    "reflection_point",
+    "incidence_angle",
+    "propagation_delay",
+    "SPEED_OF_SOUND",
+]
+
+SPEED_OF_SOUND = 343.0
+"""Reference speed of sound in air at ~20 degC, m/s."""
+
+
+def _check_positions(p: np.ndarray, name: str) -> np.ndarray:
+    p = np.asarray(p, dtype=np.float64)
+    if p.ndim == 1:
+        p = p[None, :]
+    if p.ndim != 2 or p.shape[1] != 3:
+        raise ValueError(f"{name} must be (3,) or (n, 3), got {p.shape}")
+    return p
+
+
+def image_source(source: np.ndarray) -> np.ndarray:
+    """Mirror source position(s) across the road plane z = 0."""
+    s = _check_positions(source, "source").copy()
+    s[:, 2] = -s[:, 2]
+    return s if np.asarray(source).ndim > 1 else s[0]
+
+
+def direct_distance(source: np.ndarray, mic: np.ndarray) -> np.ndarray:
+    """Direct path length d1 (Fig. 3), broadcasting over source positions."""
+    s = _check_positions(source, "source")
+    m = np.asarray(mic, dtype=np.float64)
+    if m.shape != (3,):
+        raise ValueError("mic must be a 3-vector")
+    d = np.linalg.norm(s - m, axis=1)
+    return d if np.asarray(source).ndim > 1 else float(d[0])
+
+
+def reflected_distance(source: np.ndarray, mic: np.ndarray) -> np.ndarray:
+    """Total reflected path length d2 + d3 via the image source."""
+    return direct_distance(image_source(source), mic)
+
+
+def reflection_point(source: np.ndarray, mic: np.ndarray) -> np.ndarray:
+    """Point(s) on the road plane where the reflected ray bounces.
+
+    Both endpoints must lie strictly above the road (z > 0); a source or mic
+    on the road plane has a degenerate reflection and raises.
+    """
+    s = _check_positions(source, "source")
+    m = np.asarray(mic, dtype=np.float64)
+    if m.shape != (3,):
+        raise ValueError("mic must be a 3-vector")
+    if np.any(s[:, 2] <= 0) or m[2] <= 0:
+        raise ValueError("source and mic must be strictly above the road plane (z > 0)")
+    img = s.copy()
+    img[:, 2] = -img[:, 2]
+    # Parametric intersection of segment img -> m with z = 0.
+    t = img[:, 2] / (img[:, 2] - m[2])
+    pts = img + (m - img) * t[:, None]
+    pts[:, 2] = 0.0
+    return pts if np.asarray(source).ndim > 1 else pts[0]
+
+
+def incidence_angle(source: np.ndarray, mic: np.ndarray) -> np.ndarray:
+    """Angle of incidence at the reflection point, measured from the normal.
+
+    Returns radians in [0, pi/2).  Grazing incidence approaches pi/2.
+    """
+    s = _check_positions(source, "source")
+    m = np.asarray(mic, dtype=np.float64)
+    rp = _check_positions(reflection_point(s, m), "reflection_point")
+    incoming = rp - s
+    horizontal = np.linalg.norm(incoming[:, :2], axis=1)
+    vertical = np.abs(incoming[:, 2])
+    ang = np.arctan2(horizontal, vertical)
+    return ang if np.asarray(source).ndim > 1 else float(ang[0])
+
+
+def propagation_delay(distance: np.ndarray, *, c: float = SPEED_OF_SOUND) -> np.ndarray:
+    """Propagation delay in seconds for path length(s) in metres."""
+    if c <= 0:
+        raise ValueError("speed of sound must be positive")
+    return np.asarray(distance, dtype=np.float64) / c

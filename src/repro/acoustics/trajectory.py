@@ -1,0 +1,206 @@
+"""Source trajectories for the road-acoustics simulator.
+
+The paper's simulator supports "a single, omnidirectional sound source moving
+on an arbitrary trajectory with an arbitrary speed", including spline/Bezier
+curves so that relative source-receiver speed can vary along the path.  Each
+trajectory maps time (seconds) to a 3-D position (metres); all of them expose
+a vectorized :meth:`Trajectory.positions`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "Trajectory",
+    "StaticPosition",
+    "LinearTrajectory",
+    "WaypointTrajectory",
+    "CircularTrajectory",
+    "BezierTrajectory",
+]
+
+
+def _as_point(p, name: str = "point") -> np.ndarray:
+    p = np.asarray(p, dtype=np.float64)
+    if p.shape != (3,):
+        raise ValueError(f"{name} must be a 3-vector, got shape {p.shape}")
+    return p
+
+
+class Trajectory(ABC):
+    """Maps time in seconds to a 3-D position in metres."""
+
+    @abstractmethod
+    def position(self, t: float) -> np.ndarray:
+        """Position at time ``t`` as a ``(3,)`` array."""
+
+    def positions(self, t: np.ndarray) -> np.ndarray:
+        """Positions at an array of times, shape ``(len(t), 3)``.
+
+        Subclasses override this with a vectorized implementation; the base
+        class falls back to a per-sample loop.
+        """
+        t = np.asarray(t, dtype=np.float64)
+        return np.stack([self.position(float(ti)) for ti in t])
+
+    def speed(self, t: float, *, dt: float = 1e-4) -> float:
+        """Instantaneous speed (m/s) by central differencing."""
+        p0 = self.position(max(0.0, t - dt))
+        p1 = self.position(t + dt)
+        return float(np.linalg.norm(p1 - p0) / (2 * dt if t >= dt else dt + t))
+
+
+class StaticPosition(Trajectory):
+    """A source that does not move."""
+
+    def __init__(self, point) -> None:
+        self._point = _as_point(point)
+
+    def position(self, t: float) -> np.ndarray:
+        return self._point.copy()
+
+    def positions(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=np.float64)
+        return np.tile(self._point, (t.size, 1))
+
+
+class LinearTrajectory(Trajectory):
+    """Constant-velocity straight-line motion from ``start`` towards ``end``.
+
+    The source continues past ``end`` at the same velocity (an approaching
+    vehicle does not stop at the waypoint).
+    """
+
+    def __init__(self, start, end, speed: float) -> None:
+        self.start = _as_point(start, "start")
+        self.end = _as_point(end, "end")
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        direction = self.end - self.start
+        length = float(np.linalg.norm(direction))
+        if length == 0:
+            raise ValueError("start and end coincide; use StaticPosition")
+        self.speed_mps = float(speed)
+        self._unit = direction / length
+
+    def position(self, t: float) -> np.ndarray:
+        return self.start + self._unit * (self.speed_mps * t)
+
+    def positions(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=np.float64)
+        return self.start[None, :] + np.outer(self.speed_mps * t, self._unit)
+
+
+class WaypointTrajectory(Trajectory):
+    """Piecewise-linear motion through waypoints at a constant speed.
+
+    The source stops at the final waypoint.
+    """
+
+    def __init__(self, waypoints, speed: float) -> None:
+        pts = np.asarray(waypoints, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 3 or pts.shape[0] < 2:
+            raise ValueError("waypoints must be an (n>=2, 3) array")
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        seg = np.diff(pts, axis=0)
+        seg_len = np.linalg.norm(seg, axis=1)
+        if np.any(seg_len == 0):
+            raise ValueError("consecutive waypoints must be distinct")
+        self.waypoints = pts
+        self.speed_mps = float(speed)
+        self._cum = np.concatenate([[0.0], np.cumsum(seg_len)])
+
+    @property
+    def total_time(self) -> float:
+        """Time to traverse the whole path, in seconds."""
+        return float(self._cum[-1] / self.speed_mps)
+
+    def _at_arclength(self, s: np.ndarray) -> np.ndarray:
+        s = np.clip(s, 0.0, self._cum[-1])
+        idx = np.clip(np.searchsorted(self._cum, s, side="right") - 1, 0, len(self._cum) - 2)
+        seg_start = self._cum[idx]
+        seg_len = self._cum[idx + 1] - seg_start
+        frac = (s - seg_start) / seg_len
+        p0 = self.waypoints[idx]
+        p1 = self.waypoints[idx + 1]
+        return p0 + (p1 - p0) * frac[:, None]
+
+    def position(self, t: float) -> np.ndarray:
+        return self._at_arclength(np.array([self.speed_mps * max(t, 0.0)]))[0]
+
+    def positions(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=np.float64)
+        return self._at_arclength(self.speed_mps * np.clip(t, 0.0, None))
+
+
+class CircularTrajectory(Trajectory):
+    """Constant-speed motion on a circle in the z = height plane."""
+
+    def __init__(self, center, radius: float, speed: float, *, phase: float = 0.0) -> None:
+        self.center = _as_point(center, "center")
+        if radius <= 0 or speed <= 0:
+            raise ValueError("radius and speed must be positive")
+        self.radius = float(radius)
+        self.speed_mps = float(speed)
+        self.phase = float(phase)
+
+    def positions(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=np.float64)
+        ang = self.phase + self.speed_mps * t / self.radius
+        out = np.tile(self.center, (t.size, 1))
+        out[:, 0] += self.radius * np.cos(ang)
+        out[:, 1] += self.radius * np.sin(ang)
+        return out
+
+    def position(self, t: float) -> np.ndarray:
+        return self.positions(np.array([t]))[0]
+
+
+class BezierTrajectory(Trajectory):
+    """Cubic Bezier path traversed with approximately constant speed.
+
+    The curve is re-parameterized by arc length (sampled densely once at
+    construction) so that ``speed`` is respected along the whole path; the
+    source stops at the end of the curve.
+    """
+
+    _N_ARC_SAMPLES = 2048
+
+    def __init__(self, p0, p1, p2, p3, speed: float) -> None:
+        self.ctrl = np.stack([_as_point(p, f"p{i}") for i, p in enumerate((p0, p1, p2, p3))])
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        self.speed_mps = float(speed)
+        u = np.linspace(0.0, 1.0, self._N_ARC_SAMPLES)
+        pts = self._bezier(u)
+        seg = np.linalg.norm(np.diff(pts, axis=0), axis=1)
+        self._arc = np.concatenate([[0.0], np.cumsum(seg)])
+        self._u = u
+
+    def _bezier(self, u: np.ndarray) -> np.ndarray:
+        u = u[:, None]
+        b = (
+            (1 - u) ** 3 * self.ctrl[0]
+            + 3 * (1 - u) ** 2 * u * self.ctrl[1]
+            + 3 * (1 - u) * u**2 * self.ctrl[2]
+            + u**3 * self.ctrl[3]
+        )
+        return b
+
+    @property
+    def length(self) -> float:
+        """Approximate arc length of the curve in metres."""
+        return float(self._arc[-1])
+
+    def positions(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=np.float64)
+        s = np.clip(self.speed_mps * np.clip(t, 0.0, None), 0.0, self._arc[-1])
+        u = np.interp(s, self._arc, self._u)
+        return self._bezier(u)
+
+    def position(self, t: float) -> np.ndarray:
+        return self.positions(np.array([t]))[0]

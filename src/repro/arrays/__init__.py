@@ -1,0 +1,48 @@
+"""Microphone array design and assessment (Sec. V system-level challenge)."""
+
+from repro.arrays.assessment import AssessmentConfig, AssessmentResult, assess_geometry
+from repro.arrays.metrics import (
+    aperture,
+    doa_condition_number,
+    max_tdoa,
+    min_spacing,
+    spatial_aliasing_frequency,
+)
+from repro.arrays.topologies import (
+    TOPOLOGY_BUILDERS,
+    car_corner_array,
+    car_roof_array,
+    rectangular_array,
+    uniform_circular_array,
+    uniform_linear_array,
+)
+
+from repro.arrays.placement import (
+    PlacementObjective,
+    car_candidate_points,
+    exhaustive_placement,
+    greedy_placement,
+    placement_score,
+)
+__all__ = [
+    "PlacementObjective",
+    "car_candidate_points",
+    "exhaustive_placement",
+    "greedy_placement",
+    "placement_score",
+
+    "AssessmentConfig",
+    "AssessmentResult",
+    "assess_geometry",
+    "aperture",
+    "doa_condition_number",
+    "max_tdoa",
+    "min_spacing",
+    "spatial_aliasing_frequency",
+    "TOPOLOGY_BUILDERS",
+    "car_corner_array",
+    "car_roof_array",
+    "rectangular_array",
+    "uniform_circular_array",
+    "uniform_linear_array",
+]

@@ -1,0 +1,75 @@
+"""Geometric quality metrics of microphone arrays.
+
+These metrics predict localization behaviour before running any audio:
+aperture bounds TDOA resolution, spatial-aliasing frequency bounds the
+usable band, and the TDOA-sensitivity condition number measures how
+isotropically the geometry constrains the DOA.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.acoustics.geometry import SPEED_OF_SOUND
+from repro.ssl.srp import mic_pairs
+
+__all__ = [
+    "aperture",
+    "min_spacing",
+    "spatial_aliasing_frequency",
+    "max_tdoa",
+    "doa_condition_number",
+]
+
+
+def _check(positions: np.ndarray) -> np.ndarray:
+    p = np.asarray(positions, dtype=np.float64)
+    if p.ndim != 2 or p.shape[1] != 3 or p.shape[0] < 2:
+        raise ValueError("positions must be (n_mics >= 2, 3)")
+    return p
+
+
+def aperture(positions: np.ndarray) -> float:
+    """Largest inter-microphone distance, m."""
+    p = _check(positions)
+    diffs = p[:, None, :] - p[None, :, :]
+    return float(np.linalg.norm(diffs, axis=2).max())
+
+
+def min_spacing(positions: np.ndarray) -> float:
+    """Smallest inter-microphone distance, m."""
+    p = _check(positions)
+    diffs = np.linalg.norm(p[:, None, :] - p[None, :, :], axis=2)
+    np.fill_diagonal(diffs, np.inf)
+    return float(diffs.min())
+
+
+def spatial_aliasing_frequency(positions: np.ndarray, *, c: float = SPEED_OF_SOUND) -> float:
+    """Frequency above which the closest pair spatially aliases: c / (2 d_min)."""
+    if c <= 0:
+        raise ValueError("c must be positive")
+    return c / (2.0 * min_spacing(positions))
+
+
+def max_tdoa(positions: np.ndarray, *, c: float = SPEED_OF_SOUND) -> float:
+    """Largest possible far-field TDOA across all pairs, seconds."""
+    if c <= 0:
+        raise ValueError("c must be positive")
+    return aperture(positions) / c
+
+
+def doa_condition_number(positions: np.ndarray) -> float:
+    """Condition number of the pair-difference matrix (x, y components).
+
+    The far-field TDOA map is ``tau = D u / c`` with ``D`` the stacked pair
+    difference vectors.  A small condition number over the horizontal
+    components means azimuth errors are isotropic; a collinear (ULA) array
+    is rank-deficient and returns ``inf`` (end-fire ambiguity).
+    """
+    p = _check(positions)
+    pairs = mic_pairs(p.shape[0])
+    d = np.stack([p[j] - p[i] for i, j in pairs])[:, :2]
+    s = np.linalg.svd(d, compute_uv=False)
+    if s[-1] < 1e-12 * s[0]:
+        return float("inf")
+    return float(s[0] / s[-1])

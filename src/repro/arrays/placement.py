@@ -1,0 +1,158 @@
+"""Sensor-placement optimization (Sec. V: "definition of the desired number
+of sensors and their relative position").
+
+Car manufacturers allow only a discrete set of protected mounting points
+(bumpers, mirrors, roof rails).  Given such a candidate set, the greedy
+selector picks ``k`` positions that minimize a geometric objective
+combining DOA conditioning, aperture and aliasing — the cheap proxy that
+:func:`repro.arrays.assessment.assess_geometry` then validates with
+simulation-in-the-loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.arrays.metrics import (
+    aperture,
+    doa_condition_number,
+    min_spacing,
+    spatial_aliasing_frequency,
+)
+
+__all__ = ["PlacementObjective", "placement_score", "greedy_placement", "exhaustive_placement", "car_candidate_points"]
+
+
+@dataclass(frozen=True)
+class PlacementObjective:
+    """Weights of the geometric placement objective (lower is better).
+
+    Attributes
+    ----------
+    target_aliasing_hz:
+        Spatial-aliasing frequency the usable band needs; geometries
+        aliasing below it are penalized proportionally.
+    condition_weight:
+        Weight of ``log(condition number)`` (isotropy of azimuth accuracy).
+    aperture_weight:
+        Reward per metre of aperture (TDOA resolution), subtracted.
+    """
+
+    target_aliasing_hz: float = 1500.0
+    condition_weight: float = 1.0
+    aperture_weight: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.target_aliasing_hz <= 0:
+            raise ValueError("target_aliasing_hz must be positive")
+        if self.condition_weight < 0 or self.aperture_weight < 0:
+            raise ValueError("weights must be non-negative")
+
+
+def placement_score(positions: np.ndarray, objective: PlacementObjective | None = None) -> float:
+    """Geometric badness of a placement (lower is better)."""
+    obj = objective or PlacementObjective()
+    positions = np.asarray(positions, dtype=np.float64)
+    cond = doa_condition_number(positions)
+    cond_term = obj.condition_weight * (np.log10(cond) if np.isfinite(cond) else 6.0)
+    aliasing = spatial_aliasing_frequency(positions)
+    alias_term = max(0.0, obj.target_aliasing_hz / aliasing - 1.0)
+    aperture_term = -obj.aperture_weight * min(aperture(positions), 2.0)
+    return float(cond_term + alias_term + aperture_term)
+
+
+def greedy_placement(
+    candidates: np.ndarray,
+    k: int,
+    *,
+    objective: PlacementObjective | None = None,
+) -> tuple[np.ndarray, list[int]]:
+    """Greedily select ``k`` of the candidate positions.
+
+    Seeds with the best-scoring pair, then adds the candidate that most
+    improves the objective.  Returns ``(positions, indices)``.
+    """
+    candidates = np.asarray(candidates, dtype=np.float64)
+    if candidates.ndim != 2 or candidates.shape[1] != 3:
+        raise ValueError("candidates must be (n, 3)")
+    n = candidates.shape[0]
+    if not 2 <= k <= n:
+        raise ValueError("need 2 <= k <= n_candidates")
+    obj = objective or PlacementObjective()
+    best_pair = min(
+        combinations(range(n), 2),
+        key=lambda ij: placement_score(candidates[list(ij)], obj),
+    )
+    chosen = list(best_pair)
+    while len(chosen) < k:
+        remaining = [i for i in range(n) if i not in chosen]
+        best_i = min(
+            remaining,
+            key=lambda i: placement_score(candidates[chosen + [i]], obj),
+        )
+        chosen.append(best_i)
+    return candidates[chosen], chosen
+
+
+def exhaustive_placement(
+    candidates: np.ndarray,
+    k: int,
+    *,
+    objective: PlacementObjective | None = None,
+    max_combinations: int = 20000,
+) -> tuple[np.ndarray, list[int]]:
+    """Exact search over all k-subsets (guarded by ``max_combinations``)."""
+    candidates = np.asarray(candidates, dtype=np.float64)
+    n = candidates.shape[0]
+    if not 2 <= k <= n:
+        raise ValueError("need 2 <= k <= n_candidates")
+    from math import comb
+
+    if comb(n, k) > max_combinations:
+        raise ValueError(
+            f"{comb(n, k)} combinations exceed the limit {max_combinations}; "
+            "use greedy_placement"
+        )
+    obj = objective or PlacementObjective()
+    best = min(
+        combinations(range(n), k),
+        key=lambda idx: placement_score(candidates[list(idx)], obj),
+    )
+    return candidates[list(best)], list(best)
+
+
+def car_candidate_points(
+    *,
+    length: float = 4.2,
+    width: float = 1.8,
+    roof_height: float = 1.5,
+    bumper_height: float = 0.5,
+    mirror_height: float = 1.0,
+) -> np.ndarray:
+    """The manufacturer-feasible mounting points of a generic sedan.
+
+    Twelve candidates: four bumper corners, two mirrors, four roof-rail
+    points and two rocker-panel midpoints.
+    """
+    if min(length, width, roof_height, bumper_height, mirror_height) <= 0:
+        raise ValueError("car dimensions must be positive")
+    half_l, half_w = length / 2.0, width / 2.0
+    return np.array(
+        [
+            [half_l, half_w, bumper_height],
+            [half_l, -half_w, bumper_height],
+            [-half_l, -half_w, bumper_height],
+            [-half_l, half_w, bumper_height],
+            [0.3, half_w + 0.1, mirror_height],
+            [0.3, -half_w - 0.1, mirror_height],
+            [0.8, half_w * 0.6, roof_height],
+            [0.8, -half_w * 0.6, roof_height],
+            [-0.8, -half_w * 0.6, roof_height],
+            [-0.8, half_w * 0.6, roof_height],
+            [0.0, half_w, bumper_height + 0.1],
+            [0.0, -half_w, bumper_height + 0.1],
+        ]
+    )

@@ -1,0 +1,136 @@
+"""Microphone-array topologies, including car-body placements.
+
+The paper's system-level open challenge (Sec. V) is choosing the array
+topology and placement on the car body under manufacturer constraints.
+These constructors produce ``(n_mics, 3)`` position arrays ready for
+:class:`repro.acoustics.environment.MicrophoneArray`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "uniform_linear_array",
+    "uniform_circular_array",
+    "rectangular_array",
+    "car_roof_array",
+    "car_corner_array",
+    "TOPOLOGY_BUILDERS",
+]
+
+
+def uniform_linear_array(
+    n_mics: int,
+    spacing: float,
+    *,
+    center: tuple[float, float, float] = (0.0, 0.0, 1.0),
+    axis: str = "y",
+) -> np.ndarray:
+    """ULA along ``axis`` with the given inter-element ``spacing`` (m)."""
+    if n_mics < 1:
+        raise ValueError("n_mics must be positive")
+    if spacing <= 0:
+        raise ValueError("spacing must be positive")
+    if axis not in ("x", "y"):
+        raise ValueError("axis must be 'x' or 'y'")
+    offsets = (np.arange(n_mics) - (n_mics - 1) / 2.0) * spacing
+    pos = np.tile(np.asarray(center, dtype=np.float64), (n_mics, 1))
+    pos[:, 0 if axis == "x" else 1] += offsets
+    return pos
+
+
+def uniform_circular_array(
+    n_mics: int,
+    radius: float,
+    *,
+    center: tuple[float, float, float] = (0.0, 0.0, 1.0),
+) -> np.ndarray:
+    """UCA of the given ``radius`` (m) in the horizontal plane."""
+    if n_mics < 2:
+        raise ValueError("a circular array needs at least 2 microphones")
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    ang = 2 * np.pi * np.arange(n_mics) / n_mics
+    pos = np.tile(np.asarray(center, dtype=np.float64), (n_mics, 1))
+    pos[:, 0] += radius * np.cos(ang)
+    pos[:, 1] += radius * np.sin(ang)
+    return pos
+
+
+def rectangular_array(
+    nx: int,
+    ny: int,
+    spacing: float,
+    *,
+    center: tuple[float, float, float] = (0.0, 0.0, 1.0),
+) -> np.ndarray:
+    """Planar ``nx x ny`` grid with equal ``spacing`` (m)."""
+    if nx < 1 or ny < 1:
+        raise ValueError("grid extents must be positive")
+    if spacing <= 0:
+        raise ValueError("spacing must be positive")
+    xs = (np.arange(nx) - (nx - 1) / 2.0) * spacing
+    ys = (np.arange(ny) - (ny - 1) / 2.0) * spacing
+    gx, gy = np.meshgrid(xs, ys, indexing="ij")
+    pos = np.zeros((nx * ny, 3))
+    pos[:, 0] = gx.ravel()
+    pos[:, 1] = gy.ravel()
+    return pos + np.asarray(center, dtype=np.float64)
+
+
+def car_roof_array(
+    *,
+    length: float = 1.2,
+    width: float = 0.9,
+    height: float = 1.5,
+) -> np.ndarray:
+    """Four microphones at the corners of the roof panel."""
+    if length <= 0 or width <= 0 or height <= 0:
+        raise ValueError("car dimensions must be positive")
+    half_l, half_w = length / 2.0, width / 2.0
+    return np.array(
+        [
+            [half_l, half_w, height],
+            [half_l, -half_w, height],
+            [-half_l, -half_w, height],
+            [-half_l, half_w, height],
+        ]
+    )
+
+
+def car_corner_array(
+    *,
+    length: float = 4.2,
+    width: float = 1.8,
+    bumper_height: float = 0.5,
+    mirror_height: float = 1.0,
+) -> np.ndarray:
+    """Six microphones: four bumper corners plus the two side mirrors.
+
+    A protected-placement layout of the kind car manufacturers allow
+    (sensors integrated in bumpers and mirror housings).
+    """
+    if length <= 0 or width <= 0 or bumper_height <= 0 or mirror_height <= 0:
+        raise ValueError("car dimensions must be positive")
+    half_l, half_w = length / 2.0, width / 2.0
+    return np.array(
+        [
+            [half_l, half_w, bumper_height],
+            [half_l, -half_w, bumper_height],
+            [-half_l, -half_w, bumper_height],
+            [-half_l, half_w, bumper_height],
+            [0.3, half_w + 0.1, mirror_height],
+            [0.3, -half_w - 0.1, mirror_height],
+        ]
+    )
+
+
+TOPOLOGY_BUILDERS = {
+    "ula": uniform_linear_array,
+    "uca": uniform_circular_array,
+    "grid": rectangular_array,
+    "car_roof": car_roof_array,
+    "car_corner": car_corner_array,
+}
+"""Registry used by the assessment sweep and the benches."""

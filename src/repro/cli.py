@@ -1,0 +1,134 @@
+"""Command-line entry points.
+
+Three subcommands cover the workflows a downstream user runs most:
+
+- ``generate-dataset`` — the Sec. IV-A clip generator (writes .npz);
+- ``assess-array`` — the Sec. V geometry assessment for a built-in topology;
+- ``codesign`` — the Fig. 4 DSE loop from the full Cross3D baseline.
+
+Usage::
+
+    python -m repro.cli generate-dataset --n-samples 100 --out clips.npz
+    python -m repro.cli assess-array --topology uca --n-mics 6 --size 0.15
+    python -m repro.cli codesign --error-budget 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate-dataset", help="generate emergency-sound clips")
+    gen.add_argument("--n-samples", type=int, default=100)
+    gen.add_argument("--duration", type=float, default=1.0)
+    gen.add_argument("--fs", type=float, default=8000.0)
+    gen.add_argument("--snr-low", type=float, default=-30.0)
+    gen.add_argument("--snr-high", type=float, default=0.0)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", type=str, default="dataset.npz")
+
+    arr = sub.add_parser("assess-array", help="assess a microphone-array geometry")
+    arr.add_argument("--topology", choices=("ula", "uca", "car_roof", "car_corner"), default="uca")
+    arr.add_argument("--n-mics", type=int, default=4)
+    arr.add_argument("--size", type=float, default=0.15, help="radius (uca) or spacing (ula), m")
+    arr.add_argument("--snr-db", type=float, default=0.0)
+    arr.add_argument("--n-directions", type=int, default=12)
+
+    dse = sub.add_parser("codesign", help="run the co-design DSE loop")
+    dse.add_argument("--error-budget", type=float, default=2.0)
+    dse.add_argument("--base-channels", type=int, default=32)
+    dse.add_argument("--n-blocks", type=int, default=3)
+    dse.add_argument("--device", choices=("raspi4b", "cortex_m7", "cgra_16x16"), default="raspi4b")
+    return parser
+
+
+def _cmd_generate_dataset(args) -> int:
+    from repro.sed import DatasetConfig, dataset_arrays, generate_dataset
+
+    config = DatasetConfig(
+        n_samples=args.n_samples,
+        duration=args.duration,
+        fs=args.fs,
+        snr_range_db=(args.snr_low, args.snr_high),
+    )
+    samples = generate_dataset(config, seed=args.seed)
+    x, y, snr = dataset_arrays(samples)
+    np.savez_compressed(args.out, waveforms=x, labels=y, snr_db=snr, fs=args.fs)
+    print(f"wrote {x.shape[0]} clips x {x.shape[1]} samples to {args.out}")
+    return 0
+
+
+def _cmd_assess_array(args) -> int:
+    from repro.arrays import (
+        AssessmentConfig,
+        assess_geometry,
+        car_corner_array,
+        car_roof_array,
+        uniform_circular_array,
+        uniform_linear_array,
+    )
+
+    if args.topology == "uca":
+        positions = uniform_circular_array(args.n_mics, args.size, center=(0, 0, 1.0))
+    elif args.topology == "ula":
+        positions = uniform_linear_array(args.n_mics, args.size)
+    elif args.topology == "car_roof":
+        positions = car_roof_array()
+    else:
+        positions = car_corner_array()
+    cfg = AssessmentConfig(n_directions=args.n_directions, snr_db=args.snr_db)
+    result = assess_geometry(positions, cfg)
+    print(f"topology        : {args.topology} ({positions.shape[0]} mics)")
+    print(f"aperture        : {result.aperture_m:.2f} m")
+    print(f"aliasing freq   : {result.aliasing_hz:.0f} Hz")
+    cond = result.condition_number
+    print(f"DOA condition   : {'inf' if cond == float('inf') else f'{cond:.2f}'}")
+    print(f"mean error      : {result.mean_error_deg:.1f} deg")
+    print(f"median error    : {result.median_error_deg:.1f} deg")
+    print(f"p90 error       : {result.p90_error_deg:.1f} deg")
+    return 0
+
+
+def _cmd_codesign(args) -> int:
+    from repro.hw import DEVICES, DesignPoint, run_codesign
+
+    result = run_codesign(
+        DesignPoint(base_channels=args.base_channels, n_blocks=args.n_blocks),
+        device=DEVICES[args.device],
+        error_budget_deg=args.error_budget,
+    )
+    print(f"{'move':<16}{'latency ms':>12}{'error deg':>11}{'params':>9}")
+    b = result.baseline
+    print(f"{'(baseline)':<16}{b.latency_ms:>12.3f}{b.error_deg:>11.2f}{b.n_params:>9}")
+    for step in result.steps:
+        e = step.evaluated
+        print(f"{step.action:<16}{e.latency_ms:>12.3f}{e.error_deg:>11.2f}{e.n_params:>9}")
+    print(
+        f"\nspeedup {result.speedup:.2f}x, size reduction {100 * result.size_reduction:.1f}%"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate-dataset": _cmd_generate_dataset,
+        "assess-array": _cmd_assess_array,
+        "codesign": _cmd_codesign,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

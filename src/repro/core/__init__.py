@@ -1,0 +1,29 @@
+"""End-to-end real-time acoustic perception pipeline."""
+
+from repro.core.config import PipelineConfig
+from repro.core.modes import (
+    EnergyTrigger,
+    ModeEnergyReport,
+    ParkModeController,
+    mode_energy_report,
+)
+from repro.core.pipeline import AcousticPerceptionPipeline, FrameResult
+from repro.core.realtime import LatencyMonitor, LatencyStats, measure_latency, realtime_ok
+
+from repro.core.alerts import Alert, AlertPolicy
+__all__ = [
+    "Alert",
+    "AlertPolicy",
+
+    "PipelineConfig",
+    "EnergyTrigger",
+    "ModeEnergyReport",
+    "ParkModeController",
+    "mode_energy_report",
+    "AcousticPerceptionPipeline",
+    "FrameResult",
+    "LatencyMonitor",
+    "LatencyStats",
+    "measure_latency",
+    "realtime_ok",
+]

@@ -1,0 +1,148 @@
+"""Alert policy: turn per-frame pipeline results into driver-level events.
+
+Use case (i) of the paper's Fig. 1 — "detecting dangerous situations" —
+needs more than per-frame labels: an emergency alert should fire once per
+event, survive frame-level dropouts, and say whether the source is
+approaching.  This module implements hysteresis-debounced alerting with
+approach analysis from the tracked DOA and detection confidence trend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import FrameResult
+from repro.sed.events import is_emergency
+
+__all__ = ["Alert", "AlertPolicy"]
+
+
+@dataclass(frozen=True)
+class Alert:
+    """A driver-level alert.
+
+    Attributes
+    ----------
+    kind:
+        ``raised``, ``updated`` or ``cleared``.
+    label:
+        Event class that triggered the alert.
+    frame_index:
+        Pipeline frame at which this transition happened.
+    azimuth:
+        Tracked azimuth (radians; nan if unavailable).
+    approaching:
+        True when the confidence trend indicates the source is closing in
+        (None while undecided).
+    """
+
+    kind: str
+    label: str
+    frame_index: int
+    azimuth: float
+    approaching: bool | None
+
+
+class AlertPolicy:
+    """Hysteresis-debounced alerting over a stream of FrameResults.
+
+    An alert raises after ``on_frames`` consecutive emergency detections and
+    clears after ``off_frames`` consecutive non-detections.  While an alert
+    is active, the confidence trend over a sliding window classifies the
+    source as approaching (rising received level -> rising posterior) or
+    receding.
+
+    Parameters
+    ----------
+    on_frames, off_frames:
+        Debounce lengths in frames.
+    trend_window:
+        Confidence-trend window length in frames.
+    trend_threshold:
+        Minimum absolute slope (confidence per frame) to call a direction.
+    """
+
+    def __init__(
+        self,
+        *,
+        on_frames: int = 3,
+        off_frames: int = 10,
+        trend_window: int = 20,
+        trend_threshold: float = 0.002,
+    ) -> None:
+        if on_frames < 1 or off_frames < 1:
+            raise ValueError("debounce lengths must be positive")
+        if trend_window < 4:
+            raise ValueError("trend_window must be >= 4")
+        if trend_threshold <= 0:
+            raise ValueError("trend_threshold must be positive")
+        self.on_frames = int(on_frames)
+        self.off_frames = int(off_frames)
+        self.trend_window = int(trend_window)
+        self.trend_threshold = float(trend_threshold)
+        self._consec_on = 0
+        self._consec_off = 0
+        self._active_label: str | None = None
+        self._confidences: list[float] = []
+
+    @property
+    def active(self) -> bool:
+        """Whether an alert is currently raised."""
+        return self._active_label is not None
+
+    def reset(self) -> None:
+        """Clear all alerting state."""
+        self._consec_on = 0
+        self._consec_off = 0
+        self._active_label = None
+        self._confidences = []
+
+    def _trend(self) -> bool | None:
+        if len(self._confidences) < self.trend_window:
+            return None
+        window = np.asarray(self._confidences[-self.trend_window :])
+        t = np.arange(window.size)
+        slope = float(np.polyfit(t, window, 1)[0])
+        if abs(slope) < self.trend_threshold:
+            return None
+        return slope > 0
+
+    def update(self, result: FrameResult) -> Alert | None:
+        """Feed one pipeline frame; returns an alert transition or None."""
+        detected = result.detected and is_emergency(result.label)
+        if detected:
+            self._consec_on += 1
+            self._consec_off = 0
+            self._confidences.append(result.confidence)
+        else:
+            self._consec_off += 1
+            self._consec_on = 0
+
+        if self._active_label is None:
+            if self._consec_on >= self.on_frames:
+                self._active_label = result.label
+                return Alert(
+                    "raised", result.label, result.frame_index, result.azimuth, self._trend()
+                )
+            return None
+
+        if self._consec_off >= self.off_frames:
+            label = self._active_label
+            self.reset()
+            return Alert("cleared", label, result.frame_index, result.azimuth, None)
+        if detected:
+            return Alert(
+                "updated", self._active_label, result.frame_index, result.azimuth, self._trend()
+            )
+        return None
+
+    def process(self, results: list[FrameResult]) -> list[Alert]:
+        """Run the policy over a full result stream, returning transitions."""
+        out = []
+        for r in results:
+            alert = self.update(r)
+            if alert is not None and alert.kind in ("raised", "cleared"):
+                out.append(alert)
+        return out

@@ -1,0 +1,68 @@
+"""Configuration of the end-to-end acoustic perception pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PipelineConfig"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """End-to-end pipeline parameters.
+
+    Attributes
+    ----------
+    fs:
+        Sampling rate, Hz.
+    frame_length, hop_length:
+        Streaming frame geometry, samples.  The real-time deadline per
+        frame is ``hop_length / fs``.
+    n_mels:
+        Mel bands of the per-frame detection feature.
+    n_fft_srp:
+        FFT length of the localization cross-spectra.
+    n_azimuth, n_elevation:
+        SRP search-grid resolution.
+    localizer:
+        ``srp`` (conventional), ``srp_fast`` (Nyquist-sampled) or ``music``
+        (wideband subspace baseline).
+    detect_threshold:
+        Posterior threshold above which a non-background class counts as a
+        detection (enables localization of that frame).
+    """
+
+    fs: float = 16000.0
+    frame_length: int = 512
+    hop_length: int = 256
+    n_mels: int = 40
+    n_fft_srp: int = 1024
+    n_azimuth: int = 36
+    n_elevation: int = 4
+    localizer: str = "srp_fast"
+    detect_threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.fs <= 0:
+            raise ValueError("fs must be positive")
+        if self.frame_length < 64 or self.frame_length & (self.frame_length - 1):
+            raise ValueError("frame_length must be a power of two >= 64")
+        if not 0 < self.hop_length <= self.frame_length:
+            raise ValueError("hop_length must lie in (0, frame_length]")
+        if self.n_mels < 4:
+            raise ValueError("n_mels must be >= 4")
+        if self.n_fft_srp < 2 * self.frame_length:
+            raise ValueError("n_fft_srp must be >= 2 * frame_length")
+        if self.localizer not in ("srp", "srp_fast", "music"):
+            raise ValueError("localizer must be 'srp', 'srp_fast' or 'music'")
+        if not 0.0 < self.detect_threshold < 1.0:
+            raise ValueError("detect_threshold must lie in (0, 1)")
+        if self.n_azimuth < 8 or self.n_elevation < 1:
+            raise ValueError("SRP grid too small")
+
+    @property
+    def frame_period_s(self) -> float:
+        """Real-time deadline per frame, seconds."""
+        return self.hop_length / self.fs

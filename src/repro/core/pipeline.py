@@ -1,0 +1,307 @@
+"""End-to-end streaming acoustic-perception pipeline.
+
+The "fully-functional low-latency driving mode" of Sec. II: per hop, the
+pipeline (i) extracts a log-mel feature from the reference microphone,
+(ii) classifies the frame with a compact detector, and (iii) when an
+emergency class fires, localizes it with SRP-PHAT and updates the DOA
+tracker.  The same object lowers itself to the operator IR so the device
+cost models can predict per-frame latency on embedded targets (bench E6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import PipelineConfig
+from repro.dsp.stft import get_window
+from repro.features.mel import mel_filterbank
+from repro.hw.ir import IRGraph, dsp_op, lower_module
+from repro.nn.losses import softmax
+from repro.nn.module import Module
+from repro.sed.events import EVENT_CLASSES, class_name, is_emergency
+from repro.sed.models import build_sed_mlp
+from repro.ssl.doa import DoaGrid
+from repro.ssl.srp import SrpPhat, mic_pairs
+from repro.ssl.srp_fast import FastSrpPhat
+from repro.ssl.tracking import KalmanDoaTracker
+
+__all__ = ["FrameResult", "AcousticPerceptionPipeline"]
+
+
+@dataclass(frozen=True)
+class FrameResult:
+    """Per-frame pipeline output.
+
+    Attributes
+    ----------
+    frame_index:
+        Hop counter.
+    label:
+        Predicted class name.
+    confidence:
+        Posterior of the predicted class.
+    detected:
+        Whether an emergency class fired above threshold.
+    azimuth, elevation:
+        Tracked DOA, radians (``nan`` when nothing is being tracked).
+    """
+
+    frame_index: int
+    label: str
+    confidence: float
+    detected: bool
+    azimuth: float
+    elevation: float
+
+
+class AcousticPerceptionPipeline:
+    """Streaming detector + localizer + tracker.
+
+    Parameters
+    ----------
+    mic_positions:
+        Array geometry, ``(n_mics, 3)``; the first microphone is the
+        detection reference channel.
+    config:
+        Pipeline parameters.
+    detector:
+        A classifier over ``(N, n_mels)`` log-mel vectors producing logits
+        for :data:`~repro.sed.events.EVENT_CLASSES`; an untrained compact
+        MLP is built when omitted (useful for latency studies).
+    """
+
+    def __init__(
+        self,
+        mic_positions: np.ndarray,
+        config: PipelineConfig | None = None,
+        *,
+        detector: Module | None = None,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self.positions = np.asarray(mic_positions, dtype=np.float64)
+        if self.positions.ndim != 2 or self.positions.shape[1] != 3 or self.positions.shape[0] < 2:
+            raise ValueError("mic_positions must be (n_mics >= 2, 3)")
+        cfg = self.config
+        self.window = get_window("hann", cfg.frame_length)
+        self.mel_fb = mel_filterbank(cfg.n_mels, cfg.frame_length, cfg.fs)
+        self.detector = detector or build_sed_mlp(cfg.n_mels, len(EVENT_CLASSES))
+        self.detector.eval()
+        grid = DoaGrid(n_azimuth=cfg.n_azimuth, n_elevation=cfg.n_elevation)
+        if cfg.localizer == "music":
+            from repro.ssl.music import MusicDoa
+
+            self.localizer = MusicDoa(
+                self.positions, cfg.fs, grid=grid, n_fft=cfg.n_fft_srp
+            )
+        else:
+            loc_cls = FastSrpPhat if cfg.localizer == "srp_fast" else SrpPhat
+            self.localizer = loc_cls(self.positions, cfg.fs, grid=grid, n_fft=cfg.n_fft_srp)
+        self.tracker = KalmanDoaTracker()
+        self._frame_index = 0
+
+    # ------------------------------------------------------------------ API
+
+    def detect_frame(self, reference_frame: np.ndarray) -> tuple[str, float, np.ndarray]:
+        """Classify one reference-channel frame.
+
+        Returns ``(label, confidence, posterior)``.
+        """
+        reference_frame = np.asarray(reference_frame, dtype=np.float64)
+        if reference_frame.shape != (self.config.frame_length,):
+            raise ValueError(f"expected frame of {self.config.frame_length} samples")
+        spectrum = np.abs(np.fft.rfft(reference_frame * self.window)) ** 2
+        mel = self.mel_fb @ spectrum
+        feat = np.log(np.maximum(mel, 1e-10))
+        feat = (feat - feat.mean()) / (feat.std() or 1.0)
+        logits = self.detector.forward(feat[None, :])
+        post = softmax(logits, axis=1)[0]
+        k = int(np.argmax(post))
+        return class_name(k), float(post[k]), post
+
+    def process_frame(self, frames: np.ndarray) -> FrameResult:
+        """Run one full pipeline tick on a multichannel frame.
+
+        ``frames`` is ``(n_mics, frame_length)``.
+        """
+        frames = np.asarray(frames, dtype=np.float64)
+        if frames.shape != (self.positions.shape[0], self.config.frame_length):
+            raise ValueError(
+                f"expected ({self.positions.shape[0]}, {self.config.frame_length}) frame block"
+            )
+        label, confidence, _ = self.detect_frame(frames[0])
+        detected = is_emergency(label) and confidence >= self.config.detect_threshold
+        azimuth = elevation = float("nan")
+        if detected:
+            result = self.localizer.localize(frames)
+            state = self.tracker.update(result.azimuth, result.elevation)
+            azimuth, elevation = state.azimuth, state.elevation
+        elif self.tracker.initialized:
+            state = self.tracker.predict()
+            azimuth, elevation = state.azimuth, state.elevation
+        out = FrameResult(self._frame_index, label, confidence, detected, azimuth, elevation)
+        self._frame_index += 1
+        return out
+
+    def process_signal(self, signals: np.ndarray) -> list[FrameResult]:
+        """Stream a full multichannel recording through the pipeline."""
+        signals = np.asarray(signals, dtype=np.float64)
+        if signals.ndim != 2 or signals.shape[0] != self.positions.shape[0]:
+            raise ValueError(f"signals must be ({self.positions.shape[0]}, n_samples)")
+        cfg = self.config
+        n_frames = 1 + (signals.shape[1] - cfg.frame_length) // cfg.hop_length
+        if n_frames < 1:
+            raise ValueError("signal shorter than one frame")
+        return [
+            self.process_frame(
+                signals[:, t * cfg.hop_length : t * cfg.hop_length + cfg.frame_length]
+            )
+            for t in range(n_frames)
+        ]
+
+    def reset(self) -> None:
+        """Reset streaming state (tracker and frame counter)."""
+        self.tracker.reset()
+        self._frame_index = 0
+
+    # ---------------------------------------------------------------- IR
+
+    def to_ir(self, *, name: str = "pipeline") -> IRGraph:
+        """Lower one pipeline tick to the operator IR (for cost models).
+
+        Covers windowing, the reference-channel FFT + mel + detector, the
+        per-pair cross-spectra and the SRP steering/interpolation stage of
+        the configured localizer variant.
+        """
+        cfg = self.config
+        n_mics = self.positions.shape[0]
+        n_pairs = len(mic_pairs(n_mics))
+        n_freq_det = cfg.frame_length // 2 + 1
+        n_freq_srp = cfg.n_fft_srp // 2 + 1
+        n_dirs = cfg.n_azimuth * cfg.n_elevation
+        ir = IRGraph(name)
+        ir.add_op(
+            dsp_op(
+                f"{name}.window",
+                "elementwise",
+                flops=float(n_mics * cfg.frame_length),
+                n_in=n_mics * cfg.frame_length,
+                n_out=n_mics * cfg.frame_length,
+                n_coeff=cfg.frame_length,
+            )
+        )
+        fft_flops = 5.0 * cfg.frame_length * np.log2(cfg.frame_length)
+        ir.add_op(
+            dsp_op(
+                f"{name}.fft_ref",
+                "fft",
+                flops=fft_flops,
+                n_in=cfg.frame_length,
+                n_out=n_freq_det * 2,
+            ),
+            deps=[f"{name}.window"],
+        )
+        ir.add_op(
+            dsp_op(
+                f"{name}.mel",
+                "filterbank",
+                flops=2.0 * cfg.n_mels * n_freq_det,
+                n_in=n_freq_det,
+                n_out=cfg.n_mels,
+                n_coeff=cfg.n_mels * n_freq_det,
+            ),
+            deps=[f"{name}.fft_ref"],
+        )
+        det_ir = lower_module(self.detector, (cfg.n_mels,), name=f"{name}.det")
+        prev = f"{name}.mel"
+        for spec in det_ir.ops():
+            ir.add_op(spec, deps=[prev])
+            prev = spec.name
+        det_tail = prev
+
+        srp_fft_flops = 5.0 * cfg.n_fft_srp * np.log2(cfg.n_fft_srp)
+        ir.add_op(
+            dsp_op(
+                f"{name}.fft_array",
+                "fft",
+                flops=n_mics * srp_fft_flops,
+                n_in=n_mics * cfg.frame_length,
+                n_out=n_mics * n_freq_srp * 2,
+            ),
+            deps=[f"{name}.window"],
+        )
+        ir.add_op(
+            dsp_op(
+                f"{name}.cross_spectra",
+                "gcc",
+                flops=8.0 * n_pairs * n_freq_srp,
+                n_in=n_mics * n_freq_srp * 2,
+                n_out=n_pairs * n_freq_srp * 2,
+            ),
+            deps=[f"{name}.fft_array"],
+        )
+        if cfg.localizer == "music":
+            n_bins = len(self.localizer._bins)
+            n_snapshots = 8
+            cov_flops = 8.0 * n_bins * n_snapshots * n_mics * n_mics
+            evd_flops = 20.0 * n_bins * n_mics**3
+            spec_flops = 8.0 * n_bins * n_dirs * n_mics * (n_mics - 1)
+            ir.add_op(
+                dsp_op(
+                    f"{name}.srp_steer",
+                    "srp_steer",
+                    flops=cov_flops + evd_flops + spec_flops,
+                    n_in=n_mics * n_freq_srp * 2,
+                    n_out=n_dirs,
+                    n_coeff=2.0 * n_bins * n_dirs * n_mics,
+                ),
+                deps=[f"{name}.cross_spectra"],
+            )
+        elif cfg.localizer == "srp":
+            # Full frequency-domain steering: 8 flops per (pair, dir, freq).
+            ir.add_op(
+                dsp_op(
+                    f"{name}.srp_steer",
+                    "srp_steer",
+                    flops=8.0 * n_pairs * n_dirs * n_freq_srp,
+                    n_in=n_pairs * n_freq_srp * 2,
+                    n_out=n_dirs,
+                    n_coeff=2.0 * n_pairs * n_dirs * n_freq_srp,
+                ),
+                deps=[f"{name}.cross_spectra"],
+            )
+        else:
+            taps = self.localizer.n_interp_taps
+            ir.add_op(
+                dsp_op(
+                    f"{name}.gcc_ifft",
+                    "fft",
+                    flops=n_pairs * srp_fft_flops,
+                    n_in=n_pairs * n_freq_srp * 2,
+                    n_out=n_pairs * cfg.n_fft_srp,
+                ),
+                deps=[f"{name}.cross_spectra"],
+            )
+            ir.add_op(
+                dsp_op(
+                    f"{name}.srp_steer",
+                    "srp_steer",
+                    flops=2.0 * n_pairs * n_dirs * taps,
+                    n_in=n_pairs * cfg.n_fft_srp,
+                    n_out=n_dirs,
+                    n_coeff=n_pairs * n_dirs * taps,
+                ),
+                deps=[f"{name}.gcc_ifft"],
+            )
+        ir.add_op(
+            dsp_op(
+                f"{name}.track",
+                "elementwise",
+                flops=200.0,  # 4-state Kalman update
+                n_in=n_dirs,
+                n_out=4,
+            ),
+            deps=[f"{name}.srp_steer", det_tail],
+        )
+        return ir

@@ -1,0 +1,124 @@
+"""Real-time accounting: frame deadlines and latency budgets.
+
+"Real-time low-latency operation to quickly respond to each target event"
+(Sec. II) means every pipeline tick must finish inside one hop period.
+These helpers measure and judge that, both for host wall-clock runs and for
+device cost-model predictions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LatencyStats", "measure_latency", "realtime_ok", "LatencyMonitor"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Latency distribution of repeated pipeline ticks.
+
+    Attributes
+    ----------
+    mean_s, p95_s, max_s:
+        Distribution summary, seconds.
+    deadline_s:
+        The frame period that must not be exceeded.
+    """
+
+    mean_s: float
+    p95_s: float
+    max_s: float
+    deadline_s: float
+
+    @property
+    def realtime(self) -> bool:
+        """Whether the 95th percentile meets the deadline."""
+        return self.p95_s <= self.deadline_s
+
+    @property
+    def headroom(self) -> float:
+        """deadline / mean — how many times faster than required."""
+        return self.deadline_s / self.mean_s if self.mean_s > 0 else float("inf")
+
+
+def measure_latency(fn, deadline_s: float, *, repeats: int = 20, warmup: int = 2) -> LatencyStats:
+    """Measure a pipeline tick callable against a deadline."""
+    if deadline_s <= 0:
+        raise ValueError("deadline must be positive")
+    if repeats < 1 or warmup < 0:
+        raise ValueError("repeats must be >= 1 and warmup >= 0")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    arr = np.asarray(samples)
+    return LatencyStats(
+        mean_s=float(arr.mean()),
+        p95_s=float(np.percentile(arr, 95)),
+        max_s=float(arr.max()),
+        deadline_s=float(deadline_s),
+    )
+
+
+def realtime_ok(latency_s: float, deadline_s: float, *, margin: float = 1.0) -> bool:
+    """Whether a latency fits the deadline with a safety ``margin`` (>= 1)."""
+    if deadline_s <= 0 or latency_s < 0:
+        raise ValueError("invalid latency or deadline")
+    if margin < 1.0:
+        raise ValueError("margin must be >= 1")
+    return latency_s * margin <= deadline_s
+
+
+class LatencyMonitor:
+    """Online latency tracker for a running pipeline.
+
+    Records per-tick durations and reports deadline misses.
+    """
+
+    def __init__(self, deadline_s: float) -> None:
+        if deadline_s <= 0:
+            raise ValueError("deadline must be positive")
+        self.deadline_s = float(deadline_s)
+        self._samples: list[float] = []
+        self._t0: float | None = None
+
+    def tick_start(self) -> None:
+        """Mark the start of a pipeline tick."""
+        self._t0 = time.perf_counter()
+
+    def tick_end(self) -> float:
+        """Mark the end of a tick; returns its duration."""
+        if self._t0 is None:
+            raise RuntimeError("tick_end without tick_start")
+        dt = time.perf_counter() - self._t0
+        self._samples.append(dt)
+        self._t0 = None
+        return dt
+
+    @property
+    def n_ticks(self) -> int:
+        """Recorded tick count."""
+        return len(self._samples)
+
+    @property
+    def misses(self) -> int:
+        """Ticks that exceeded the deadline."""
+        return sum(1 for s in self._samples if s > self.deadline_s)
+
+    def stats(self) -> LatencyStats:
+        """Distribution summary of everything recorded so far."""
+        if not self._samples:
+            raise RuntimeError("no ticks recorded")
+        arr = np.asarray(self._samples)
+        return LatencyStats(
+            mean_s=float(arr.mean()),
+            p95_s=float(np.percentile(arr, 95)),
+            max_s=float(arr.max()),
+            deadline_s=self.deadline_s,
+        )

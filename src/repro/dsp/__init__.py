@@ -1,0 +1,59 @@
+"""Shared DSP substrate: framing, STFT, FIR design, levels, resampling."""
+
+from repro.dsp.filters import (
+    apply_fir,
+    fir_from_magnitude,
+    fir_lowpass,
+    fractional_delay_kernel,
+    lagrange_fractional_delay,
+    octave_band_centers,
+)
+from repro.dsp.levels import (
+    db_to_linear,
+    linear_to_db,
+    mix_at_snr,
+    normalize_peak,
+    rms,
+    snr_db,
+)
+from repro.dsp.resample import resample, time_axis
+from repro.dsp.stft import (
+    db,
+    frame_signal,
+    get_window,
+    istft,
+    magnitude,
+    overlap_add,
+    power,
+    stft,
+)
+
+from repro.dsp.streaming import StreamingFramer, StreamingLogMel, StreamingStft
+__all__ = [
+    "StreamingFramer",
+    "StreamingLogMel",
+    "StreamingStft",
+
+    "apply_fir",
+    "fir_from_magnitude",
+    "fir_lowpass",
+    "fractional_delay_kernel",
+    "lagrange_fractional_delay",
+    "octave_band_centers",
+    "db_to_linear",
+    "linear_to_db",
+    "mix_at_snr",
+    "normalize_peak",
+    "rms",
+    "snr_db",
+    "resample",
+    "time_axis",
+    "db",
+    "frame_signal",
+    "get_window",
+    "istft",
+    "magnitude",
+    "overlap_add",
+    "power",
+    "stft",
+]

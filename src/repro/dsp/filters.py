@@ -1,0 +1,153 @@
+"""FIR filter design helpers used across the acoustics simulator.
+
+The road-acoustics simulator (Fig. 2 of the paper) models air absorption and
+asphalt reflection with FIR filters designed from frequency-domain magnitude
+specifications; fractional-delay FIR kernels implement the variable-length
+delay lines that produce the Doppler effect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "fir_from_magnitude",
+    "fractional_delay_kernel",
+    "lagrange_fractional_delay",
+    "octave_band_centers",
+    "fir_lowpass",
+    "apply_fir",
+]
+
+
+def octave_band_centers(fmin: float = 31.25, n_bands: int = 9) -> np.ndarray:
+    """Standard octave-band centre frequencies starting at ``fmin`` Hz."""
+    if fmin <= 0 or n_bands <= 0:
+        raise ValueError("fmin and n_bands must be positive")
+    return fmin * 2.0 ** np.arange(n_bands)
+
+
+def fir_from_magnitude(
+    freqs: np.ndarray,
+    magnitudes: np.ndarray,
+    n_taps: int,
+    fs: float,
+) -> np.ndarray:
+    """Design a linear-phase FIR filter matching a magnitude specification.
+
+    Uses the frequency-sampling method: the target magnitude is interpolated
+    onto a uniform DFT grid, given linear phase, and inverse-transformed; a
+    Hann window reduces Gibbs ripple.
+
+    Parameters
+    ----------
+    freqs:
+        Specification frequencies in Hz (monotonically increasing, within
+        ``[0, fs / 2]``).
+    magnitudes:
+        Desired linear magnitude at each frequency (same length as ``freqs``).
+    n_taps:
+        Number of filter taps (odd numbers give an exactly linear-phase
+        type-I filter; even values are accepted and rounded up).
+    fs:
+        Sampling rate in Hz.
+    """
+    freqs = np.asarray(freqs, dtype=np.float64)
+    magnitudes = np.asarray(magnitudes, dtype=np.float64)
+    if freqs.shape != magnitudes.shape:
+        raise ValueError("freqs and magnitudes must have the same shape")
+    if freqs.size < 2:
+        raise ValueError("need at least two specification points")
+    if np.any(np.diff(freqs) <= 0):
+        raise ValueError("freqs must be strictly increasing")
+    if np.any(magnitudes < 0):
+        raise ValueError("magnitudes must be non-negative")
+    if n_taps < 3:
+        raise ValueError("n_taps must be >= 3")
+    if n_taps % 2 == 0:
+        n_taps += 1
+    n_fft = max(512, 4 * n_taps)
+    grid = np.linspace(0.0, fs / 2.0, n_fft // 2 + 1)
+    target = np.interp(grid, freqs, magnitudes, left=magnitudes[0], right=magnitudes[-1])
+    # Linear phase corresponding to a group delay of (n_taps - 1) / 2 samples.
+    delay = (n_taps - 1) / 2.0
+    phase = np.exp(-1j * 2.0 * np.pi * grid / fs * delay)
+    h = np.fft.irfft(target * phase, n=n_fft)[:n_taps]
+    win = 0.5 - 0.5 * np.cos(2 * np.pi * np.arange(n_taps) / (n_taps - 1))
+    return h * win
+
+
+def fractional_delay_kernel(delay: float, n_taps: int = 31) -> tuple[np.ndarray, int]:
+    """Windowed-sinc fractional delay decomposed as integer + FIR kernel.
+
+    Returns ``(kernel, int_delay)`` such that convolving the signal with
+    ``kernel`` and shifting by ``int_delay`` samples realizes the requested
+    (possibly fractional) ``delay``.  The kernel is a Hann-windowed sinc
+    centred on the fractional part.
+    """
+    if delay < 0:
+        raise ValueError("delay must be non-negative")
+    if n_taps < 3 or n_taps % 2 == 0:
+        raise ValueError("n_taps must be an odd integer >= 3")
+    half = n_taps // 2
+    int_delay = int(np.floor(delay))
+    frac = delay - int_delay
+    n = np.arange(-half, half + 1)
+    kernel = np.sinc(n - frac)
+    win = 0.5 + 0.5 * np.cos(np.pi * (n - frac) / (half + 1))
+    kernel = kernel * np.clip(win, 0.0, None)
+    kernel /= np.sum(kernel)
+    # The kernel itself is centred, so it adds `half` samples of latency that
+    # the caller compensates by shifting by int_delay - half.
+    return kernel, int_delay - half
+
+
+def lagrange_fractional_delay(frac: float, order: int = 3) -> np.ndarray:
+    """Lagrange fractional-delay FIR coefficients for ``frac`` in [0, 1).
+
+    Order-1 reduces to linear interpolation.  Odd orders are centred so the
+    filter is maximally flat around the fractional point.
+    """
+    if not 0.0 <= frac < 1.0:
+        raise ValueError("frac must lie in [0, 1)")
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    # Centre the interpolation stencil.
+    d = frac + (order - 1) // 2
+    n = np.arange(order + 1)
+    h = np.ones(order + 1)
+    for k in range(order + 1):
+        mask = n != k
+        h[k] = np.prod((d - n[mask]) / (k - n[mask]))
+    return h
+
+
+def fir_lowpass(cutoff_hz: float, fs: float, n_taps: int = 63) -> np.ndarray:
+    """Hann-windowed-sinc lowpass FIR filter."""
+    if not 0 < cutoff_hz < fs / 2:
+        raise ValueError("cutoff must be in (0, fs/2)")
+    if n_taps % 2 == 0:
+        n_taps += 1
+    half = n_taps // 2
+    n = np.arange(-half, half + 1)
+    h = 2.0 * cutoff_hz / fs * np.sinc(2.0 * cutoff_hz / fs * n)
+    win = 0.5 + 0.5 * np.cos(np.pi * n / (half + 1))
+    h = h * win
+    return h / np.sum(h)
+
+
+def apply_fir(x: np.ndarray, h: np.ndarray, *, zero_phase_pad: bool = False) -> np.ndarray:
+    """FFT convolution of a 1-D signal with an FIR filter, same length as input.
+
+    When ``zero_phase_pad`` is True the linear-phase group delay
+    ``(len(h) - 1) // 2`` is removed so filtered features stay time-aligned.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    h = np.asarray(h, dtype=np.float64)
+    n = x.size + h.size - 1
+    n_fft = 1 << int(np.ceil(np.log2(max(n, 1))))
+    y = np.fft.irfft(np.fft.rfft(x, n_fft) * np.fft.rfft(h, n_fft), n_fft)[:n]
+    if zero_phase_pad:
+        gd = (h.size - 1) // 2
+        return y[gd : gd + x.size]
+    return y[: x.size]

@@ -1,0 +1,177 @@
+"""Short-time Fourier transform and framing utilities.
+
+This module provides the framing / windowing / STFT substrate used by every
+feature front-end in :mod:`repro.features` and by the localization algorithms
+in :mod:`repro.ssl`.  It is a from-scratch numpy implementation (librosa is
+not a dependency of this project).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "frame_signal",
+    "overlap_add",
+    "get_window",
+    "stft",
+    "istft",
+    "magnitude",
+    "power",
+    "db",
+]
+
+_WINDOWS = ("hann", "hamming", "blackman", "rect", "bartlett")
+
+
+def get_window(name: str, length: int, *, periodic: bool = True) -> np.ndarray:
+    """Return an analysis window of the given ``length``.
+
+    Parameters
+    ----------
+    name:
+        One of ``hann``, ``hamming``, ``blackman``, ``rect``, ``bartlett``.
+    length:
+        Window length in samples, must be positive.
+    periodic:
+        If True (default) the window is DFT-periodic, which is what the
+        STFT overlap-add reconstruction assumes.
+    """
+    if length <= 0:
+        raise ValueError(f"window length must be positive, got {length}")
+    if name not in _WINDOWS:
+        raise ValueError(f"unknown window {name!r}, expected one of {_WINDOWS}")
+    if name == "rect":
+        return np.ones(length)
+    n = length if periodic else length - 1
+    if n == 0:
+        return np.ones(length)
+    t = np.arange(length) / n
+    if name == "hann":
+        return 0.5 - 0.5 * np.cos(2 * np.pi * t)
+    if name == "hamming":
+        return 0.54 - 0.46 * np.cos(2 * np.pi * t)
+    if name == "blackman":
+        return 0.42 - 0.5 * np.cos(2 * np.pi * t) + 0.08 * np.cos(4 * np.pi * t)
+    # bartlett
+    return 1.0 - np.abs(2.0 * t - 1.0) if periodic else np.bartlett(length)
+
+
+def frame_signal(
+    x: np.ndarray,
+    frame_length: int,
+    hop_length: int,
+    *,
+    pad: bool = True,
+) -> np.ndarray:
+    """Slice ``x`` into overlapping frames.
+
+    Returns an array of shape ``(n_frames, frame_length)``.  When ``pad`` is
+    True the signal is zero-padded at the end so that every sample is covered
+    by at least one frame; otherwise trailing samples that do not fill a full
+    frame are dropped.
+    """
+    x = np.asarray(x)
+    if x.ndim != 1:
+        raise ValueError(f"expected 1-D signal, got shape {x.shape}")
+    if frame_length <= 0 or hop_length <= 0:
+        raise ValueError("frame_length and hop_length must be positive")
+    n = x.shape[0]
+    if pad:
+        if n <= frame_length:
+            n_frames = 1
+        else:
+            n_frames = 1 + int(np.ceil((n - frame_length) / hop_length))
+        total = frame_length + (n_frames - 1) * hop_length
+        if total > n:
+            x = np.concatenate([x, np.zeros(total - n, dtype=x.dtype)])
+    else:
+        if n < frame_length:
+            return np.empty((0, frame_length), dtype=x.dtype)
+        n_frames = 1 + (n - frame_length) // hop_length
+    idx = np.arange(frame_length)[None, :] + hop_length * np.arange(n_frames)[:, None]
+    return x[idx]
+
+
+def overlap_add(frames: np.ndarray, hop_length: int) -> np.ndarray:
+    """Reconstruct a signal from (possibly windowed) overlapping frames."""
+    frames = np.asarray(frames)
+    if frames.ndim != 2:
+        raise ValueError(f"expected (n_frames, frame_length), got {frames.shape}")
+    n_frames, frame_length = frames.shape
+    out = np.zeros(frame_length + (n_frames - 1) * hop_length, dtype=frames.dtype)
+    for i in range(n_frames):
+        start = i * hop_length
+        out[start : start + frame_length] += frames[i]
+    return out
+
+
+def stft(
+    x: np.ndarray,
+    n_fft: int = 512,
+    hop_length: int | None = None,
+    window: str = "hann",
+    *,
+    center: bool = True,
+) -> np.ndarray:
+    """Compute the one-sided STFT of a real signal.
+
+    Returns a complex array of shape ``(n_fft // 2 + 1, n_frames)``.
+    ``center=True`` pads the signal by ``n_fft // 2`` on both sides so frame
+    ``t`` is centred on sample ``t * hop_length`` (librosa convention).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if hop_length is None:
+        hop_length = n_fft // 4
+    if center:
+        x = np.pad(x, n_fft // 2, mode="reflect" if x.size > n_fft // 2 else "constant")
+    frames = frame_signal(x, n_fft, hop_length)
+    win = get_window(window, n_fft)
+    return np.fft.rfft(frames * win, axis=1).T
+
+
+def istft(
+    spec: np.ndarray,
+    hop_length: int | None = None,
+    window: str = "hann",
+    *,
+    center: bool = True,
+    length: int | None = None,
+) -> np.ndarray:
+    """Inverse STFT with least-squares (synthesis-window) normalization."""
+    spec = np.asarray(spec)
+    n_fft = 2 * (spec.shape[0] - 1)
+    if hop_length is None:
+        hop_length = n_fft // 4
+    win = get_window(window, n_fft)
+    frames = np.fft.irfft(spec.T, n=n_fft, axis=1) * win
+    x = overlap_add(frames, hop_length)
+    norm = overlap_add(np.tile(win**2, (spec.shape[1], 1)), hop_length)
+    eps = np.finfo(np.float64).tiny
+    x = x / np.maximum(norm, eps)
+    if center:
+        x = x[n_fft // 2 :]
+    if length is not None:
+        x = x[:length]
+        if x.size < length:
+            x = np.concatenate([x, np.zeros(length - x.size)])
+    return x
+
+
+def magnitude(spec: np.ndarray) -> np.ndarray:
+    """Magnitude of a complex spectrogram."""
+    return np.abs(spec)
+
+
+def power(spec: np.ndarray) -> np.ndarray:
+    """Power of a complex spectrogram."""
+    return np.abs(spec) ** 2
+
+
+def db(x: np.ndarray, *, ref: float = 1.0, floor_db: float = -120.0) -> np.ndarray:
+    """Convert a power-like quantity to decibels with a noise floor."""
+    x = np.asarray(x, dtype=np.float64)
+    if ref <= 0:
+        raise ValueError("ref must be positive")
+    floor = ref * 10.0 ** (floor_db / 10.0)
+    return 10.0 * np.log10(np.maximum(x, floor) / ref)

@@ -1,0 +1,109 @@
+"""Streaming (sample-in, frame-out) front-end processors.
+
+The real-time pipeline consumes audio in arbitrary chunks from an ADC
+driver; these classes buffer samples and emit analysis frames / feature
+vectors exactly when one hop of new data is available, with O(frame)
+memory — the embedded implementation pattern of the paper's "real-time
+low-latency operation" requirement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.stft import get_window
+
+__all__ = ["StreamingFramer", "StreamingStft", "StreamingLogMel"]
+
+
+class StreamingFramer:
+    """Buffer arbitrary-size chunks into overlapping analysis frames."""
+
+    def __init__(self, frame_length: int, hop_length: int) -> None:
+        if frame_length < 1 or not 0 < hop_length <= frame_length:
+            raise ValueError("need frame_length >= 1 and 0 < hop_length <= frame_length")
+        self.frame_length = int(frame_length)
+        self.hop_length = int(hop_length)
+        self._buffer = np.zeros(0)
+
+    @property
+    def buffered(self) -> int:
+        """Samples currently buffered."""
+        return int(self._buffer.size)
+
+    def push(self, chunk: np.ndarray) -> list[np.ndarray]:
+        """Append a chunk; return every completed frame (possibly none)."""
+        chunk = np.asarray(chunk, dtype=np.float64)
+        if chunk.ndim != 1:
+            raise ValueError("chunk must be 1-D")
+        self._buffer = np.concatenate([self._buffer, chunk])
+        frames = []
+        while self._buffer.size >= self.frame_length:
+            frames.append(self._buffer[: self.frame_length].copy())
+            self._buffer = self._buffer[self.hop_length :]
+        return frames
+
+    def reset(self) -> None:
+        """Drop any buffered samples."""
+        self._buffer = np.zeros(0)
+
+
+class StreamingStft:
+    """Streaming one-sided STFT: chunks in, complex spectra out."""
+
+    def __init__(self, n_fft: int, hop_length: int, *, window: str = "hann") -> None:
+        if n_fft < 16 or n_fft & (n_fft - 1):
+            raise ValueError("n_fft must be a power of two >= 16")
+        self._framer = StreamingFramer(n_fft, hop_length)
+        self._window = get_window(window, n_fft)
+        self.n_fft = int(n_fft)
+        self.hop_length = int(hop_length)
+
+    def push(self, chunk: np.ndarray) -> list[np.ndarray]:
+        """Return the spectra of every frame completed by this chunk."""
+        return [np.fft.rfft(f * self._window) for f in self._framer.push(chunk)]
+
+    def reset(self) -> None:
+        """Drop buffered samples."""
+        self._framer.reset()
+
+
+class StreamingLogMel:
+    """Streaming log-mel front-end: chunks in, (n_mels,) vectors out.
+
+    Matches :meth:`repro.core.pipeline.AcousticPerceptionPipeline.detect_frame`
+    feature computation so a detector trained offline runs unchanged online.
+    """
+
+    def __init__(
+        self,
+        fs: float,
+        n_fft: int,
+        hop_length: int,
+        *,
+        n_mels: int = 40,
+        window: str = "hann",
+    ) -> None:
+        if fs <= 0:
+            raise ValueError("fs must be positive")
+        # Imported here: repro.features sits above repro.dsp in the layering,
+        # so a module-level import would be circular.
+        from repro.features.mel import mel_filterbank
+
+        self._stft = StreamingStft(n_fft, hop_length, window=window)
+        self._fb = mel_filterbank(n_mels, n_fft, fs)
+        self.n_mels = int(n_mels)
+
+    def push(self, chunk: np.ndarray) -> list[np.ndarray]:
+        """Return standardized log-mel vectors for each completed frame."""
+        out = []
+        for spec in self._stft.push(chunk):
+            mel = self._fb @ (np.abs(spec) ** 2)
+            feat = np.log(np.maximum(mel, 1e-10))
+            std = feat.std() or 1.0
+            out.append((feat - feat.mean()) / std)
+        return out
+
+    def reset(self) -> None:
+        """Drop buffered samples."""
+        self._stft.reset()

@@ -1,0 +1,91 @@
+"""Feature front-ends surveyed by the paper (Sec. III).
+
+Every front-end returns a ``(n_features, n_frames)`` array, so detection
+models can swap representations freely — the comparison in bench E3.
+"""
+
+from repro.features.chroma import chroma_filterbank, chromagram
+from repro.features.cqt import cqt, cqt_frequencies, log_cqt
+from repro.features.gammatone import (
+    erb_space,
+    erb_to_hz,
+    gammatone_filterbank_coefficients,
+    gammatonegram,
+    hz_to_erb,
+    log_gammatonegram,
+)
+from repro.features.gfcc import gfcc
+from repro.features.mel import (
+    hz_to_mel,
+    log_mel_spectrogram,
+    mel_filterbank,
+    mel_spectrogram,
+    mel_to_hz,
+)
+from repro.features.mfcc import delta, mfcc
+from repro.features.spectrogram import SpectrogramConfig, log_spectrogram, spectrogram
+
+FRONT_ENDS = (
+    "spectrogram",
+    "log_mel",
+    "mfcc",
+    "gammatonegram",
+    "gfcc",
+    "cqt",
+    "chroma",
+)
+"""Names of the selectable front-ends (see :func:`extract`)."""
+
+
+def extract(name: str, x, fs: float, **kwargs):
+    """Extract the named front-end feature from a waveform.
+
+    A convenience dispatcher used by the detection models and benches so a
+    front-end can be selected by configuration string.
+    """
+    import numpy as _np
+
+    dispatch = {
+        "spectrogram": log_spectrogram,
+        "log_mel": log_mel_spectrogram,
+        "mfcc": mfcc,
+        "gammatonegram": log_gammatonegram,
+        "gfcc": gfcc,
+        "cqt": log_cqt,
+        "chroma": chromagram,
+    }
+    if name not in dispatch:
+        raise ValueError(f"unknown front-end {name!r}; expected one of {FRONT_ENDS}")
+    return _np.asarray(dispatch[name](x, fs, **kwargs))
+
+
+from repro.features.stack import context_window, stack_deltas
+__all__ = [
+    "context_window",
+    "stack_deltas",
+
+    "chroma_filterbank",
+    "chromagram",
+    "cqt",
+    "cqt_frequencies",
+    "log_cqt",
+    "erb_space",
+    "erb_to_hz",
+    "gammatone_filterbank_coefficients",
+    "gammatonegram",
+    "hz_to_erb",
+    "log_gammatonegram",
+    "gfcc",
+    "hz_to_mel",
+    "log_mel_spectrogram",
+    "mel_filterbank",
+    "mel_spectrogram",
+    "mel_to_hz",
+    "delta",
+    "mfcc",
+    "SpectrogramConfig",
+    "log_spectrogram",
+    "spectrogram",
+    "FRONT_ENDS",
+    "extract",
+]

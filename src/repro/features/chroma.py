@@ -1,0 +1,63 @@
+"""Chromagram front-end (pitch-class energy folding of the spectrogram)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.features.spectrogram import SpectrogramConfig, spectrogram
+
+__all__ = ["chroma_filterbank", "chromagram"]
+
+
+def chroma_filterbank(
+    n_fft: int,
+    fs: float,
+    *,
+    n_chroma: int = 12,
+    tuning_hz: float = 440.0,
+) -> np.ndarray:
+    """Map FFT bins to pitch classes, shape ``(n_chroma, n_fft // 2 + 1)``.
+
+    Each positive-frequency bin contributes its energy to the pitch class of
+    its nearest equal-tempered semitone (Gaussian weighting, sigma of one
+    semitone).
+    """
+    if n_chroma < 2:
+        raise ValueError("n_chroma must be >= 2")
+    if tuning_hz <= 0:
+        raise ValueError("tuning_hz must be positive")
+    freqs = np.fft.rfftfreq(n_fft, d=1.0 / fs)
+    fb = np.zeros((n_chroma, freqs.size))
+    valid = freqs > 20.0
+    midi = 69.0 + 12.0 * np.log2(np.maximum(freqs, 1e-9) / tuning_hz)
+    pitch_class = midi * (n_chroma / 12.0)
+    for c in range(n_chroma):
+        dist = np.remainder(pitch_class - c + n_chroma / 2.0, n_chroma) - n_chroma / 2.0
+        fb[c] = np.exp(-0.5 * (dist / 1.0) ** 2) * valid
+    col = fb.sum(axis=0)
+    col[col == 0] = 1.0
+    return fb / col
+
+
+def chromagram(
+    x: np.ndarray,
+    fs: float,
+    *,
+    n_chroma: int = 12,
+    config: SpectrogramConfig | None = None,
+    normalize: bool = True,
+) -> np.ndarray:
+    """Chromagram of shape ``(n_chroma, n_frames)``.
+
+    With ``normalize=True`` each frame is scaled to unit maximum so the
+    feature captures pitch-class *shape* rather than level.
+    """
+    cfg = config or SpectrogramConfig(n_fft=2048)
+    s = spectrogram(x, fs, cfg)
+    fb = chroma_filterbank(cfg.n_fft, fs, n_chroma=n_chroma)
+    c = fb @ s
+    if normalize:
+        peak = c.max(axis=0, keepdims=True)
+        peak[peak == 0] = 1.0
+        c = c / peak
+    return c

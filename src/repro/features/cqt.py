@@ -1,0 +1,87 @@
+"""Constant-Q transform (CQT) front-end.
+
+A direct (naive) CQT: one windowed complex kernel per bin, geometrically
+spaced centre frequencies with constant Q.  Kernels are evaluated in the
+frequency domain for efficiency.  Accurate enough for the classification
+front-end comparison; not an invertible CQT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.stft import db
+
+__all__ = ["cqt_frequencies", "cqt", "log_cqt"]
+
+
+def cqt_frequencies(n_bins: int, fmin: float, bins_per_octave: int = 12) -> np.ndarray:
+    """Geometrically spaced CQT bin centre frequencies."""
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    if fmin <= 0:
+        raise ValueError("fmin must be positive")
+    if bins_per_octave < 1:
+        raise ValueError("bins_per_octave must be >= 1")
+    return fmin * 2.0 ** (np.arange(n_bins) / bins_per_octave)
+
+
+def cqt(
+    x: np.ndarray,
+    fs: float,
+    *,
+    n_bins: int = 48,
+    fmin: float = 55.0,
+    bins_per_octave: int = 12,
+    hop_length: int = 512,
+) -> np.ndarray:
+    """Constant-Q magnitude transform, shape ``(n_bins, n_frames)``.
+
+    Each bin ``k`` uses a Hann-windowed complex exponential of length
+    ``Q * fs / f_k`` centred on each hop position, where
+    ``Q = 1 / (2^(1/bins_per_octave) - 1)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1 or x.size == 0:
+        raise ValueError("x must be a non-empty 1-D signal")
+    if hop_length < 1:
+        raise ValueError("hop_length must be >= 1")
+    freqs = cqt_frequencies(n_bins, fmin, bins_per_octave)
+    if freqs[-1] >= fs / 2:
+        raise ValueError(
+            f"top CQT bin {freqs[-1]:.1f} Hz exceeds Nyquist {fs / 2:.1f} Hz; "
+            "reduce n_bins or fmin"
+        )
+    q = 1.0 / (2.0 ** (1.0 / bins_per_octave) - 1.0)
+    n_frames = 1 + x.size // hop_length
+    out = np.zeros((n_bins, n_frames))
+    for k, fk in enumerate(freqs):
+        n_k = int(np.ceil(q * fs / fk))
+        n_k = min(n_k, x.size)
+        n_k = max(n_k, 2)
+        t = np.arange(n_k)
+        win = 0.5 - 0.5 * np.cos(2 * np.pi * t / n_k)
+        kernel = win * np.exp(-2j * np.pi * fk / fs * t) / n_k
+        for m in range(n_frames):
+            centre = m * hop_length
+            start = max(0, centre - n_k // 2)
+            stop = min(x.size, start + n_k)
+            seg = x[start:stop]
+            out[k, m] = np.abs(np.dot(seg, kernel[: seg.size]))
+    return out
+
+
+def log_cqt(
+    x: np.ndarray,
+    fs: float,
+    *,
+    n_bins: int = 48,
+    fmin: float = 55.0,
+    bins_per_octave: int = 12,
+    hop_length: int = 512,
+    floor_db: float = -80.0,
+) -> np.ndarray:
+    """CQT magnitude in dB relative to its own maximum."""
+    c = cqt(x, fs, n_bins=n_bins, fmin=fmin, bins_per_octave=bins_per_octave, hop_length=hop_length)
+    ref = float(c.max()) or 1.0
+    return db(c**2, ref=ref**2, floor_db=floor_db)

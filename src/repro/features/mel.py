@@ -1,0 +1,89 @@
+"""Mel filterbank and log-mel spectrogram front-end."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.stft import db
+from repro.features.spectrogram import SpectrogramConfig, spectrogram
+
+__all__ = ["hz_to_mel", "mel_to_hz", "mel_filterbank", "mel_spectrogram", "log_mel_spectrogram"]
+
+
+def hz_to_mel(f: np.ndarray) -> np.ndarray:
+    """Convert Hz to mel (HTK formula)."""
+    f = np.asarray(f, dtype=np.float64)
+    return 2595.0 * np.log10(1.0 + f / 700.0)
+
+
+def mel_to_hz(m: np.ndarray) -> np.ndarray:
+    """Convert mel to Hz (HTK formula)."""
+    m = np.asarray(m, dtype=np.float64)
+    return 700.0 * (10.0 ** (m / 2595.0) - 1.0)
+
+
+def mel_filterbank(
+    n_mels: int,
+    n_fft: int,
+    fs: float,
+    *,
+    fmin: float = 0.0,
+    fmax: float | None = None,
+    norm: bool = True,
+) -> np.ndarray:
+    """Triangular mel filterbank, shape ``(n_mels, n_fft // 2 + 1)``.
+
+    With ``norm=True`` each filter is area-normalized (Slaney style) so the
+    filterbank output is comparable across bands.
+    """
+    if n_mels < 1:
+        raise ValueError("n_mels must be >= 1")
+    if fs <= 0:
+        raise ValueError("fs must be positive")
+    fmax = fmax if fmax is not None else fs / 2.0
+    if not 0 <= fmin < fmax <= fs / 2.0 + 1e-9:
+        raise ValueError("need 0 <= fmin < fmax <= fs/2")
+    edges_hz = mel_to_hz(np.linspace(hz_to_mel(fmin), hz_to_mel(fmax), n_mels + 2))
+    fft_freqs = np.fft.rfftfreq(n_fft, d=1.0 / fs)
+    fb = np.zeros((n_mels, fft_freqs.size))
+    for i in range(n_mels):
+        lo, ctr, hi = edges_hz[i], edges_hz[i + 1], edges_hz[i + 2]
+        rising = (fft_freqs - lo) / max(ctr - lo, 1e-9)
+        falling = (hi - fft_freqs) / max(hi - ctr, 1e-9)
+        fb[i] = np.clip(np.minimum(rising, falling), 0.0, None)
+        if norm:
+            width = max(hi - lo, 1e-9)
+            fb[i] *= 2.0 / width
+    return fb
+
+
+def mel_spectrogram(
+    x: np.ndarray,
+    fs: float,
+    *,
+    n_mels: int = 64,
+    config: SpectrogramConfig | None = None,
+    fmin: float = 0.0,
+    fmax: float | None = None,
+) -> np.ndarray:
+    """Mel-power spectrogram, shape ``(n_mels, n_frames)``."""
+    cfg = config or SpectrogramConfig()
+    s = spectrogram(x, fs, cfg)
+    fb = mel_filterbank(n_mels, cfg.n_fft, fs, fmin=fmin, fmax=fmax)
+    return fb @ s
+
+
+def log_mel_spectrogram(
+    x: np.ndarray,
+    fs: float,
+    *,
+    n_mels: int = 64,
+    config: SpectrogramConfig | None = None,
+    fmin: float = 0.0,
+    fmax: float | None = None,
+    floor_db: float = -80.0,
+) -> np.ndarray:
+    """Log-mel spectrogram in dB relative to its own maximum."""
+    m = mel_spectrogram(x, fs, n_mels=n_mels, config=config, fmin=fmin, fmax=fmax)
+    ref = float(m.max()) or 1.0
+    return db(m, ref=ref, floor_db=floor_db)

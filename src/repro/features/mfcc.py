@@ -1,0 +1,55 @@
+"""Mel-frequency cepstral coefficients (MFCC) front-end."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.fftpack import dct
+
+from repro.features.mel import mel_spectrogram
+from repro.features.spectrogram import SpectrogramConfig
+
+__all__ = ["mfcc", "delta"]
+
+
+def mfcc(
+    x: np.ndarray,
+    fs: float,
+    *,
+    n_mfcc: int = 13,
+    n_mels: int = 40,
+    config: SpectrogramConfig | None = None,
+    fmin: float = 20.0,
+    fmax: float | None = None,
+) -> np.ndarray:
+    """MFCC matrix of shape ``(n_mfcc, n_frames)``.
+
+    Log-mel energies followed by an orthonormal DCT-II over the mel axis
+    (the standard ASR front-end; coefficient 0 carries overall log-energy).
+    """
+    if n_mfcc < 1:
+        raise ValueError("n_mfcc must be >= 1")
+    if n_mfcc > n_mels:
+        raise ValueError("n_mfcc cannot exceed n_mels")
+    m = mel_spectrogram(x, fs, n_mels=n_mels, config=config, fmin=fmin, fmax=fmax)
+    log_m = np.log(np.maximum(m, 1e-10))
+    return dct(log_m, type=2, axis=0, norm="ortho")[:n_mfcc]
+
+
+def delta(features: np.ndarray, *, width: int = 9) -> np.ndarray:
+    """Delta (first-order regression) features along the time axis.
+
+    ``width`` is the odd regression window length.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError("features must be (n_coeffs, n_frames)")
+    if width < 3 or width % 2 == 0:
+        raise ValueError("width must be an odd integer >= 3")
+    half = width // 2
+    kernel = np.arange(-half, half + 1, dtype=np.float64)
+    kernel /= np.sum(kernel**2)
+    padded = np.pad(features, ((0, 0), (half, half)), mode="edge")
+    out = np.empty_like(features)
+    for i in range(features.shape[0]):
+        out[i] = np.convolve(padded[i], kernel[::-1], mode="valid")
+    return out

@@ -1,0 +1,58 @@
+"""Linear-frequency spectrogram front-end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.stft import db, power, stft
+
+__all__ = ["SpectrogramConfig", "spectrogram", "log_spectrogram"]
+
+
+@dataclass(frozen=True)
+class SpectrogramConfig:
+    """STFT configuration shared by the time-frequency front-ends.
+
+    Attributes
+    ----------
+    n_fft:
+        FFT length in samples.
+    hop_length:
+        Hop between frames in samples (defaults to ``n_fft // 4`` when 0).
+    window:
+        Analysis window name.
+    """
+
+    n_fft: int = 512
+    hop_length: int = 0
+    window: str = "hann"
+
+    def __post_init__(self) -> None:
+        if self.n_fft < 16 or self.n_fft & (self.n_fft - 1):
+            raise ValueError("n_fft must be a power of two >= 16")
+        if self.hop_length < 0:
+            raise ValueError("hop_length must be non-negative")
+
+    @property
+    def hop(self) -> int:
+        """Effective hop length."""
+        return self.hop_length or self.n_fft // 4
+
+
+def spectrogram(x: np.ndarray, fs: float, config: SpectrogramConfig | None = None) -> np.ndarray:
+    """Power spectrogram, shape ``(n_fft // 2 + 1, n_frames)``."""
+    if fs <= 0:
+        raise ValueError("fs must be positive")
+    cfg = config or SpectrogramConfig()
+    return power(stft(x, cfg.n_fft, cfg.hop, cfg.window))
+
+
+def log_spectrogram(
+    x: np.ndarray, fs: float, config: SpectrogramConfig | None = None, *, floor_db: float = -80.0
+) -> np.ndarray:
+    """Log-power spectrogram in dB relative to its own maximum."""
+    s = spectrogram(x, fs, config)
+    ref = float(s.max()) or 1.0
+    return db(s, ref=ref, floor_db=floor_db)

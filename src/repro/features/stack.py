@@ -1,0 +1,51 @@
+"""Feature stacking: static + delta + delta-delta, and context windows.
+
+Classic front-end post-processing: dynamic (delta) coefficients capture the
+spectro-temporal motion that distinguishes a sweeping siren from a steady
+horn, and context windows give frame-level classifiers local history.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.features.mfcc import delta
+
+__all__ = ["stack_deltas", "context_window"]
+
+
+def stack_deltas(features: np.ndarray, *, order: int = 2, width: int = 9) -> np.ndarray:
+    """Stack ``features`` with its first ``order`` delta streams.
+
+    Input ``(F, T)`` -> output ``((order + 1) * F, T)``.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError("features must be (F, T)")
+    if not 1 <= order <= 3:
+        raise ValueError("order must be 1, 2 or 3")
+    streams = [features]
+    current = features
+    for _ in range(order):
+        current = delta(current, width=width)
+        streams.append(current)
+    return np.concatenate(streams, axis=0)
+
+
+def context_window(features: np.ndarray, *, left: int = 2, right: int = 2) -> np.ndarray:
+    """Splice each frame with its neighbours.
+
+    Input ``(F, T)`` -> output ``((left + 1 + right) * F, T)``; edges are
+    padded by repetition.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError("features must be (F, T)")
+    if left < 0 or right < 0:
+        raise ValueError("context sizes must be non-negative")
+    f, t = features.shape
+    padded = np.pad(features, ((0, 0), (left, right)), mode="edge")
+    rows = []
+    for offset in range(left + 1 + right):
+        rows.append(padded[:, offset : offset + t])
+    return np.concatenate(rows, axis=0)

@@ -1,0 +1,146 @@
+"""Coarse-grained reconfigurable array (CGRA) fabric model.
+
+Sec. V plans "the first version of CGRA processing elements and hardware
+control blocks ... for basic operators in the target algorithm".  This
+module models such a fabric: a 2-D mesh of processing elements (PEs), each
+supporting a subset of operator kinds (heterogeneous fabrics mix MAC-heavy
+and memory PEs), a clock rate, and a mesh interconnect with per-hop cost.
+The mapper in :mod:`repro.hw.mapper` places IR operators onto it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+__all__ = ["PeSpec", "CgraFabric", "PE_KIND_SUPPORT"]
+
+PE_KIND_SUPPORT: dict[str, frozenset[str]] = {
+    "mac": frozenset(
+        {"conv1d", "conv2d", "conv3d", "dense", "fft", "filterbank", "srp_steer", "gcc", "dct"}
+    ),
+    "alu": frozenset({"activation", "batchnorm", "pool", "reshape", "elementwise", "threshold"}),
+    "mem": frozenset({"reshape", "buffer", "frame"}),
+}
+"""Operator kinds each PE flavour can execute."""
+
+
+@dataclass(frozen=True)
+class PeSpec:
+    """One processing-element flavour.
+
+    Attributes
+    ----------
+    kind:
+        ``mac``, ``alu`` or ``mem``.
+    ops_per_cycle:
+        Arithmetic throughput, operations per clock cycle.
+    """
+
+    kind: str
+    ops_per_cycle: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in PE_KIND_SUPPORT:
+            raise ValueError(f"unknown PE kind {self.kind!r}; expected {sorted(PE_KIND_SUPPORT)}")
+        if self.ops_per_cycle <= 0:
+            raise ValueError("ops_per_cycle must be positive")
+
+    def supports(self, op_kind: str) -> bool:
+        """Whether this PE flavour can execute an operator kind."""
+        return op_kind in PE_KIND_SUPPORT[self.kind]
+
+
+class CgraFabric:
+    """A rows x cols mesh of PEs with nearest-neighbour links.
+
+    Parameters
+    ----------
+    rows, cols:
+        Mesh extents.
+    clock_mhz:
+        Fabric clock.
+    pe_pattern:
+        Either a single :class:`PeSpec` (homogeneous) or a callable
+        ``(row, col) -> PeSpec`` for heterogeneous fabrics.
+    hop_latency_cycles:
+        Interconnect latency per mesh hop.
+    """
+
+    def __init__(
+        self,
+        rows: int = 16,
+        cols: int = 16,
+        *,
+        clock_mhz: float = 200.0,
+        pe_pattern=None,
+        hop_latency_cycles: int = 1,
+    ) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("mesh extents must be positive")
+        if clock_mhz <= 0:
+            raise ValueError("clock must be positive")
+        if hop_latency_cycles < 0:
+            raise ValueError("hop latency must be non-negative")
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.clock_hz = clock_mhz * 1e6
+        self.hop_latency_cycles = int(hop_latency_cycles)
+        if pe_pattern is None:
+            pe_pattern = _default_pattern
+        elif isinstance(pe_pattern, PeSpec):
+            fixed = pe_pattern
+
+            def pe_pattern(r, c, _fixed=fixed):
+                return _fixed
+
+        self._mesh = nx.grid_2d_graph(self.rows, self.cols)
+        self.pes: dict[tuple[int, int], PeSpec] = {}
+        for r in range(self.rows):
+            for c in range(self.cols):
+                spec = pe_pattern(r, c)
+                if not isinstance(spec, PeSpec):
+                    raise TypeError("pe_pattern must yield PeSpec instances")
+                self.pes[(r, c)] = spec
+
+    @property
+    def n_pes(self) -> int:
+        """Total PE count."""
+        return self.rows * self.cols
+
+    def pes_supporting(self, op_kind: str) -> list[tuple[int, int]]:
+        """Coordinates of every PE able to execute an operator kind."""
+        return [coord for coord, pe in self.pes.items() if pe.supports(op_kind)]
+
+    def hop_distance(self, a: tuple[int, int], b: tuple[int, int]) -> int:
+        """Manhattan mesh distance between two PE coordinates."""
+        if a not in self.pes or b not in self.pes:
+            raise ValueError("coordinate outside the fabric")
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    def route_latency_s(self, a: tuple[int, int], b: tuple[int, int]) -> float:
+        """Interconnect latency between two PEs, seconds."""
+        return self.hop_distance(a, b) * self.hop_latency_cycles / self.clock_hz
+
+    def compute_latency_s(self, coord: tuple[int, int], flops: float) -> float:
+        """Execution time of ``flops`` operations on one PE, seconds."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        pe = self.pes[coord]
+        cycles = flops / pe.ops_per_cycle
+        return cycles / self.clock_hz
+
+    @property
+    def mesh(self) -> nx.Graph:
+        """The interconnect graph (nodes are PE coordinates)."""
+        return self._mesh
+
+
+def _default_pattern(r: int, c: int) -> PeSpec:
+    """3:1 MAC-to-ALU heterogeneous mix with a memory column."""
+    if c == 0:
+        return PeSpec("mem")
+    if (r + c) % 4 == 0:
+        return PeSpec("alu")
+    return PeSpec("mac")

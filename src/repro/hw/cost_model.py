@@ -1,0 +1,105 @@
+"""Multi-level hardware cost model (latency and energy).
+
+Level-1 of the Fig. 4 cost stack: per-operator latency on an analytical
+device model,
+
+    t_op = max(flops / roof, bytes / bandwidth) + overhead,
+
+with the roofline bound deciding which term dominates, plus energy
+
+    e_op = flops * e_flop + bytes * e_byte.
+
+Level-2 (measured wall clock) lives in :mod:`repro.hw.profiler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.devices import DeviceModel
+from repro.hw.ir import IRGraph, OpSpec
+
+__all__ = ["OpCost", "CostReport", "op_cost", "estimate_cost"]
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Latency/energy estimate of one operator.
+
+    Attributes
+    ----------
+    op_name, kind:
+        Operator identity.
+    latency_s:
+        Estimated execution time, seconds.
+    energy_j:
+        Estimated energy, joules.
+    bound:
+        ``compute``, ``memory`` or ``overhead``.
+    """
+
+    op_name: str
+    kind: str
+    latency_s: float
+    energy_j: float
+    bound: str
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Whole-graph cost summary.
+
+    Attributes
+    ----------
+    latency_s:
+        Total (serial) latency, seconds.
+    energy_j:
+        Total energy, joules.
+    per_op:
+        Per-operator costs, execution order.
+    """
+
+    latency_s: float
+    energy_j: float
+    per_op: tuple[OpCost, ...]
+
+    @property
+    def latency_ms(self) -> float:
+        """Total latency in milliseconds."""
+        return self.latency_s * 1e3
+
+    def bottleneck(self, n: int = 3) -> list[OpCost]:
+        """The ``n`` slowest operators."""
+        if n < 1:
+            raise ValueError("n must be positive")
+        return sorted(self.per_op, key=lambda c: c.latency_s, reverse=True)[:n]
+
+
+def op_cost(op: OpSpec, device: DeviceModel) -> OpCost:
+    """Latency and energy of one operator on a device."""
+    t_compute = op.flops / (device.peak_gflops * 1e9)
+    t_memory = op.total_bytes / (device.mem_bandwidth_gbps * 1e9)
+    t_overhead = device.op_overhead_us * 1e-6
+    latency = max(t_compute, t_memory) + t_overhead
+    if t_overhead > max(t_compute, t_memory):
+        bound = "overhead"
+    elif t_compute >= t_memory:
+        bound = "compute"
+    else:
+        bound = "memory"
+    energy = (
+        op.flops * 1e-9 * device.energy_per_gflop_j
+        + op.total_bytes * 1e-9 * device.energy_per_gb_j
+        + latency * device.idle_power_w
+    )
+    return OpCost(op.name, op.kind, latency, energy, bound)
+
+
+def estimate_cost(ir: IRGraph, device: DeviceModel) -> CostReport:
+    """Serial-execution cost of an IR graph on a device."""
+    per_op = tuple(op_cost(op, device) for op in ir.ops())
+    return CostReport(
+        latency_s=sum(c.latency_s for c in per_op),
+        energy_j=sum(c.energy_j for c in per_op),
+        per_op=per_op,
+    )

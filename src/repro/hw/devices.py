@@ -1,0 +1,102 @@
+"""Analytical device models: embedded CPUs and the CGRA target.
+
+The paper evaluates on a Raspberry Pi 4B ("8.59 ms/frame end-to-end on
+RasPi-4B") and designs towards a CGRA.  We model each device by its
+sustained compute roof, memory bandwidth, per-operator launch overhead and
+energy coefficients — enough for the roofline (E8), latency (E6) and
+park-mode energy (E9) experiments.  Absolute constants are datasheet-scale
+approximations; the benches rely on ratios between devices and between
+algorithm variants, not on absolute wall-clock fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceModel", "RASPI4", "CORTEX_M7", "CGRA_16x16", "DEVICES"]
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Analytical processor description.
+
+    Attributes
+    ----------
+    name:
+        Device label.
+    peak_gflops:
+        Sustained single-precision compute roof, GFLOP/s.
+    mem_bandwidth_gbps:
+        Sustained memory bandwidth, GB/s.
+    op_overhead_us:
+        Fixed per-operator launch/dispatch overhead, microseconds.
+    active_power_w:
+        Power while computing, watts.
+    idle_power_w:
+        Power while waiting (park-mode floor), watts.
+    energy_per_gflop_j:
+        Marginal energy per GFLOP, joules.
+    energy_per_gb_j:
+        Marginal energy per GB of traffic, joules.
+    """
+
+    name: str
+    peak_gflops: float
+    mem_bandwidth_gbps: float
+    op_overhead_us: float = 5.0
+    active_power_w: float = 4.0
+    idle_power_w: float = 1.5
+    energy_per_gflop_j: float = 0.5
+    energy_per_gb_j: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.peak_gflops <= 0 or self.mem_bandwidth_gbps <= 0:
+            raise ValueError("compute roof and bandwidth must be positive")
+        if self.op_overhead_us < 0:
+            raise ValueError("op_overhead_us must be non-negative")
+        if self.active_power_w <= 0 or self.idle_power_w < 0:
+            raise ValueError("invalid power figures")
+        if self.idle_power_w > self.active_power_w:
+            raise ValueError("idle power cannot exceed active power")
+
+    @property
+    def ridge_point(self) -> float:
+        """Arithmetic intensity (FLOP/byte) where the roofline bends."""
+        return self.peak_gflops / self.mem_bandwidth_gbps
+
+
+RASPI4 = DeviceModel(
+    name="raspi4b",
+    peak_gflops=12.0,  # 4x Cortex-A72 @1.5 GHz, NEON fp32, sustained
+    mem_bandwidth_gbps=4.0,
+    op_overhead_us=8.0,
+    active_power_w=6.0,
+    idle_power_w=2.0,
+    energy_per_gflop_j=0.45,
+    energy_per_gb_j=0.15,
+)
+
+CORTEX_M7 = DeviceModel(
+    name="cortex_m7",
+    peak_gflops=0.2,
+    mem_bandwidth_gbps=0.3,
+    op_overhead_us=2.0,
+    active_power_w=0.3,
+    idle_power_w=0.01,
+    energy_per_gflop_j=1.2,
+    energy_per_gb_j=0.4,
+)
+
+CGRA_16x16 = DeviceModel(
+    name="cgra_16x16",
+    peak_gflops=50.0,  # 256 PEs @ 200 MHz, MAC per cycle
+    mem_bandwidth_gbps=8.0,
+    op_overhead_us=1.0,
+    active_power_w=0.8,
+    idle_power_w=0.05,
+    energy_per_gflop_j=0.02,
+    energy_per_gb_j=0.05,
+)
+
+DEVICES = {d.name: d for d in (RASPI4, CORTEX_M7, CGRA_16x16)}
+"""Registry of built-in device models."""

@@ -1,0 +1,260 @@
+"""Operator-level intermediate representation (IR).
+
+The co-design workflow (Fig. 4) profiles *hybrid* algorithms — DSP
+front-ends plus neural networks — through "IR porting from the original
+algorithm descriptions to unified lower operator expressions" (the paper
+uses TVM; we build the equivalent substrate).  Every operator node carries
+its compute (FLOPs), memory traffic (bytes) and parameter footprint, which
+is all the downstream cost models (roofline, device latency, CGRA mapping)
+need.
+
+Graphs are :class:`networkx.DiGraph` under the hood, so standard graph
+algorithms (topological order, critical path) apply directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.nn.conv import _ConvNd
+from repro.nn.layers import BatchNorm, Dense, Dropout, Flatten, ReLU, Sigmoid, Tanh
+from repro.nn.module import Module, Sequential
+from repro.nn.pooling import AvgPool, GlobalAvgPool, MaxPool
+
+__all__ = ["OpSpec", "IRGraph", "lower_module", "dsp_op", "BYTES_PER_ELEMENT"]
+
+BYTES_PER_ELEMENT = 4.0
+"""Deployment precision assumed by the cost models (fp32/int32)."""
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """One operator node.
+
+    Attributes
+    ----------
+    name:
+        Unique node name within its graph.
+    kind:
+        Operator family (``conv2d``, ``dense``, ``fft``, ``srp_steer``, ...).
+    flops:
+        Floating-point operations per invocation.
+    bytes_read, bytes_written:
+        Memory traffic per invocation.
+    n_params:
+        Trainable parameter count (0 for DSP ops).
+    output_shape:
+        Output tensor shape (informational).
+    """
+
+    name: str
+    kind: str
+    flops: float
+    bytes_read: float
+    bytes_written: float
+    n_params: int = 0
+    output_shape: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes_read < 0 or self.bytes_written < 0:
+            raise ValueError("flops and byte counts must be non-negative")
+        if self.n_params < 0:
+            raise ValueError("n_params must be non-negative")
+
+    @property
+    def total_bytes(self) -> float:
+        """Total memory traffic per invocation."""
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte of traffic (the roofline x-axis)."""
+        return self.flops / max(self.total_bytes, 1e-12)
+
+
+class IRGraph:
+    """A DAG of :class:`OpSpec` nodes."""
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self._g = nx.DiGraph()
+
+    def add_op(self, spec: OpSpec, deps: list[str] | None = None) -> None:
+        """Add an operator, depending on the named predecessor ops."""
+        if spec.name in self._g:
+            raise ValueError(f"duplicate op name {spec.name!r}")
+        self._g.add_node(spec.name, spec=spec)
+        for d in deps or []:
+            if d not in self._g:
+                raise ValueError(f"unknown dependency {d!r}")
+            self._g.add_edge(d, spec.name)
+        if not nx.is_directed_acyclic_graph(self._g):
+            self._g.remove_node(spec.name)
+            raise ValueError("adding this op would create a cycle")
+
+    def __len__(self) -> int:
+        return self._g.number_of_nodes()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._g
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying networkx graph (read-only use)."""
+        return self._g
+
+    def ops(self) -> list[OpSpec]:
+        """Ops in topological order."""
+        return [self._g.nodes[n]["spec"] for n in nx.topological_sort(self._g)]
+
+    def op(self, name: str) -> OpSpec:
+        """Look up one op by name."""
+        if name not in self._g:
+            raise KeyError(name)
+        return self._g.nodes[name]["spec"]
+
+    def total_flops(self) -> float:
+        """Sum of FLOPs over all ops."""
+        return sum(op.flops for op in self.ops())
+
+    def total_bytes(self) -> float:
+        """Sum of memory traffic over all ops."""
+        return sum(op.total_bytes for op in self.ops())
+
+    def total_params(self) -> int:
+        """Sum of trainable parameters."""
+        return sum(op.n_params for op in self.ops())
+
+    def critical_path(self) -> list[str]:
+        """Node names on the FLOP-weighted longest path (the serial spine)."""
+        if not len(self):
+            return []
+        best: dict[str, float] = {}
+        pred: dict[str, str | None] = {}
+        for node in nx.topological_sort(self._g):
+            w = self._g.nodes[node]["spec"].flops
+            incoming = [(best[p] + w, p) for p in self._g.predecessors(node)]
+            if incoming:
+                score, parent = max(incoming)
+            else:
+                score, parent = w, None
+            best[node] = score
+            pred[node] = parent
+        end = max(best, key=best.get)
+        path = [end]
+        while pred[path[-1]] is not None:
+            path.append(pred[path[-1]])
+        return path[::-1]
+
+    def bottleneck(self, n: int = 3) -> list[OpSpec]:
+        """The ``n`` highest-FLOP ops (Fig. 4 "bottleneck analysis")."""
+        if n < 1:
+            raise ValueError("n must be positive")
+        return sorted(self.ops(), key=lambda o: o.flops, reverse=True)[:n]
+
+
+def dsp_op(
+    name: str,
+    kind: str,
+    *,
+    flops: float,
+    n_in: float,
+    n_out: float,
+    n_coeff: float = 0.0,
+    output_shape: tuple[int, ...] = (),
+) -> OpSpec:
+    """Convenience constructor for DSP operators (FFT, filterbank, SRP...).
+
+    ``n_in``/``n_out``/``n_coeff`` are element counts; byte traffic follows
+    from :data:`BYTES_PER_ELEMENT`.
+    """
+    return OpSpec(
+        name=name,
+        kind=kind,
+        flops=flops,
+        bytes_read=(n_in + n_coeff) * BYTES_PER_ELEMENT,
+        bytes_written=n_out * BYTES_PER_ELEMENT,
+        n_params=0,
+        output_shape=output_shape,
+    )
+
+
+def _layer_spec(layer: Module, name: str, x_in: np.ndarray, x_out: np.ndarray) -> OpSpec:
+    n_in, n_out = float(x_in.size), float(x_out.size)
+    params = sum(p.size for p in layer.parameters())
+    read = (n_in + params) * BYTES_PER_ELEMENT
+    written = n_out * BYTES_PER_ELEMENT
+    if isinstance(layer, _ConvNd):
+        k_prod = float(np.prod(layer.w.shape[2:]))
+        flops = 2.0 * n_out * layer.w.shape[1] * k_prod
+        kind = f"conv{layer.w.data.ndim - 2}d"
+    elif isinstance(layer, Dense):
+        flops = 2.0 * x_in.shape[0] * layer.w.shape[0] * layer.w.shape[1]
+        kind = "dense"
+    elif isinstance(layer, BatchNorm):
+        flops = 4.0 * n_in
+        kind = "batchnorm"
+    elif isinstance(layer, (ReLU, Sigmoid, Tanh)):
+        flops = n_in * (1.0 if isinstance(layer, ReLU) else 8.0)
+        kind = "activation"
+    elif isinstance(layer, (MaxPool, AvgPool, GlobalAvgPool)):
+        flops = n_in
+        kind = "pool"
+    elif isinstance(layer, (Flatten, Dropout)):
+        flops = 0.0
+        kind = "reshape"
+    else:
+        # Unknown custom layer (padding, spatial reductions, ...): assume
+        # element-wise cost so every backend can place it.
+        flops = n_in
+        kind = "elementwise"
+    return OpSpec(
+        name=name,
+        kind=kind,
+        flops=flops,
+        bytes_read=read,
+        bytes_written=written,
+        n_params=params,
+        output_shape=tuple(x_out.shape[1:]),
+    )
+
+
+def _flatten_layers(model: Module) -> list[Module]:
+    if isinstance(model, Sequential):
+        out: list[Module] = []
+        for layer in model.layers:
+            out.extend(_flatten_layers(layer))
+        return out
+    blocks = getattr(model, "blocks", None)
+    head = getattr(model, "head", None)
+    if blocks is not None and head is not None:
+        out = []
+        for layer in blocks:
+            out.extend(_flatten_layers(layer))
+        out.extend(_flatten_layers(head))
+        return out
+    return [model]
+
+
+def lower_module(model: Module, input_shape: tuple[int, ...], *, name: str = "model") -> IRGraph:
+    """Lower a model to an operator IR by shape-tracing a dummy batch.
+
+    ``input_shape`` excludes the batch dimension (batch 1 is traced).
+    """
+    ir = IRGraph(name)
+    x = np.zeros((1, *input_shape))
+    prev: str | None = None
+    was_training = model.training
+    model.eval()
+    for i, layer in enumerate(_flatten_layers(model)):
+        y = layer.forward(x)
+        node_name = f"{name}.{i}.{type(layer).__name__.lower().strip('_')}"
+        spec = _layer_spec(layer, node_name, x, y)
+        ir.add_op(spec, deps=[prev] if prev else None)
+        prev = node_name
+        x = y
+    model.train(was_training)
+    return ir

@@ -1,0 +1,61 @@
+"""Pareto-frontier utilities for the design-space exploration."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["pareto_front", "dominates", "hypervolume_2d"]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Whether point ``a`` dominates ``b`` (all objectives minimized)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("points must be 1-D and equal length")
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def pareto_front(points: np.ndarray) -> np.ndarray:
+    """Indices of the non-dominated rows of ``points`` (minimization).
+
+    Runs in O(n^2); design spaces in this project are a few hundred points.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise ValueError("points must be a non-empty (n, d) array")
+    n = points.shape[0]
+    keep = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not keep[i]:
+            continue
+        for j in range(n):
+            if i != j and keep[j] and dominates(points[j], points[i]):
+                keep[i] = False
+                break
+    return np.flatnonzero(keep)
+
+
+def hypervolume_2d(points: np.ndarray, reference: Sequence[float]) -> float:
+    """Dominated hypervolume of a 2-D front w.r.t. a reference point.
+
+    Both objectives are minimized; points beyond the reference contribute
+    nothing.  Used to compare DSE runs in the ablation benches.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    ref = np.asarray(reference, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2 or ref.shape != (2,):
+        raise ValueError("need (n, 2) points and a 2-D reference")
+    front = points[pareto_front(points)]
+    front = front[(front[:, 0] < ref[0]) & (front[:, 1] < ref[1])]
+    if front.shape[0] == 0:
+        return 0.0
+    front = front[np.argsort(front[:, 0])]
+    volume = 0.0
+    prev_y = ref[1]
+    for x, y in front:
+        volume += (ref[0] - x) * (prev_y - y)
+        prev_y = y
+    return float(volume)

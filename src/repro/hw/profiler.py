@@ -1,0 +1,98 @@
+"""Wall-clock operator profiler (level-2 of the cost stack).
+
+Measures the actual per-layer forward latency of a :mod:`repro.nn` model on
+the host — the "PyTorch profiler / TVM runtime performance" rung of the
+Fig. 4 multi-level evaluation.  Host numbers calibrate the analytical
+models; cross-device claims use :mod:`repro.hw.cost_model`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.ir import _flatten_layers
+from repro.nn.module import Module
+
+__all__ = ["LayerTiming", "ProfileReport", "profile_model", "time_callable"]
+
+
+@dataclass(frozen=True)
+class LayerTiming:
+    """Measured latency of one layer.
+
+    Attributes
+    ----------
+    name:
+        Layer label (class name + index).
+    mean_s, std_s:
+        Mean / standard deviation over repeats, seconds.
+    """
+
+    name: str
+    mean_s: float
+    std_s: float
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Per-layer wall-clock profile.
+
+    Attributes
+    ----------
+    total_s:
+        Sum of per-layer means.
+    layers:
+        Per-layer timings, execution order.
+    """
+
+    total_s: float
+    layers: tuple[LayerTiming, ...]
+
+    def bottleneck(self, n: int = 3) -> list[LayerTiming]:
+        """The ``n`` slowest layers."""
+        if n < 1:
+            raise ValueError("n must be positive")
+        return sorted(self.layers, key=lambda t: t.mean_s, reverse=True)[:n]
+
+
+def time_callable(fn, *, repeats: int = 5, warmup: int = 1) -> tuple[float, float]:
+    """Mean/std wall-clock seconds of ``fn()`` over ``repeats`` runs."""
+    if repeats < 1 or warmup < 0:
+        raise ValueError("repeats must be >= 1 and warmup >= 0")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    arr = np.asarray(samples)
+    return float(arr.mean()), float(arr.std())
+
+
+def profile_model(
+    model: Module,
+    input_shape: tuple[int, ...],
+    *,
+    repeats: int = 5,
+    warmup: int = 1,
+) -> ProfileReport:
+    """Measure per-layer forward latency with a batch-1 input.
+
+    ``input_shape`` excludes the batch dimension.
+    """
+    layers = _flatten_layers(model)
+    was_training = model.training
+    model.eval()
+    x = np.random.default_rng(0).standard_normal((1, *input_shape))
+    timings = []
+    for i, layer in enumerate(layers):
+        captured = x
+        mean, std = time_callable(lambda: layer.forward(captured), repeats=repeats, warmup=warmup)
+        timings.append(LayerTiming(f"{i}.{type(layer).__name__.lower().strip('_')}", mean, std))
+        x = layer.forward(x)
+    model.train(was_training)
+    return ProfileReport(total_s=sum(t.mean_s for t in timings), layers=tuple(timings))

@@ -1,0 +1,86 @@
+"""Human-readable reports for the co-design artifacts.
+
+The Fig. 4 workflow ends in a "Report" box: these helpers render cost
+breakdowns, roofline placements and DSE traces as markdown tables so the
+flow's output can land in design reviews unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.hw.codesign import CodesignResult
+from repro.hw.cost_model import CostReport
+from repro.hw.devices import DeviceModel
+from repro.hw.ir import IRGraph
+from repro.hw.roofline import roofline_report
+
+__all__ = ["markdown_table", "cost_report_md", "roofline_report_md", "codesign_report_md"]
+
+
+def markdown_table(header: list[str], rows: list[list]) -> str:
+    """Render a markdown table from a header and row lists."""
+    if not header:
+        raise ValueError("header must not be empty")
+    for row in rows:
+        if len(row) != len(header):
+            raise ValueError("row length does not match header")
+
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            return f"{v:.4g}"
+        return str(v)
+
+    lines = ["| " + " | ".join(header) + " |", "|" + "---|" * len(header)]
+    lines.extend("| " + " | ".join(fmt(v) for v in row) + " |" for row in rows)
+    return "\n".join(lines)
+
+
+def cost_report_md(report: CostReport, *, title: str = "Cost breakdown", top: int = 10) -> str:
+    """Markdown rendering of a :class:`~repro.hw.cost_model.CostReport`."""
+    if top < 1:
+        raise ValueError("top must be positive")
+    rows = [
+        [c.op_name, c.kind, c.latency_s * 1e3, c.energy_j * 1e3, c.bound]
+        for c in report.bottleneck(min(top, len(report.per_op)))
+    ]
+    table = markdown_table(["op", "kind", "latency ms", "energy mJ", "bound"], rows)
+    summary = (
+        f"total latency **{report.latency_ms:.3f} ms**, "
+        f"total energy **{report.energy_j * 1e3:.3f} mJ**"
+    )
+    return f"## {title}\n\n{summary}\n\n{table}\n"
+
+
+def roofline_report_md(ir: IRGraph, device: DeviceModel, *, title: str | None = None) -> str:
+    """Markdown rendering of the roofline placement of an IR graph."""
+    points = roofline_report(ir, device)
+    rows = [
+        [p.op_name, p.kind, p.arithmetic_intensity, p.attainable_gflops, p.bound]
+        for p in points
+    ]
+    table = markdown_table(["op", "kind", "AI flop/B", "attainable GF/s", "bound"], rows)
+    heading = title or f"Roofline on {device.name} (ridge {device.ridge_point:.2f} flop/B)"
+    return f"## {heading}\n\n{table}\n"
+
+
+def codesign_report_md(result: CodesignResult) -> str:
+    """Markdown rendering of a DSE run: trace plus headline factors."""
+    rows = [
+        [
+            "(baseline)",
+            result.baseline.latency_ms,
+            result.baseline.error_deg,
+            result.baseline.n_params,
+            result.baseline.model_bytes,
+        ]
+    ]
+    for step in result.steps:
+        e = step.evaluated
+        rows.append([step.action, e.latency_ms, e.error_deg, e.n_params, e.model_bytes])
+    table = markdown_table(["move", "latency ms", "error deg", "params", "bytes"], rows)
+    summary = (
+        f"speedup **{result.speedup:.2f}x**, "
+        f"size reduction **{100 * result.size_reduction:.1f}%**, "
+        f"{len(result.explored)} points explored, "
+        f"{len(result.pareto_points())} on the Pareto frontier"
+    )
+    return f"## Co-design DSE report\n\n{summary}\n\n{table}\n"

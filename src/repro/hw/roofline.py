@@ -1,0 +1,78 @@
+"""Roofline performance model (Williams, Waterman & Patterson).
+
+Level-0 of the multi-level hardware cost model in the Fig. 4 workflow: each
+operator is placed on the device roofline by its arithmetic intensity, which
+immediately classifies it as compute- or memory-bound — the first signal
+the bottleneck analysis consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.devices import DeviceModel
+from repro.hw.ir import IRGraph, OpSpec
+
+__all__ = ["RooflinePoint", "attainable_gflops", "place_op", "roofline_report"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """Placement of one operator on a device roofline.
+
+    Attributes
+    ----------
+    op_name, kind:
+        Operator identity.
+    arithmetic_intensity:
+        FLOPs per byte.
+    attainable_gflops:
+        min(compute roof, AI x bandwidth).
+    achieved_fraction:
+        Attainable / compute-roof, in (0, 1].
+    bound:
+        ``compute`` or ``memory``.
+    """
+
+    op_name: str
+    kind: str
+    arithmetic_intensity: float
+    attainable_gflops: float
+    achieved_fraction: float
+    bound: str
+
+
+def attainable_gflops(intensity: float, device: DeviceModel) -> float:
+    """Roofline-attainable throughput at a given arithmetic intensity."""
+    if intensity < 0:
+        raise ValueError("arithmetic intensity must be non-negative")
+    return float(min(device.peak_gflops, intensity * device.mem_bandwidth_gbps))
+
+
+def place_op(op: OpSpec, device: DeviceModel) -> RooflinePoint:
+    """Place one operator on the device roofline."""
+    ai = op.arithmetic_intensity
+    roof = attainable_gflops(ai, device)
+    return RooflinePoint(
+        op_name=op.name,
+        kind=op.kind,
+        arithmetic_intensity=ai,
+        attainable_gflops=roof,
+        achieved_fraction=roof / device.peak_gflops,
+        bound="memory" if ai < device.ridge_point else "compute",
+    )
+
+
+def roofline_report(ir: IRGraph, device: DeviceModel) -> list[RooflinePoint]:
+    """Roofline placement of every op, sorted by estimated time share.
+
+    Time share per op is ``flops / attainable``, i.e. the roofline-model
+    execution time; the head of the list is the bottleneck.
+    """
+    points = [place_op(op, device) for op in ir.ops()]
+    times = {}
+    for op, pt in zip(ir.ops(), points):
+        times[pt.op_name] = op.flops / max(pt.attainable_gflops * 1e9, 1e-9)
+    return sorted(points, key=lambda p: times[p.op_name], reverse=True)

@@ -1,0 +1,66 @@
+"""From-scratch numpy neural-network framework (the PyTorch substitution).
+
+Explicit forward/backward layers, SGD/Adam optimizers, magnitude pruning and
+post-training quantization — everything the detection/localization models
+and the hardware co-design flow need, with an enumerable operator set that
+:mod:`repro.hw.ir` lowers to the hardware IR.
+"""
+
+from repro.nn.conv import Conv1d, Conv2d, Conv3d, conv_output_length
+from repro.nn.layers import BatchNorm, Dense, Dropout, Flatten, ReLU, Sigmoid, Tanh
+from repro.nn.losses import BCEWithLogitsLoss, CrossEntropyLoss, MSELoss, softmax
+from repro.nn.module import Module, Sequential
+from repro.nn.optim import SGD, Adam
+from repro.nn.params import Parameter, he_init, xavier_init
+from repro.nn.pooling import AvgPool, GlobalAvgPool, MaxPool
+from repro.nn.prune import apply_masks, channel_importance, magnitude_prune, sparsity
+from repro.nn.quantize import (
+    QuantizationSpec,
+    dequantize_array,
+    quantization_error,
+    quantize_array,
+    quantize_module,
+)
+
+from repro.nn.combinators import Add, Parallel, Residual, Upsample1d
+__all__ = [
+    "Add",
+    "Parallel",
+    "Residual",
+    "Upsample1d",
+
+    "Conv1d",
+    "Conv2d",
+    "Conv3d",
+    "conv_output_length",
+    "BatchNorm",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "BCEWithLogitsLoss",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "softmax",
+    "Module",
+    "Sequential",
+    "SGD",
+    "Adam",
+    "Parameter",
+    "he_init",
+    "xavier_init",
+    "AvgPool",
+    "GlobalAvgPool",
+    "MaxPool",
+    "apply_masks",
+    "channel_importance",
+    "magnitude_prune",
+    "sparsity",
+    "QuantizationSpec",
+    "dequantize_array",
+    "quantization_error",
+    "quantize_array",
+    "quantize_module",
+]

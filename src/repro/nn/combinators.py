@@ -1,0 +1,147 @@
+"""Module combinators: parallel branches, concatenation, upsampling, skips.
+
+These enable the multi-path architectures the paper's survey covers —
+networks that fuse a time-frequency branch with a raw-waveform branch
+([13], [19]) — and the U-net-style detector of [15].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.params import Parameter
+
+__all__ = ["Parallel", "Add", "Upsample1d", "Residual"]
+
+
+class Parallel(Module):
+    """Run branches on the same input and concatenate along axis 1.
+
+    All branch outputs must agree on every axis except the channel/feature
+    axis (axis 1).
+    """
+
+    def __init__(self, *branches: Module) -> None:
+        super().__init__()
+        if len(branches) < 2:
+            raise ValueError("Parallel needs at least two branches")
+        self.branches = list(branches)
+        self._splits: list[int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        outs = [b.forward(x) for b in self.branches]
+        ref = outs[0].shape
+        for o in outs[1:]:
+            if o.shape[0] != ref[0] or o.shape[2:] != ref[2:]:
+                raise ValueError(
+                    f"branch outputs disagree outside axis 1: {ref} vs {o.shape}"
+                )
+        self._splits = [o.shape[1] for o in outs]
+        return np.concatenate(outs, axis=1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._splits is None:
+            raise RuntimeError("backward called before forward")
+        grads = np.split(grad, np.cumsum(self._splits)[:-1], axis=1)
+        total = None
+        for b, g in zip(self.branches, grads):
+            gi = b.backward(g)
+            total = gi if total is None else total + gi
+        return total
+
+    def parameters(self) -> list[Parameter]:
+        out: list[Parameter] = []
+        for b in self.branches:
+            out.extend(b.parameters())
+        return out
+
+    def train(self, flag: bool = True) -> "Parallel":
+        super().train(flag)
+        for b in self.branches:
+            b.train(flag)
+        return self
+
+
+class Add(Module):
+    """Sum the outputs of branches applied to the same input."""
+
+    def __init__(self, *branches: Module) -> None:
+        super().__init__()
+        if len(branches) < 2:
+            raise ValueError("Add needs at least two branches")
+        self.branches = list(branches)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        outs = [b.forward(x) for b in self.branches]
+        ref = outs[0].shape
+        for o in outs[1:]:
+            if o.shape != ref:
+                raise ValueError(f"branch outputs disagree: {ref} vs {o.shape}")
+        return sum(outs)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        total = None
+        for b in self.branches:
+            gi = b.backward(grad)
+            total = gi if total is None else total + gi
+        return total
+
+    def parameters(self) -> list[Parameter]:
+        out: list[Parameter] = []
+        for b in self.branches:
+            out.extend(b.parameters())
+        return out
+
+    def train(self, flag: bool = True) -> "Add":
+        super().train(flag)
+        for b in self.branches:
+            b.train(flag)
+        return self
+
+
+class Residual(Module):
+    """``y = x + inner(x)`` — the standard skip connection."""
+
+    def __init__(self, inner: Module) -> None:
+        super().__init__()
+        self.inner = inner
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        y = self.inner.forward(x)
+        if y.shape != x.shape:
+            raise ValueError(f"residual branch changed shape: {x.shape} -> {y.shape}")
+        return x + y
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad + self.inner.backward(grad)
+
+    def parameters(self) -> list[Parameter]:
+        return self.inner.parameters()
+
+    def train(self, flag: bool = True) -> "Residual":
+        super().train(flag)
+        self.inner.train(flag)
+        return self
+
+
+class Upsample1d(Module):
+    """Nearest-neighbour upsampling of a (N, C, L) tensor by an integer
+    factor (the decoder step of the 1-D U-net)."""
+
+    def __init__(self, factor: int = 2) -> None:
+        super().__init__()
+        if factor < 2:
+            raise ValueError("factor must be >= 2")
+        self.factor = int(factor)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError("expected (N, C, L)")
+        return np.repeat(x, self.factor, axis=2)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        n, c, l = grad.shape
+        if l % self.factor:
+            raise ValueError("gradient length not divisible by factor")
+        return grad.reshape(n, c, l // self.factor, self.factor).sum(axis=3)

@@ -1,0 +1,174 @@
+"""Convolution layers (1-D, 2-D and 3-D) with explicit backward passes.
+
+Forward passes use :func:`numpy.lib.stride_tricks.sliding_window_view` plus
+``einsum``; backward passes reconstruct input gradients with small loops over
+the kernel taps (kernels are tiny, batches are not).  The 3-D variant is what
+the Cross3D localization backbone uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.nn.module import Module
+from repro.nn.params import Parameter, he_init
+
+__all__ = ["Conv1d", "Conv2d", "Conv3d", "conv_output_length"]
+
+
+def conv_output_length(n: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output length of a convolution."""
+    if kernel < 1 or stride < 1 or padding < 0:
+        raise ValueError("invalid convolution geometry")
+    out = (n + 2 * padding - kernel) // stride + 1
+    if out < 1:
+        raise ValueError(f"convolution output collapses: n={n}, k={kernel}, s={stride}, p={padding}")
+    return out
+
+
+class _ConvNd(Module):
+    """Shared machinery for the N-dimensional convolutions."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: tuple[int, ...],
+        stride: tuple[int, ...],
+        padding: tuple[int, ...],
+        rng: np.random.Generator | None,
+    ) -> None:
+        super().__init__()
+        if in_channels < 1 or out_channels < 1:
+            raise ValueError("channel counts must be positive")
+        if any(k < 1 for k in kernel_size) or any(s < 1 for s in stride) or any(p < 0 for p in padding):
+            raise ValueError("invalid kernel/stride/padding")
+        rng = rng or np.random.default_rng(0)
+        fan_in = in_channels * int(np.prod(kernel_size))
+        self.w = Parameter(
+            he_init((out_channels, in_channels, *kernel_size), fan_in, rng),
+            f"conv{len(kernel_size)}d.w",
+        )
+        self.b = Parameter(np.zeros(out_channels), f"conv{len(kernel_size)}d.b")
+        self.stride = stride
+        self.padding = padding
+        self._xp: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+
+    @property
+    def ndim_spatial(self) -> int:
+        return self.w.data.ndim - 2
+
+    def parameters(self) -> list[Parameter]:
+        return [self.w, self.b]
+
+    def _pad(self, x: np.ndarray) -> np.ndarray:
+        pads = [(0, 0), (0, 0)] + [(p, p) for p in self.padding]
+        if all(p == 0 for p in self.padding):
+            return x
+        return np.pad(x, pads)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        nd = self.ndim_spatial
+        if x.ndim != nd + 2 or x.shape[1] != self.w.shape[1]:
+            raise ValueError(
+                f"expected (N, {self.w.shape[1]}, {'x'.join('S' * nd)}) input, got {x.shape}"
+            )
+        self._x_shape = x.shape
+        xp = self._pad(x)
+        self._xp = xp
+        kshape = self.w.shape[2:]
+        win = sliding_window_view(xp, kshape, axis=tuple(range(2, 2 + nd)))
+        # win shape: (N, C, *outfull, *k); subsample by stride.
+        slicer = (slice(None), slice(None)) + tuple(slice(None, None, s) for s in self.stride)
+        win = win[slicer]
+        # Contract channel + kernel axes against the weights.
+        letters = "defg"[:nd]
+        expr = f"nc{''.join('xyz'[:nd])}{letters},oc{letters}->no{''.join('xyz'[:nd])}"
+        out = np.einsum(expr, win, self.w.data, optimize=True)
+        return out + self.b.data.reshape((1, -1) + (1,) * nd)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._xp is None or self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        nd = self.ndim_spatial
+        xp = self._xp
+        kshape = self.w.shape[2:]
+        out_shape = grad.shape[2:]
+        axes_spatial = tuple(range(2, 2 + nd))
+        self.b.grad += grad.sum(axis=(0, *axes_spatial))
+        dxp = np.zeros_like(xp)
+        sp = "xyz"[:nd]
+        w_expr = f"no{sp},nc{sp}->oc"
+        x_expr = f"no{sp},oc->nc{sp}"
+        for k_idx in np.ndindex(*kshape):
+            # Window of the padded input hit by kernel tap k_idx.
+            slc = (slice(None), slice(None)) + tuple(
+                slice(k, k + s * o, s) for k, s, o in zip(k_idx, self.stride, out_shape)
+            )
+            patch = xp[slc]
+            self.w.grad[(slice(None), slice(None)) + k_idx] += np.einsum(
+                w_expr, grad, patch, optimize=True
+            )
+            dxp[slc] += np.einsum(x_expr, grad, self.w.data[(slice(None), slice(None)) + k_idx], optimize=True)
+        # Crop the padding off the input gradient.
+        crop = (slice(None), slice(None)) + tuple(
+            slice(p, p + n) for p, n in zip(self.padding, self._x_shape[2:])
+        )
+        return dxp[crop]
+
+
+def _tuplify(v, n: int, name: str) -> tuple[int, ...]:
+    if np.isscalar(v):
+        return (int(v),) * n
+    t = tuple(int(x) for x in v)
+    if len(t) != n:
+        raise ValueError(f"{name} must be a scalar or length-{n} tuple")
+    return t
+
+
+class Conv1d(_ConvNd):
+    """1-D convolution over inputs of shape ``(N, C, L)``."""
+
+    def __init__(self, in_channels, out_channels, kernel_size, *, stride=1, padding=0, rng=None):
+        super().__init__(
+            in_channels,
+            out_channels,
+            _tuplify(kernel_size, 1, "kernel_size"),
+            _tuplify(stride, 1, "stride"),
+            _tuplify(padding, 1, "padding"),
+            rng,
+        )
+
+
+class Conv2d(_ConvNd):
+    """2-D convolution over inputs of shape ``(N, C, H, W)``."""
+
+    def __init__(self, in_channels, out_channels, kernel_size, *, stride=1, padding=0, rng=None):
+        super().__init__(
+            in_channels,
+            out_channels,
+            _tuplify(kernel_size, 2, "kernel_size"),
+            _tuplify(stride, 2, "stride"),
+            _tuplify(padding, 2, "padding"),
+            rng,
+        )
+
+
+class Conv3d(_ConvNd):
+    """3-D convolution over inputs of shape ``(N, C, D, H, W)``.
+
+    Cross3D applies these over (time, azimuth, elevation) SRP-PHAT map
+    stacks.
+    """
+
+    def __init__(self, in_channels, out_channels, kernel_size, *, stride=1, padding=0, rng=None):
+        super().__init__(
+            in_channels,
+            out_channels,
+            _tuplify(kernel_size, 3, "kernel_size"),
+            _tuplify(stride, 3, "stride"),
+            _tuplify(padding, 3, "padding"),
+            rng,
+        )

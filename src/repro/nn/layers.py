@@ -1,0 +1,201 @@
+"""Dense, activation, dropout, flatten and normalization layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.params import Parameter, he_init
+
+__all__ = [
+    "Dense",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Flatten",
+    "Dropout",
+    "BatchNorm",
+]
+
+
+class Dense(Module):
+    """Fully connected layer: ``y = x @ W + b`` with ``x`` of shape (N, in)."""
+
+    def __init__(self, in_features: int, out_features: int, *, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ValueError("feature counts must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.w = Parameter(he_init((in_features, out_features), in_features, rng), "dense.w")
+        self.b = Parameter(np.zeros(out_features), "dense.b")
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.w.shape[0]:
+            raise ValueError(f"expected (N, {self.w.shape[0]}), got {x.shape}")
+        self._x = x
+        return x @ self.w.data + self.b.data
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.w.grad += self._x.T @ grad
+        self.b.grad += grad.sum(axis=0)
+        return grad @ self.w.data.T
+
+    def parameters(self) -> list[Parameter]:
+        return [self.w, self.b]
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad * self._mask
+
+
+class Sigmoid(Module):
+    """Logistic activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        return self._y
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return grad * self._y * (1.0 - self._y)
+
+
+class Tanh(Module):
+    """Hyperbolic-tangent activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return grad * (1.0 - self._y**2)
+
+
+class Flatten(Module):
+    """Flatten all non-batch dimensions."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad.reshape(self._shape)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, rate: float = 0.5, *, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("rate must lie in [0, 1)")
+        self.rate = float(rate)
+        self._rng = rng or np.random.default_rng(0)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.uniform(size=x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask
+
+
+class BatchNorm(Module):
+    """Batch normalization over the channel axis (axis 1).
+
+    Works for inputs of shape (N, C), (N, C, L), (N, C, H, W) or
+    (N, C, D, H, W); statistics are taken over every axis except channels.
+    """
+
+    def __init__(self, n_channels: int, *, momentum: float = 0.9, eps: float = 1e-5) -> None:
+        super().__init__()
+        if n_channels < 1:
+            raise ValueError("n_channels must be positive")
+        if not 0.0 < momentum < 1.0:
+            raise ValueError("momentum must lie in (0, 1)")
+        self.gamma = Parameter(np.ones(n_channels), "bn.gamma")
+        self.beta = Parameter(np.zeros(n_channels), "bn.beta")
+        self.running_mean = np.zeros(n_channels)
+        self.running_var = np.ones(n_channels)
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self._cache: tuple | None = None
+
+    def _stat_axes(self, x: np.ndarray) -> tuple[int, ...]:
+        return (0,) + tuple(range(2, x.ndim))
+
+    def _bshape(self, x: np.ndarray) -> tuple[int, ...]:
+        return (1, x.shape[1]) + (1,) * (x.ndim - 2)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim < 2 or x.shape[1] != self.gamma.size:
+            raise ValueError(f"expected channel axis of size {self.gamma.size}, got {x.shape}")
+        axes = self._stat_axes(x)
+        bshape = self._bshape(x)
+        if self.training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean.reshape(bshape)) * inv_std.reshape(bshape)
+        self._cache = (x_hat, inv_std, axes, bshape)
+        return self.gamma.data.reshape(bshape) * x_hat + self.beta.data.reshape(bshape)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std, axes, bshape = self._cache
+        self.gamma.grad += (grad * x_hat).sum(axis=axes)
+        self.beta.grad += grad.sum(axis=axes)
+        if not self.training:
+            return grad * (self.gamma.data * inv_std).reshape(bshape)
+        m = grad.size / grad.shape[1]
+        g = grad * self.gamma.data.reshape(bshape)
+        term = g - g.mean(axis=axes, keepdims=True) - x_hat * (g * x_hat).mean(axis=axes, keepdims=True)
+        return term * inv_std.reshape(bshape)
+
+    def parameters(self) -> list[Parameter]:
+        return [self.gamma, self.beta]

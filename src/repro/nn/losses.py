@@ -1,0 +1,103 @@
+"""Loss functions with analytic gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax", "CrossEntropyLoss", "MSELoss", "BCEWithLogitsLoss"]
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    z = logits - logits.max(axis=axis, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class targets.
+
+    ``forward(logits, targets)`` expects logits of shape ``(N, n_classes)``
+    and integer targets of shape ``(N,)``; returns the mean loss.
+    """
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        logits = np.asarray(logits, dtype=np.float64)
+        targets = np.asarray(targets)
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be (N, n_classes), got {logits.shape}")
+        if targets.shape != (logits.shape[0],):
+            raise ValueError("targets must be (N,) integer labels")
+        if targets.min() < 0 or targets.max() >= logits.shape[1]:
+            raise ValueError("target label out of range")
+        probs = softmax(logits, axis=1)
+        self._probs = probs
+        self._targets = targets
+        picked = probs[np.arange(len(targets)), targets]
+        return float(-np.mean(np.log(np.maximum(picked, 1e-12))))
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss w.r.t. the logits."""
+        if self._probs is None or self._targets is None:
+            raise RuntimeError("backward called before forward")
+        grad = self._probs.copy()
+        grad[np.arange(len(self._targets)), self._targets] -= 1.0
+        return grad / len(self._targets)
+
+    __call__ = forward
+
+
+class MSELoss:
+    """Mean squared error (used for DOA-regression heads)."""
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        pred = np.asarray(pred, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        if pred.shape != target.shape:
+            raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+        self._diff = pred - target
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._diff / self._diff.size
+
+    __call__ = forward
+
+
+class BCEWithLogitsLoss:
+    """Binary cross-entropy on logits (multi-label event detection)."""
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        logits = np.asarray(logits, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if logits.shape != targets.shape:
+            raise ValueError(f"shape mismatch: {logits.shape} vs {targets.shape}")
+        if targets.min() < 0 or targets.max() > 1:
+            raise ValueError("targets must lie in [0, 1]")
+        probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
+        self._probs = probs
+        self._targets = targets
+        eps = 1e-12
+        return float(
+            -np.mean(targets * np.log(probs + eps) + (1 - targets) * np.log(1 - probs + eps))
+        )
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._targets is None:
+            raise RuntimeError("backward called before forward")
+        return (self._probs - self._targets) / self._targets.size
+
+    __call__ = forward

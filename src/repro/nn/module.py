@@ -1,0 +1,106 @@
+"""Base classes of the from-scratch neural-network framework.
+
+The framework follows the classic layer-graph design: every
+:class:`Module` implements ``forward`` (caching what it needs) and
+``backward`` (consuming the upstream gradient, accumulating parameter
+gradients, and returning the downstream gradient).  There is no tape-based
+autograd — the explicit structure keeps the operator set enumerable, which
+is exactly what the hardware IR in :mod:`repro.hw.ir` lowers from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.params import Parameter
+
+__all__ = ["Module", "Sequential"]
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the layer output for input ``x``."""
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad`` (dL/d output), return dL/d input."""
+        raise NotImplementedError
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters of this module (possibly empty)."""
+        return []
+
+    def zero_grad(self) -> None:
+        """Reset gradients of every parameter."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self, flag: bool = True) -> "Module":
+        """Set training mode (affects dropout and batch-norm statistics)."""
+        self.training = flag
+        return self
+
+    def eval(self) -> "Module":
+        """Set inference mode."""
+        return self.train(False)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def n_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+
+class Sequential(Module):
+    """A linear chain of modules."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        if not layers:
+            raise ValueError("Sequential needs at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> list[Parameter]:
+        out: list[Parameter] = []
+        for layer in self.layers:
+            out.extend(layer.parameters())
+        return out
+
+    def train(self, flag: bool = True) -> "Sequential":
+        super().train(flag)
+        for layer in self.layers:
+            layer.train(flag)
+        return self
+
+    def summary(self, input_shape: tuple[int, ...]) -> str:
+        """Human-readable per-layer output shapes and parameter counts.
+
+        ``input_shape`` excludes the batch dimension.
+        """
+        x = np.zeros((1, *input_shape))
+        lines = [f"{'layer':<28}{'output shape':<24}{'params':>10}"]
+        was_training = self.training
+        self.eval()
+        for layer in self.layers:
+            x = layer.forward(x)
+            n = sum(p.size for p in layer.parameters())
+            lines.append(f"{type(layer).__name__:<28}{str(x.shape[1:]):<24}{n:>10}")
+        self.train(was_training)
+        lines.append(f"{'total':<52}{self.n_parameters():>10}")
+        return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Parameter container and initialization schemes for :mod:`repro.nn`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter", "he_init", "xavier_init"]
+
+
+class Parameter:
+    """A trainable array with an accumulated gradient.
+
+    Attributes
+    ----------
+    data:
+        The parameter values.
+    grad:
+        Gradient of the loss w.r.t. ``data``, accumulated by ``backward``.
+    name:
+        Human-readable label used by summaries and the operator IR.
+    """
+
+    __slots__ = ("data", "grad", "name")
+
+    def __init__(self, data: np.ndarray, name: str = "param") -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the parameter array."""
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        """Number of scalar parameters."""
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad[:] = 0.0
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name}, shape={self.data.shape})"
+
+
+def he_init(shape: tuple[int, ...], fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He-normal initialization (for ReLU networks)."""
+    if fan_in <= 0:
+        raise ValueError("fan_in must be positive")
+    return rng.standard_normal(shape) * np.sqrt(2.0 / fan_in)
+
+
+def xavier_init(shape: tuple[int, ...], fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Xavier/Glorot-uniform initialization (for linear/tanh layers)."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)

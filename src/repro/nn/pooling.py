@@ -1,0 +1,123 @@
+"""Pooling layers (max / average / global-average) for 1-D, 2-D and 3-D maps."""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.nn.module import Module
+
+__all__ = ["MaxPool", "AvgPool", "GlobalAvgPool"]
+
+
+def _tuplify(v, n: int) -> tuple[int, ...]:
+    if np.isscalar(v):
+        return (int(v),) * n
+    t = tuple(int(x) for x in v)
+    if len(t) != n:
+        raise ValueError(f"pool size must be a scalar or length-{n} tuple")
+    return t
+
+
+class MaxPool(Module):
+    """Non-overlapping max pooling over all spatial axes.
+
+    ``size`` may be a scalar or per-axis tuple; the spatial dimensionality is
+    inferred from the input at forward time.  Input extents must be divisible
+    by the pool size (pad upstream if needed) — silent truncation hides
+    shape bugs.
+    """
+
+    def __init__(self, size: int | tuple[int, ...] = 2) -> None:
+        super().__init__()
+        self._size_arg = size
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        nd = x.ndim - 2
+        if nd < 1:
+            raise ValueError("expected at least one spatial axis")
+        size = _tuplify(self._size_arg, nd)
+        for ax, s in enumerate(size):
+            if x.shape[2 + ax] % s:
+                raise ValueError(f"spatial extent {x.shape[2 + ax]} not divisible by pool {s}")
+        win = sliding_window_view(x, size, axis=tuple(range(2, 2 + nd)))
+        slicer = (slice(None), slice(None)) + tuple(slice(None, None, s) for s in size)
+        win = win[slicer]
+        flat = win.reshape(*win.shape[: 2 + nd], -1)
+        arg = flat.argmax(axis=-1)
+        out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+        self._cache = (x.shape, size, arg)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, size, arg = self._cache
+        nd = len(size)
+        dx = np.zeros(x_shape)
+        # Recover per-axis offsets of the argmax within each pooling window.
+        offsets = np.unravel_index(arg, size)
+        out_grid = np.meshgrid(*[np.arange(s) for s in grad.shape], indexing="ij")
+        idx = [out_grid[0], out_grid[1]]
+        for ax in range(nd):
+            idx.append(out_grid[2 + ax] * size[ax] + offsets[ax])
+        np.add.at(dx, tuple(idx), grad)
+        return dx
+
+
+class AvgPool(Module):
+    """Non-overlapping average pooling over all spatial axes."""
+
+    def __init__(self, size: int | tuple[int, ...] = 2) -> None:
+        super().__init__()
+        self._size_arg = size
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        nd = x.ndim - 2
+        if nd < 1:
+            raise ValueError("expected at least one spatial axis")
+        size = _tuplify(self._size_arg, nd)
+        for ax, s in enumerate(size):
+            if x.shape[2 + ax] % s:
+                raise ValueError(f"spatial extent {x.shape[2 + ax]} not divisible by pool {s}")
+        win = sliding_window_view(x, size, axis=tuple(range(2, 2 + nd)))
+        slicer = (slice(None), slice(None)) + tuple(slice(None, None, s) for s in size)
+        win = win[slicer]
+        out = win.reshape(*win.shape[: 2 + nd], -1).mean(axis=-1)
+        self._cache = (x.shape, size)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, size = self._cache
+        scale = 1.0 / float(np.prod(size))
+        g = grad * scale
+        for ax, s in enumerate(size):
+            g = np.repeat(g, s, axis=2 + ax)
+        return g.reshape(x_shape)
+
+
+class GlobalAvgPool(Module):
+    """Average over every spatial axis, returning ``(N, C)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim < 3:
+            raise ValueError("expected at least one spatial axis")
+        self._shape = x.shape
+        return x.mean(axis=tuple(range(2, x.ndim)))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        spatial = self._shape[2:]
+        scale = 1.0 / float(np.prod(spatial))
+        return np.broadcast_to(
+            grad.reshape(grad.shape + (1,) * len(spatial)), self._shape
+        ) * scale

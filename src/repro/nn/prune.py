@@ -1,0 +1,81 @@
+"""Magnitude pruning for the co-design flow.
+
+The paper's co-optimization shrinks the Cross3D model by ~86%; the dominant
+mechanism in such flows is structured (channel) and unstructured (magnitude)
+pruning plus width reduction.  These helpers implement post-training
+magnitude pruning with masks, and report achieved sparsity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.params import Parameter
+
+__all__ = ["magnitude_prune", "sparsity", "channel_importance", "apply_masks"]
+
+
+def magnitude_prune(module: Module, ratio: float, *, min_keep: int = 1) -> dict[str, np.ndarray]:
+    """Zero the smallest-magnitude fraction ``ratio`` of each weight tensor.
+
+    Bias and normalization parameters (1-D tensors) are left untouched.
+    Returns the boolean keep-masks keyed by parameter name + index, so a
+    training loop can re-apply them after each optimizer step.
+    """
+    if not 0.0 <= ratio < 1.0:
+        raise ValueError("ratio must lie in [0, 1)")
+    masks: dict[str, np.ndarray] = {}
+    for i, p in enumerate(module.parameters()):
+        key = f"{p.name}:{i}"
+        if p.data.ndim < 2:
+            masks[key] = np.ones_like(p.data, dtype=bool)
+            continue
+        flat = np.abs(p.data).ravel()
+        k = int(ratio * flat.size)
+        k = min(k, flat.size - min_keep)
+        if k <= 0:
+            masks[key] = np.ones_like(p.data, dtype=bool)
+            continue
+        threshold = np.partition(flat, k - 1)[k - 1]
+        mask = np.abs(p.data) > threshold
+        # Guarantee at least min_keep survivors even with tied magnitudes.
+        if mask.sum() < min_keep:
+            order = np.argsort(flat)[::-1][:min_keep]
+            mask = np.zeros_like(p.data, dtype=bool)
+            mask.ravel()[order] = True
+        p.data *= mask
+        masks[key] = mask
+    return masks
+
+
+def apply_masks(module: Module, masks: dict[str, np.ndarray]) -> None:
+    """Re-apply pruning masks (call after each optimizer step)."""
+    for i, p in enumerate(module.parameters()):
+        key = f"{p.name}:{i}"
+        mask = masks.get(key)
+        if mask is not None:
+            if mask.shape != p.data.shape:
+                raise ValueError(f"mask shape {mask.shape} does not match {p.data.shape}")
+            p.data *= mask
+
+
+def sparsity(module: Module) -> float:
+    """Fraction of exactly-zero weights across all parameters."""
+    total = 0
+    zeros = 0
+    for p in module.parameters():
+        total += p.size
+        zeros += int(np.count_nonzero(p.data == 0.0))
+    return zeros / total if total else 0.0
+
+
+def channel_importance(param: Parameter) -> np.ndarray:
+    """L1 importance of each output channel of a conv/dense weight.
+
+    For conv weights of shape ``(out, in, *k)`` returns length-``out``
+    scores; used by structured-pruning DSE moves in :mod:`repro.hw.codesign`.
+    """
+    if param.data.ndim < 2:
+        raise ValueError("channel importance needs a >= 2-D weight tensor")
+    return np.abs(param.data).reshape(param.data.shape[0], -1).sum(axis=1)

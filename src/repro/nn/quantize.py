@@ -1,0 +1,95 @@
+"""Post-training quantization simulation.
+
+Models the fixed-point deployment step of the co-design flow: weights (and
+optionally activations) are quantized to ``n_bits`` with a symmetric uniform
+quantizer, and the quantized model is evaluated in "fake-quant" float
+arithmetic — the standard way to predict accuracy of an integer kernel
+before committing to hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["QuantizationSpec", "quantize_array", "dequantize_array", "quantize_module", "quantization_error"]
+
+
+@dataclass(frozen=True)
+class QuantizationSpec:
+    """Symmetric uniform quantizer description.
+
+    Attributes
+    ----------
+    n_bits:
+        Bit width (2-16).
+    per_channel:
+        Scale per output channel (axis 0) instead of per tensor.
+    """
+
+    n_bits: int = 8
+    per_channel: bool = True
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.n_bits <= 16:
+            raise ValueError("n_bits must lie in [2, 16]")
+
+    @property
+    def q_max(self) -> int:
+        """Largest positive integer level."""
+        return 2 ** (self.n_bits - 1) - 1
+
+
+def _scales(x: np.ndarray, spec: QuantizationSpec) -> np.ndarray:
+    if spec.per_channel and x.ndim >= 2:
+        amax = np.abs(x).reshape(x.shape[0], -1).max(axis=1)
+        amax = amax.reshape((-1,) + (1,) * (x.ndim - 1))
+    else:
+        amax = np.abs(x).max()
+        amax = np.asarray(amax)
+    return np.maximum(amax, 1e-12) / spec.q_max
+
+
+def quantize_array(x: np.ndarray, spec: QuantizationSpec) -> tuple[np.ndarray, np.ndarray]:
+    """Quantize to integer levels; returns ``(q, scale)`` with ``x ~ q * scale``."""
+    x = np.asarray(x, dtype=np.float64)
+    scale = _scales(x, spec)
+    q = np.clip(np.round(x / scale), -spec.q_max - 1, spec.q_max)
+    return q, scale
+
+
+def dequantize_array(q: np.ndarray, scale: np.ndarray) -> np.ndarray:
+    """Map integer levels back to float."""
+    return q * scale
+
+
+def quantize_module(module: Module, spec: QuantizationSpec | None = None) -> dict[str, float]:
+    """Fake-quantize every >=2-D weight tensor of a module in place.
+
+    Returns per-parameter relative quantization error (Frobenius), which the
+    co-design loop uses as an accuracy-risk signal.
+    """
+    spec = spec or QuantizationSpec()
+    report: dict[str, float] = {}
+    for i, p in enumerate(module.parameters()):
+        if p.data.ndim < 2:
+            continue
+        original = p.data.copy()
+        q, scale = quantize_array(p.data, spec)
+        p.data = dequantize_array(q, scale)
+        denom = float(np.linalg.norm(original)) or 1.0
+        report[f"{p.name}:{i}"] = float(np.linalg.norm(p.data - original)) / denom
+    return report
+
+
+def quantization_error(x: np.ndarray, spec: QuantizationSpec | None = None) -> float:
+    """Relative error of round-tripping ``x`` through the quantizer."""
+    spec = spec or QuantizationSpec()
+    x = np.asarray(x, dtype=np.float64)
+    q, scale = quantize_array(x, spec)
+    back = dequantize_array(q, scale)
+    denom = float(np.linalg.norm(x)) or 1.0
+    return float(np.linalg.norm(back - x)) / denom

@@ -1,0 +1,93 @@
+"""Sound event detection: dataset generation, models, training, metrics."""
+
+from repro.sed.dataset import (
+    ClipSample,
+    DatasetConfig,
+    dataset_arrays,
+    generate_clip,
+    generate_dataset,
+)
+from repro.sed.eval import (
+    accuracy,
+    accuracy_vs_snr,
+    confusion_matrix,
+    f1_per_class,
+    predict,
+)
+from repro.sed.events import (
+    EMERGENCY_CLASSES,
+    EVENT_CLASSES,
+    EventAnnotation,
+    class_index,
+    class_name,
+    is_emergency,
+)
+from repro.sed.models import FeatureFrontEnd, SedCnnConfig, build_sed_cnn, build_sed_mlp
+from repro.sed.train import TrainConfig, train_classifier
+
+from repro.sed.augment import augment_batch, random_gain, remix_noise, spec_augment, time_shift
+from repro.sed.raw_models import MultiPathDetector, RawCnnConfig, build_raw_mlp, build_raw_waveform_cnn
+from repro.sed.segmentation import (
+    DetectedEvent,
+    activity_to_events,
+    build_unet1d,
+    event_based_scores,
+    median_filter_mask,
+)
+from repro.sed.anomaly import (
+    SpectralTemplate,
+    anomaly_scores,
+    detect_anomaly,
+    fit_template,
+    synthesize_engine,
+)
+from repro.sed.calibration import apply_temperature, expected_calibration_error, fit_temperature
+__all__ = [
+    "apply_temperature",
+    "expected_calibration_error",
+    "fit_temperature",
+
+    "SpectralTemplate",
+    "anomaly_scores",
+    "detect_anomaly",
+    "fit_template",
+    "synthesize_engine",
+
+    "augment_batch",
+    "random_gain",
+    "remix_noise",
+    "spec_augment",
+    "time_shift",
+    "MultiPathDetector",
+    "RawCnnConfig",
+    "build_raw_mlp",
+    "build_raw_waveform_cnn",
+    "DetectedEvent",
+    "activity_to_events",
+    "build_unet1d",
+    "event_based_scores",
+    "median_filter_mask",
+
+    "ClipSample",
+    "DatasetConfig",
+    "dataset_arrays",
+    "generate_clip",
+    "generate_dataset",
+    "accuracy",
+    "accuracy_vs_snr",
+    "confusion_matrix",
+    "f1_per_class",
+    "predict",
+    "EMERGENCY_CLASSES",
+    "EVENT_CLASSES",
+    "EventAnnotation",
+    "class_index",
+    "class_name",
+    "is_emergency",
+    "FeatureFrontEnd",
+    "SedCnnConfig",
+    "build_sed_cnn",
+    "build_sed_mlp",
+    "TrainConfig",
+    "train_classifier",
+]

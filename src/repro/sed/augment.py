@@ -1,0 +1,104 @@
+"""Training-data augmentation ("dataset augmentation" box of Fig. 4).
+
+Waveform-level: circular time shift, gain scaling, SNR remixing with fresh
+noise.  Feature-level: SpecAugment-style time/frequency masking.  All
+operations are pure functions over numpy arrays with an explicit RNG so
+augmented datasets are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.levels import mix_at_snr
+
+__all__ = ["time_shift", "random_gain", "remix_noise", "spec_augment", "augment_batch"]
+
+
+def time_shift(x: np.ndarray, max_fraction: float, rng: np.random.Generator) -> np.ndarray:
+    """Circularly shift a waveform by up to ``max_fraction`` of its length."""
+    x = np.asarray(x, dtype=np.float64)
+    if not 0.0 < max_fraction <= 1.0:
+        raise ValueError("max_fraction must lie in (0, 1]")
+    shift = int(rng.integers(-int(max_fraction * x.size), int(max_fraction * x.size) + 1))
+    return np.roll(x, shift)
+
+
+def random_gain(
+    x: np.ndarray, rng: np.random.Generator, *, low_db: float = -6.0, high_db: float = 6.0
+) -> np.ndarray:
+    """Scale a waveform by a random gain in [low_db, high_db]."""
+    if low_db > high_db:
+        raise ValueError("low_db must not exceed high_db")
+    gain_db = float(rng.uniform(low_db, high_db))
+    return np.asarray(x, dtype=np.float64) * 10.0 ** (gain_db / 20.0)
+
+
+def remix_noise(
+    signal: np.ndarray,
+    noise: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    snr_range_db: tuple[float, float] = (-30.0, 0.0),
+) -> np.ndarray:
+    """Re-mix a clean event with noise at a freshly drawn SNR."""
+    lo, hi = snr_range_db
+    if lo > hi:
+        raise ValueError("snr_range_db must be (low, high)")
+    snr = float(rng.uniform(lo, hi))
+    mixture, _ = mix_at_snr(signal, noise, snr)
+    return mixture
+
+
+def spec_augment(
+    features: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    n_freq_masks: int = 1,
+    n_time_masks: int = 1,
+    max_width_fraction: float = 0.15,
+    mask_value: float | None = None,
+) -> np.ndarray:
+    """SpecAugment masking on a (F, T) feature map (returns a copy)."""
+    features = np.array(features, dtype=np.float64, copy=True)
+    if features.ndim != 2:
+        raise ValueError("features must be (F, T)")
+    if not 0.0 < max_width_fraction <= 0.5:
+        raise ValueError("max_width_fraction must lie in (0, 0.5]")
+    if n_freq_masks < 0 or n_time_masks < 0:
+        raise ValueError("mask counts must be non-negative")
+    fill = features.mean() if mask_value is None else mask_value
+    f, t = features.shape
+    for _ in range(n_freq_masks):
+        width = int(rng.integers(1, max(2, int(max_width_fraction * f)) + 1))
+        start = int(rng.integers(0, max(1, f - width + 1)))
+        features[start : start + width, :] = fill
+    for _ in range(n_time_masks):
+        width = int(rng.integers(1, max(2, int(max_width_fraction * t)) + 1))
+        start = int(rng.integers(0, max(1, t - width + 1)))
+        features[:, start : start + width] = fill
+    return features
+
+
+def augment_batch(
+    waveforms: np.ndarray,
+    noise_bank: list[np.ndarray] | None,
+    rng: np.random.Generator,
+    *,
+    shift_fraction: float = 0.2,
+    snr_range_db: tuple[float, float] = (-20.0, 5.0),
+) -> np.ndarray:
+    """Apply shift + gain (+ optional noise remix) to every clip in a batch."""
+    waveforms = np.asarray(waveforms, dtype=np.float64)
+    if waveforms.ndim != 2:
+        raise ValueError("waveforms must be (N, samples)")
+    out = np.empty_like(waveforms)
+    for i, w in enumerate(waveforms):
+        a = time_shift(w, shift_fraction, rng)
+        a = random_gain(a, rng)
+        if noise_bank:
+            noise = noise_bank[int(rng.integers(0, len(noise_bank)))]
+            if np.sqrt(np.mean(a**2)) > 0:
+                a = remix_noise(a, noise, rng, snr_range_db=snr_range_db)
+        out[i] = a
+    return out

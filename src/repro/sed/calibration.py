@@ -1,0 +1,82 @@
+"""Posterior calibration and reliability metrics.
+
+A safety-critical detector (Sec. II challenge 2) must not only rank classes
+correctly — its confidence must *mean* something, because downstream logic
+(the alert policy, the park-mode wake decision) thresholds it.  This module
+implements temperature scaling (the standard post-hoc calibration) and the
+expected calibration error (ECE) diagnostic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import softmax
+
+__all__ = ["expected_calibration_error", "fit_temperature", "apply_temperature"]
+
+
+def expected_calibration_error(
+    probs: np.ndarray,
+    labels: np.ndarray,
+    *,
+    n_bins: int = 10,
+) -> float:
+    """ECE: confidence-weighted |accuracy - confidence| over bins.
+
+    ``probs`` is ``(N, n_classes)`` posteriors, ``labels`` the true classes.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    labels = np.asarray(labels)
+    if probs.ndim != 2 or labels.shape != (probs.shape[0],):
+        raise ValueError("probs must be (N, K) and labels (N,)")
+    if n_bins < 2:
+        raise ValueError("n_bins must be >= 2")
+    conf = probs.max(axis=1)
+    pred = probs.argmax(axis=1)
+    correct = (pred == labels).astype(np.float64)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    ece = 0.0
+    n = probs.shape[0]
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (conf > lo) & (conf <= hi)
+        if not mask.any():
+            continue
+        ece += mask.sum() / n * abs(correct[mask].mean() - conf[mask].mean())
+    return float(ece)
+
+
+def apply_temperature(logits: np.ndarray, temperature: float) -> np.ndarray:
+    """Temperature-scaled posteriors ``softmax(logits / T)``."""
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    return softmax(np.asarray(logits, dtype=np.float64) / temperature, axis=1)
+
+
+def fit_temperature(
+    logits: np.ndarray,
+    labels: np.ndarray,
+    *,
+    grid: np.ndarray | None = None,
+) -> float:
+    """Fit the scaling temperature by NLL grid search on held-out data.
+
+    Grid search is exact enough for a scalar parameter and has no failure
+    modes; the default grid spans [0.25, 8] logarithmically.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels)
+    if logits.ndim != 2 or labels.shape != (logits.shape[0],):
+        raise ValueError("logits must be (N, K) and labels (N,)")
+    if labels.min() < 0 or labels.max() >= logits.shape[1]:
+        raise ValueError("label out of range")
+    if grid is None:
+        grid = np.logspace(np.log10(0.25), np.log10(8.0), 60)
+    best_t, best_nll = 1.0, np.inf
+    idx = np.arange(labels.size)
+    for t in grid:
+        probs = apply_temperature(logits, float(t))
+        nll = float(-np.mean(np.log(np.maximum(probs[idx, labels], 1e-12))))
+        if nll < best_nll:
+            best_nll, best_t = nll, float(t)
+    return best_t

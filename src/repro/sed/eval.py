@@ -1,0 +1,84 @@
+"""Detection metrics: accuracy, confusion, per-class F1, accuracy-vs-SNR."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["predict", "accuracy", "confusion_matrix", "f1_per_class", "accuracy_vs_snr"]
+
+
+def predict(model: Module, x: np.ndarray, *, batch_size: int = 64) -> np.ndarray:
+    """Class predictions for a batch of inputs."""
+    x = np.asarray(x, dtype=np.float64)
+    model.eval()
+    preds = []
+    for start in range(0, x.shape[0], batch_size):
+        logits = model.forward(x[start : start + batch_size])
+        preds.append(np.argmax(logits, axis=1))
+    return np.concatenate(preds)
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape or y_true.size == 0:
+        raise ValueError("y_true and y_pred must be non-empty and equal-shaped")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = count of true ``i`` predicted ``j``."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if n_classes < 2:
+        raise ValueError("need at least 2 classes")
+    if y_true.min() < 0 or y_true.max() >= n_classes or y_pred.min() < 0 or y_pred.max() >= n_classes:
+        raise ValueError("label out of range")
+    c = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(c, (y_true, y_pred), 1)
+    return c
+
+
+def f1_per_class(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int) -> np.ndarray:
+    """Per-class F1 scores (0 where a class never occurs nor is predicted)."""
+    c = confusion_matrix(y_true, y_pred, n_classes)
+    tp = np.diag(c).astype(np.float64)
+    fp = c.sum(axis=0) - tp
+    fn = c.sum(axis=1) - tp
+    denom = 2 * tp + fp + fn
+    out = np.zeros(n_classes)
+    nz = denom > 0
+    out[nz] = 2 * tp[nz] / denom[nz]
+    return out
+
+
+def accuracy_vs_snr(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    snr_db: np.ndarray,
+    *,
+    bin_edges_db: np.ndarray | None = None,
+) -> list[tuple[float, float, float, int]]:
+    """Accuracy binned by SNR — the detection-robustness curve of bench E3.
+
+    Returns rows ``(bin_low, bin_high, accuracy, count)``; samples with
+    ``nan`` SNR (pure background clips) are excluded.
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    snr_db = np.asarray(snr_db, dtype=np.float64)
+    if not (y_true.shape == y_pred.shape == snr_db.shape):
+        raise ValueError("inputs must share one shape")
+    if bin_edges_db is None:
+        bin_edges_db = np.arange(-30.0, 1.0, 6.0)
+    valid = ~np.isnan(snr_db)
+    rows = []
+    for lo, hi in zip(bin_edges_db[:-1], bin_edges_db[1:]):
+        mask = valid & (snr_db >= lo) & (snr_db < hi)
+        count = int(mask.sum())
+        acc = float(np.mean(y_true[mask] == y_pred[mask])) if count else float("nan")
+        rows.append((float(lo), float(hi), acc, count))
+    return rows

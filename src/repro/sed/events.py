@@ -1,0 +1,64 @@
+"""Event taxonomy for the emergency-sound detection task (Sec. IV-A)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EVENT_CLASSES", "EMERGENCY_CLASSES", "class_index", "class_name", "is_emergency"]
+
+EVENT_CLASSES = ("siren_hilow", "siren_wail", "siren_yelp", "horn", "background")
+"""Closed-set labels: the three siren patterns, car horns, and pure noise."""
+
+EMERGENCY_CLASSES = frozenset({"siren_hilow", "siren_wail", "siren_yelp", "horn"})
+"""Classes that should trigger a driving-behaviour change."""
+
+
+def class_index(name: str) -> int:
+    """Integer label of a class name."""
+    try:
+        return EVENT_CLASSES.index(name)
+    except ValueError:
+        raise ValueError(f"unknown class {name!r}; expected one of {EVENT_CLASSES}") from None
+
+
+def class_name(index: int) -> str:
+    """Class name of an integer label."""
+    if not 0 <= index < len(EVENT_CLASSES):
+        raise ValueError(f"class index {index} out of range")
+    return EVENT_CLASSES[index]
+
+
+def is_emergency(name_or_index: str | int) -> bool:
+    """Whether a label denotes an event requiring driver attention."""
+    name = class_name(name_or_index) if isinstance(name_or_index, int) else name_or_index
+    if name not in EVENT_CLASSES:
+        raise ValueError(f"unknown class {name!r}")
+    return name in EMERGENCY_CLASSES
+
+
+@dataclass(frozen=True)
+class EventAnnotation:
+    """Temporal annotation of one event inside a clip.
+
+    Attributes
+    ----------
+    label:
+        Class name from :data:`EVENT_CLASSES`.
+    onset, offset:
+        Event boundaries in seconds.
+    """
+
+    label: str
+    onset: float
+    offset: float
+
+    def __post_init__(self) -> None:
+        if self.label not in EVENT_CLASSES:
+            raise ValueError(f"unknown class {self.label!r}")
+        if not 0 <= self.onset < self.offset:
+            raise ValueError("need 0 <= onset < offset")
+
+    @property
+    def duration(self) -> float:
+        """Event duration in seconds."""
+        return self.offset - self.onset

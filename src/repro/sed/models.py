@@ -1,0 +1,141 @@
+"""Detection models: CNN over time-frequency maps, plus an MLP baseline.
+
+Mirrors the survey of Sec. III: a feature front-end (selectable) followed by
+a small CNN classifier — the architecture family of [13], [14], [16], [17],
+[19] — with a width multiplier so the co-design flow can trade accuracy for
+footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.features import extract
+from repro.nn.conv import Conv2d
+from repro.nn.layers import BatchNorm, Dense, Dropout, Flatten, ReLU
+from repro.nn.module import Module, Sequential
+from repro.nn.pooling import GlobalAvgPool, MaxPool
+
+__all__ = ["SedCnnConfig", "build_sed_cnn", "build_sed_mlp", "FeatureFrontEnd"]
+
+
+@dataclass(frozen=True)
+class SedCnnConfig:
+    """CNN classifier hyper-parameters.
+
+    Attributes
+    ----------
+    n_classes:
+        Output classes.
+    base_channels:
+        Width of the first conv block (doubled once after pooling).
+    n_blocks:
+        Conv blocks; each halves both map axes.
+    dropout:
+        Dropout rate before the classifier head.
+    """
+
+    n_classes: int = 5
+    base_channels: int = 8
+    n_blocks: int = 2
+    dropout: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.n_classes < 2:
+            raise ValueError("need at least 2 classes")
+        if self.base_channels < 1 or self.n_blocks < 1:
+            raise ValueError("base_channels and n_blocks must be positive")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must lie in [0, 1)")
+
+
+def build_sed_cnn(config: SedCnnConfig | None = None, *, rng: np.random.Generator | None = None) -> Sequential:
+    """Build the CNN classifier; input ``(N, 1, F, T)`` with F, T divisible
+    by ``2 ** n_blocks``."""
+    cfg = config or SedCnnConfig()
+    rng = rng or np.random.default_rng(0)
+    layers: list[Module] = []
+    c_in = 1
+    for b in range(cfg.n_blocks):
+        c_out = cfg.base_channels * (2 ** min(b, 1))
+        layers.append(Conv2d(c_in, c_out, 3, padding=1, rng=rng))
+        layers.append(BatchNorm(c_out))
+        layers.append(ReLU())
+        layers.append(MaxPool(2))
+        c_in = c_out
+    layers.append(GlobalAvgPool())
+    if cfg.dropout:
+        layers.append(Dropout(cfg.dropout, rng=rng))
+    layers.append(Dense(c_in, cfg.n_classes, rng=rng))
+    return Sequential(*layers)
+
+
+def build_sed_mlp(
+    n_inputs: int,
+    n_classes: int = 5,
+    *,
+    hidden: int = 64,
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """Fully-connected baseline (the [18]-style detector); input ``(N, n_inputs)``."""
+    if n_inputs < 1 or hidden < 1:
+        raise ValueError("n_inputs and hidden must be positive")
+    rng = rng or np.random.default_rng(0)
+    return Sequential(
+        Dense(n_inputs, hidden, rng=rng),
+        ReLU(),
+        Dense(hidden, hidden // 2, rng=rng),
+        ReLU(),
+        Dense(hidden // 2, n_classes, rng=rng),
+    )
+
+
+class FeatureFrontEnd:
+    """Waveform -> fixed-size feature-map batches for a chosen front-end.
+
+    Crops/pads the time axis to ``n_frames`` and the feature axis to a
+    multiple of ``2 ** n_blocks`` so the CNN shape algebra always works.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fs: float,
+        *,
+        n_frames: int = 32,
+        feature_multiple: int = 4,
+        **kwargs,
+    ) -> None:
+        if n_frames < feature_multiple:
+            raise ValueError("n_frames too small")
+        self.name = name
+        self.fs = float(fs)
+        self.n_frames = int(n_frames)
+        self.feature_multiple = int(feature_multiple)
+        self.kwargs = kwargs
+
+    def __call__(self, waveforms: np.ndarray) -> np.ndarray:
+        """Shape ``(N, samples)`` -> ``(N, 1, F, T)`` standardized maps."""
+        waveforms = np.asarray(waveforms, dtype=np.float64)
+        if waveforms.ndim == 1:
+            waveforms = waveforms[None, :]
+        maps = []
+        for w in waveforms:
+            m = extract(self.name, w, self.fs, **self.kwargs)
+            maps.append(self._fix_shape(m))
+        batch = np.stack(maps)[:, None, :, :]
+        mean = batch.mean(axis=(2, 3), keepdims=True)
+        std = batch.std(axis=(2, 3), keepdims=True)
+        return (batch - mean) / np.maximum(std, 1e-9)
+
+    def _fix_shape(self, m: np.ndarray) -> np.ndarray:
+        f, t = m.shape
+        f_target = (f // self.feature_multiple) * self.feature_multiple
+        if f_target == 0:
+            raise ValueError(f"front-end produced too few feature rows ({f})")
+        m = m[:f_target]
+        if t >= self.n_frames:
+            return m[:, : self.n_frames]
+        return np.pad(m, ((0, 0), (0, self.n_frames - t)), mode="edge")

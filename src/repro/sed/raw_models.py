@@ -1,0 +1,183 @@
+"""Raw-waveform and multi-path detection models (Sec. III survey).
+
+The survey notes detectors that consume "the raw waveform of the windowed
+audio signal" ([18], with a fully-connected network) and "multi-path neural
+networks" trained on both time-frequency and raw-waveform features
+([13], [19]).  These builders reproduce those architecture families on the
+:mod:`repro.nn` framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.combinators import Parallel
+from repro.nn.conv import Conv1d
+from repro.nn.layers import BatchNorm, Dense, Dropout, Flatten, ReLU
+from repro.nn.module import Module, Sequential
+from repro.nn.pooling import GlobalAvgPool, MaxPool
+
+__all__ = ["RawCnnConfig", "build_raw_waveform_cnn", "build_raw_mlp", "MultiPathDetector"]
+
+
+@dataclass(frozen=True)
+class RawCnnConfig:
+    """Raw-waveform 1-D CNN hyper-parameters.
+
+    Attributes
+    ----------
+    n_classes:
+        Output classes.
+    base_channels:
+        Width of the first conv block.
+    n_blocks:
+        Conv blocks; each downsamples time by 4.
+    first_kernel:
+        Length of the first (filterbank-learning) kernel.
+    """
+
+    n_classes: int = 5
+    base_channels: int = 8
+    n_blocks: int = 3
+    first_kernel: int = 31
+
+    def __post_init__(self) -> None:
+        if self.n_classes < 2 or self.base_channels < 1 or self.n_blocks < 1:
+            raise ValueError("invalid raw CNN configuration")
+        if self.first_kernel < 3 or self.first_kernel % 2 == 0:
+            raise ValueError("first_kernel must be an odd integer >= 3")
+
+
+def build_raw_waveform_cnn(
+    config: RawCnnConfig | None = None, *, rng: np.random.Generator | None = None
+) -> Sequential:
+    """1-D CNN over raw audio, input ``(N, 1, n_samples)``.
+
+    The first wide kernel learns a filterbank (the usual finding for
+    raw-waveform front-ends); subsequent blocks stride down by 4x each.
+    Input length must be divisible by ``4 ** n_blocks``.
+    """
+    cfg = config or RawCnnConfig()
+    rng = rng or np.random.default_rng(0)
+    layers: list[Module] = [
+        Conv1d(1, cfg.base_channels, cfg.first_kernel, padding=cfg.first_kernel // 2, rng=rng),
+        BatchNorm(cfg.base_channels),
+        ReLU(),
+        MaxPool(4),
+    ]
+    c_in = cfg.base_channels
+    for _ in range(cfg.n_blocks - 1):
+        c_out = min(c_in * 2, 4 * cfg.base_channels)
+        layers.extend(
+            [Conv1d(c_in, c_out, 9, padding=4, rng=rng), BatchNorm(c_out), ReLU(), MaxPool(4)]
+        )
+        c_in = c_out
+    layers.extend([GlobalAvgPool(), Dense(c_in, cfg.n_classes, rng=rng)])
+    return Sequential(*layers)
+
+
+def build_raw_mlp(
+    n_samples: int,
+    n_classes: int = 5,
+    *,
+    hidden: int = 128,
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """The [18]-style fully-connected raw-waveform detector.
+
+    Input ``(N, n_samples)`` windowed audio, directly into dense layers.
+    """
+    if n_samples < 8 or hidden < 2:
+        raise ValueError("invalid raw MLP geometry")
+    rng = rng or np.random.default_rng(0)
+    return Sequential(
+        Dense(n_samples, hidden, rng=rng),
+        ReLU(),
+        Dropout(0.2, rng=rng),
+        Dense(hidden, hidden // 2, rng=rng),
+        ReLU(),
+        Dense(hidden // 2, n_classes, rng=rng),
+    )
+
+
+class MultiPathDetector(Module):
+    """Two-branch detector fusing raw-waveform and time-frequency paths.
+
+    The [13]/[19] pattern: a raw 1-D CNN branch and a 2-D CNN branch over a
+    spectral map run in parallel; their embeddings are concatenated and
+    classified.  The forward input is a *pair* ``(raw, tf)``:
+
+    - ``raw``: ``(N, 1, n_samples)``
+    - ``tf``: ``(N, 1, F, T)``
+    """
+
+    def __init__(
+        self,
+        n_classes: int = 5,
+        *,
+        raw_channels: int = 8,
+        tf_channels: int = 8,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if n_classes < 2 or raw_channels < 1 or tf_channels < 1:
+            raise ValueError("invalid multi-path configuration")
+        rng = rng or np.random.default_rng(0)
+        self.raw_branch = Sequential(
+            Conv1d(1, raw_channels, 31, padding=15, rng=rng),
+            BatchNorm(raw_channels),
+            ReLU(),
+            MaxPool(4),
+            Conv1d(raw_channels, 2 * raw_channels, 9, padding=4, rng=rng),
+            ReLU(),
+            GlobalAvgPool(),
+        )
+        from repro.nn.conv import Conv2d
+
+        self.tf_branch = Sequential(
+            Conv2d(1, tf_channels, 3, padding=1, rng=rng),
+            BatchNorm(tf_channels),
+            ReLU(),
+            MaxPool(2),
+            Conv2d(tf_channels, 2 * tf_channels, 3, padding=1, rng=rng),
+            ReLU(),
+            GlobalAvgPool(),
+        )
+        self.head = Dense(2 * raw_channels + 2 * tf_channels, n_classes, rng=rng)
+
+    def forward(self, inputs) -> np.ndarray:
+        raw, tf = inputs
+        raw = np.asarray(raw, dtype=np.float64)
+        tf = np.asarray(tf, dtype=np.float64)
+        if raw.ndim != 3 or raw.shape[1] != 1:
+            raise ValueError("raw input must be (N, 1, n_samples)")
+        if tf.ndim != 4 or tf.shape[1] != 1:
+            raise ValueError("tf input must be (N, 1, F, T)")
+        if raw.shape[0] != tf.shape[0]:
+            raise ValueError("branch batch sizes disagree")
+        e_raw = self.raw_branch.forward(raw)
+        e_tf = self.tf_branch.forward(tf)
+        self._split = e_raw.shape[1]
+        return self.head.forward(np.concatenate([e_raw, e_tf], axis=1))
+
+    def backward(self, grad: np.ndarray):
+        g = self.head.backward(grad)
+        g_raw = self.raw_branch.backward(g[:, : self._split])
+        g_tf = self.tf_branch.backward(g[:, self._split :])
+        return g_raw, g_tf
+
+    def parameters(self):
+        return (
+            self.raw_branch.parameters()
+            + self.tf_branch.parameters()
+            + self.head.parameters()
+        )
+
+    def train(self, flag: bool = True) -> "MultiPathDetector":
+        super().train(flag)
+        self.raw_branch.train(flag)
+        self.tf_branch.train(flag)
+        self.head.train(flag)
+        return self

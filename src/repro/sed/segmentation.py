@@ -1,0 +1,207 @@
+"""Frame-level event segmentation and event-based metrics.
+
+The Marchegiani & Newman detector the paper cites segments the
+time-frequency plane with a U-net before classifying; DCASE evaluates SED
+systems with event-based F1 under an onset tolerance.  This module provides
+both: a 1-D U-net over feature-frame sequences producing per-frame event
+activity, post-processing (median filtering, hysteresis thresholding,
+minimum duration), and onset/offset event matching metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.combinators import Upsample1d
+from repro.nn.conv import Conv1d
+from repro.nn.layers import BatchNorm, ReLU
+from repro.nn.module import Module, Sequential
+from repro.nn.pooling import MaxPool
+
+__all__ = [
+    "build_unet1d",
+    "median_filter_mask",
+    "activity_to_events",
+    "event_based_scores",
+    "DetectedEvent",
+]
+
+
+class _UnetLevel(Module):
+    """One U-net level: down -> inner -> up, with a skip concatenation."""
+
+    def __init__(self, c_in: int, c_mid: int, inner: Module, *, rng=None) -> None:
+        super().__init__()
+        self.down = Sequential(
+            Conv1d(c_in, c_mid, 3, padding=1, rng=rng), BatchNorm(c_mid), ReLU()
+        )
+        self.pool = MaxPool(2)
+        self.inner = inner
+        self.up = Upsample1d(2)
+        # After upsampling, inner channels + skip channels are fused.
+        inner_out = getattr(inner, "out_channels", c_mid)
+        self.fuse = Sequential(
+            Conv1d(c_mid + inner_out, c_mid, 3, padding=1, rng=rng), BatchNorm(c_mid), ReLU()
+        )
+        self.out_channels = c_mid
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        skip = self.down.forward(x)
+        deep = self.up.forward(self.inner.forward(self.pool.forward(skip)))
+        self._split = deep.shape[1]
+        return self.fuse.forward(np.concatenate([deep, skip], axis=1))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        g = self.fuse.backward(grad)
+        g_deep, g_skip = g[:, : self._split], g[:, self._split :]
+        g_skip = g_skip + self.pool.backward(self.inner.backward(self.up.backward(g_deep)))
+        return self.down.backward(g_skip)
+
+    def parameters(self):
+        return (
+            self.down.parameters()
+            + self.inner.parameters()
+            + self.fuse.parameters()
+        )
+
+    def train(self, flag: bool = True) -> "_UnetLevel":
+        super().train(flag)
+        for m in (self.down, self.inner, self.fuse):
+            m.train(flag)
+        return self
+
+
+class _Bottleneck(Sequential):
+    def __init__(self, c_in: int, c_out: int, *, rng=None) -> None:
+        super().__init__(Conv1d(c_in, c_out, 3, padding=1, rng=rng), BatchNorm(c_out), ReLU())
+        self.out_channels = c_out
+
+
+def build_unet1d(
+    n_features: int,
+    *,
+    depth: int = 2,
+    base_channels: int = 8,
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """1-D U-net over ``(N, n_features, T)`` frame sequences.
+
+    Output is ``(N, 1, T)`` per-frame event-activity logits.  ``T`` must be
+    divisible by ``2 ** depth``.
+    """
+    if n_features < 1 or depth < 1 or base_channels < 1:
+        raise ValueError("invalid U-net geometry")
+    rng = rng or np.random.default_rng(0)
+    inner: Module = _Bottleneck(base_channels * depth, base_channels * (depth + 1), rng=rng)
+    for level in range(depth, 0, -1):
+        c_in = n_features if level == 1 else base_channels * (level - 1)
+        inner = _UnetLevel(c_in, base_channels * level, inner, rng=rng)
+    head = Conv1d(base_channels, 1, 1, rng=rng)
+    return Sequential(inner, head)
+
+
+def median_filter_mask(activity: np.ndarray, width: int = 5) -> np.ndarray:
+    """Median-filter a boolean/binary activity sequence (odd ``width``)."""
+    activity = np.asarray(activity).astype(np.float64)
+    if activity.ndim != 1:
+        raise ValueError("activity must be 1-D")
+    if width < 1 or width % 2 == 0:
+        raise ValueError("width must be an odd integer >= 1")
+    if width == 1:
+        return activity > 0.5
+    half = width // 2
+    padded = np.pad(activity, half, mode="edge")
+    out = np.empty_like(activity)
+    for i in range(activity.size):
+        out[i] = np.median(padded[i : i + width])
+    return out > 0.5
+
+
+@dataclass(frozen=True)
+class DetectedEvent:
+    """A contiguous detected event in frames.
+
+    Attributes
+    ----------
+    onset_frame, offset_frame:
+        Inclusive start / exclusive end frame indices.
+    """
+
+    onset_frame: int
+    offset_frame: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.onset_frame < self.offset_frame:
+            raise ValueError("need 0 <= onset < offset")
+
+    @property
+    def duration_frames(self) -> int:
+        """Event length in frames."""
+        return self.offset_frame - self.onset_frame
+
+
+def activity_to_events(
+    activity: np.ndarray,
+    *,
+    threshold: float = 0.5,
+    median_width: int = 5,
+    min_duration: int = 3,
+) -> list[DetectedEvent]:
+    """Turn per-frame probabilities into discrete events.
+
+    Thresholding, median filtering, then minimum-duration pruning — the
+    standard SED post-processing chain.
+    """
+    activity = np.asarray(activity, dtype=np.float64)
+    if activity.ndim != 1:
+        raise ValueError("activity must be 1-D")
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must lie in (0, 1)")
+    if min_duration < 1:
+        raise ValueError("min_duration must be >= 1")
+    mask = median_filter_mask(activity > threshold, median_width)
+    events: list[DetectedEvent] = []
+    start = None
+    for i, active in enumerate(mask):
+        if active and start is None:
+            start = i
+        elif not active and start is not None:
+            if i - start >= min_duration:
+                events.append(DetectedEvent(start, i))
+            start = None
+    if start is not None and mask.size - start >= min_duration:
+        events.append(DetectedEvent(start, mask.size))
+    return events
+
+
+def event_based_scores(
+    reference: list[DetectedEvent],
+    estimated: list[DetectedEvent],
+    *,
+    onset_tolerance: int = 5,
+) -> dict[str, float]:
+    """DCASE-style event-based precision/recall/F1 with onset tolerance.
+
+    An estimated event matches a reference event when their onsets are
+    within ``onset_tolerance`` frames; each reference matches at most once.
+    """
+    if onset_tolerance < 0:
+        raise ValueError("onset_tolerance must be non-negative")
+    matched_ref: set[int] = set()
+    tp = 0
+    for est in estimated:
+        for j, ref in enumerate(reference):
+            if j in matched_ref:
+                continue
+            if abs(est.onset_frame - ref.onset_frame) <= onset_tolerance:
+                matched_ref.add(j)
+                tp += 1
+                break
+    fp = len(estimated) - tp
+    fn = len(reference) - tp
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return {"precision": precision, "recall": recall, "f1": f1, "tp": float(tp), "fp": float(fp), "fn": float(fn)}

@@ -1,0 +1,88 @@
+"""Training loop for the detection classifiers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.nn.optim import Adam
+
+__all__ = ["TrainConfig", "train_classifier"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Classifier training hyper-parameters."""
+
+    epochs: int = 15
+    batch_size: int = 16
+    lr: float = 2e-3
+    weight_decay: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ValueError("epochs and batch_size must be positive")
+        if self.lr <= 0:
+            raise ValueError("lr must be positive")
+        if self.weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+
+
+def train_classifier(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    config: TrainConfig | None = None,
+    x_val: np.ndarray | None = None,
+    y_val: np.ndarray | None = None,
+    verbose: bool = False,
+) -> dict[str, list[float]]:
+    """Train ``model`` with softmax cross-entropy and Adam.
+
+    Returns a history dict with ``loss`` (per epoch) and, when validation
+    data is given, ``val_accuracy``.
+    """
+    cfg = config or TrainConfig()
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.int64)
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("x and y disagree on the number of samples")
+    if x.shape[0] < cfg.batch_size:
+        raise ValueError("fewer samples than one batch")
+    rng = np.random.default_rng(cfg.seed)
+    loss_fn = CrossEntropyLoss()
+    optimizer = Adam(model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay)
+    history: dict[str, list[float]] = {"loss": []}
+    if x_val is not None:
+        history["val_accuracy"] = []
+    model.train()
+    n = x.shape[0]
+    for epoch in range(cfg.epochs):
+        order = rng.permutation(n)
+        total = 0.0
+        for start in range(0, n, cfg.batch_size):
+            idx = order[start : start + cfg.batch_size]
+            logits = model.forward(x[idx])
+            loss = loss_fn.forward(logits, y[idx])
+            optimizer.zero_grad()
+            model.backward(loss_fn.backward())
+            optimizer.step()
+            total += loss * len(idx)
+        history["loss"].append(total / n)
+        if x_val is not None and y_val is not None:
+            model.eval()
+            pred = np.argmax(model.forward(np.asarray(x_val, dtype=np.float64)), axis=1)
+            acc = float(np.mean(pred == np.asarray(y_val)))
+            history["val_accuracy"].append(acc)
+            model.train()
+            if verbose:
+                print(f"epoch {epoch + 1}: loss {history['loss'][-1]:.4f} val_acc {acc:.3f}")
+        elif verbose:
+            print(f"epoch {epoch + 1}: loss {history['loss'][-1]:.4f}")
+    model.eval()
+    return history

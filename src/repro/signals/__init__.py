@@ -1,0 +1,37 @@
+"""Source-signal synthesis: sirens, horns, urban noise, test signals."""
+
+from repro.signals.generators import (
+    exponential_chirp,
+    harmonic_stack,
+    linear_chirp,
+    pulse_train,
+    tone,
+    white_noise,
+)
+from repro.signals.horn import HornSpec, synthesize_horn
+from repro.signals.noise import (
+    UrbanNoiseSpec,
+    colored_noise,
+    synthesize_urban_noise,
+    vehicle_pass_noise,
+)
+from repro.signals.sirens import SIREN_TYPES, SirenSpec, siren_contour, synthesize_siren
+
+__all__ = [
+    "exponential_chirp",
+    "harmonic_stack",
+    "linear_chirp",
+    "pulse_train",
+    "tone",
+    "white_noise",
+    "HornSpec",
+    "synthesize_horn",
+    "UrbanNoiseSpec",
+    "colored_noise",
+    "synthesize_urban_noise",
+    "vehicle_pass_noise",
+    "SIREN_TYPES",
+    "SirenSpec",
+    "siren_contour",
+    "synthesize_siren",
+]

@@ -1,0 +1,101 @@
+"""Elementary test-signal generators (tones, sweeps, pulses, harmonics)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["tone", "linear_chirp", "exponential_chirp", "harmonic_stack", "pulse_train", "white_noise"]
+
+
+def _check(duration: float, fs: float) -> int:
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if fs <= 0:
+        raise ValueError("fs must be positive")
+    return int(round(duration * fs))
+
+
+def tone(freq_hz: float, duration: float, fs: float, *, amplitude: float = 1.0, phase: float = 0.0) -> np.ndarray:
+    """Pure sinusoid at ``freq_hz``."""
+    n = _check(duration, fs)
+    t = np.arange(n) / fs
+    return amplitude * np.sin(2 * np.pi * freq_hz * t + phase)
+
+
+def linear_chirp(f0: float, f1: float, duration: float, fs: float, *, amplitude: float = 1.0) -> np.ndarray:
+    """Linear frequency sweep from ``f0`` to ``f1`` Hz."""
+    n = _check(duration, fs)
+    t = np.arange(n) / fs
+    k = (f1 - f0) / duration
+    return amplitude * np.sin(2 * np.pi * (f0 * t + 0.5 * k * t**2))
+
+
+def exponential_chirp(f0: float, f1: float, duration: float, fs: float, *, amplitude: float = 1.0) -> np.ndarray:
+    """Exponential (logarithmic) frequency sweep from ``f0`` to ``f1`` Hz."""
+    if f0 <= 0 or f1 <= 0:
+        raise ValueError("exponential chirp needs positive endpoint frequencies")
+    n = _check(duration, fs)
+    t = np.arange(n) / fs
+    k = (f1 / f0) ** (1.0 / duration)
+    phase = 2 * np.pi * f0 * (k**t - 1.0) / np.log(k) if f0 != f1 else 2 * np.pi * f0 * t
+    return amplitude * np.sin(phase)
+
+
+def harmonic_stack(
+    f0_hz: np.ndarray | float,
+    fs: float,
+    *,
+    n_harmonics: int = 8,
+    amplitudes: np.ndarray | None = None,
+    duration: float | None = None,
+) -> np.ndarray:
+    """Sum of harmonics over a (possibly time-varying) fundamental.
+
+    ``f0_hz`` may be a scalar (requires ``duration``) or a per-sample
+    frequency contour.  Harmonics above Nyquist are silently dropped to avoid
+    aliasing.
+    """
+    if np.isscalar(f0_hz):
+        if duration is None:
+            raise ValueError("duration is required for a scalar fundamental")
+        n = _check(duration, fs)
+        f0 = np.full(n, float(f0_hz))
+    else:
+        f0 = np.asarray(f0_hz, dtype=np.float64)
+        if f0.ndim != 1 or f0.size == 0:
+            raise ValueError("f0 contour must be a non-empty 1-D array")
+    if n_harmonics < 1:
+        raise ValueError("n_harmonics must be >= 1")
+    if amplitudes is None:
+        amplitudes = 1.0 / np.arange(1, n_harmonics + 1)
+    amplitudes = np.asarray(amplitudes, dtype=np.float64)
+    if amplitudes.size != n_harmonics:
+        raise ValueError("amplitudes must have n_harmonics entries")
+    phase = 2 * np.pi * np.cumsum(f0) / fs
+    out = np.zeros_like(f0)
+    nyq = fs / 2.0
+    for k in range(1, n_harmonics + 1):
+        alive = (k * f0) < nyq
+        out += amplitudes[k - 1] * np.sin(k * phase) * alive
+    return out
+
+
+def pulse_train(rate_hz: float, duration: float, fs: float, *, pulse_width: float = 0.001) -> np.ndarray:
+    """Rectangular pulse train (used for impulse-response probing)."""
+    n = _check(duration, fs)
+    if rate_hz <= 0:
+        raise ValueError("rate must be positive")
+    out = np.zeros(n)
+    width = max(1, int(round(pulse_width * fs)))
+    period = fs / rate_hz
+    starts = np.arange(0, n, period).astype(int)
+    for s in starts:
+        out[s : s + width] = 1.0
+    return out
+
+
+def white_noise(duration: float, fs: float, *, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Unit-variance Gaussian white noise."""
+    n = _check(duration, fs)
+    rng = rng or np.random.default_rng()
+    return rng.standard_normal(n)

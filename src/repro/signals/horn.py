@@ -1,0 +1,111 @@
+"""Car-horn synthesizer.
+
+Car horns are electromechanical diaphragm resonators: the emitted sound is a
+dense harmonic stack on a fundamental in the 350-500 Hz range, often a
+two-note chord (many vehicles fit a high/low horn pair a minor third apart).
+Honks arrive as one or more bursts with sharp attack and release.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.signals.generators import harmonic_stack
+
+__all__ = ["HornSpec", "synthesize_horn"]
+
+
+@dataclass(frozen=True)
+class HornSpec:
+    """Parameters of a car-horn sound.
+
+    Attributes
+    ----------
+    f0:
+        Fundamental of the low note in Hz.
+    chord_ratio:
+        Frequency ratio of the second note (1.0 disables the chord;
+        the common high/low pair sits near a minor third, ~1.19).
+    n_harmonics:
+        Harmonics per note.
+    attack, release:
+        Envelope ramp times in seconds.
+    """
+
+    f0: float = 420.0
+    chord_ratio: float = 1.19
+    n_harmonics: int = 10
+    attack: float = 0.01
+    release: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.f0 <= 0:
+            raise ValueError("f0 must be positive")
+        if self.chord_ratio < 1.0:
+            raise ValueError("chord_ratio must be >= 1.0")
+        if self.n_harmonics < 1:
+            raise ValueError("n_harmonics must be >= 1")
+        if self.attack < 0 or self.release < 0:
+            raise ValueError("attack/release must be non-negative")
+
+
+def _burst_envelope(n: int, fs: float, attack: float, release: float) -> np.ndarray:
+    env = np.ones(n)
+    na = min(n, int(round(attack * fs)))
+    nr = min(n - na, int(round(release * fs)))
+    if na > 0:
+        env[:na] = np.linspace(0.0, 1.0, na, endpoint=False)
+    if nr > 0:
+        env[n - nr :] = np.linspace(1.0, 0.0, nr)
+    return env
+
+
+def synthesize_horn(
+    duration: float,
+    fs: float,
+    *,
+    spec: HornSpec | None = None,
+    n_bursts: int = 2,
+    duty: float = 0.6,
+    rng: np.random.Generator | None = None,
+    jitter: float = 0.0,
+) -> np.ndarray:
+    """Synthesize a honking pattern of ``n_bursts`` horn bursts.
+
+    ``duty`` is the on-fraction of each burst period.  With ``jitter > 0``
+    the fundamental is randomly detuned by up to that relative amount.
+    """
+    if duration <= 0 or fs <= 0:
+        raise ValueError("duration and fs must be positive")
+    if n_bursts < 1:
+        raise ValueError("n_bursts must be >= 1")
+    if not 0 < duty <= 1.0:
+        raise ValueError("duty must lie in (0, 1]")
+    spec = spec or HornSpec()
+    f0 = spec.f0
+    if jitter:
+        rng = rng or np.random.default_rng()
+        f0 *= 1.0 + jitter * float(rng.uniform(-1.0, 1.0))
+    n = int(round(duration * fs))
+    period = n // n_bursts
+    on = max(1, int(round(period * duty)))
+    amps = 1.0 / np.arange(1, spec.n_harmonics + 1)
+    out = np.zeros(n)
+    for b in range(n_bursts):
+        start = b * period
+        stop = min(start + on, n)
+        seg = stop - start
+        if seg <= 0:
+            continue
+        dur = seg / fs
+        note = harmonic_stack(f0, fs, n_harmonics=spec.n_harmonics, amplitudes=amps, duration=dur)
+        if spec.chord_ratio > 1.0:
+            note = note + harmonic_stack(
+                f0 * spec.chord_ratio, fs, n_harmonics=spec.n_harmonics, amplitudes=amps, duration=dur
+            )
+        note = note[:seg] * _burst_envelope(seg, fs, spec.attack, spec.release)
+        out[start:stop] = note
+    peak = np.max(np.abs(out))
+    return out / peak if peak > 0 else out

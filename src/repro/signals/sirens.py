@@ -1,0 +1,140 @@
+"""Parametric emergency-siren synthesizers.
+
+The paper's dataset (Sec. IV-A) uses recordings of the three canonical
+electronic siren patterns — *hi-low*, *wail* and *yelp* (naming follows
+Marchegiani & Newman, "Listening for Sirens").  We synthesize them from their
+documented frequency contours:
+
+- **hi-low**: alternation between two fixed tones (European two-tone horn),
+  typically ~440 Hz and ~585 Hz at ~0.5 s per tone.
+- **wail**: slow sinusoidal sweep between ~650 Hz and ~1450 Hz with a period
+  of a few seconds.
+- **yelp**: the same sweep range but much faster (several cycles per second).
+
+Each siren is emitted as a harmonic stack (electronic sirens drive a horn
+loudspeaker, producing strong odd harmonics), which is what gives the
+characteristic spectrogram signature the detection models learn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.signals.generators import harmonic_stack
+
+__all__ = ["SirenSpec", "SIREN_TYPES", "siren_contour", "synthesize_siren"]
+
+SIREN_TYPES = ("hi-low", "wail", "yelp")
+
+
+@dataclass(frozen=True)
+class SirenSpec:
+    """Parameters of a siren frequency contour.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`SIREN_TYPES`.
+    f_low, f_high:
+        Contour endpoints in Hz.
+    period:
+        Contour period in seconds (one hi-low alternation / one wail or
+        yelp sweep cycle).
+    n_harmonics:
+        Number of harmonics in the emitted stack.
+    harmonic_rolloff:
+        Amplitude of harmonic ``k`` is ``k ** -harmonic_rolloff``.
+    """
+
+    kind: str
+    f_low: float
+    f_high: float
+    period: float
+    n_harmonics: int = 6
+    harmonic_rolloff: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SIREN_TYPES:
+            raise ValueError(f"unknown siren kind {self.kind!r}")
+        if not 0 < self.f_low < self.f_high:
+            raise ValueError("need 0 < f_low < f_high")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.n_harmonics < 1:
+            raise ValueError("n_harmonics must be >= 1")
+
+
+DEFAULT_SPECS: dict[str, SirenSpec] = {
+    "hi-low": SirenSpec("hi-low", 440.0, 585.0, 1.0),
+    "wail": SirenSpec("wail", 650.0, 1450.0, 4.0),
+    "yelp": SirenSpec("yelp", 650.0, 1450.0, 0.35),
+}
+
+
+def siren_contour(spec: SirenSpec, duration: float, fs: float) -> np.ndarray:
+    """Per-sample fundamental-frequency contour for a siren."""
+    if duration <= 0 or fs <= 0:
+        raise ValueError("duration and fs must be positive")
+    n = int(round(duration * fs))
+    t = np.arange(n) / fs
+    if spec.kind == "hi-low":
+        phase = np.floor(2.0 * t / spec.period).astype(int) % 2
+        return np.where(phase == 0, spec.f_high, spec.f_low)
+    # wail and yelp: raised-cosine sweep between the endpoints.
+    centre = 0.5 * (spec.f_low + spec.f_high)
+    span = 0.5 * (spec.f_high - spec.f_low)
+    return centre - span * np.cos(2 * np.pi * t / spec.period)
+
+
+def synthesize_siren(
+    kind: str,
+    duration: float,
+    fs: float,
+    *,
+    spec: SirenSpec | None = None,
+    rng: np.random.Generator | None = None,
+    jitter: float = 0.0,
+) -> np.ndarray:
+    """Synthesize a siren waveform.
+
+    Parameters
+    ----------
+    kind:
+        ``hi-low``, ``wail`` or ``yelp``.
+    duration, fs:
+        Length in seconds and sampling rate in Hz.
+    spec:
+        Custom :class:`SirenSpec`; defaults to the canonical spec for ``kind``.
+    rng, jitter:
+        When ``jitter > 0`` the contour endpoints and period are perturbed by
+        up to ``jitter`` (relative), modelling the regional variability the
+        paper highlights ("siren sounds are usually different in each country
+        or region").
+    """
+    if kind not in SIREN_TYPES:
+        raise ValueError(f"unknown siren kind {kind!r}; expected one of {SIREN_TYPES}")
+    if spec is None:
+        spec = DEFAULT_SPECS[kind]
+    if jitter:
+        if not 0 < jitter < 0.5:
+            raise ValueError("jitter must lie in (0, 0.5)")
+        rng = rng or np.random.default_rng()
+
+        def j() -> float:
+            return 1.0 + jitter * float(rng.uniform(-1.0, 1.0))
+
+        spec = SirenSpec(
+            spec.kind,
+            spec.f_low * j(),
+            max(spec.f_low * 1.05, spec.f_high * j()),
+            spec.period * j(),
+            spec.n_harmonics,
+            spec.harmonic_rolloff,
+        )
+    contour = siren_contour(spec, duration, fs)
+    amps = np.arange(1, spec.n_harmonics + 1, dtype=np.float64) ** (-spec.harmonic_rolloff)
+    x = harmonic_stack(contour, fs, n_harmonics=spec.n_harmonics, amplitudes=amps)
+    peak = np.max(np.abs(x))
+    return x / peak if peak > 0 else x

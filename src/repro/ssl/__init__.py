@@ -1,0 +1,55 @@
+"""Sound source localization: GCC-PHAT, SRP-PHAT, Cross3D, tracking."""
+
+from repro.ssl.cross3d import (
+    Cross3DConfig,
+    Cross3DNet,
+    edge_variant,
+    evaluate_cross3d,
+    srp_map_sequence,
+    train_cross3d,
+)
+from repro.ssl.doa import DoaGrid, angular_error_deg, azel_to_unit, unit_to_azel
+from repro.ssl.gcc import estimate_tdoa, gcc_phat, gcc_phat_spectrum
+from repro.ssl.srp import SrpPhat, SrpResult, mic_pairs, pair_tdoas
+from repro.ssl.srp_fast import FastSrpPhat
+from repro.ssl.tracking import KalmanDoaTracker, TrackState, track_sequence
+
+from repro.ssl.seld import SeldConfig, SeldNet, seld_features, train_seld
+from repro.ssl.multilateration import PositionFix, localize_position, multilaterate, tdoa_vector
+from repro.ssl.music import MusicDoa, music_spectrum, spatial_covariance
+__all__ = [
+    "PositionFix",
+    "localize_position",
+    "multilaterate",
+    "tdoa_vector",
+    "MusicDoa",
+    "music_spectrum",
+    "spatial_covariance",
+
+    "SeldConfig",
+    "SeldNet",
+    "seld_features",
+    "train_seld",
+
+    "Cross3DConfig",
+    "Cross3DNet",
+    "edge_variant",
+    "evaluate_cross3d",
+    "srp_map_sequence",
+    "train_cross3d",
+    "DoaGrid",
+    "angular_error_deg",
+    "azel_to_unit",
+    "unit_to_azel",
+    "estimate_tdoa",
+    "gcc_phat",
+    "gcc_phat_spectrum",
+    "SrpPhat",
+    "SrpResult",
+    "mic_pairs",
+    "pair_tdoas",
+    "FastSrpPhat",
+    "KalmanDoaTracker",
+    "TrackState",
+    "track_sequence",
+]

@@ -1,0 +1,286 @@
+"""Cross3D-style hybrid localizer: SRP-PHAT maps + causal 3-D CNN tracker.
+
+Cross3D (Diaz-Guerra et al., 2021) replaces the hardware-unfriendly
+fine-grid beamforming search by a coarse SRP-PHAT map sequence fed to a 3-D
+CNN that regresses the source direction over time.  The paper's co-design
+study (Sec. IV-B) uses it as the state-of-the-art baseline and finetunes it
+into an edge variant that is ~86% smaller and ~47% faster.
+
+This module provides:
+
+- :func:`srp_map_sequence` — the signal-processing front-end,
+- :class:`Cross3DNet` — the causal 3-D CNN backbone (width-configurable so
+  the co-design flow can sweep it),
+- :func:`edge_variant` — the shrunken configuration found by the flow,
+- :func:`train_cross3d` / :func:`evaluate_cross3d` — training loop and
+  angular-error evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.nn.conv import Conv1d, Conv3d
+from repro.nn.layers import BatchNorm, ReLU
+from repro.nn.module import Module
+from repro.nn.optim import Adam
+from repro.nn.params import Parameter
+from repro.ssl.doa import angular_error_deg
+
+__all__ = [
+    "Cross3DConfig",
+    "Cross3DNet",
+    "edge_variant",
+    "srp_map_sequence",
+    "train_cross3d",
+    "evaluate_cross3d",
+]
+
+
+def srp_map_sequence(
+    mic_signals: np.ndarray,
+    localizer,
+    frame_length: int,
+    hop_length: int,
+) -> np.ndarray:
+    """Sequence of SRP maps, shape ``(n_frames, n_az, n_el)``.
+
+    ``localizer`` is any object with ``map_from_frames`` (both
+    :class:`~repro.ssl.srp.SrpPhat` and
+    :class:`~repro.ssl.srp_fast.FastSrpPhat` qualify).  Each map is
+    standardized to zero mean / unit deviation, the normalization Cross3D
+    trains with.
+    """
+    mic_signals = np.asarray(mic_signals, dtype=np.float64)
+    if mic_signals.ndim != 2:
+        raise ValueError("mic_signals must be (n_mics, n_samples)")
+    if frame_length < 32 or hop_length < 1:
+        raise ValueError("invalid frame geometry")
+    n = mic_signals.shape[1]
+    if n < frame_length:
+        raise ValueError("signal shorter than one frame")
+    n_frames = 1 + (n - frame_length) // hop_length
+    maps = []
+    for t in range(n_frames):
+        seg = mic_signals[:, t * hop_length : t * hop_length + frame_length]
+        m = localizer.map_from_frames(seg)
+        std = m.std() or 1.0
+        maps.append((m - m.mean()) / std)
+    return np.stack(maps)
+
+
+class _CausalTimePad(Module):
+    """Left-pad the time axis of a (N, C, T, A, E) tensor."""
+
+    def __init__(self, pad: int) -> None:
+        super().__init__()
+        if pad < 0:
+            raise ValueError("pad must be non-negative")
+        self.pad = int(pad)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.pad == 0:
+            return x
+        return np.pad(x, ((0, 0), (0, 0), (self.pad, 0), (0, 0), (0, 0)))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self.pad == 0:
+            return grad
+        return grad[:, :, self.pad :]
+
+
+class _SpatialFlatten(Module):
+    """Fold the spatial axes of (N, C, T, A, E) into channels -> (N, C*A*E, T).
+
+    Unlike a global average, flattening preserves *where* on the SRP map the
+    activation sits — which is the DOA information the head regresses.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 5:
+            raise ValueError("expected (N, C, T, A, E)")
+        self._shape = x.shape
+        n, c, t, a, e = x.shape
+        return np.transpose(x, (0, 1, 3, 4, 2)).reshape(n, c * a * e, t)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, t, a, e = self._shape
+        g = grad.reshape(n, c, a, e, t)
+        return np.transpose(g, (0, 1, 4, 2, 3)).copy()
+
+
+@dataclass(frozen=True)
+class Cross3DConfig:
+    """Architecture hyper-parameters of the Cross3D backbone.
+
+    The co-design flow sweeps ``base_channels`` and ``n_blocks`` (the design
+    parameters of Fig. 4's "DNN structure hyper-parameters" box).
+    """
+
+    map_shape: tuple[int, int] = (24, 8)
+    base_channels: int = 32
+    n_blocks: int = 3
+    kernel_time: int = 5
+
+    def __post_init__(self) -> None:
+        if self.base_channels < 1 or self.n_blocks < 1:
+            raise ValueError("base_channels and n_blocks must be positive")
+        if self.kernel_time < 1:
+            raise ValueError("kernel_time must be positive")
+        a, e = self.map_shape
+        if a < 4 or e < 2:
+            raise ValueError("SRP map too small for the backbone")
+
+
+def edge_variant(config: Cross3DConfig) -> Cross3DConfig:
+    """The co-optimized edge configuration (~86% fewer parameters).
+
+    Width is cut to ~30% and the temporal kernel shortened — the outcome of
+    the Sec. IV-B finetuning loop, exposed as a deterministic transform so
+    benches can reproduce the size/latency factors.
+    """
+    return replace(
+        config,
+        base_channels=max(4, int(round(config.base_channels * 0.3))),
+        kernel_time=max(3, config.kernel_time - 2),
+    )
+
+
+class Cross3DNet(Module):
+    """Causal 3-D CNN regressing a DOA unit vector per time step.
+
+    Input ``(N, 1, T, A, E)`` (SRP map sequences), output ``(N, 3, T)``
+    (un-normalized direction vectors; normalize for evaluation).
+    """
+
+    def __init__(self, config: Cross3DConfig | None = None, *, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.config = config or Cross3DConfig()
+        rng = rng or np.random.default_rng(0)
+        cfg = self.config
+        a, e = cfg.map_shape
+        self.blocks: list[Module] = []
+        c_in = 1
+        for b in range(cfg.n_blocks):
+            c_out = cfg.base_channels * (1 if b == 0 else 2) if b < 2 else cfg.base_channels * 2
+            kt = cfg.kernel_time
+            ka = 3 if a >= 3 else 1
+            ke = 3 if e >= 3 else 1
+            self.blocks.append(_CausalTimePad(kt - 1))
+            self.blocks.append(
+                Conv3d(
+                    c_in,
+                    c_out,
+                    (kt, ka, ke),
+                    stride=(1, 2 if a >= 6 else 1, 2 if e >= 4 else 1),
+                    padding=(0, ka // 2, ke // 2),
+                    rng=rng,
+                )
+            )
+            self.blocks.append(BatchNorm(c_out))
+            self.blocks.append(ReLU())
+            a = (a + 1) // 2 if a >= 6 else a
+            e = (e + 1) // 2 if e >= 4 else e
+            c_in = c_out
+        self.blocks.append(_SpatialFlatten())
+        self.head = Conv1d(c_in * a * e, 3, 1, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 5 or x.shape[1] != 1:
+            raise ValueError(f"expected (N, 1, T, A, E), got {x.shape}")
+        if x.shape[3:] != self.config.map_shape:
+            raise ValueError(
+                f"map shape {x.shape[3:]} does not match config {self.config.map_shape}"
+            )
+        for layer in self.blocks:
+            x = layer.forward(x)
+        return self.head.forward(x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = self.head.backward(grad)
+        for layer in reversed(self.blocks):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> list[Parameter]:
+        out: list[Parameter] = []
+        for layer in self.blocks:
+            out.extend(layer.parameters())
+        out.extend(self.head.parameters())
+        return out
+
+    def train(self, flag: bool = True) -> "Cross3DNet":
+        super().train(flag)
+        for layer in self.blocks:
+            layer.train(flag)
+        self.head.train(flag)
+        return self
+
+    def predict_directions(self, maps: np.ndarray) -> np.ndarray:
+        """Unit DOA vectors for a batch of map sequences, ``(N, T, 3)``."""
+        was_training = self.training
+        self.eval()
+        out = self.forward(maps)
+        self.train(was_training)
+        v = np.transpose(out, (0, 2, 1))
+        norm = np.linalg.norm(v, axis=-1, keepdims=True)
+        return v / np.maximum(norm, 1e-12)
+
+
+def train_cross3d(
+    model: Cross3DNet,
+    maps: np.ndarray,
+    targets: np.ndarray,
+    *,
+    epochs: int = 20,
+    lr: float = 1e-3,
+    batch_size: int = 8,
+    rng: np.random.Generator | None = None,
+    verbose: bool = False,
+) -> list[float]:
+    """Train on map sequences ``(N, 1, T, A, E)`` against unit-vector targets
+    ``(N, T, 3)`` with an MSE objective.  Returns the per-epoch loss curve.
+    """
+    maps = np.asarray(maps, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if maps.ndim != 5 or targets.ndim != 3 or maps.shape[0] != targets.shape[0]:
+        raise ValueError("maps must be (N,1,T,A,E) and targets (N,T,3)")
+    if maps.shape[2] != targets.shape[1]:
+        raise ValueError("time axes of maps and targets differ")
+    rng = rng or np.random.default_rng(0)
+    optimizer = Adam(model.parameters(), lr=lr)
+    target_cl = np.transpose(targets, (0, 2, 1))  # (N, 3, T)
+    n = maps.shape[0]
+    losses = []
+    model.train()
+    for epoch in range(epochs):
+        order = rng.permutation(n)
+        total = 0.0
+        for start in range(0, n, batch_size):
+            idx = order[start : start + batch_size]
+            out = model.forward(maps[idx])
+            diff = out - target_cl[idx]
+            loss = float(np.mean(diff**2))
+            optimizer.zero_grad()
+            model.backward(2.0 * diff / diff.size)
+            optimizer.step()
+            total += loss * len(idx)
+        losses.append(total / n)
+        if verbose:
+            print(f"epoch {epoch + 1}/{epochs}: loss {losses[-1]:.5f}")
+    return losses
+
+
+def evaluate_cross3d(model: Cross3DNet, maps: np.ndarray, targets: np.ndarray) -> float:
+    """Mean angular error (degrees) over a batch of sequences."""
+    pred = model.predict_directions(maps)
+    errs = angular_error_deg(pred.reshape(-1, 3), np.asarray(targets).reshape(-1, 3))
+    return float(np.mean(errs))

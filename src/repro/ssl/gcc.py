@@ -1,0 +1,79 @@
+"""Generalized cross-correlation with phase transform (GCC-PHAT)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gcc_phat", "gcc_phat_spectrum", "estimate_tdoa"]
+
+
+def gcc_phat_spectrum(x1: np.ndarray, x2: np.ndarray, *, n_fft: int | None = None) -> np.ndarray:
+    """PHAT-weighted cross-power spectrum of two equal-length signals.
+
+    Returns the one-sided spectrum ``X1 * conj(X2) / |X1 * conj(X2)|``.
+    """
+    x1 = np.asarray(x1, dtype=np.float64)
+    x2 = np.asarray(x2, dtype=np.float64)
+    if x1.shape != x2.shape or x1.ndim != 1 or x1.size == 0:
+        raise ValueError("x1 and x2 must be non-empty 1-D arrays of equal length")
+    n = n_fft or (2 * x1.size)
+    cross = np.fft.rfft(x1, n) * np.conj(np.fft.rfft(x2, n))
+    mag = np.abs(cross)
+    return cross / np.maximum(mag, 1e-15)
+
+
+def gcc_phat(
+    x1: np.ndarray,
+    x2: np.ndarray,
+    fs: float,
+    *,
+    max_tau: float | None = None,
+    interp: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """GCC-PHAT cross-correlation of two signals.
+
+    Returns ``(lags_seconds, correlation)`` restricted to ``|lag| <= max_tau``
+    (defaults to the full range).  ``interp`` up-samples the correlation by
+    zero-padding the spectrum, the classic way to get sub-sample TDOA peaks —
+    and exactly the oversampling the low-complexity SRP of bench E4 removes.
+    """
+    if fs <= 0:
+        raise ValueError("fs must be positive")
+    if interp < 1:
+        raise ValueError("interp must be >= 1")
+    spec = gcc_phat_spectrum(x1, x2)
+    n = 2 * (spec.size - 1)
+    cc = np.fft.irfft(spec, n=interp * n)
+    max_shift = interp * n // 2
+    if max_tau is not None:
+        if max_tau <= 0:
+            raise ValueError("max_tau must be positive")
+        max_shift = min(max_shift, int(np.ceil(interp * fs * max_tau)))
+    cc = np.concatenate([cc[-max_shift:], cc[: max_shift + 1]])
+    lags = np.arange(-max_shift, max_shift + 1) / (interp * fs)
+    return lags, cc
+
+
+def estimate_tdoa(
+    x1: np.ndarray,
+    x2: np.ndarray,
+    fs: float,
+    *,
+    max_tau: float | None = None,
+    interp: int = 4,
+) -> float:
+    """Time difference of arrival of ``x1`` relative to ``x2`` in seconds.
+
+    Positive values mean ``x1`` received the wavefront *later* than ``x2``.
+    Peak position is refined by parabolic interpolation around the maximum.
+    """
+    lags, cc = gcc_phat(x1, x2, fs, max_tau=max_tau, interp=interp)
+    k = int(np.argmax(cc))
+    if 0 < k < cc.size - 1:
+        y0, y1, y2 = cc[k - 1], cc[k], cc[k + 1]
+        denom = y0 - 2 * y1 + y2
+        if abs(denom) > 1e-15:
+            delta = 0.5 * (y0 - y2) / denom
+            delta = float(np.clip(delta, -0.5, 0.5))
+            return float(lags[k] + delta * (lags[1] - lags[0]))
+    return float(lags[k])

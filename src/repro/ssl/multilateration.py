@@ -1,0 +1,159 @@
+"""TDOA multilateration: source *position* (direction and distance).
+
+The [18] reference the paper cites cascades traditional signal processing
+after detection "to estimate both the sound's direction of arrival and
+distance".  With enough microphones and aperture, the full position is
+observable from pairwise TDOAs; this module solves the hyperbolic
+positioning problem with the classical linearized least-squares (Friedlander
+/ Smith-Abel) method plus an optional Gauss-Newton refinement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acoustics.geometry import SPEED_OF_SOUND
+from repro.ssl.gcc import estimate_tdoa
+from repro.ssl.srp import mic_pairs
+
+__all__ = ["PositionFix", "tdoa_vector", "multilaterate", "localize_position"]
+
+
+@dataclass(frozen=True)
+class PositionFix:
+    """Result of a multilateration solve.
+
+    Attributes
+    ----------
+    position:
+        Estimated source position, metres.
+    residual_s:
+        RMS TDOA residual at the solution, seconds.
+    distance:
+        Range from the array centroid.
+    """
+
+    position: np.ndarray
+    residual_s: float
+    distance: float
+
+
+def tdoa_vector(
+    frames: np.ndarray,
+    fs: float,
+    *,
+    max_tau: float | None = None,
+    interp: int = 4,
+) -> np.ndarray:
+    """Measured TDOAs (seconds) for every mic pair of a frame block."""
+    frames = np.asarray(frames, dtype=np.float64)
+    if frames.ndim != 2 or frames.shape[0] < 2:
+        raise ValueError("frames must be (n_mics >= 2, L)")
+    pairs = mic_pairs(frames.shape[0])
+    return np.array(
+        [estimate_tdoa(frames[i], frames[j], fs, max_tau=max_tau, interp=interp) for i, j in pairs]
+    )
+
+
+def _predicted_tdoas(positions: np.ndarray, source: np.ndarray, c: float) -> np.ndarray:
+    pairs = mic_pairs(positions.shape[0])
+    d = np.linalg.norm(positions - source, axis=1)
+    return np.array([(d[i] - d[j]) / c for i, j in pairs])
+
+
+def multilaterate(
+    mic_positions: np.ndarray,
+    tdoas: np.ndarray,
+    *,
+    c: float = SPEED_OF_SOUND,
+    refine_iters: int = 10,
+    z_fixed: float | None = None,
+) -> PositionFix:
+    """Solve for the source position from pairwise TDOAs.
+
+    Linearized closed-form initialization (reference mic 0) followed by
+    Gauss-Newton refinement on the full nonlinear residual.  With planar
+    arrays the vertical coordinate is weakly observable — pass ``z_fixed``
+    to constrain it.
+    """
+    positions = np.asarray(mic_positions, dtype=np.float64)
+    tdoas = np.asarray(tdoas, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 3 or positions.shape[0] < 4:
+        raise ValueError("multilateration needs (n_mics >= 4, 3) positions")
+    pairs = mic_pairs(positions.shape[0])
+    if tdoas.shape != (len(pairs),):
+        raise ValueError(f"expected {len(pairs)} TDOAs, got {tdoas.shape}")
+    if refine_iters < 0:
+        raise ValueError("refine_iters must be non-negative")
+
+    # --- closed-form initialization using pairs (0, j): range differences
+    # d_j - d_0 = -c * tau_{0j}; ||x - r_j||^2 - ||x - r_0||^2 expands into a
+    # linear system in (x, d_0).
+    ref_taus = {j: tdoas[k] for k, (i, j) in enumerate(pairs) if i == 0}
+    rows = []
+    rhs = []
+    r0 = positions[0]
+    for j, tau in ref_taus.items():
+        rj = positions[j]
+        delta = c * (-tau)  # d_j - d_0  (tau = (t_0 - t_j) = (d_0 - d_j)/c)
+        rows.append(np.concatenate([2.0 * (rj - r0), [2.0 * delta]]))
+        rhs.append(float(rj @ rj - r0 @ r0 - delta**2))
+    a = np.asarray(rows)
+    b = np.asarray(rhs)
+    if z_fixed is not None:
+        # Fold the fixed z into the right-hand side.
+        b = b - a[:, 2] * z_fixed
+        a = a[:, [0, 1, 3]]
+    sol, *_ = np.linalg.lstsq(a, b, rcond=None)
+    if z_fixed is None:
+        x = sol[:3]
+    else:
+        x = np.array([sol[0], sol[1], z_fixed])
+
+    # --- Gauss-Newton refinement on all pairs.
+    for _ in range(refine_iters):
+        d = np.linalg.norm(positions - x, axis=1)
+        if np.any(d < 1e-6):
+            break
+        residual = _predicted_tdoas(positions, x, c) - tdoas
+        # Jacobian of (d_i - d_j)/c wrt x.
+        grads = (x - positions) / d[:, None] / c
+        jac = np.array([grads[i] - grads[j] for i, j in pairs])
+        if z_fixed is not None:
+            jac = jac[:, :2]
+        try:
+            step, *_ = np.linalg.lstsq(jac, residual, rcond=None)
+        except np.linalg.LinAlgError:
+            break
+        if z_fixed is None:
+            x = x - step
+        else:
+            x = x - np.array([step[0], step[1], 0.0])
+        if np.linalg.norm(step) < 1e-9:
+            break
+
+    residual = _predicted_tdoas(positions, x, c) - tdoas
+    centroid = positions.mean(axis=0)
+    return PositionFix(
+        position=x,
+        residual_s=float(np.sqrt(np.mean(residual**2))),
+        distance=float(np.linalg.norm(x - centroid)),
+    )
+
+
+def localize_position(
+    frames: np.ndarray,
+    mic_positions: np.ndarray,
+    fs: float,
+    *,
+    c: float = SPEED_OF_SOUND,
+    z_fixed: float | None = None,
+) -> PositionFix:
+    """Measure TDOAs from a frame block and multilaterate in one call."""
+    positions = np.asarray(mic_positions, dtype=np.float64)
+    from repro.arrays.metrics import max_tdoa
+
+    taus = tdoa_vector(frames, fs, max_tau=1.2 * max_tdoa(positions, c=c))
+    return multilaterate(positions, taus, c=c, z_fixed=z_fixed)

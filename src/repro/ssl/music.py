@@ -1,0 +1,151 @@
+"""MUSIC (MUltiple SIgnal Classification) DOA estimation.
+
+A classical subspace baseline alongside SRP-PHAT: the narrowband spatial
+covariance is eigen-decomposed, and the pseudo-spectrum peaks where the
+steering vector is orthogonal to the noise subspace.  Broadband operation
+averages the narrowband pseudo-spectra over frequency bins (incoherent
+wideband MUSIC).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.acoustics.geometry import SPEED_OF_SOUND
+from repro.ssl.doa import DoaGrid
+from repro.ssl.srp import SrpResult
+
+__all__ = ["spatial_covariance", "music_spectrum", "MusicDoa"]
+
+
+def spatial_covariance(frames_fft: np.ndarray) -> np.ndarray:
+    """Spatial covariance matrices from STFT frames.
+
+    ``frames_fft`` is ``(n_snapshots, n_mics, n_freq)``; returns
+    ``(n_freq, n_mics, n_mics)`` Hermitian covariance estimates.
+    """
+    x = np.asarray(frames_fft)
+    if x.ndim != 3:
+        raise ValueError("frames_fft must be (n_snapshots, n_mics, n_freq)")
+    if x.shape[0] < 1:
+        raise ValueError("need at least one snapshot")
+    # R[f] = mean_t x[t, :, f] x[t, :, f]^H
+    return np.einsum("tmf,tnf->fmn", x, np.conj(x)) / x.shape[0]
+
+
+def music_spectrum(
+    covariance: np.ndarray,
+    steering: np.ndarray,
+    n_sources: int,
+) -> np.ndarray:
+    """Narrowband MUSIC pseudo-spectrum for one frequency.
+
+    Parameters
+    ----------
+    covariance:
+        ``(M, M)`` Hermitian spatial covariance.
+    steering:
+        ``(n_dirs, M)`` steering vectors.
+    n_sources:
+        Assumed source count (signal-subspace dimension).
+    """
+    r = np.asarray(covariance)
+    a = np.asarray(steering)
+    m = r.shape[0]
+    if r.shape != (m, m):
+        raise ValueError("covariance must be square")
+    if a.ndim != 2 or a.shape[1] != m:
+        raise ValueError("steering must be (n_dirs, n_mics)")
+    if not 1 <= n_sources < m:
+        raise ValueError("need 1 <= n_sources < n_mics")
+    w, v = np.linalg.eigh(r)
+    noise = v[:, : m - n_sources]  # eigh sorts ascending
+    proj = np.conj(a) @ noise  # a^H E_n, shape (n_dirs, m - n_sources)
+    denom = np.sum(np.abs(proj) ** 2, axis=1)
+    return 1.0 / np.maximum(denom, 1e-12)
+
+
+class MusicDoa:
+    """Incoherent wideband MUSIC localizer over a far-field DOA grid.
+
+    Parameters
+    ----------
+    mic_positions, fs, grid, n_fft, c:
+        As for :class:`repro.ssl.srp.SrpPhat`.
+    n_sources:
+        Assumed number of simultaneous sources.
+    band_hz:
+        Frequency band whose bins are averaged.
+    """
+
+    def __init__(
+        self,
+        mic_positions: np.ndarray,
+        fs: float,
+        *,
+        grid: DoaGrid | None = None,
+        n_fft: int = 512,
+        n_sources: int = 1,
+        band_hz: tuple[float, float] = (300.0, 3000.0),
+        c: float = SPEED_OF_SOUND,
+    ) -> None:
+        self.positions = np.asarray(mic_positions, dtype=np.float64)
+        if self.positions.ndim != 2 or self.positions.shape[1] != 3 or self.positions.shape[0] < 3:
+            raise ValueError("MUSIC needs (n_mics >= 3, 3) positions")
+        if fs <= 0:
+            raise ValueError("fs must be positive")
+        if n_fft < 64 or n_fft & (n_fft - 1):
+            raise ValueError("n_fft must be a power of two >= 64")
+        if not 1 <= n_sources < self.positions.shape[0]:
+            raise ValueError("need 1 <= n_sources < n_mics")
+        lo, hi = band_hz
+        if not 0 <= lo < hi <= fs / 2:
+            raise ValueError("invalid band")
+        self.fs = float(fs)
+        self.grid = grid or DoaGrid()
+        self.n_fft = int(n_fft)
+        self.n_sources = int(n_sources)
+        self.c = float(c)
+        freqs = np.fft.rfftfreq(self.n_fft, d=1.0 / self.fs)
+        self._bins = np.flatnonzero((freqs >= lo) & (freqs <= hi))
+        if self._bins.size == 0:
+            raise ValueError("band contains no FFT bins")
+        # Steering vectors per bin: a_m(f, u) = exp(-j 2 pi f (r_m . u) / c).
+        dirs = self.grid.directions()  # (G, 3)
+        delays = -(self.positions @ dirs.T) / self.c  # (M, G) arrival delays
+        self._steering = np.exp(
+            -2j * np.pi * freqs[self._bins][:, None, None] * delays.T[None, :, :]
+        )  # (B, G, M)
+
+    def map_from_frames(self, frames: np.ndarray, *, n_snapshots: int = 8) -> np.ndarray:
+        """MUSIC map from one multichannel frame block, ``(n_az, n_el)``.
+
+        The block is split into ``n_snapshots`` sub-frames to estimate the
+        covariance.
+        """
+        frames = np.asarray(frames, dtype=np.float64)
+        if frames.ndim != 2 or frames.shape[0] != self.positions.shape[0]:
+            raise ValueError(f"frames must be (n_mics={self.positions.shape[0]}, L)")
+        m, total = frames.shape
+        snap_len = total // n_snapshots
+        if snap_len < 32:
+            raise ValueError("frame too short for the requested snapshots")
+        win = np.hanning(snap_len)
+        ffts = np.stack(
+            [
+                np.fft.rfft(frames[:, s * snap_len : (s + 1) * snap_len] * win, n=self.n_fft, axis=1)
+                for s in range(n_snapshots)
+            ]
+        )  # (S, M, n_freq)
+        cov = spatial_covariance(ffts)
+        spec = np.zeros(self.grid.size)
+        for b, k in enumerate(self._bins):
+            spec += music_spectrum(cov[k], self._steering[b], self.n_sources)
+        return (spec / self._bins.size).reshape(self.grid.shape)
+
+    def localize(self, frames: np.ndarray, *, n_snapshots: int = 8) -> SrpResult:
+        """Locate the dominant source in one multichannel frame block."""
+        music_map = self.map_from_frames(frames, n_snapshots=n_snapshots)
+        flat = int(np.argmax(music_map))
+        az, el = self.grid.index_to_azel(flat)
+        return SrpResult(music_map, az, el, self.grid.directions()[flat])

@@ -1,0 +1,197 @@
+"""Joint sound event localization and detection (SELD, the [19] pattern).
+
+One network, two heads: a shared CNN trunk over multichannel features
+(per-channel log-mel stacked with GCC-PHAT lag features) feeds a
+classification head (event class) and a regression head (DOA unit vector),
+trained jointly — "using an additional direction of arrival output added to
+the same network" (Sec. III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.features.mel import mel_filterbank
+from repro.nn.conv import Conv2d
+from repro.nn.layers import BatchNorm, Dense, ReLU
+from repro.nn.losses import CrossEntropyLoss, MSELoss, softmax
+from repro.nn.module import Module, Sequential
+from repro.nn.optim import Adam
+from repro.nn.params import Parameter
+from repro.nn.pooling import GlobalAvgPool, MaxPool
+from repro.ssl.gcc import gcc_phat
+from repro.ssl.srp import mic_pairs
+
+__all__ = ["SeldConfig", "SeldNet", "seld_features", "train_seld"]
+
+
+@dataclass(frozen=True)
+class SeldConfig:
+    """SELD network hyper-parameters.
+
+    Attributes
+    ----------
+    n_classes:
+        Event classes.
+    n_input_channels:
+        Feature channels (mics + mic pairs for the default features).
+    base_channels:
+        Trunk width.
+    """
+
+    n_classes: int = 5
+    n_input_channels: int = 10
+    base_channels: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n_classes < 2 or self.n_input_channels < 1 or self.base_channels < 1:
+            raise ValueError("invalid SELD configuration")
+
+
+def seld_features(
+    mic_signals: np.ndarray,
+    fs: float,
+    *,
+    n_mels: int = 32,
+    n_fft: int = 512,
+    hop: int = 256,
+    n_lags: int = 32,
+) -> np.ndarray:
+    """Multichannel SELD input features, shape ``(C, n_mels, T)``.
+
+    Channels are the per-mic log-mel spectrograms followed by one GCC-PHAT
+    channel per mic pair (the central ``n_lags`` correlation lags per frame,
+    resampled onto the mel-bin axis) — the standard SELD input stack.
+    """
+    mic_signals = np.asarray(mic_signals, dtype=np.float64)
+    if mic_signals.ndim != 2 or mic_signals.shape[0] < 2:
+        raise ValueError("mic_signals must be (n_mics >= 2, n_samples)")
+    n_mics, n_samples = mic_signals.shape
+    if n_samples < n_fft:
+        raise ValueError("signal shorter than one frame")
+    fb = mel_filterbank(n_mels, n_fft, fs)
+    win = 0.5 - 0.5 * np.cos(2 * np.pi * np.arange(n_fft) / n_fft)
+    n_frames = 1 + (n_samples - n_fft) // hop
+    pairs = mic_pairs(n_mics)
+    out = np.zeros((n_mics + len(pairs), n_mels, n_frames))
+    for t in range(n_frames):
+        seg = mic_signals[:, t * hop : t * hop + n_fft]
+        spec = np.abs(np.fft.rfft(seg * win, axis=1)) ** 2
+        out[:n_mics, :, t] = np.log(np.maximum(fb @ spec.T, 1e-10)).T
+        for p, (i, j) in enumerate(pairs):
+            _, cc = gcc_phat(seg[i], seg[j], fs, max_tau=n_lags / (2 * fs))
+            centre = cc.size // 2
+            half = n_lags // 2
+            lag_feat = cc[centre - half : centre + half]
+            out[n_mics + p, :, t] = np.interp(
+                np.linspace(0, lag_feat.size - 1, n_mels),
+                np.arange(lag_feat.size),
+                lag_feat,
+            )
+    for c in range(out.shape[0]):
+        std = out[c].std() or 1.0
+        out[c] = (out[c] - out[c].mean()) / std
+    return out
+
+
+class SeldNet(Module):
+    """Shared trunk + (class, DOA) heads over ``(N, C, F, T)`` features."""
+
+    def __init__(self, config: SeldConfig | None = None, *, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.config = config or SeldConfig()
+        rng = rng or np.random.default_rng(0)
+        cfg = self.config
+        self.trunk = Sequential(
+            Conv2d(cfg.n_input_channels, cfg.base_channels, 3, padding=1, rng=rng),
+            BatchNorm(cfg.base_channels),
+            ReLU(),
+            MaxPool(2),
+            Conv2d(cfg.base_channels, 2 * cfg.base_channels, 3, padding=1, rng=rng),
+            BatchNorm(2 * cfg.base_channels),
+            ReLU(),
+            GlobalAvgPool(),
+        )
+        self.class_head = Dense(2 * cfg.base_channels, cfg.n_classes, rng=rng)
+        self.doa_head = Dense(2 * cfg.base_channels, 3, rng=rng)
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if x.ndim != 4 or x.shape[1] != self.config.n_input_channels:
+            raise ValueError(
+                f"expected (N, {self.config.n_input_channels}, F, T), got {x.shape}"
+            )
+        emb = self.trunk.forward(x)
+        self._emb = emb
+        return self.class_head.forward(emb), self.doa_head.forward(emb)
+
+    def backward(self, grad_class: np.ndarray, grad_doa: np.ndarray) -> np.ndarray:
+        g = self.class_head.backward(grad_class) + self.doa_head.backward(grad_doa)
+        return self.trunk.backward(g)
+
+    def parameters(self) -> list[Parameter]:
+        return self.trunk.parameters() + self.class_head.parameters() + self.doa_head.parameters()
+
+    def train(self, flag: bool = True) -> "SeldNet":
+        super().train(flag)
+        self.trunk.train(flag)
+        self.class_head.train(flag)
+        self.doa_head.train(flag)
+        return self
+
+    def predict(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Predictions: ``(class_indices, class_probs, unit_doa_vectors)``."""
+        was_training = self.training
+        self.eval()
+        logits, doa = self.forward(np.asarray(x, dtype=np.float64))
+        self.train(was_training)
+        probs = softmax(logits, axis=1)
+        norm = np.linalg.norm(doa, axis=1, keepdims=True)
+        return np.argmax(probs, axis=1), probs, doa / np.maximum(norm, 1e-12)
+
+
+def train_seld(
+    model: SeldNet,
+    x: np.ndarray,
+    y_class: np.ndarray,
+    y_doa: np.ndarray,
+    *,
+    epochs: int = 15,
+    lr: float = 2e-3,
+    batch_size: int = 8,
+    doa_weight: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> dict[str, list[float]]:
+    """Joint training: cross-entropy + weighted MSE on DOA unit vectors."""
+    x = np.asarray(x, dtype=np.float64)
+    y_class = np.asarray(y_class, dtype=np.int64)
+    y_doa = np.asarray(y_doa, dtype=np.float64)
+    if x.shape[0] != y_class.shape[0] or y_doa.shape != (x.shape[0], 3):
+        raise ValueError("inconsistent training arrays")
+    if doa_weight < 0:
+        raise ValueError("doa_weight must be non-negative")
+    rng = rng or np.random.default_rng(0)
+    ce = CrossEntropyLoss()
+    mse = MSELoss()
+    opt = Adam(model.parameters(), lr=lr)
+    history: dict[str, list[float]] = {"class_loss": [], "doa_loss": []}
+    n = x.shape[0]
+    model.train()
+    for _ in range(epochs):
+        order = rng.permutation(n)
+        cl_total = doa_total = 0.0
+        for start in range(0, n, batch_size):
+            idx = order[start : start + batch_size]
+            logits, doa = model.forward(x[idx])
+            cl = ce.forward(logits, y_class[idx])
+            dl = mse.forward(doa, y_doa[idx])
+            opt.zero_grad()
+            model.backward(ce.backward(), doa_weight * mse.backward())
+            opt.step()
+            cl_total += cl * len(idx)
+            doa_total += dl * len(idx)
+        history["class_loss"].append(cl_total / n)
+        history["doa_loss"].append(doa_total / n)
+    model.eval()
+    return history

@@ -1,0 +1,149 @@
+"""Conventional SRP-PHAT (steered response power with phase transform).
+
+This is the hardware-unfriendly baseline the paper's co-design study starts
+from: for every candidate direction the PHAT-weighted cross-power spectra of
+all microphone pairs are phase-steered and summed over the full frequency
+axis — cost O(pairs x grid x n_freq) per frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acoustics.geometry import SPEED_OF_SOUND
+from repro.ssl.doa import DoaGrid
+from repro.ssl.gcc import gcc_phat_spectrum
+
+__all__ = ["SrpPhat", "SrpResult", "mic_pairs", "pair_tdoas"]
+
+
+def mic_pairs(n_mics: int) -> list[tuple[int, int]]:
+    """All unordered microphone pairs."""
+    if n_mics < 2:
+        raise ValueError("need at least 2 microphones")
+    return [(i, j) for i in range(n_mics) for j in range(i + 1, n_mics)]
+
+
+def pair_tdoas(
+    positions: np.ndarray,
+    directions: np.ndarray,
+    *,
+    c: float = SPEED_OF_SOUND,
+) -> np.ndarray:
+    """Far-field TDOA (seconds) for every mic pair and direction.
+
+    Returns shape ``(n_pairs, n_directions)``.  For a plane wave from unit
+    direction ``u``, the signal at mic ``i`` leads mic ``j`` by
+    ``(r_j - r_i) . u / c``; the value returned is the delay of mic ``i``
+    relative to mic ``j`` (matching :func:`repro.ssl.gcc.estimate_tdoa`).
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    directions = np.asarray(directions, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 3:
+        raise ValueError("positions must be (n_mics, 3)")
+    if directions.ndim != 2 or directions.shape[1] != 3:
+        raise ValueError("directions must be (n_dirs, 3)")
+    pairs = mic_pairs(positions.shape[0])
+    diff = np.stack([positions[j] - positions[i] for i, j in pairs])  # (P, 3)
+    return (diff @ directions.T) / c
+
+
+@dataclass(frozen=True)
+class SrpResult:
+    """SRP map plus the winning direction.
+
+    Attributes
+    ----------
+    map:
+        Steered power, shape ``(n_azimuth, n_elevation)``.
+    azimuth, elevation:
+        Peak direction in radians.
+    direction:
+        Peak unit vector.
+    """
+
+    map: np.ndarray
+    azimuth: float
+    elevation: float
+    direction: np.ndarray
+
+
+class SrpPhat:
+    """Conventional frequency-domain SRP-PHAT localizer.
+
+    Parameters
+    ----------
+    mic_positions:
+        Array geometry, shape ``(n_mics, 3)``.
+    fs:
+        Sampling rate in Hz.
+    grid:
+        DOA search grid.
+    n_fft:
+        FFT length for the cross-power spectra (frames are zero-padded).
+    c:
+        Speed of sound, m/s.
+    """
+
+    def __init__(
+        self,
+        mic_positions: np.ndarray,
+        fs: float,
+        *,
+        grid: DoaGrid | None = None,
+        n_fft: int = 1024,
+        c: float = SPEED_OF_SOUND,
+    ) -> None:
+        if fs <= 0:
+            raise ValueError("fs must be positive")
+        if n_fft < 64 or n_fft & (n_fft - 1):
+            raise ValueError("n_fft must be a power of two >= 64")
+        self.positions = np.asarray(mic_positions, dtype=np.float64)
+        if self.positions.ndim != 2 or self.positions.shape[1] != 3 or self.positions.shape[0] < 2:
+            raise ValueError("mic_positions must be (n_mics >= 2, 3)")
+        self.fs = float(fs)
+        self.grid = grid or DoaGrid()
+        self.n_fft = int(n_fft)
+        self.c = float(c)
+        self.pairs = mic_pairs(self.positions.shape[0])
+        self._tdoas = pair_tdoas(self.positions, self.grid.directions(), c=self.c)
+        freqs = np.fft.rfftfreq(self.n_fft, d=1.0 / self.fs)
+        # Steering phases: (n_pairs, n_dirs, n_freq); the dominant memory of
+        # the conventional method and the "coefficients" bench E4 counts.
+        self._steering = np.exp(
+            2j * np.pi * freqs[None, None, :] * self._tdoas[:, :, None]
+        )
+
+    @property
+    def n_coefficients(self) -> int:
+        """Stored steering coefficients (complex), the E4 coefficient count."""
+        return int(self._steering.size)
+
+    def map_from_frames(self, frames: np.ndarray) -> np.ndarray:
+        """SRP map from one multichannel frame, shape ``(n_az, n_el)``.
+
+        ``frames`` is ``(n_mics, frame_length)`` with
+        ``frame_length <= n_fft // 2`` (zero-padding doubles the length for
+        linear correlation).
+        """
+        frames = np.asarray(frames, dtype=np.float64)
+        if frames.ndim != 2 or frames.shape[0] != self.positions.shape[0]:
+            raise ValueError(f"frames must be (n_mics={self.positions.shape[0]}, L)")
+        if frames.shape[1] > self.n_fft // 2:
+            raise ValueError("frame longer than n_fft // 2; increase n_fft")
+        power = np.zeros(self.grid.size)
+        for p, (i, j) in enumerate(self.pairs):
+            spec = gcc_phat_spectrum(frames[i], frames[j], n_fft=self.n_fft)
+            # Re(sum_k S(k) e^{j w tau}): full frequency sum per direction.
+            power += np.real(self._steering[p] @ spec)
+        return power.reshape(self.grid.shape)
+
+    def localize(self, frames: np.ndarray) -> SrpResult:
+        """Locate the dominant source in one multichannel frame."""
+        srp_map = self.map_from_frames(frames)
+        flat = int(np.argmax(srp_map))
+        az, el = self.grid.index_to_azel(flat)
+        direction = self.grid.directions()[flat]
+        return SrpResult(srp_map, az, el, direction)

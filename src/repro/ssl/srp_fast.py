@@ -1,0 +1,112 @@
+"""Low-complexity SRP-PHAT via Nyquist-rate GCC sampling.
+
+Reimplementation of the idea the paper credits for its "~10x latency boost
+and ~50% coefficients reduce" (Dietzen, De Sena & van Waterschoot, WASPAA
+2021): the SRP map is a sampling of band-limited cross-correlation
+functions, so instead of steering the full cross-power spectrum for every
+candidate direction (O(n_freq) per direction per pair), each pair's GCC is
+computed **once** per frame at the Nyquist lag rate, truncated to the
+physically feasible lag range ``|tau| <= aperture / c``, and evaluated at
+the fractional TDOA of each direction with a short windowed-sinc
+interpolation (O(n_taps) per direction per pair).
+
+The result is mathematically equivalent up to the sinc truncation error,
+which is controlled by ``n_interp_taps``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.acoustics.geometry import SPEED_OF_SOUND
+from repro.ssl.doa import DoaGrid
+from repro.ssl.gcc import gcc_phat_spectrum
+from repro.ssl.srp import SrpResult, mic_pairs, pair_tdoas
+
+__all__ = ["FastSrpPhat"]
+
+
+class FastSrpPhat:
+    """Nyquist-sampled SRP-PHAT localizer (drop-in for :class:`SrpPhat`).
+
+    Parameters
+    ----------
+    mic_positions, fs, grid, n_fft, c:
+        As in :class:`repro.ssl.srp.SrpPhat`.
+    n_interp_taps:
+        Even number of windowed-sinc taps per fractional-lag read; larger is
+        closer to exact.
+    """
+
+    def __init__(
+        self,
+        mic_positions: np.ndarray,
+        fs: float,
+        *,
+        grid: DoaGrid | None = None,
+        n_fft: int = 1024,
+        c: float = SPEED_OF_SOUND,
+        n_interp_taps: int = 8,
+    ) -> None:
+        if fs <= 0:
+            raise ValueError("fs must be positive")
+        if n_fft < 64 or n_fft & (n_fft - 1):
+            raise ValueError("n_fft must be a power of two >= 64")
+        if n_interp_taps < 2 or n_interp_taps % 2:
+            raise ValueError("n_interp_taps must be an even integer >= 2")
+        self.positions = np.asarray(mic_positions, dtype=np.float64)
+        if self.positions.ndim != 2 or self.positions.shape[1] != 3 or self.positions.shape[0] < 2:
+            raise ValueError("mic_positions must be (n_mics >= 2, 3)")
+        self.fs = float(fs)
+        self.grid = grid or DoaGrid()
+        self.n_fft = int(n_fft)
+        self.c = float(c)
+        self.n_interp_taps = int(n_interp_taps)
+        self.pairs = mic_pairs(self.positions.shape[0])
+
+        tdoas = pair_tdoas(self.positions, self.grid.directions(), c=self.c)  # (P, G) seconds
+        lags = tdoas * self.fs
+        # Feasible lag span per pair (plus interpolation guard).
+        half_span = int(np.ceil(np.abs(lags).max())) + n_interp_taps
+        if 2 * half_span + 1 > self.n_fft:
+            raise ValueError("array aperture too large for n_fft; increase n_fft")
+        self._half_span = half_span
+        base = np.floor(lags).astype(np.int64)
+        frac = lags - base
+        taps = np.arange(-(n_interp_taps // 2 - 1), n_interp_taps // 2 + 1)  # length n_taps
+        # Windowed-sinc read weights, shape (P, G, T).
+        arg = taps[None, None, :] - frac[:, :, None]
+        window = 0.5 + 0.5 * np.cos(np.pi * arg / (n_interp_taps // 2 + 1))
+        self._weights = np.sinc(arg) * np.clip(window, 0.0, None)
+        # Gather indices into the centred lag window, shape (P, G, T).
+        self._indices = base[:, :, None] + taps[None, None, :] + half_span
+
+    @property
+    def n_coefficients(self) -> int:
+        """Stored interpolation coefficients (real), the E4 coefficient count."""
+        return int(self._weights.size)
+
+    def map_from_frames(self, frames: np.ndarray) -> np.ndarray:
+        """SRP map from one multichannel frame, shape ``(n_az, n_el)``."""
+        frames = np.asarray(frames, dtype=np.float64)
+        if frames.ndim != 2 or frames.shape[0] != self.positions.shape[0]:
+            raise ValueError(f"frames must be (n_mics={self.positions.shape[0]}, L)")
+        if frames.shape[1] > self.n_fft // 2:
+            raise ValueError("frame longer than n_fft // 2; increase n_fft")
+        power = np.zeros(self.grid.size)
+        h = self._half_span
+        for p, (i, j) in enumerate(self.pairs):
+            spec = gcc_phat_spectrum(frames[i], frames[j], n_fft=self.n_fft)
+            cc = np.fft.irfft(spec, n=self.n_fft)
+            # Centred lag window: lag -h .. +h maps to index 0 .. 2h.
+            cc_win = np.concatenate([cc[-h:], cc[: h + 1]])
+            power += np.einsum("gt,gt->g", cc_win[self._indices[p]], self._weights[p])
+        return power.reshape(self.grid.shape)
+
+    def localize(self, frames: np.ndarray) -> SrpResult:
+        """Locate the dominant source in one multichannel frame."""
+        srp_map = self.map_from_frames(frames)
+        flat = int(np.argmax(srp_map))
+        az, el = self.grid.index_to_azel(flat)
+        direction = self.grid.directions()[flat]
+        return SrpResult(srp_map, az, el, direction)

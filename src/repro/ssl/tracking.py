@@ -1,0 +1,148 @@
+"""DOA tracking: constant-velocity Kalman filter on azimuth/elevation.
+
+The "t" of the SELD(t) problem.  The tracker smooths per-frame DOA
+estimates (from SRP-PHAT or Cross3D) and carries the source through short
+dropouts; azimuth wrap-around is handled by innovation unwrapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KalmanDoaTracker", "TrackState", "track_sequence"]
+
+
+@dataclass(frozen=True)
+class TrackState:
+    """One tracker output step.
+
+    Attributes
+    ----------
+    azimuth, elevation:
+        Smoothed direction, radians.
+    azimuth_rate, elevation_rate:
+        Estimated angular velocity, radians/step.
+    """
+
+    azimuth: float
+    elevation: float
+    azimuth_rate: float
+    elevation_rate: float
+
+
+class KalmanDoaTracker:
+    """Constant-velocity Kalman filter over ``(azimuth, elevation)``.
+
+    State is ``[az, el, az_rate, el_rate]``; azimuth innovations are wrapped
+    into ``[-pi, pi]`` so the filter tracks through the +-pi seam.
+
+    Parameters
+    ----------
+    process_noise:
+        Angular acceleration noise density (rad/step^2).
+    measurement_noise:
+        Measurement standard deviation (rad).
+    """
+
+    def __init__(self, *, process_noise: float = 0.02, measurement_noise: float = 0.1) -> None:
+        if process_noise <= 0 or measurement_noise <= 0:
+            raise ValueError("noise parameters must be positive")
+        self._q = float(process_noise)
+        self._r = float(measurement_noise)
+        self._x: np.ndarray | None = None
+        self._p: np.ndarray | None = None
+        self._f = np.eye(4)
+        self._f[0, 2] = 1.0
+        self._f[1, 3] = 1.0
+        self._h = np.zeros((2, 4))
+        self._h[0, 0] = 1.0
+        self._h[1, 1] = 1.0
+
+    @property
+    def initialized(self) -> bool:
+        """Whether the filter has been seeded with a measurement."""
+        return self._x is not None
+
+    def reset(self) -> None:
+        """Forget the current track."""
+        self._x = None
+        self._p = None
+
+    def update(self, azimuth: float, elevation: float | None = None) -> TrackState:
+        """Fuse one measurement; pass ``elevation=None`` for azimuth-only.
+
+        Missing detections can be skipped by calling :meth:`predict` instead.
+        """
+        if not -2 * np.pi <= azimuth <= 2 * np.pi:
+            raise ValueError("azimuth must be in radians")
+        el = 0.0 if elevation is None else float(elevation)
+        z = np.array([azimuth, el])
+        if self._x is None:
+            self._x = np.array([azimuth, el, 0.0, 0.0])
+            self._p = np.diag([self._r**2, self._r**2, 0.1, 0.1])
+            return self._state()
+        x, p = self._predict_internal()
+        innovation = z - self._h @ x
+        innovation[0] = (innovation[0] + np.pi) % (2 * np.pi) - np.pi
+        s = self._h @ p @ self._h.T + np.eye(2) * self._r**2
+        k = p @ self._h.T @ np.linalg.inv(s)
+        self._x = x + k @ innovation
+        self._x[0] = (self._x[0] + np.pi) % (2 * np.pi) - np.pi
+        self._p = (np.eye(4) - k @ self._h) @ p
+        return self._state()
+
+    def predict(self) -> TrackState:
+        """Advance one step without a measurement (detection dropout)."""
+        if self._x is None:
+            raise RuntimeError("tracker not initialized; call update first")
+        self._x, self._p = self._predict_internal()
+        self._x[0] = (self._x[0] + np.pi) % (2 * np.pi) - np.pi
+        return self._state()
+
+    def _predict_internal(self) -> tuple[np.ndarray, np.ndarray]:
+        q = self._q**2 * np.diag([0.25, 0.25, 1.0, 1.0])
+        return self._f @ self._x, self._f @ self._p @ self._f.T + q
+
+    def _state(self) -> TrackState:
+        x = self._x
+        return TrackState(float(x[0]), float(x[1]), float(x[2]), float(x[3]))
+
+
+def track_sequence(
+    azimuths: np.ndarray,
+    elevations: np.ndarray | None = None,
+    *,
+    detected: np.ndarray | None = None,
+    process_noise: float = 0.02,
+    measurement_noise: float = 0.1,
+) -> list[TrackState]:
+    """Run the tracker over a sequence of per-frame DOA estimates.
+
+    ``detected`` is an optional boolean mask; frames marked False are treated
+    as dropouts (prediction only).
+    """
+    azimuths = np.asarray(azimuths, dtype=np.float64)
+    if azimuths.ndim != 1 or azimuths.size == 0:
+        raise ValueError("azimuths must be a non-empty 1-D array")
+    if elevations is not None:
+        elevations = np.asarray(elevations, dtype=np.float64)
+        if elevations.shape != azimuths.shape:
+            raise ValueError("elevations must match azimuths in shape")
+    if detected is not None:
+        detected = np.asarray(detected, dtype=bool)
+        if detected.shape != azimuths.shape:
+            raise ValueError("detected mask must match azimuths in shape")
+    tracker = KalmanDoaTracker(process_noise=process_noise, measurement_noise=measurement_noise)
+    out: list[TrackState] = []
+    for t in range(azimuths.size):
+        if detected is not None and not detected[t]:
+            if tracker.initialized:
+                out.append(tracker.predict())
+            else:
+                out.append(TrackState(float("nan"), float("nan"), 0.0, 0.0))
+            continue
+        el = None if elevations is None else float(elevations[t])
+        out.append(tracker.update(float(azimuths[t]), el))
+    return out

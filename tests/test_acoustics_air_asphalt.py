@@ -1,0 +1,152 @@
+"""Tests for the air-absorption and asphalt-reflection models."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics.air import (
+    Atmosphere,
+    air_absorption_coefficient,
+    air_absorption_fir,
+    speed_of_sound,
+)
+from repro.acoustics.asphalt import (
+    SURFACE_PRESETS,
+    RoadSurface,
+    asphalt_reflection_fir,
+    reflection_magnitude,
+)
+from repro.dsp.filters import apply_fir
+
+
+class TestAtmosphere:
+    def test_defaults(self):
+        atm = Atmosphere()
+        assert atm.temperature_k == pytest.approx(293.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Atmosphere(temperature_c=-80.0)
+        with pytest.raises(ValueError):
+            Atmosphere(humidity=0.0)
+        with pytest.raises(ValueError):
+            Atmosphere(pressure_kpa=-1.0)
+
+    def test_speed_of_sound_20c(self):
+        assert speed_of_sound(Atmosphere(temperature_c=20.0)) == pytest.approx(343.2, abs=0.5)
+
+    def test_speed_increases_with_temperature(self):
+        assert speed_of_sound(Atmosphere(temperature_c=35.0)) > speed_of_sound(
+            Atmosphere(temperature_c=5.0)
+        )
+
+
+class TestAbsorptionCoefficient:
+    def test_increases_with_frequency(self):
+        alpha = air_absorption_coefficient(np.array([100.0, 1000.0, 10000.0]))
+        assert alpha[0] < alpha[1] < alpha[2]
+
+    def test_iso_magnitude_1khz(self):
+        # ISO 9613-1 at 20 degC / 50% RH gives ~5 dB/km around 1 kHz.
+        alpha = air_absorption_coefficient(np.array([1000.0]))[0]
+        assert 0.002 < alpha < 0.01  # dB/m
+
+    def test_iso_magnitude_10khz(self):
+        # Around 10 kHz the coefficient is on the order of 0.1-0.2 dB/m.
+        alpha = air_absorption_coefficient(np.array([10000.0]))[0]
+        assert 0.05 < alpha < 0.5
+
+    def test_zero_frequency_zero(self):
+        assert air_absorption_coefficient(np.array([0.0]))[0] == 0.0
+
+    def test_negative_frequency_raises(self):
+        with pytest.raises(ValueError):
+            air_absorption_coefficient(np.array([-1.0]))
+
+    def test_dry_air_absorbs_differently(self):
+        f = np.array([4000.0])
+        humid = air_absorption_coefficient(f, Atmosphere(humidity=80.0))[0]
+        dry = air_absorption_coefficient(f, Atmosphere(humidity=10.0))[0]
+        assert humid != pytest.approx(dry, rel=0.01)
+
+
+class TestAirAbsorptionFir:
+    def test_zero_distance_is_identity(self):
+        fs = 16000
+        h = air_absorption_fir(0.0, fs)
+        x = np.random.default_rng(0).standard_normal(512)
+        y = apply_fir(x, h, zero_phase_pad=True)
+        assert np.allclose(y[50:-50], x[50:-50], atol=0.01)
+
+    def test_longer_distance_attenuates_high_frequencies(self):
+        fs = 32000
+        t = np.arange(4096) / fs
+        hi = np.sin(2 * np.pi * 12000 * t)
+        h100 = air_absorption_fir(100.0, fs)
+        h500 = air_absorption_fir(500.0, fs)
+        e100 = np.std(apply_fir(hi, h100, zero_phase_pad=True)[200:-200])
+        e500 = np.std(apply_fir(hi, h500, zero_phase_pad=True)[200:-200])
+        assert e500 < e100 < 1.0
+
+    def test_low_frequencies_pass(self):
+        fs = 16000
+        t = np.arange(4096) / fs
+        lo = np.sin(2 * np.pi * 200 * t)
+        h = air_absorption_fir(200.0, fs)
+        e = np.std(apply_fir(lo, h, zero_phase_pad=True)[200:-200])
+        assert e == pytest.approx(np.std(lo[200:-200]), rel=0.1)
+
+    def test_negative_distance_raises(self):
+        with pytest.raises(ValueError):
+            air_absorption_fir(-1.0, 16000)
+
+
+class TestRoadSurface:
+    def test_presets_exist(self):
+        assert {"dense_asphalt", "porous_asphalt", "concrete", "wet_asphalt"} <= set(
+            SURFACE_PRESETS
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoadSurface("bad", absorption=(0.1,) * 7)  # length mismatch
+        with pytest.raises(ValueError):
+            RoadSurface("bad", absorption=(0.1,) * 7 + (1.2,))
+
+    def test_reflection_magnitude_bounds(self):
+        freqs = np.linspace(0, 8000, 100)
+        for surface in SURFACE_PRESETS.values():
+            r = reflection_magnitude(freqs, surface)
+            assert np.all((r > 0) & (r <= 1.0))
+
+    def test_porous_absorbs_more_than_dense(self):
+        freqs = np.array([1000.0, 2000.0])
+        r_dense = reflection_magnitude(freqs, SURFACE_PRESETS["dense_asphalt"])
+        r_porous = reflection_magnitude(freqs, SURFACE_PRESETS["porous_asphalt"])
+        assert np.all(r_porous < r_dense)
+
+
+class TestAsphaltFir:
+    def test_dense_asphalt_nearly_transparent(self):
+        fs = 16000
+        h = asphalt_reflection_fir("dense_asphalt", fs)
+        x = np.random.default_rng(1).standard_normal(1024)
+        y = apply_fir(x, h, zero_phase_pad=True)
+        ratio = np.std(y[100:-100]) / np.std(x[100:-100])
+        assert 0.9 < ratio <= 1.01
+
+    def test_porous_attenuates_midband(self):
+        fs = 16000
+        t = np.arange(4096) / fs
+        mid = np.sin(2 * np.pi * 1500 * t)
+        h = asphalt_reflection_fir("porous_asphalt", fs)
+        e = np.std(apply_fir(mid, h, zero_phase_pad=True)[200:-200])
+        assert e < 0.9 * np.std(mid[200:-200])
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError, match="unknown surface preset"):
+            asphalt_reflection_fir("gravel", 16000)
+
+    def test_custom_surface_accepted(self):
+        surface = RoadSurface("custom", absorption=(0.5,) * 8)
+        h = asphalt_reflection_fir(surface, 16000)
+        assert h.size == 33

@@ -1,0 +1,108 @@
+"""Tests for the variable-length fractional delay lines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acoustics.delay_line import (
+    INTERPOLATORS,
+    VariableDelayLine,
+    render_varying_delay,
+)
+
+
+class TestRenderVaryingDelay:
+    @pytest.mark.parametrize("interp", INTERPOLATORS)
+    def test_constant_integer_delay(self, interp):
+        x = np.random.default_rng(0).standard_normal(256)
+        d = np.full(256, 10.0)
+        y = render_varying_delay(x, d, interpolation=interp)
+        assert np.allclose(y[30:200], x[20:190], atol=1e-6)
+
+    @pytest.mark.parametrize("interp", INTERPOLATORS)
+    def test_constant_fractional_delay_tone(self, interp):
+        fs, f0, d = 8000, 400.0, 7.5
+        n = np.arange(1024)
+        x = np.sin(2 * np.pi * f0 * n / fs)
+        y = render_varying_delay(x, np.full(1024, d), interpolation=interp)
+        expected = np.sin(2 * np.pi * f0 * (n - d) / fs)
+        interior = slice(100, 900)
+        atol = 0.02 if interp == "linear" else 5e-3
+        assert np.allclose(y[interior], expected[interior], atol=atol)
+
+    def test_wavefront_silence_before_arrival(self):
+        x = np.ones(100)
+        d = np.full(100, 20.0)
+        y = render_varying_delay(x, d, interpolation="linear")
+        assert np.allclose(y[:19], 0.0)
+        assert y[30] == pytest.approx(1.0)
+
+    def test_shrinking_delay_compresses_time(self):
+        # A delay shrinking by 0.5 samples/sample plays the input at 1.5x
+        # speed: output frequency rises by the Doppler factor.
+        fs, f0 = 8000, 500.0
+        n = np.arange(4096)
+        x = np.sin(2 * np.pi * f0 * n / fs)
+        d = 300.0 - 0.5 * n / 4096 * 4096 / 8  # shrink 0.5 samples per 8 samples
+        d = 300.0 - n * 0.0625
+        y = render_varying_delay(x, np.clip(d, 0, None), interpolation="lagrange")
+        seg = y[2000:3000] * np.hanning(1000)
+        freqs = np.fft.rfftfreq(1000, 1 / fs)
+        peak = freqs[np.argmax(np.abs(np.fft.rfft(seg)))]
+        assert peak == pytest.approx(f0 * 1.0625, rel=0.02)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(ValueError):
+            render_varying_delay(np.ones(10), np.full(10, -1.0))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_varying_delay(np.ones(10), np.ones(5))
+
+    def test_unknown_interpolation_raises(self):
+        with pytest.raises(ValueError, match="unknown interpolation"):
+            render_varying_delay(np.ones(10), np.ones(10), interpolation="spline")
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(min_value=1.0, max_value=50.0))
+    def test_energy_bounded(self, delay):
+        rng = np.random.default_rng(int(delay * 7))
+        x = rng.standard_normal(512)
+        y = render_varying_delay(x, np.full(512, delay), interpolation="lagrange")
+        assert np.sqrt(np.mean(y**2)) <= 1.5 * np.sqrt(np.mean(x**2))
+
+
+class TestStreamingDelayLine:
+    def test_matches_vectorized(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal(200)
+        delays = 20.0 + 5.0 * np.sin(np.linspace(0, 3, 200))
+        vec = render_varying_delay(x, delays, interpolation="lagrange", order=3)
+        dl = VariableDelayLine(max_delay=50.0, order=3)
+        stream = np.array([dl.process(x[i], delays[i]) for i in range(200)])
+        assert np.allclose(stream, vec, atol=1e-9)
+
+    def test_zero_before_arrival(self):
+        dl = VariableDelayLine(max_delay=16.0)
+        outs = [dl.process(1.0, 10.0) for _ in range(8)]
+        assert all(o == 0.0 for o in outs)
+
+    def test_reset(self):
+        dl = VariableDelayLine(max_delay=8.0)
+        for _ in range(20):
+            dl.process(1.0, 2.0)
+        dl.reset()
+        assert dl.process(0.0, 2.0) == 0.0
+
+    def test_delay_out_of_range_raises(self):
+        dl = VariableDelayLine(max_delay=8.0)
+        dl.write(1.0)
+        with pytest.raises(ValueError):
+            dl.read(9.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            VariableDelayLine(max_delay=0.0)
+        with pytest.raises(ValueError):
+            VariableDelayLine(max_delay=8.0, order=0)

@@ -1,0 +1,125 @@
+"""Tests for repro.acoustics.trajectory."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acoustics.trajectory import (
+    BezierTrajectory,
+    CircularTrajectory,
+    LinearTrajectory,
+    StaticPosition,
+    WaypointTrajectory,
+)
+
+
+class TestStatic:
+    def test_position_constant(self):
+        tr = StaticPosition([1.0, 2.0, 3.0])
+        assert np.allclose(tr.position(0.0), tr.position(10.0))
+
+    def test_vectorized(self):
+        tr = StaticPosition([1.0, 2.0, 3.0])
+        pos = tr.positions(np.linspace(0, 1, 5))
+        assert pos.shape == (5, 3)
+        assert np.all(pos == [1.0, 2.0, 3.0])
+
+    def test_bad_point(self):
+        with pytest.raises(ValueError):
+            StaticPosition([1.0, 2.0])
+
+
+class TestLinear:
+    def test_speed(self):
+        tr = LinearTrajectory([0, 0, 1], [100, 0, 1], speed=10.0)
+        assert np.allclose(tr.position(1.0), [10.0, 0.0, 1.0])
+
+    def test_continues_past_end(self):
+        tr = LinearTrajectory([0, 0, 1], [10, 0, 1], speed=10.0)
+        assert tr.position(2.0)[0] == pytest.approx(20.0)
+
+    def test_vectorized_matches_scalar(self):
+        tr = LinearTrajectory([0, 1, 1], [3, 4, 1], speed=2.0)
+        t = np.array([0.0, 0.5, 1.3])
+        vec = tr.positions(t)
+        for i, ti in enumerate(t):
+            assert np.allclose(vec[i], tr.position(ti))
+
+    def test_measured_speed(self):
+        tr = LinearTrajectory([0, 0, 1], [100, 0, 1], speed=13.0)
+        assert tr.speed(1.0) == pytest.approx(13.0, rel=1e-3)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError, match="coincide"):
+            LinearTrajectory([1, 1, 1], [1, 1, 1], speed=5.0)
+        with pytest.raises(ValueError):
+            LinearTrajectory([0, 0, 0], [1, 0, 0], speed=0.0)
+
+
+class TestWaypoint:
+    def test_passes_through_waypoints(self):
+        wps = [[0, 0, 1], [10, 0, 1], [10, 10, 1]]
+        tr = WaypointTrajectory(wps, speed=10.0)
+        assert np.allclose(tr.position(1.0), [10, 0, 1])
+        assert np.allclose(tr.position(2.0), [10, 10, 1])
+
+    def test_stops_at_end(self):
+        tr = WaypointTrajectory([[0, 0, 1], [10, 0, 1]], speed=10.0)
+        assert np.allclose(tr.position(100.0), [10, 0, 1])
+
+    def test_total_time(self):
+        tr = WaypointTrajectory([[0, 0, 1], [10, 0, 1], [10, 10, 1]], speed=5.0)
+        assert tr.total_time == pytest.approx(4.0)
+
+    def test_duplicate_waypoints_raise(self):
+        with pytest.raises(ValueError, match="distinct"):
+            WaypointTrajectory([[0, 0, 1], [0, 0, 1]], speed=1.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            WaypointTrajectory([[0, 0, 1]], speed=1.0)
+
+
+class TestCircular:
+    def test_radius_preserved(self):
+        tr = CircularTrajectory([0, 0, 1], radius=5.0, speed=2.0)
+        pos = tr.positions(np.linspace(0, 20, 50))
+        r = np.linalg.norm(pos[:, :2], axis=1)
+        assert np.allclose(r, 5.0)
+
+    def test_speed_on_circle(self):
+        tr = CircularTrajectory([0, 0, 1], radius=5.0, speed=3.0)
+        assert tr.speed(1.0) == pytest.approx(3.0, rel=1e-3)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            CircularTrajectory([0, 0, 1], radius=0.0, speed=1.0)
+
+
+class TestBezier:
+    def test_endpoints(self):
+        tr = BezierTrajectory([0, 0, 1], [5, 5, 1], [10, -5, 1], [15, 0, 1], speed=5.0)
+        assert np.allclose(tr.position(0.0), [0, 0, 1])
+        end_time = tr.length / 5.0
+        assert np.allclose(tr.position(end_time + 1.0), [15, 0, 1], atol=1e-6)
+
+    def test_constant_speed_parameterization(self):
+        tr = BezierTrajectory([0, 0, 1], [2, 8, 1], [8, -8, 1], [10, 0, 1], speed=4.0)
+        t = np.linspace(0.1, tr.length / 4.0 - 0.1, 40)
+        pos = tr.positions(t)
+        step = np.linalg.norm(np.diff(pos, axis=0), axis=1)
+        dt = t[1] - t[0]
+        speeds = step / dt
+        assert np.all(np.abs(speeds - 4.0) < 0.25)
+
+    def test_straight_line_length(self):
+        tr = BezierTrajectory([0, 0, 1], [1, 0, 1], [2, 0, 1], [3, 0, 1], speed=1.0)
+        assert tr.length == pytest.approx(3.0, rel=1e-3)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(min_value=0.5, max_value=20.0))
+    def test_speed_scaling(self, speed):
+        tr = BezierTrajectory([0, 0, 1], [1, 2, 1], [3, 2, 1], [4, 0, 1], speed=speed)
+        mid = tr.length / speed / 2.0
+        assert tr.speed(mid) == pytest.approx(speed, rel=0.1)

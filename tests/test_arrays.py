@@ -1,0 +1,119 @@
+"""Tests for array topologies, metrics and the geometry assessment."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import (
+    AssessmentConfig,
+    aperture,
+    assess_geometry,
+    car_corner_array,
+    car_roof_array,
+    doa_condition_number,
+    max_tdoa,
+    min_spacing,
+    rectangular_array,
+    spatial_aliasing_frequency,
+    uniform_circular_array,
+    uniform_linear_array,
+)
+
+
+class TestTopologies:
+    def test_ula_spacing(self):
+        pos = uniform_linear_array(4, 0.05)
+        assert pos.shape == (4, 3)
+        d = np.diff(pos[:, 1])
+        assert np.allclose(d, 0.05)
+
+    def test_ula_centered(self):
+        pos = uniform_linear_array(5, 0.1, center=(1.0, 2.0, 1.5))
+        assert np.allclose(pos.mean(axis=0), [1.0, 2.0, 1.5])
+
+    def test_uca_radius(self):
+        pos = uniform_circular_array(8, 0.2)
+        r = np.linalg.norm(pos[:, :2] - pos[:, :2].mean(axis=0), axis=1)
+        assert np.allclose(r, 0.2)
+
+    def test_grid_count(self):
+        assert rectangular_array(3, 4, 0.1).shape == (12, 3)
+
+    def test_car_arrays_above_road(self):
+        for pos in (car_roof_array(), car_corner_array()):
+            assert np.all(pos[:, 2] > 0)
+
+    def test_car_corner_has_six(self):
+        assert car_corner_array().shape == (6, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_linear_array(0, 0.1)
+        with pytest.raises(ValueError):
+            uniform_circular_array(1, 0.1)
+        with pytest.raises(ValueError):
+            rectangular_array(2, 2, -0.1)
+
+
+class TestMetrics:
+    def test_aperture_ula(self):
+        pos = uniform_linear_array(4, 0.1)
+        assert aperture(pos) == pytest.approx(0.3)
+
+    def test_min_spacing(self):
+        pos = uniform_linear_array(4, 0.1)
+        assert min_spacing(pos) == pytest.approx(0.1)
+
+    def test_aliasing_frequency(self):
+        pos = uniform_linear_array(2, 0.1)
+        assert spatial_aliasing_frequency(pos) == pytest.approx(343.0 / 0.2)
+
+    def test_max_tdoa(self):
+        pos = uniform_linear_array(2, 0.343)
+        assert max_tdoa(pos) == pytest.approx(1e-3)
+
+    def test_ula_condition_infinite(self):
+        assert doa_condition_number(uniform_linear_array(4, 0.1)) == float("inf")
+
+    def test_uca_condition_isotropic(self):
+        cond = doa_condition_number(uniform_circular_array(8, 0.2))
+        assert cond == pytest.approx(1.0, abs=0.01)
+
+    def test_needs_two_mics(self):
+        with pytest.raises(ValueError):
+            aperture(np.array([[0.0, 0.0, 1.0]]))
+
+
+class TestAssessment:
+    def test_uca_beats_tiny_array(self):
+        # At low SNR a healthy aperture resolves TDOAs a 2 cm array cannot.
+        cfg = AssessmentConfig(n_directions=8, seed=0, snr_db=-12.0)
+        big = assess_geometry(uniform_circular_array(6, 0.15, center=(0, 0, 1.0)), cfg)
+        small = assess_geometry(uniform_circular_array(3, 0.02, center=(0, 0, 1.0)), cfg)
+        assert big.mean_error_deg < small.mean_error_deg
+
+    def test_oversized_aperture_aliases_at_low_snr(self):
+        # The E10 crossover: a 0.5 m-spaced array spatially aliases broadband
+        # noise (aliasing ~343 Hz), so at low SNR it loses to a compact array.
+        cfg = AssessmentConfig(n_directions=8, seed=0, snr_db=-12.0)
+        compact = assess_geometry(uniform_circular_array(6, 0.15, center=(0, 0, 1.0)), cfg)
+        huge = assess_geometry(uniform_circular_array(6, 0.75, center=(0, 0, 1.0)), cfg)
+        assert compact.mean_error_deg <= huge.mean_error_deg
+
+    def test_result_fields(self):
+        cfg = AssessmentConfig(n_directions=6, seed=1)
+        res = assess_geometry(uniform_circular_array(4, 0.3, center=(0, 0, 1.0)), cfg)
+        assert res.errors_deg.shape == (6,)
+        assert res.aperture_m == pytest.approx(0.6)
+        assert res.median_error_deg <= res.p90_error_deg + 1e-9
+        assert np.isfinite(res.mean_error_deg)
+
+    def test_car_corner_reasonable(self):
+        cfg = AssessmentConfig(n_directions=6, seed=2, source_distance=40.0)
+        res = assess_geometry(car_corner_array(), cfg)
+        assert res.mean_error_deg < 20.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AssessmentConfig(n_directions=1)
+        with pytest.raises(ValueError):
+            AssessmentConfig(source_distance=-1.0)

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["generate-dataset"])
+        assert args.n_samples == 100
+        assert args.snr_low == -30.0
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestGenerateDataset(object):
+    def test_writes_npz(self, tmp_path, capsys):
+        out = tmp_path / "clips.npz"
+        code = main(
+            [
+                "generate-dataset",
+                "--n-samples",
+                "6",
+                "--duration",
+                "0.5",
+                "--fs",
+                "4000",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        data = np.load(out)
+        assert data["waveforms"].shape == (6, 2000)
+        assert data["labels"].shape == (6,)
+        assert "wrote 6 clips" in capsys.readouterr().out
+
+
+class TestAssessArray:
+    def test_uca_report(self, capsys):
+        code = main(
+            ["assess-array", "--topology", "uca", "--n-mics", "4", "--size", "0.15",
+             "--n-directions", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "aperture" in out
+        assert "mean error" in out
+
+    def test_ula_reports_inf_condition(self, capsys):
+        code = main(
+            ["assess-array", "--topology", "ula", "--n-mics", "3", "--size", "0.1",
+             "--n-directions", "4"]
+        )
+        assert code == 0
+        assert "inf" in capsys.readouterr().out
+
+
+class TestCodesign:
+    def test_runs_and_reports(self, capsys):
+        code = main(
+            ["codesign", "--base-channels", "8", "--n-blocks", "2", "--error-budget", "1.0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "(baseline)" in out

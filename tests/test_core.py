@@ -1,0 +1,240 @@
+"""Tests for the end-to-end pipeline, modes and real-time accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AcousticPerceptionPipeline,
+    EnergyTrigger,
+    LatencyMonitor,
+    ParkModeController,
+    PipelineConfig,
+    measure_latency,
+    mode_energy_report,
+    realtime_ok,
+)
+from repro.hw import RASPI4
+from repro.sed.events import EVENT_CLASSES
+
+MICS = np.array(
+    [[0.1, 0.1, 1.0], [0.1, -0.1, 1.0], [-0.1, -0.1, 1.0], [-0.1, 0.1, 1.0]]
+)
+CFG = PipelineConfig(fs=16000.0, frame_length=512, hop_length=256, n_azimuth=24, n_elevation=2)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return AcousticPerceptionPipeline(MICS, CFG)
+
+
+class TestPipelineConfig:
+    def test_frame_period(self):
+        assert CFG.frame_period_s == pytest.approx(0.016)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(frame_length=500)
+        with pytest.raises(ValueError):
+            PipelineConfig(localizer="beamformer")
+        with pytest.raises(ValueError):
+            PipelineConfig(hop_length=0)
+        with pytest.raises(ValueError):
+            PipelineConfig(n_fft_srp=512, frame_length=512)
+
+
+class TestPipeline:
+    def test_process_frame_fields(self, pipeline):
+        rng = np.random.default_rng(0)
+        result = pipeline.process_frame(rng.standard_normal((4, 512)))
+        assert result.label in EVENT_CLASSES
+        assert 0.0 <= result.confidence <= 1.0
+
+    def test_process_signal_counts_frames(self, pipeline):
+        pipeline.reset()
+        rng = np.random.default_rng(1)
+        results = pipeline.process_signal(rng.standard_normal((4, 4000)))
+        assert len(results) == 1 + (4000 - 512) // 256
+        assert [r.frame_index for r in results] == list(range(len(results)))
+
+    def test_frame_shape_validation(self, pipeline):
+        with pytest.raises(ValueError):
+            pipeline.process_frame(np.zeros((4, 100)))
+        with pytest.raises(ValueError):
+            pipeline.process_signal(np.zeros((2, 4000)))
+
+    def test_detection_triggers_localization(self):
+        # A detector that always reports a confident siren forces the SSL path.
+        from repro.nn import Dense, Sequential
+
+        class AlwaysSiren(Sequential):
+            def __init__(self):
+                super().__init__(Dense(CFG.n_mels, len(EVENT_CLASSES)))
+
+            def forward(self, x):
+                out = np.full((x.shape[0], len(EVENT_CLASSES)), -10.0)
+                out[:, 1] = 10.0  # siren_wail
+                return out
+
+        p = AcousticPerceptionPipeline(MICS, CFG, detector=AlwaysSiren())
+        rng = np.random.default_rng(2)
+        result = p.process_frame(rng.standard_normal((4, 512)))
+        assert result.detected
+        assert np.isfinite(result.azimuth)
+
+    def test_to_ir_has_pipeline_stages(self, pipeline):
+        ir = pipeline.to_ir()
+        kinds = {op.kind for op in ir.ops()}
+        assert {"fft", "filterbank", "gcc", "srp_steer"} <= kinds
+
+    def test_fast_localizer_cheaper_in_ir(self):
+        from repro.hw import estimate_cost
+
+        slow = AcousticPerceptionPipeline(MICS, PipelineConfig(localizer="srp"))
+        fast = AcousticPerceptionPipeline(MICS, PipelineConfig(localizer="srp_fast"))
+        c_slow = estimate_cost(slow.to_ir(), RASPI4)
+        c_fast = estimate_cost(fast.to_ir(), RASPI4)
+        assert c_fast.latency_s < c_slow.latency_s
+
+
+class TestEnergyTrigger:
+    def test_triggers_on_band_energy_step(self):
+        fs, n = 16000.0, 512
+        trig = EnergyTrigger(fs, n, threshold_db=6.0)
+        rng = np.random.default_rng(3)
+        t = np.arange(n) / fs
+        quiet = 0.01 * rng.standard_normal((40, n))
+        fired_quiet = [trig(f) for f in quiet]
+        loud = 5.0 * np.sin(2 * np.pi * 1000 * t)
+        assert not any(fired_quiet[1:])
+        assert trig(loud + 0.01 * rng.standard_normal(n))
+
+    def test_ignores_out_of_band_rumble(self):
+        fs, n = 16000.0, 512
+        trig = EnergyTrigger(fs, n, band_hz=(300.0, 2000.0), threshold_db=6.0)
+        rng = np.random.default_rng(4)
+        t = np.arange(n) / fs
+        for _ in range(20):
+            trig(0.01 * rng.standard_normal(n))
+        rumble = 5.0 * np.sin(2 * np.pi * 50 * t)
+        assert not trig(rumble)
+
+    def test_ir_is_cheap(self):
+        from repro.hw import estimate_cost
+
+        trig = EnergyTrigger(16000.0, 512)
+        cost = estimate_cost(trig.to_ir(), RASPI4)
+        assert cost.latency_s < 1e-3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyTrigger(16000.0, 512, band_hz=(2000.0, 300.0))
+        with pytest.raises(ValueError):
+            EnergyTrigger(16000.0, 512, threshold_db=0.0)
+
+
+class TestParkMode:
+    def test_sleeps_on_quiet_input(self, pipeline):
+        pipeline.reset()
+        park = ParkModeController(pipeline, wake_frames=5)
+        rng = np.random.default_rng(5)
+        out = park.process_signal(0.01 * rng.standard_normal((4, 16000)))
+        assert park.duty_cycle < 0.5
+        assert sum(1 for r in out if r is None) > 0
+
+    def test_wakes_on_loud_event(self, pipeline):
+        pipeline.reset()
+        park = ParkModeController(pipeline, wake_frames=5)
+        fs, n = 16000, 24000
+        rng = np.random.default_rng(6)
+        sig = 0.005 * rng.standard_normal((4, n))
+        t = np.arange(8000) / fs
+        sig[:, 12000:20000] += 2.0 * np.sin(2 * np.pi * 900 * t)
+        park.process_signal(sig)
+        assert park.frames_awake > 0
+
+    def test_energy_report_savings(self, pipeline):
+        report = mode_energy_report(pipeline, RASPI4, duty_cycle=0.02)
+        assert report.park_power_w < report.drive_power_w
+        assert report.savings_factor > 1.0
+
+    def test_energy_report_full_duty_no_savings(self, pipeline):
+        report = mode_energy_report(pipeline, RASPI4, duty_cycle=1.0)
+        assert report.savings_factor == pytest.approx(1.0, abs=0.3)
+
+    def test_validation(self, pipeline):
+        with pytest.raises(ValueError):
+            ParkModeController(pipeline, wake_frames=0)
+        with pytest.raises(ValueError):
+            mode_energy_report(pipeline, RASPI4, duty_cycle=1.5)
+
+
+class TestRealtime:
+    def test_measure_latency(self):
+        stats = measure_latency(lambda: None, deadline_s=0.01, repeats=5)
+        assert stats.realtime
+        assert stats.headroom > 1.0
+
+    def test_realtime_ok(self):
+        assert realtime_ok(0.005, 0.016)
+        assert not realtime_ok(0.02, 0.016)
+        assert not realtime_ok(0.01, 0.016, margin=2.0)
+
+    def test_monitor_counts_misses(self):
+        mon = LatencyMonitor(deadline_s=1e-9)
+        for _ in range(3):
+            mon.tick_start()
+            sum(range(1000))
+            mon.tick_end()
+        assert mon.n_ticks == 3
+        assert mon.misses == 3
+
+    def test_monitor_stats(self):
+        mon = LatencyMonitor(deadline_s=1.0)
+        mon.tick_start()
+        mon.tick_end()
+        stats = mon.stats()
+        assert stats.deadline_s == 1.0
+        assert stats.realtime
+
+    def test_monitor_misuse_raises(self):
+        mon = LatencyMonitor(1.0)
+        with pytest.raises(RuntimeError):
+            mon.tick_end()
+        with pytest.raises(RuntimeError):
+            mon.stats()
+
+    def test_pipeline_tick_meets_deadline_on_host(self, pipeline):
+        # The host machine is far faster than a RasPi; one tick must fit the
+        # 16 ms hop comfortably.
+        rng = np.random.default_rng(7)
+        frames = rng.standard_normal((4, 512))
+        stats = measure_latency(
+            lambda: pipeline.process_frame(frames), CFG.frame_period_s, repeats=10
+        )
+        assert stats.mean_s < CFG.frame_period_s
+
+
+class TestMusicLocalizerOption:
+    def test_pipeline_with_music_localizer(self):
+        from repro.ssl.music import MusicDoa
+
+        cfg = PipelineConfig(localizer="music", n_azimuth=24, n_elevation=2)
+        p = AcousticPerceptionPipeline(MICS, cfg)
+        assert isinstance(p.localizer, MusicDoa)
+        rng = np.random.default_rng(8)
+        result = p.process_frame(rng.standard_normal((4, cfg.frame_length)))
+        assert result.label in EVENT_CLASSES
+
+    def test_music_ir_costed(self):
+        from repro.hw import estimate_cost
+
+        cfg = PipelineConfig(localizer="music", n_azimuth=24, n_elevation=2)
+        p = AcousticPerceptionPipeline(MICS, cfg)
+        cost = estimate_cost(p.to_ir(), RASPI4)
+        assert cost.latency_s > 0
+        kinds = {op.kind for op in p.to_ir().ops()}
+        assert "srp_steer" in kinds
+
+    def test_invalid_localizer_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(localizer="espirit")

@@ -1,0 +1,163 @@
+"""Tests for alert policy, anomaly detection, and pipelined scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.core import AlertPolicy, PipelineConfig
+from repro.core.pipeline import FrameResult
+from repro.hw import RASPI4, estimate_cost, pipeline_schedule, plan_stages
+from repro.sed import anomaly_scores, detect_anomaly, fit_template, synthesize_engine
+
+
+def frame(i, label="siren_wail", conf=0.9, detected=True, az=0.5):
+    return FrameResult(i, label, conf, detected, az, 0.0)
+
+
+def quiet(i):
+    return FrameResult(i, "background", 0.9, False, float("nan"), float("nan"))
+
+
+class TestAlertPolicy:
+    def test_raises_after_debounce(self):
+        policy = AlertPolicy(on_frames=3, off_frames=5)
+        assert policy.update(frame(0)) is None
+        assert policy.update(frame(1)) is None
+        alert = policy.update(frame(2))
+        assert alert is not None and alert.kind == "raised"
+        assert policy.active
+
+    def test_single_frame_does_not_raise(self):
+        policy = AlertPolicy(on_frames=3, off_frames=5)
+        policy.update(frame(0))
+        assert policy.update(quiet(1)) is None
+        assert not policy.active
+
+    def test_clears_after_off_debounce(self):
+        policy = AlertPolicy(on_frames=2, off_frames=3)
+        for i in range(2):
+            policy.update(frame(i))
+        assert policy.active
+        results = [policy.update(quiet(2 + i)) for i in range(3)]
+        assert results[-1].kind == "cleared"
+        assert not policy.active
+
+    def test_survives_short_dropouts(self):
+        policy = AlertPolicy(on_frames=2, off_frames=5)
+        for i in range(2):
+            policy.update(frame(i))
+        policy.update(quiet(2))
+        policy.update(frame(3))
+        assert policy.active
+
+    def test_approaching_trend(self):
+        policy = AlertPolicy(on_frames=2, off_frames=5, trend_window=10, trend_threshold=0.001)
+        last = None
+        for i in range(25):
+            conf = 0.3 + 0.02 * i  # rising confidence = approaching
+            last = policy.update(frame(i, conf=min(conf, 0.95)))
+        assert last is not None and last.approaching is True
+
+    def test_receding_trend(self):
+        policy = AlertPolicy(on_frames=2, off_frames=30, trend_window=10, trend_threshold=0.001)
+        last = None
+        for i in range(25):
+            conf = max(0.9 - 0.02 * i, 0.3)
+            last = policy.update(frame(i, conf=conf))
+        assert last is not None and last.approaching is False
+
+    def test_process_returns_transitions(self):
+        policy = AlertPolicy(on_frames=2, off_frames=2)
+        stream = [frame(0), frame(1), quiet(2), quiet(3), frame(4), frame(5)]
+        alerts = policy.process(stream)
+        kinds = [a.kind for a in alerts]
+        assert kinds == ["raised", "cleared", "raised"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AlertPolicy(on_frames=0)
+        with pytest.raises(ValueError):
+            AlertPolicy(trend_window=2)
+
+
+FS = 16000.0
+
+
+class TestAnomalyDetection:
+    @pytest.fixture(scope="class")
+    def template(self):
+        healthy = synthesize_engine(4.0, FS, rng=np.random.default_rng(0))
+        return fit_template(healthy, FS)
+
+    def test_healthy_engine_passes(self, template):
+        audio = synthesize_engine(2.0, FS, rng=np.random.default_rng(1))
+        is_bad, fraction = detect_anomaly(audio, template)
+        assert not is_bad
+        assert fraction < 0.2
+
+    @pytest.mark.parametrize("defect", ["bearing", "whine", "misfire"])
+    def test_defects_flagged(self, template, defect):
+        audio = synthesize_engine(
+            2.0, FS, defect=defect, defect_level=0.8, rng=np.random.default_rng(2)
+        )
+        is_bad, fraction = detect_anomaly(audio, template)
+        assert is_bad, f"{defect} not detected (fraction {fraction:.2f})"
+
+    def test_scores_higher_for_defect(self, template):
+        healthy = synthesize_engine(2.0, FS, rng=np.random.default_rng(3))
+        whine = synthesize_engine(2.0, FS, defect="whine", rng=np.random.default_rng(3))
+        assert anomaly_scores(whine, template).mean() > anomaly_scores(healthy, template).mean()
+
+    def test_rpm_shift_partial_robustness(self, template):
+        # Small rpm change should score lower than an actual defect.
+        shifted = synthesize_engine(2.0, FS, rpm=2500.0, rng=np.random.default_rng(4))
+        whine = synthesize_engine(2.0, FS, defect="whine", defect_level=0.8,
+                                  rng=np.random.default_rng(4))
+        assert anomaly_scores(shifted, template).mean() < anomaly_scores(whine, template).mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_template(np.zeros(100), FS)
+        with pytest.raises(ValueError):
+            synthesize_engine(1.0, FS, defect="gearbox")
+
+
+class TestPipelineSchedule:
+    @pytest.fixture(scope="class")
+    def ir(self):
+        from repro.core import AcousticPerceptionPipeline
+
+        mics = np.array(
+            [[0.1, 0.1, 1.0], [0.1, -0.1, 1.0], [-0.1, -0.1, 1.0], [-0.1, 0.1, 1.0]]
+        )
+        return AcousticPerceptionPipeline(mics, PipelineConfig()).to_ir()
+
+    def test_stage_partition_covers_all_ops(self, ir):
+        stages = plan_stages(ir, RASPI4, 3)
+        all_ops = [o for s in stages for o in s.ops]
+        assert all_ops == [op.name for op in ir.ops()]
+        assert len(stages) == 3
+
+    def test_single_stage_equals_serial(self, ir):
+        schedule = pipeline_schedule(ir, RASPI4, n_stages=1)
+        serial = estimate_cost(ir, RASPI4)
+        assert schedule.frame_latency_s == pytest.approx(serial.latency_s)
+        assert schedule.initiation_interval_s == pytest.approx(serial.latency_s)
+
+    def test_pipelining_improves_throughput(self, ir):
+        s1 = pipeline_schedule(ir, RASPI4, n_stages=1)
+        s3 = pipeline_schedule(ir, RASPI4, n_stages=3)
+        assert s3.initiation_interval_s < s1.initiation_interval_s
+        assert s3.throughput_fps > s1.throughput_fps
+        # But end-to-end latency is unchanged (same work).
+        assert s3.frame_latency_s == pytest.approx(s1.frame_latency_s)
+
+    def test_deadline_check(self, ir):
+        schedule = pipeline_schedule(ir, RASPI4, n_stages=2)
+        assert schedule.meets_deadline(1.0)
+        assert not schedule.meets_deadline(1e-9)
+        with pytest.raises(ValueError):
+            schedule.meets_deadline(0.0)
+
+    def test_validation(self, ir):
+        with pytest.raises(ValueError):
+            plan_stages(ir, RASPI4, 0)

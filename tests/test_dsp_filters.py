@@ -1,0 +1,159 @@
+"""Tests for repro.dsp.filters: FIR design and fractional delays."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.filters import (
+    apply_fir,
+    fir_from_magnitude,
+    fir_lowpass,
+    fractional_delay_kernel,
+    lagrange_fractional_delay,
+    octave_band_centers,
+)
+
+
+class TestOctaveBands:
+    def test_doubling(self):
+        bands = octave_band_centers(62.5, 5)
+        assert np.allclose(bands, [62.5, 125, 250, 500, 1000])
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            octave_band_centers(-1, 3)
+
+
+class TestFirFromMagnitude:
+    def test_matches_flat_spec(self):
+        fs = 16000
+        h = fir_from_magnitude(np.array([0.0, 8000.0]), np.array([1.0, 1.0]), 63, fs)
+        w = np.abs(np.fft.rfft(h, 1024))
+        grid = np.fft.rfftfreq(1024, 1 / fs)
+        inner = (grid > 500) & (grid < 7000)
+        assert np.allclose(w[inner], 1.0, atol=0.05)
+
+    def test_matches_sloped_spec(self):
+        fs = 16000
+        freqs = np.array([0.0, 2000.0, 8000.0])
+        mags = np.array([1.0, 0.5, 0.1])
+        h = fir_from_magnitude(freqs, mags, 101, fs)
+        w = np.abs(np.fft.rfft(h, 2048))
+        grid = np.fft.rfftfreq(2048, 1 / fs)
+        for f_spec, m_spec in [(2000.0, 0.5)]:
+            k = np.argmin(np.abs(grid - f_spec))
+            assert w[k] == pytest.approx(m_spec, abs=0.08)
+
+    def test_even_taps_rounded_up(self):
+        h = fir_from_magnitude(np.array([0.0, 1000.0]), np.array([1.0, 1.0]), 10, 8000)
+        assert h.size == 11
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            fir_from_magnitude(np.array([100.0, 100.0]), np.array([1.0, 1.0]), 31, 8000)
+        with pytest.raises(ValueError, match="non-negative"):
+            fir_from_magnitude(np.array([0.0, 100.0]), np.array([1.0, -1.0]), 31, 8000)
+        with pytest.raises(ValueError):
+            fir_from_magnitude(np.array([0.0, 100.0]), np.array([1.0, 1.0]), 1, 8000)
+
+
+class TestFractionalDelayKernel:
+    def test_integer_delay_recovers_shift(self):
+        kernel, shift = fractional_delay_kernel(5.0, 31)
+        x = np.zeros(64)
+        x[10] = 1.0
+        y = np.convolve(x, kernel)
+        peak = np.argmax(y) + shift
+        assert peak == 15
+
+    def test_fractional_delay_interpolates_tone(self):
+        fs, f0, d = 8000, 500.0, 3.37
+        n = np.arange(256)
+        x = np.sin(2 * np.pi * f0 * n / fs)
+        kernel, shift = fractional_delay_kernel(d, 31)
+        y_full = np.convolve(x, kernel)
+        y = y_full[-shift : -shift + x.size] if shift < 0 else y_full[shift:shift + x.size]
+        expected = np.sin(2 * np.pi * f0 * (n - d) / fs)
+        interior = slice(40, 200)
+        assert np.allclose(y[interior], expected[interior], atol=1e-3)
+
+    def test_kernel_sums_to_one(self):
+        kernel, _ = fractional_delay_kernel(2.5, 21)
+        assert kernel.sum() == pytest.approx(1.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            fractional_delay_kernel(-1.0)
+        with pytest.raises(ValueError):
+            fractional_delay_kernel(1.0, 4)
+
+
+class TestLagrange:
+    def test_order1_is_linear_interp(self):
+        h = lagrange_fractional_delay(0.25, 1)
+        assert np.allclose(h, [0.75, 0.25])
+
+    def test_frac_zero_is_identity_tap(self):
+        h = lagrange_fractional_delay(0.0, 3)
+        assert h[1] == pytest.approx(1.0)
+        assert np.allclose(np.delete(h, 1), 0.0, atol=1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=0.999), st.sampled_from([1, 3, 5]))
+    def test_partition_of_unity(self, frac, order):
+        h = lagrange_fractional_delay(frac, order)
+        assert np.sum(h) == pytest.approx(1.0, abs=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=0.999))
+    def test_reproduces_polynomial(self, frac):
+        # Order-3 Lagrange must be exact on cubic polynomials.
+        h = lagrange_fractional_delay(frac, 3)
+        n = np.arange(4, dtype=np.float64)
+        d = frac + 1.0
+        for p in range(4):
+            val = np.dot(h, n**p)
+            assert val == pytest.approx(d**p, abs=1e-7)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            lagrange_fractional_delay(1.0, 3)
+        with pytest.raises(ValueError):
+            lagrange_fractional_delay(0.5, 0)
+
+
+class TestLowpassAndApply:
+    def test_lowpass_attenuates_high(self):
+        fs = 8000
+        h = fir_lowpass(1000.0, fs, 101)
+        t = np.arange(2048) / fs
+        low = apply_fir(np.sin(2 * np.pi * 300 * t), h, zero_phase_pad=True)
+        high = apply_fir(np.sin(2 * np.pi * 3000 * t), h, zero_phase_pad=True)
+        assert np.std(low[300:-300]) > 10 * np.std(high[300:-300])
+
+    def test_lowpass_dc_gain_unity(self):
+        h = fir_lowpass(500.0, 8000)
+        assert h.sum() == pytest.approx(1.0)
+
+    def test_apply_fir_identity(self):
+        x = np.random.default_rng(0).standard_normal(256)
+        assert np.allclose(apply_fir(x, np.array([1.0])), x)
+
+    def test_apply_fir_delay_kernel(self):
+        x = np.zeros(64)
+        x[5] = 1.0
+        y = apply_fir(x, np.array([0.0, 0.0, 1.0]))
+        assert np.argmax(y) == 7
+
+    def test_zero_phase_pad_alignment(self):
+        x = np.zeros(64)
+        x[20] = 1.0
+        h = np.zeros(11)
+        h[5] = 1.0  # pure group delay of 5
+        y = apply_fir(x, h, zero_phase_pad=True)
+        assert np.argmax(y) == 20
+
+    def test_invalid_cutoff(self):
+        with pytest.raises(ValueError):
+            fir_lowpass(5000.0, 8000)

@@ -1,0 +1,97 @@
+"""Tests for repro.dsp.levels: RMS, dB conversion, exact SNR mixing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.levels import (
+    db_to_linear,
+    linear_to_db,
+    mix_at_snr,
+    normalize_peak,
+    rms,
+    snr_db,
+)
+
+
+class TestRms:
+    def test_constant(self):
+        assert rms(np.full(100, 2.0)) == pytest.approx(2.0)
+
+    def test_sine(self):
+        t = np.linspace(0, 1, 8000, endpoint=False)
+        assert rms(np.sin(2 * np.pi * 100 * t)) == pytest.approx(1 / np.sqrt(2), abs=1e-3)
+
+    def test_empty(self):
+        assert rms(np.array([])) == 0.0
+
+
+class TestDbConversions:
+    def test_round_trip(self):
+        assert linear_to_db(db_to_linear(-12.5)) == pytest.approx(-12.5)
+
+    def test_zero_floor(self):
+        assert linear_to_db(0.0) == -200.0
+
+    def test_factor_of_ten(self):
+        assert db_to_linear(20.0) == pytest.approx(10.0)
+
+
+class TestSnr:
+    def test_equal_levels(self):
+        x = np.ones(100)
+        assert snr_db(x, x) == pytest.approx(0.0)
+
+    def test_silent_noise_inf(self):
+        assert snr_db(np.ones(10), np.zeros(10)) == float("inf")
+
+
+class TestMixAtSnr:
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=-30.0, max_value=0.0))
+    def test_achieved_snr_exact(self, target):
+        rng = np.random.default_rng(0)
+        sig = np.sin(np.linspace(0, 50, 2000))
+        noise = rng.standard_normal(2000)
+        mix, gain = mix_at_snr(sig, noise, target)
+        achieved = snr_db(sig, gain * noise[: sig.size])
+        assert achieved == pytest.approx(target, abs=1e-9)
+
+    def test_noise_tiled_when_short(self):
+        sig = np.ones(100)
+        noise = np.array([1.0, -1.0])
+        mix, _ = mix_at_snr(sig, noise, 0.0)
+        assert mix.shape == (100,)
+
+    def test_silent_signal_raises(self):
+        with pytest.raises(ValueError, match="silent"):
+            mix_at_snr(np.zeros(10), np.ones(10), 0.0)
+
+    def test_silent_noise_raises(self):
+        with pytest.raises(ValueError, match="silent"):
+            mix_at_snr(np.ones(10), np.zeros(10), 0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mix_at_snr(np.array([]), np.ones(10), 0.0)
+
+
+class TestNormalizePeak:
+    def test_peak_value(self):
+        y = normalize_peak(np.array([0.1, -0.5, 0.2]), peak=0.9)
+        assert np.max(np.abs(y)) == pytest.approx(0.9)
+
+    def test_silent_passthrough(self):
+        y = normalize_peak(np.zeros(10))
+        assert np.all(y == 0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.floats(min_value=-10, max_value=10), min_size=2, max_size=50))
+    def test_idempotent(self, values):
+        x = np.asarray(values)
+        if np.max(np.abs(x)) == 0:
+            return
+        once = normalize_peak(x)
+        twice = normalize_peak(once)
+        assert np.allclose(once, twice)

@@ -1,0 +1,46 @@
+"""Tests for repro.dsp.resample."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.resample import resample, time_axis
+
+
+class TestResample:
+    def test_identity(self):
+        x = np.random.default_rng(0).standard_normal(100)
+        assert np.allclose(resample(x, 8000, 8000), x)
+
+    def test_doubling_length(self):
+        x = np.zeros(1000)
+        assert resample(x, 8000, 16000).size == 2000
+
+    def test_preserves_tone_frequency(self):
+        fs_in, fs_out, f0 = 8000, 16000, 440.0
+        t = np.arange(fs_in) / fs_in
+        x = np.sin(2 * np.pi * f0 * t)
+        y = resample(x, fs_in, fs_out)
+        spec = np.abs(np.fft.rfft(y * np.hanning(y.size)))
+        freqs = np.fft.rfftfreq(y.size, 1 / fs_out)
+        assert abs(freqs[np.argmax(spec)] - f0) < 2.0
+
+    def test_441_to_16k(self):
+        x = np.ones(4410)
+        y = resample(x, 44100, 16000)
+        assert y.size == 1600
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            resample(np.ones(10), 0, 8000)
+
+
+class TestTimeAxis:
+    def test_values(self):
+        t = time_axis(4, 2.0)
+        assert np.allclose(t, [0.0, 0.5, 1.0, 1.5])
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            time_axis(-1, 8000)
+        with pytest.raises(ValueError):
+            time_axis(10, 0)

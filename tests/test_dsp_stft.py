@@ -1,0 +1,143 @@
+"""Tests for repro.dsp.stft: framing, windows, STFT round-trip."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.stft import (
+    db,
+    frame_signal,
+    get_window,
+    istft,
+    magnitude,
+    overlap_add,
+    power,
+    stft,
+)
+
+
+class TestGetWindow:
+    @pytest.mark.parametrize("name", ["hann", "hamming", "blackman", "rect", "bartlett"])
+    def test_length(self, name):
+        assert get_window(name, 128).shape == (128,)
+
+    def test_hann_endpoints_periodic(self):
+        w = get_window("hann", 64)
+        assert w[0] == pytest.approx(0.0)
+        assert w[32] == pytest.approx(1.0)
+
+    def test_rect_is_ones(self):
+        assert np.all(get_window("rect", 10) == 1.0)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown window"):
+            get_window("kaiser", 64)
+
+    def test_nonpositive_length_raises(self):
+        with pytest.raises(ValueError):
+            get_window("hann", 0)
+
+    def test_hann_cola_at_half_overlap(self):
+        w = get_window("hann", 64)
+        total = w[:32] + w[32:]
+        assert np.allclose(total, 1.0)
+
+
+class TestFrameSignal:
+    def test_shape_no_pad(self):
+        frames = frame_signal(np.arange(100.0), 32, 16, pad=False)
+        assert frames.shape == (5, 32)
+
+    def test_shape_with_pad_covers_signal(self):
+        frames = frame_signal(np.arange(100.0), 32, 16, pad=True)
+        assert frames.shape[0] * 16 + 16 >= 100
+
+    def test_content(self):
+        x = np.arange(64.0)
+        frames = frame_signal(x, 16, 8, pad=False)
+        assert np.all(frames[0] == x[:16])
+        assert np.all(frames[1] == x[8:24])
+
+    def test_short_signal_padded(self):
+        frames = frame_signal(np.ones(5), 16, 8, pad=True)
+        assert frames.shape == (1, 16)
+        assert frames[0, :5].sum() == 5.0
+        assert frames[0, 5:].sum() == 0.0
+
+    def test_short_signal_no_pad_empty(self):
+        assert frame_signal(np.ones(5), 16, 8, pad=False).shape == (0, 16)
+
+    def test_2d_input_raises(self):
+        with pytest.raises(ValueError):
+            frame_signal(np.ones((4, 4)), 2, 1)
+
+    def test_bad_geometry_raises(self):
+        with pytest.raises(ValueError):
+            frame_signal(np.ones(16), 0, 4)
+
+
+class TestOverlapAdd:
+    def test_inverse_of_framing_rect(self):
+        x = np.random.default_rng(0).standard_normal(128)
+        frames = frame_signal(x, 16, 16, pad=False)
+        assert np.allclose(overlap_add(frames, 16), x)
+
+    def test_overlap_doubles_interior(self):
+        frames = np.ones((3, 8))
+        y = overlap_add(frames, 4)
+        assert y[4] == 2.0  # covered by frames 0 and 1
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            overlap_add(np.ones(8), 4)
+
+
+class TestStftRoundTrip:
+    @pytest.mark.parametrize("n_fft,hop", [(256, 64), (512, 128), (128, 32)])
+    def test_reconstruction(self, n_fft, hop):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(2048)
+        spec = stft(x, n_fft, hop)
+        y = istft(spec, hop, length=x.size)
+        assert np.allclose(y, x, atol=1e-8)
+
+    def test_output_shape(self):
+        spec = stft(np.zeros(1000), 256, 64)
+        assert spec.shape[0] == 129
+
+    def test_tone_peak_bin(self):
+        fs, f0 = 8000, 1000.0
+        t = np.arange(fs) / fs
+        spec = magnitude(stft(np.sin(2 * np.pi * f0 * t), 512, 128))
+        freqs = np.fft.rfftfreq(512, 1 / fs)
+        peak = freqs[np.argmax(spec[:, spec.shape[1] // 2])]
+        assert abs(peak - f0) < fs / 512
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=300, max_value=3000))
+    def test_roundtrip_random_lengths(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal(n)
+        y = istft(stft(x, 128, 32), 32, length=n)
+        assert np.allclose(y, x, atol=1e-8)
+
+
+class TestDb:
+    def test_reference(self):
+        assert db(np.array([1.0]), ref=1.0)[0] == pytest.approx(0.0)
+
+    def test_floor(self):
+        assert db(np.array([0.0]), floor_db=-80.0)[0] == pytest.approx(-80.0)
+
+    def test_ratio(self):
+        assert db(np.array([10.0]))[0] == pytest.approx(10.0)
+
+    def test_bad_ref_raises(self):
+        with pytest.raises(ValueError):
+            db(np.ones(3), ref=0.0)
+
+    def test_power_and_magnitude(self):
+        z = np.array([[3 + 4j]])
+        assert magnitude(z)[0, 0] == pytest.approx(5.0)
+        assert power(z)[0, 0] == pytest.approx(25.0)

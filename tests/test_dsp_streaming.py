@@ -1,0 +1,103 @@
+"""Tests for the streaming front-end processors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp import StreamingFramer, StreamingLogMel, StreamingStft
+from repro.dsp.stft import frame_signal, get_window
+
+RNG = np.random.default_rng(0)
+
+
+class TestStreamingFramer:
+    def test_matches_offline_framing(self):
+        x = RNG.standard_normal(1000)
+        framer = StreamingFramer(64, 32)
+        frames = []
+        for start in range(0, 1000, 100):
+            frames.extend(framer.push(x[start : start + 100]))
+        offline = frame_signal(x, 64, 32, pad=False)
+        assert len(frames) == offline.shape[0]
+        for a, b in zip(frames, offline):
+            assert np.allclose(a, b)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=97), min_size=3, max_size=15))
+    def test_chunking_invariance(self, chunk_sizes):
+        """Any chunking of the stream yields exactly the same frames."""
+        total = sum(chunk_sizes)
+        x = np.random.default_rng(total).standard_normal(total)
+        framer = StreamingFramer(32, 16)
+        frames = []
+        pos = 0
+        for size in chunk_sizes:
+            frames.extend(framer.push(x[pos : pos + size]))
+            pos += size
+        offline = frame_signal(x, 32, 16, pad=False)
+        assert len(frames) == offline.shape[0]
+        for a, b in zip(frames, offline):
+            assert np.allclose(a, b)
+
+    def test_reset(self):
+        framer = StreamingFramer(16, 8)
+        framer.push(np.ones(10))
+        framer.reset()
+        assert framer.buffered == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingFramer(16, 0)
+        with pytest.raises(ValueError):
+            StreamingFramer(16, 8).push(np.ones((2, 2)))
+
+
+class TestStreamingStft:
+    def test_matches_windowed_fft(self):
+        x = RNG.standard_normal(512)
+        s = StreamingStft(256, 128)
+        specs = s.push(x)
+        win = get_window("hann", 256)
+        assert len(specs) == 3
+        assert np.allclose(specs[0], np.fft.rfft(x[:256] * win))
+        assert np.allclose(specs[1], np.fft.rfft(x[128:384] * win))
+
+    def test_nfft_validation(self):
+        with pytest.raises(ValueError):
+            StreamingStft(100, 50)
+
+
+class TestStreamingLogMel:
+    def test_vector_shape(self):
+        fe = StreamingLogMel(16000.0, 512, 256, n_mels=24)
+        vecs = fe.push(RNG.standard_normal(1024))
+        assert len(vecs) == 3
+        assert vecs[0].shape == (24,)
+
+    def test_matches_pipeline_features(self):
+        """The streaming front-end reproduces the pipeline's detect features."""
+        from repro.core import AcousticPerceptionPipeline, PipelineConfig
+
+        cfg = PipelineConfig()
+        mics = np.array([[0.1, 0, 1.0], [-0.1, 0, 1.0]])
+        pipeline = AcousticPerceptionPipeline(mics, cfg)
+        frame = RNG.standard_normal(cfg.frame_length)
+        spectrum = np.abs(np.fft.rfft(frame * pipeline.window)) ** 2
+        mel = pipeline.mel_fb @ spectrum
+        expected = np.log(np.maximum(mel, 1e-10))
+        expected = (expected - expected.mean()) / expected.std()
+
+        fe = StreamingLogMel(cfg.fs, cfg.frame_length, cfg.hop_length, n_mels=cfg.n_mels)
+        vec = fe.push(frame)[0]
+        assert np.allclose(vec, expected)
+
+    def test_standardized(self):
+        fe = StreamingLogMel(8000.0, 256, 128, n_mels=16)
+        for vec in fe.push(RNG.standard_normal(600)):
+            assert abs(vec.mean()) < 1e-9
+            assert vec.std() == pytest.approx(1.0, abs=1e-6)
+
+    def test_invalid_fs(self):
+        with pytest.raises(ValueError):
+            StreamingLogMel(0.0, 256, 128)

@@ -1,0 +1,238 @@
+"""Tests for the feature front-ends (Sec. III survey)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features import (
+    FRONT_ENDS,
+    SpectrogramConfig,
+    chroma_filterbank,
+    chromagram,
+    cqt,
+    cqt_frequencies,
+    erb_space,
+    erb_to_hz,
+    extract,
+    gammatone_filterbank_coefficients,
+    gammatonegram,
+    gfcc,
+    hz_to_erb,
+    hz_to_mel,
+    log_mel_spectrogram,
+    log_spectrogram,
+    mel_filterbank,
+    mel_spectrogram,
+    mel_to_hz,
+    mfcc,
+    spectrogram,
+)
+from repro.features.mfcc import delta
+from repro.signals import tone
+
+FS = 8000
+
+
+@pytest.fixture(scope="module")
+def tone_1k():
+    return tone(1000.0, 1.0, FS)
+
+
+class TestSpectrogram:
+    def test_shape(self, tone_1k):
+        s = spectrogram(tone_1k, FS, SpectrogramConfig(n_fft=256, hop_length=128))
+        assert s.shape[0] == 129
+
+    def test_peak_at_tone(self, tone_1k):
+        cfg = SpectrogramConfig(n_fft=512)
+        s = spectrogram(tone_1k, FS, cfg)
+        freqs = np.fft.rfftfreq(512, 1 / FS)
+        peak = freqs[np.argmax(s[:, s.shape[1] // 2])]
+        assert abs(peak - 1000.0) < FS / 512
+
+    def test_log_max_zero(self, tone_1k):
+        ls = log_spectrogram(tone_1k, FS)
+        assert ls.max() == pytest.approx(0.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SpectrogramConfig(n_fft=100)  # not a power of two
+
+
+class TestMel:
+    def test_scale_round_trip(self):
+        f = np.array([100.0, 1000.0, 3999.0])
+        assert np.allclose(mel_to_hz(hz_to_mel(f)), f)
+
+    def test_mel_monotone(self):
+        f = np.linspace(0, 4000, 50)
+        assert np.all(np.diff(hz_to_mel(f)) > 0)
+
+    def test_filterbank_shape(self):
+        fb = mel_filterbank(40, 512, FS)
+        assert fb.shape == (40, 257)
+
+    def test_filterbank_nonnegative_and_covering(self):
+        fb = mel_filterbank(40, 512, FS, fmin=50.0)
+        assert np.all(fb >= 0)
+        coverage = fb.sum(axis=0)
+        freqs = np.fft.rfftfreq(512, 1 / FS)
+        inner = (freqs > 300) & (freqs < 3500)
+        assert np.all(coverage[inner] > 0)
+
+    def test_mel_spectrogram_shape(self, tone_1k):
+        m = mel_spectrogram(tone_1k, FS, n_mels=32)
+        assert m.shape[0] == 32
+
+    def test_log_mel_peak_band(self, tone_1k):
+        m = log_mel_spectrogram(tone_1k, FS, n_mels=32)
+        mid = m[:, m.shape[1] // 2]
+        # 1 kHz sits around mel band 15-20 of 32 at fs 8000
+        assert 8 <= int(np.argmax(mid)) <= 24
+
+    def test_invalid_band_edges(self):
+        with pytest.raises(ValueError):
+            mel_filterbank(10, 512, FS, fmin=5000.0)
+
+
+class TestMfcc:
+    def test_shape(self, tone_1k):
+        m = mfcc(tone_1k, FS, n_mfcc=13)
+        assert m.shape[0] == 13
+
+    def test_c0_tracks_energy(self):
+        quiet = 0.01 * tone(500.0, 1.0, FS)
+        loud = tone(500.0, 1.0, FS)
+        assert mfcc(loud, FS)[0].mean() > mfcc(quiet, FS)[0].mean()
+
+    def test_n_mfcc_exceeds_mels_raises(self):
+        with pytest.raises(ValueError):
+            mfcc(np.ones(1000), FS, n_mfcc=50, n_mels=40)
+
+    def test_delta_constant_zero(self):
+        feats = np.ones((5, 50))
+        d = delta(feats)
+        assert np.allclose(d, 0.0)
+
+    def test_delta_linear_ramp(self):
+        feats = np.tile(np.arange(50.0), (3, 1))
+        d = delta(feats, width=9)
+        assert np.allclose(d[:, 10:40], 1.0, atol=1e-9)
+
+    def test_delta_validation(self):
+        with pytest.raises(ValueError):
+            delta(np.ones((3, 10)), width=4)
+
+
+class TestGammatone:
+    def test_erb_round_trip(self):
+        f = np.array([100.0, 1000.0, 4000.0])
+        assert np.allclose(erb_to_hz(hz_to_erb(f)), f)
+
+    def test_erb_space_endpoints(self):
+        cfs = erb_space(100.0, 3000.0, 16)
+        assert cfs[0] == pytest.approx(100.0)
+        assert cfs[-1] == pytest.approx(3000.0)
+        assert np.all(np.diff(cfs) > 0)
+
+    def test_filter_peaks_at_center(self):
+        from scipy.signal import lfilter
+
+        cf = 1000.0
+        sections = gammatone_filterbank_coefficients(np.array([cf]), FS)[0]
+        t = np.arange(FS) / FS
+
+        def gain(freq):
+            y = np.sin(2 * np.pi * freq * t)
+            for b, a in sections:
+                y = lfilter(b, a, y)
+            return np.std(y[FS // 4 :])
+
+        assert gain(cf) > gain(cf * 0.6)
+        assert gain(cf) > gain(cf * 1.6)
+
+    def test_unit_gain_at_center(self):
+        from scipy.signal import lfilter
+
+        cf = 800.0
+        sections = gammatone_filterbank_coefficients(np.array([cf]), FS)[0]
+        t = np.arange(FS) / FS
+        y = np.sin(2 * np.pi * cf * t)
+        for b, a in sections:
+            y = lfilter(b, a, y)
+        assert np.std(y[FS // 2 :]) == pytest.approx(1 / np.sqrt(2), rel=0.05)
+
+    def test_gammatonegram_shape(self, tone_1k):
+        g = gammatonegram(tone_1k, FS, n_bands=24)
+        assert g.shape[0] == 24
+
+    def test_gammatonegram_peak_band(self, tone_1k):
+        g = gammatonegram(tone_1k, FS, n_bands=24, fmin=100.0)
+        cfs = erb_space(100.0, 0.95 * FS / 2, 24)
+        band = int(np.argmax(g[:, g.shape[1] // 2]))
+        assert abs(cfs[band] - 1000.0) < 250.0
+
+    def test_invalid_center_freqs(self):
+        with pytest.raises(ValueError):
+            gammatone_filterbank_coefficients(np.array([5000.0]), FS)
+
+
+class TestGfcc:
+    def test_shape(self, tone_1k):
+        g = gfcc(tone_1k, FS, n_gfcc=13, n_bands=24)
+        assert g.shape[0] == 13
+
+    def test_too_many_coeffs_raises(self):
+        with pytest.raises(ValueError):
+            gfcc(np.ones(4000), FS, n_gfcc=30, n_bands=24)
+
+
+class TestCqt:
+    def test_frequencies_geometric(self):
+        f = cqt_frequencies(24, 55.0, 12)
+        assert f[12] == pytest.approx(110.0)
+
+    def test_shape(self, tone_1k):
+        c = cqt(tone_1k, FS, n_bins=36, fmin=110.0)
+        assert c.shape[0] == 36
+
+    def test_peak_bin_at_tone(self):
+        x = tone(440.0, 1.0, FS)
+        c = cqt(x, FS, n_bins=36, fmin=110.0)
+        freqs = cqt_frequencies(36, 110.0)
+        k = int(np.argmax(c[:, c.shape[1] // 2]))
+        assert abs(np.log2(freqs[k] / 440.0)) < 0.1
+
+    def test_above_nyquist_raises(self):
+        with pytest.raises(ValueError, match="Nyquist"):
+            cqt(np.ones(4000), FS, n_bins=80, fmin=110.0)
+
+
+class TestChroma:
+    def test_filterbank_rows(self):
+        fb = chroma_filterbank(2048, FS)
+        assert fb.shape == (12, 1025)
+
+    def test_octave_invariance(self):
+        a440 = chromagram(tone(440.0, 1.0, FS), FS)
+        a880 = chromagram(tone(880.0, 1.0, FS), FS)
+        mid = a440.shape[1] // 2
+        assert int(np.argmax(a440[:, mid])) == int(np.argmax(a880[:, mid]))
+
+    def test_normalized_frames(self, tone_1k):
+        c = chromagram(tone_1k, FS)
+        assert c.max() <= 1.0 + 1e-9
+
+
+class TestExtractDispatcher:
+    @pytest.mark.parametrize("name", FRONT_ENDS)
+    def test_all_front_ends_run(self, name, tone_1k):
+        out = extract(name, tone_1k[:4000], FS)
+        assert out.ndim == 2
+        assert out.shape[0] >= 4
+        assert np.all(np.isfinite(out))
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown front-end"):
+            extract("plp", np.ones(100), FS)

@@ -1,0 +1,210 @@
+"""Tests for the CGRA fabric/mapper, Pareto utilities, and the DSE loop."""
+
+import numpy as np
+import pytest
+
+from repro.hw import (
+    CgraFabric,
+    DesignPoint,
+    PeSpec,
+    RASPI4,
+    dominates,
+    dsp_op,
+    estimate_cost,
+    evaluate_point,
+    hypervolume_2d,
+    IRGraph,
+    lower_module,
+    map_graph,
+    pareto_front,
+    run_codesign,
+    surrogate_error_deg,
+)
+from repro.nn import Conv2d, Dense, Flatten, ReLU, Sequential
+
+
+class TestPeSpec:
+    def test_support(self):
+        assert PeSpec("mac").supports("conv2d")
+        assert not PeSpec("mem").supports("conv2d")
+        assert PeSpec("alu").supports("activation")
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            PeSpec("gpu")
+
+
+class TestFabric:
+    def test_default_heterogeneous(self):
+        fab = CgraFabric(8, 8)
+        kinds = {pe.kind for pe in fab.pes.values()}
+        assert kinds == {"mac", "alu", "mem"}
+
+    def test_homogeneous_pattern(self):
+        fab = CgraFabric(4, 4, pe_pattern=PeSpec("mac"))
+        assert all(pe.kind == "mac" for pe in fab.pes.values())
+
+    def test_hop_distance(self):
+        fab = CgraFabric(4, 4)
+        assert fab.hop_distance((0, 0), (3, 3)) == 6
+
+    def test_compute_latency_scales(self):
+        fab = CgraFabric(4, 4, clock_mhz=100.0, pe_pattern=PeSpec("mac", ops_per_cycle=2.0))
+        assert fab.compute_latency_s((0, 0), 200.0) == pytest.approx(1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CgraFabric(0, 4)
+        fab = CgraFabric(2, 2)
+        with pytest.raises(ValueError):
+            fab.hop_distance((0, 0), (5, 5))
+
+
+class TestMapper:
+    def _graph(self):
+        ir = IRGraph()
+        ir.add_op(dsp_op("fft", "fft", flops=1e5, n_in=512, n_out=512))
+        ir.add_op(dsp_op("act", "activation", flops=1e3, n_in=512, n_out=512), deps=["fft"])
+        ir.add_op(dsp_op("mm", "dense", flops=1e6, n_in=512, n_out=10), deps=["act"])
+        return ir
+
+    def test_maps_all_ops(self):
+        res = map_graph(self._graph(), CgraFabric(8, 8))
+        assert res.ok
+        assert len(res.mapped) == 3
+
+    def test_dependencies_respected(self):
+        res = map_graph(self._graph(), CgraFabric(8, 8))
+        finish = {m.op_name: m.finish_s for m in res.mapped}
+        start = {m.op_name: m.start_s for m in res.mapped}
+        assert start["act"] >= finish["fft"]
+        assert start["mm"] >= finish["act"]
+
+    def test_unsupported_kind_reported(self):
+        ir = IRGraph()
+        ir.add_op(dsp_op("w", "warp_shuffle", flops=10.0, n_in=1, n_out=1))
+        res = map_graph(ir, CgraFabric(4, 4))
+        assert not res.ok
+        assert "w" in res.unmapped
+
+    def test_parallelism_speeds_up(self):
+        ir = self._graph()
+        fab = CgraFabric(8, 8)
+        slow = map_graph(ir, fab, max_parallel_pes=1)
+        fast = map_graph(ir, fab, max_parallel_pes=8)
+        assert fast.latency_s < slow.latency_s
+
+    def test_utilization_bounds(self):
+        res = map_graph(self._graph(), CgraFabric(8, 8))
+        assert 0.0 <= res.utilization <= 1.0
+
+    def test_cgra_beats_mcu_on_nn_graph(self):
+        model = Sequential(Conv2d(1, 8, 3, padding=1), ReLU(), Flatten(), Dense(8 * 64, 10))
+        ir = lower_module(model, (1, 8, 8))
+        from repro.hw import CORTEX_M7
+
+        cgra = map_graph(ir, CgraFabric(16, 16))
+        mcu = estimate_cost(ir, CORTEX_M7)
+        assert cgra.latency_s < mcu.latency_s
+
+
+class TestPareto:
+    def test_dominates(self):
+        assert dominates([1.0, 1.0], [2.0, 2.0])
+        assert not dominates([1.0, 3.0], [2.0, 2.0])
+        assert not dominates([1.0, 1.0], [1.0, 1.0])
+
+    def test_front_extraction(self):
+        pts = np.array([[1, 5], [2, 2], [5, 1], [4, 4], [6, 6]])
+        front = set(pareto_front(pts))
+        assert front == {0, 1, 2}
+
+    def test_single_point(self):
+        assert list(pareto_front(np.array([[1.0, 1.0]]))) == [0]
+
+    def test_hypervolume_unit(self):
+        hv = hypervolume_2d(np.array([[1.0, 1.0]]), (2.0, 2.0))
+        assert hv == pytest.approx(1.0)
+
+    def test_hypervolume_monotone_in_points(self):
+        base = np.array([[1.0, 1.5]])
+        more = np.array([[1.0, 1.5], [1.5, 0.5]])
+        ref = (2.0, 2.0)
+        assert hypervolume_2d(more, ref) > hypervolume_2d(base, ref)
+
+    def test_point_beyond_reference_ignored(self):
+        assert hypervolume_2d(np.array([[3.0, 3.0]]), (2.0, 2.0)) == 0.0
+
+
+class TestSurrogate:
+    def test_smaller_model_higher_error(self):
+        base = DesignPoint()
+        small = DesignPoint(base_channels=8)
+        assert surrogate_error_deg(small) > surrogate_error_deg(base)
+
+    def test_coarser_map_higher_error(self):
+        assert surrogate_error_deg(DesignPoint(map_azimuth=12)) > surrogate_error_deg(
+            DesignPoint(map_azimuth=24)
+        )
+
+    def test_aggressive_quant_penalized(self):
+        assert surrogate_error_deg(DesignPoint(quant_bits=4)) > surrogate_error_deg(
+            DesignPoint(quant_bits=8)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DesignPoint(quant_bits=7)
+        with pytest.raises(ValueError):
+            DesignPoint(prune_ratio=0.99)
+
+
+class TestEvaluatePoint:
+    def test_latency_positive(self):
+        ev = evaluate_point(DesignPoint(), sequence_length=4)
+        assert ev.latency_ms > 0
+        assert ev.n_params > 0
+
+    def test_pruning_reduces_params_and_latency(self):
+        dense = evaluate_point(DesignPoint(), sequence_length=4)
+        pruned = evaluate_point(DesignPoint(prune_ratio=0.4), sequence_length=4)
+        assert pruned.n_params < dense.n_params
+        assert pruned.latency_ms < dense.latency_ms
+
+    def test_quantization_shrinks_bytes(self):
+        fp32 = evaluate_point(DesignPoint(), sequence_length=4)
+        int8 = evaluate_point(DesignPoint(quant_bits=8), sequence_length=4)
+        assert int8.model_bytes == pytest.approx(fp32.model_bytes / 4.0)
+
+
+class TestCodesignLoop:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_codesign(DesignPoint(base_channels=16, n_blocks=2), sequence_length=4)
+
+    def test_latency_improves(self, result):
+        assert result.final.latency_ms < result.baseline.latency_ms
+        assert result.speedup > 1.0
+
+    def test_error_budget_respected(self, result):
+        assert result.final.error_deg - result.baseline.error_deg <= 2.0 + 1e-9
+
+    def test_monotone_latency_over_steps(self, result):
+        lat = [result.baseline.latency_ms] + [s.evaluated.latency_ms for s in result.steps]
+        assert all(b < a for a, b in zip(lat, lat[1:]))
+
+    def test_pareto_points_nonempty(self, result):
+        front = result.pareto_points()
+        assert front
+        assert all(isinstance(p.latency_ms, float) for p in front)
+
+    def test_tighter_budget_less_aggressive(self):
+        loose = run_codesign(DesignPoint(base_channels=16, n_blocks=2),
+                             error_budget_deg=3.0, sequence_length=4)
+        tight = run_codesign(DesignPoint(base_channels=16, n_blocks=2),
+                             error_budget_deg=0.1, sequence_length=4)
+        assert tight.final.latency_ms >= loose.final.latency_ms
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_codesign(error_budget_deg=0.0)

@@ -1,0 +1,185 @@
+"""Tests for the operator IR, roofline model, cost model, and profiler."""
+
+import numpy as np
+import pytest
+
+from repro.hw import (
+    CGRA_16x16,
+    CORTEX_M7,
+    RASPI4,
+    DeviceModel,
+    IRGraph,
+    OpSpec,
+    attainable_gflops,
+    dsp_op,
+    estimate_cost,
+    lower_module,
+    op_cost,
+    place_op,
+    profile_model,
+    roofline_report,
+    time_callable,
+)
+from repro.nn import Conv2d, Dense, Flatten, MaxPool, ReLU, Sequential
+
+
+def simple_graph():
+    ir = IRGraph("g")
+    ir.add_op(dsp_op("a", "fft", flops=1000.0, n_in=100, n_out=100))
+    ir.add_op(dsp_op("b", "filterbank", flops=500.0, n_in=100, n_out=10), deps=["a"])
+    ir.add_op(dsp_op("c", "elementwise", flops=10.0, n_in=10, n_out=10), deps=["b"])
+    return ir
+
+
+class TestOpSpec:
+    def test_arithmetic_intensity(self):
+        op = OpSpec("x", "dense", flops=800.0, bytes_read=300.0, bytes_written=100.0)
+        assert op.arithmetic_intensity == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OpSpec("x", "dense", flops=-1.0, bytes_read=0.0, bytes_written=0.0)
+
+
+class TestIRGraph:
+    def test_topological_order(self):
+        ir = simple_graph()
+        names = [o.name for o in ir.ops()]
+        assert names.index("a") < names.index("b") < names.index("c")
+
+    def test_totals(self):
+        ir = simple_graph()
+        assert ir.total_flops() == pytest.approx(1510.0)
+        assert ir.total_params() == 0
+
+    def test_duplicate_name_raises(self):
+        ir = simple_graph()
+        with pytest.raises(ValueError, match="duplicate"):
+            ir.add_op(dsp_op("a", "fft", flops=1.0, n_in=1, n_out=1))
+
+    def test_unknown_dep_raises(self):
+        ir = IRGraph()
+        with pytest.raises(ValueError, match="unknown dependency"):
+            ir.add_op(dsp_op("x", "fft", flops=1.0, n_in=1, n_out=1), deps=["nope"])
+
+    def test_bottleneck_ranking(self):
+        ir = simple_graph()
+        assert ir.bottleneck(1)[0].name == "a"
+
+    def test_critical_path_linear_chain(self):
+        ir = simple_graph()
+        assert ir.critical_path() == ["a", "b", "c"]
+
+    def test_critical_path_diamond(self):
+        ir = IRGraph()
+        ir.add_op(dsp_op("s", "fft", flops=1.0, n_in=1, n_out=1))
+        ir.add_op(dsp_op("big", "fft", flops=100.0, n_in=1, n_out=1), deps=["s"])
+        ir.add_op(dsp_op("small", "fft", flops=1.0, n_in=1, n_out=1), deps=["s"])
+        ir.add_op(dsp_op("t", "fft", flops=1.0, n_in=1, n_out=1), deps=["big", "small"])
+        assert ir.critical_path() == ["s", "big", "t"]
+
+
+class TestLowering:
+    def test_lower_sequential(self):
+        model = Sequential(
+            Conv2d(1, 4, 3, padding=1), ReLU(), MaxPool(2), Flatten(), Dense(4 * 4 * 4, 3)
+        )
+        ir = lower_module(model, (1, 8, 8))
+        kinds = [op.kind for op in ir.ops()]
+        assert kinds == ["conv2d", "activation", "pool", "reshape", "dense"]
+
+    def test_conv_flops_formula(self):
+        model = Sequential(Conv2d(2, 4, 3))
+        ir = lower_module(model, (2, 10, 10))
+        conv = ir.ops()[0]
+        # out 8x8x4, 2*Cin*k*k per output element
+        assert conv.flops == pytest.approx(2 * 8 * 8 * 4 * 2 * 9)
+
+    def test_param_counts_match_model(self):
+        model = Sequential(Dense(10, 5), ReLU(), Dense(5, 2))
+        ir = lower_module(model, (10,))
+        assert ir.total_params() == model.n_parameters()
+
+    def test_wider_model_more_flops(self):
+        small = lower_module(Sequential(Dense(10, 8)), (10,))
+        big = lower_module(Sequential(Dense(10, 64)), (10,))
+        assert big.total_flops() > small.total_flops()
+
+
+class TestRoofline:
+    def test_ridge_point(self):
+        assert RASPI4.ridge_point == pytest.approx(3.0)
+
+    def test_attainable_caps_at_peak(self):
+        assert attainable_gflops(1000.0, RASPI4) == RASPI4.peak_gflops
+
+    def test_memory_bound_region(self):
+        assert attainable_gflops(0.5, RASPI4) == pytest.approx(2.0)
+
+    def test_place_op_classification(self):
+        mem_op = OpSpec("m", "fft", flops=100.0, bytes_read=1000.0, bytes_written=1000.0)
+        cmp_op = OpSpec("c", "dense", flops=1e6, bytes_read=100.0, bytes_written=100.0)
+        assert place_op(mem_op, RASPI4).bound == "memory"
+        assert place_op(cmp_op, RASPI4).bound == "compute"
+
+    def test_report_sorted_by_time(self):
+        report = roofline_report(simple_graph(), RASPI4)
+        assert len(report) == 3
+
+    def test_device_validation(self):
+        with pytest.raises(ValueError):
+            DeviceModel("bad", peak_gflops=0.0, mem_bandwidth_gbps=1.0)
+        with pytest.raises(ValueError):
+            DeviceModel("bad", peak_gflops=1.0, mem_bandwidth_gbps=1.0,
+                        idle_power_w=5.0, active_power_w=1.0)
+
+
+class TestCostModel:
+    def test_latency_includes_overhead(self):
+        op = dsp_op("t", "fft", flops=1.0, n_in=1, n_out=1)
+        cost = op_cost(op, RASPI4)
+        assert cost.latency_s >= RASPI4.op_overhead_us * 1e-6
+        assert cost.bound == "overhead"
+
+    def test_compute_bound_latency(self):
+        op = OpSpec("c", "dense", flops=12e9, bytes_read=8.0, bytes_written=8.0)
+        cost = op_cost(op, RASPI4)
+        assert cost.latency_s == pytest.approx(1.0, rel=0.01)
+        assert cost.bound == "compute"
+
+    def test_report_totals(self):
+        report = estimate_cost(simple_graph(), RASPI4)
+        assert report.latency_s == pytest.approx(sum(c.latency_s for c in report.per_op))
+        assert report.latency_ms == pytest.approx(report.latency_s * 1e3)
+
+    def test_slower_device_slower(self):
+        ir = simple_graph()
+        assert estimate_cost(ir, CORTEX_M7).latency_s > estimate_cost(ir, CGRA_16x16).latency_s
+
+    def test_bottleneck(self):
+        report = estimate_cost(simple_graph(), RASPI4)
+        names = [c.op_name for c in report.bottleneck(2)]
+        assert len(names) == 2
+
+
+class TestProfiler:
+    def test_time_callable_positive(self):
+        mean, std = time_callable(lambda: sum(range(1000)), repeats=3)
+        assert mean > 0 and std >= 0
+
+    def test_profile_model_layers(self):
+        model = Sequential(Dense(32, 16), ReLU(), Dense(16, 4))
+        report = profile_model(model, (32,), repeats=2, warmup=1)
+        assert len(report.layers) == 3
+        assert report.total_s == pytest.approx(sum(t.mean_s for t in report.layers))
+
+    def test_bigger_layer_slower(self):
+        model = Sequential(Dense(16, 8), Dense(8, 512), Dense(512, 512))
+        report = profile_model(model, (16,), repeats=3, warmup=1)
+        assert report.layers[2].mean_s > report.layers[0].mean_s
+
+    def test_bottleneck_validation(self):
+        model = Sequential(Dense(4, 4))
+        report = profile_model(model, (4,), repeats=1)
+        with pytest.raises(ValueError):
+            report.bottleneck(0)

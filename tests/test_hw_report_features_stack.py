@@ -1,0 +1,106 @@
+"""Tests for the markdown reports and feature stacking helpers."""
+
+import numpy as np
+import pytest
+
+from repro.features import context_window, stack_deltas
+from repro.hw import (
+    DesignPoint,
+    RASPI4,
+    codesign_report_md,
+    cost_report_md,
+    estimate_cost,
+    lower_module,
+    markdown_table,
+    roofline_report_md,
+    run_codesign,
+)
+from repro.nn import Dense, ReLU, Sequential
+
+
+class TestMarkdownTable:
+    def test_renders_rows(self):
+        md = markdown_table(["a", "b"], [[1, 2.5], ["x", 3.0]])
+        lines = md.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "| 1 | 2.5 |" in md
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            markdown_table(["a"], [[1, 2]])
+
+    def test_empty_header_raises(self):
+        with pytest.raises(ValueError):
+            markdown_table([], [])
+
+
+class TestHwReports:
+    @pytest.fixture(scope="class")
+    def ir(self):
+        model = Sequential(Dense(16, 32), ReLU(), Dense(32, 4))
+        return lower_module(model, (16,))
+
+    def test_cost_report(self, ir):
+        md = cost_report_md(estimate_cost(ir, RASPI4))
+        assert "total latency" in md
+        assert "| op |" in md
+
+    def test_roofline_report(self, ir):
+        md = roofline_report_md(ir, RASPI4)
+        assert "Roofline on raspi4b" in md
+        assert "dense" in md
+
+    def test_codesign_report(self):
+        result = run_codesign(DesignPoint(base_channels=8, n_blocks=2), sequence_length=4)
+        md = codesign_report_md(result)
+        assert "speedup" in md
+        assert "(baseline)" in md
+        assert "Pareto" in md
+
+    def test_top_validation(self, ir):
+        with pytest.raises(ValueError):
+            cost_report_md(estimate_cost(ir, RASPI4), top=0)
+
+
+class TestFeatureStacking:
+    def test_stack_deltas_shape(self):
+        f = np.random.default_rng(0).standard_normal((13, 50))
+        stacked = stack_deltas(f, order=2)
+        assert stacked.shape == (39, 50)
+
+    def test_first_block_is_static(self):
+        f = np.random.default_rng(1).standard_normal((5, 30))
+        stacked = stack_deltas(f, order=1)
+        assert np.allclose(stacked[:5], f)
+
+    def test_constant_features_zero_deltas(self):
+        f = np.ones((4, 20))
+        stacked = stack_deltas(f, order=2)
+        assert np.allclose(stacked[4:], 0.0)
+
+    def test_context_window_shape(self):
+        f = np.random.default_rng(2).standard_normal((8, 25))
+        ctx = context_window(f, left=2, right=1)
+        assert ctx.shape == (32, 25)
+
+    def test_context_window_content(self):
+        f = np.arange(10.0)[None, :]
+        ctx = context_window(f, left=1, right=1)
+        # Row 0 is the left-shifted stream, row 1 static, row 2 right-shifted.
+        assert ctx[1, 5] == 5.0
+        assert ctx[0, 5] == 4.0
+        assert ctx[2, 5] == 6.0
+
+    def test_edges_padded(self):
+        f = np.arange(5.0)[None, :]
+        ctx = context_window(f, left=2, right=0)
+        assert ctx[0, 0] == 0.0  # repeated edge
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stack_deltas(np.ones(5))
+        with pytest.raises(ValueError):
+            context_window(np.ones((2, 5)), left=-1)
+        with pytest.raises(ValueError):
+            stack_deltas(np.ones((2, 5)), order=5)

@@ -1,0 +1,106 @@
+"""Tests for the module combinators (Parallel, Add, Residual, Upsample1d)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Add,
+    Conv1d,
+    Dense,
+    Parallel,
+    ReLU,
+    Residual,
+    Sequential,
+    Upsample1d,
+)
+from tests.test_nn_layers import check_gradients
+
+RNG = np.random.default_rng(11)
+
+
+class TestParallel:
+    def test_concatenates_channels(self):
+        p = Parallel(Dense(4, 3), Dense(4, 5))
+        out = p.forward(RNG.standard_normal((2, 4)))
+        assert out.shape == (2, 8)
+
+    def test_gradients(self):
+        model = Sequential(Parallel(Dense(4, 3), Sequential(Dense(4, 2), ReLU())), Dense(5, 2))
+        check_gradients(model, RNG.standard_normal((3, 4)))
+
+    def test_conv_branches(self):
+        p = Parallel(Conv1d(2, 3, 3, padding=1), Conv1d(2, 5, 1))
+        out = p.forward(RNG.standard_normal((2, 2, 8)))
+        assert out.shape == (2, 8, 8)
+
+    def test_shape_mismatch_raises(self):
+        p = Parallel(Conv1d(2, 3, 3), Conv1d(2, 3, 5))  # different output lengths
+        with pytest.raises(ValueError, match="disagree"):
+            p.forward(RNG.standard_normal((1, 2, 8)))
+
+    def test_needs_two_branches(self):
+        with pytest.raises(ValueError):
+            Parallel(Dense(2, 2))
+
+    def test_train_propagates(self):
+        from repro.nn import Dropout
+
+        p = Parallel(Sequential(Dropout(0.5)), Sequential(Dropout(0.5)))
+        p.eval()
+        assert not p.branches[0].layers[0].training
+
+
+class TestAdd:
+    def test_sums_outputs(self):
+        a = Dense(3, 3)
+        b = Dense(3, 3)
+        add = Add(a, b)
+        x = RNG.standard_normal((2, 3))
+        assert np.allclose(add.forward(x), a.forward(x) + b.forward(x))
+
+    def test_gradients(self):
+        model = Sequential(Add(Dense(4, 4), Sequential(Dense(4, 4), ReLU())), Dense(4, 2))
+        check_gradients(model, RNG.standard_normal((2, 4)))
+
+    def test_mismatch_raises(self):
+        add = Add(Dense(3, 3), Dense(3, 4))
+        with pytest.raises(ValueError):
+            add.forward(RNG.standard_normal((2, 3)))
+
+
+class TestResidual:
+    def test_identity_plus_branch(self):
+        inner = Dense(4, 4)
+        res = Residual(inner)
+        x = RNG.standard_normal((2, 4))
+        assert np.allclose(res.forward(x), x + inner.forward(x))
+
+    def test_gradients(self):
+        model = Sequential(Residual(Sequential(Dense(4, 4), ReLU())), Dense(4, 2))
+        check_gradients(model, RNG.standard_normal((2, 4)))
+
+    def test_shape_change_raises(self):
+        res = Residual(Dense(4, 5))
+        with pytest.raises(ValueError, match="changed shape"):
+            res.forward(RNG.standard_normal((2, 4)))
+
+
+class TestUpsample1d:
+    def test_repeats_samples(self):
+        up = Upsample1d(2)
+        x = np.array([[[1.0, 2.0]]])
+        assert np.allclose(up.forward(x), [[[1.0, 1.0, 2.0, 2.0]]])
+
+    def test_backward_sums(self):
+        up = Upsample1d(2)
+        up.forward(np.ones((1, 1, 2)))
+        g = up.backward(np.array([[[1.0, 2.0, 3.0, 4.0]]]))
+        assert np.allclose(g, [[[3.0, 7.0]]])
+
+    def test_gradients(self):
+        model = Sequential(Conv1d(1, 2, 3, padding=1), Upsample1d(2))
+        check_gradients(model, RNG.standard_normal((2, 1, 4)))
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            Upsample1d(1)

@@ -1,0 +1,167 @@
+"""Tests for convolution and pooling layers (gradient checks included)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool,
+    Conv1d,
+    Conv2d,
+    Conv3d,
+    GlobalAvgPool,
+    MaxPool,
+    ReLU,
+    Sequential,
+    conv_output_length,
+)
+from tests.test_nn_layers import check_gradients
+
+RNG = np.random.default_rng(7)
+
+
+class TestConvOutputLength:
+    def test_basic(self):
+        assert conv_output_length(8, 3, 1, 0) == 6
+        assert conv_output_length(8, 3, 1, 1) == 8
+        assert conv_output_length(8, 3, 2, 1) == 4
+
+    def test_collapse_raises(self):
+        with pytest.raises(ValueError, match="collapses"):
+            conv_output_length(2, 5, 1, 0)
+
+
+class TestConv1d:
+    def test_identity_kernel(self):
+        c = Conv1d(1, 1, 1)
+        c.w.data[:] = 1.0
+        c.b.data[:] = 0.0
+        x = RNG.standard_normal((1, 1, 10))
+        assert np.allclose(c.forward(x), x)
+
+    def test_moving_sum(self):
+        c = Conv1d(1, 1, 3)
+        c.w.data[:] = 1.0
+        c.b.data[:] = 0.0
+        x = np.arange(6.0).reshape(1, 1, 6)
+        out = c.forward(x)
+        assert np.allclose(out[0, 0], [3.0, 6.0, 9.0, 12.0])
+
+    def test_stride_and_padding_shapes(self):
+        c = Conv1d(2, 4, 3, stride=2, padding=1)
+        out = c.forward(RNG.standard_normal((2, 2, 9)))
+        assert out.shape == (2, 4, 5)
+
+    def test_gradients(self):
+        check_gradients(Sequential(Conv1d(2, 3, 3, stride=2, padding=1)), RNG.standard_normal((2, 2, 9)))
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Conv1d(2, 3, 3).forward(np.ones((1, 4, 9)))
+
+
+class TestConv2d:
+    def test_output_shape(self):
+        c = Conv2d(3, 8, 3, stride=1, padding=1)
+        out = c.forward(RNG.standard_normal((2, 3, 16, 16)))
+        assert out.shape == (2, 8, 16, 16)
+
+    def test_known_convolution(self):
+        c = Conv2d(1, 1, 2)
+        c.w.data[0, 0] = np.array([[1.0, 0.0], [0.0, 1.0]])
+        c.b.data[:] = 0.0
+        x = np.arange(9.0).reshape(1, 1, 3, 3)
+        out = c.forward(x)
+        # windows: [[0,1],[3,4]] -> 0+4 = 4, etc.
+        assert np.allclose(out[0, 0], [[4.0, 6.0], [10.0, 12.0]])
+
+    def test_gradients(self):
+        check_gradients(Sequential(Conv2d(2, 3, 3, stride=2, padding=1)), RNG.standard_normal((2, 2, 8, 8)))
+
+    def test_bias_applied(self):
+        c = Conv2d(1, 2, 1)
+        c.w.data[:] = 0.0
+        c.b.data = np.array([1.0, -1.0])
+        out = c.forward(np.zeros((1, 1, 4, 4)))
+        assert np.allclose(out[0, 0], 1.0)
+        assert np.allclose(out[0, 1], -1.0)
+
+
+class TestConv3d:
+    def test_output_shape(self):
+        c = Conv3d(1, 4, (3, 3, 3), padding=1)
+        out = c.forward(RNG.standard_normal((1, 1, 6, 8, 8)))
+        assert out.shape == (1, 4, 6, 8, 8)
+
+    def test_gradients(self):
+        check_gradients(
+            Sequential(Conv3d(2, 2, (2, 3, 3), padding=(0, 1, 1))),
+            RNG.standard_normal((2, 2, 4, 5, 5)),
+        )
+
+    def test_asymmetric_stride(self):
+        c = Conv3d(1, 2, (1, 3, 3), stride=(1, 2, 2), padding=(0, 1, 1))
+        out = c.forward(RNG.standard_normal((1, 1, 5, 8, 8)))
+        assert out.shape == (1, 2, 5, 4, 4)
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        p = MaxPool(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        assert p.forward(x)[0, 0, 0, 0] == 4.0
+
+    def test_maxpool_gradient_routing(self):
+        p = MaxPool(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        p.forward(x)
+        g = p.backward(np.ones((1, 1, 1, 1)))
+        assert g[0, 0, 1, 1] == 1.0
+        assert g.sum() == 1.0
+
+    def test_maxpool_indivisible_raises(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            MaxPool(2).forward(np.ones((1, 1, 5, 4)))
+
+    def test_maxpool_gradients(self):
+        check_gradients(Sequential(MaxPool(2)), RNG.standard_normal((2, 3, 4, 4)))
+
+    def test_maxpool_3d(self):
+        p = MaxPool((1, 2, 2))
+        out = p.forward(RNG.standard_normal((1, 2, 3, 4, 4)))
+        assert out.shape == (1, 2, 3, 2, 2)
+
+    def test_avgpool_values(self):
+        p = AvgPool(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        assert p.forward(x)[0, 0, 0, 0] == 2.5
+
+    def test_avgpool_gradients(self):
+        check_gradients(Sequential(AvgPool(2)), RNG.standard_normal((2, 3, 4, 4)))
+
+    def test_global_avg_pool(self):
+        p = GlobalAvgPool()
+        x = np.ones((2, 3, 4, 5))
+        out = p.forward(x)
+        assert out.shape == (2, 3)
+        assert np.allclose(out, 1.0)
+
+    def test_global_avg_pool_gradients(self):
+        check_gradients(Sequential(GlobalAvgPool()), RNG.standard_normal((2, 3, 4, 4)))
+
+    def test_1d_pooling(self):
+        p = MaxPool(2)
+        out = p.forward(RNG.standard_normal((2, 3, 8)))
+        assert out.shape == (2, 3, 4)
+
+
+class TestConvStack:
+    def test_cnn_gradient_integration(self):
+        model = Sequential(
+            Conv2d(1, 4, 3, padding=1),
+            ReLU(),
+            MaxPool(2),
+            Conv2d(4, 8, 3, padding=1),
+            ReLU(),
+            GlobalAvgPool(),
+        )
+        check_gradients(model, RNG.standard_normal((2, 1, 8, 8)))

@@ -1,0 +1,184 @@
+"""Tests for repro.nn layers: gradients vs numerical differentiation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    BatchNorm,
+    Dense,
+    Dropout,
+    Flatten,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def numeric_input_grad(model, x, w_out, eps=1e-6, n_checks=25):
+    """Central-difference gradient of sum(model(x) * w_out) w.r.t. x."""
+    grads = np.zeros(min(x.size, n_checks))
+    flat = x.ravel()
+    for i in range(grads.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        f1 = float(np.sum(model.forward(x) * w_out))
+        flat[i] = orig - eps
+        f0 = float(np.sum(model.forward(x) * w_out))
+        flat[i] = orig
+        grads[i] = (f1 - f0) / (2 * eps)
+    return grads
+
+
+def check_gradients(model, x, atol=1e-6):
+    out = model.forward(x)
+    w_out = np.random.default_rng(1).standard_normal(out.shape)
+    model.zero_grad()
+    model.forward(x)
+    analytic = model.backward(w_out)
+    numeric = numeric_input_grad(model, x, w_out)
+    assert np.allclose(analytic.ravel()[: numeric.size], numeric, atol=atol)
+    for p in model.parameters():
+        model.zero_grad()
+        model.forward(x)
+        model.backward(w_out)
+        g = p.grad.ravel()[0]
+        orig = p.data.ravel()[0]
+        eps = 1e-6
+        p.data.ravel()[0] = orig + eps
+        f1 = float(np.sum(model.forward(x) * w_out))
+        p.data.ravel()[0] = orig - eps
+        f0 = float(np.sum(model.forward(x) * w_out))
+        p.data.ravel()[0] = orig
+        assert g == pytest.approx((f1 - f0) / (2 * eps), abs=1e-5)
+
+
+class TestDense:
+    def test_forward_values(self):
+        d = Dense(2, 2)
+        d.w.data = np.array([[1.0, 0.0], [0.0, 2.0]])
+        d.b.data = np.array([0.5, -0.5])
+        out = d.forward(np.array([[1.0, 1.0]]))
+        assert np.allclose(out, [[1.5, 1.5]])
+
+    def test_gradients(self):
+        check_gradients(Sequential(Dense(5, 3)), RNG.standard_normal((4, 5)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Dense(4, 3).forward(np.ones((2, 5)))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Dense(3, 2).backward(np.ones((1, 2)))
+
+    def test_param_count(self):
+        assert Dense(10, 4).parameters()[0].size + Dense(10, 4).parameters()[1].size == 44
+
+
+class TestActivations:
+    def test_relu_values(self):
+        out = ReLU().forward(np.array([-1.0, 0.0, 2.0]))
+        assert np.allclose(out, [0.0, 0.0, 2.0])
+
+    def test_relu_gradient_mask(self):
+        r = ReLU()
+        r.forward(np.array([-1.0, 2.0]))
+        g = r.backward(np.array([1.0, 1.0]))
+        assert np.allclose(g, [0.0, 1.0])
+
+    def test_sigmoid_range_and_grad(self):
+        check_gradients(Sequential(Dense(3, 3), Sigmoid()), RNG.standard_normal((2, 3)))
+        assert np.all((Sigmoid().forward(RNG.standard_normal(100)) > 0))
+
+    def test_sigmoid_saturation_no_overflow(self):
+        out = Sigmoid().forward(np.array([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(out))
+
+    def test_tanh_gradients(self):
+        check_gradients(Sequential(Dense(3, 3), Tanh()), RNG.standard_normal((2, 3)))
+
+
+class TestFlattenDropout:
+    def test_flatten_round_trip(self):
+        f = Flatten()
+        x = RNG.standard_normal((2, 3, 4))
+        y = f.forward(x)
+        assert y.shape == (2, 12)
+        assert f.backward(y).shape == x.shape
+
+    def test_dropout_eval_identity(self):
+        d = Dropout(0.5)
+        d.eval()
+        x = RNG.standard_normal((4, 8))
+        assert np.allclose(d.forward(x), x)
+
+    def test_dropout_training_scales(self):
+        d = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((100, 100))
+        y = d.forward(x)
+        assert y.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_dropout_rate_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestBatchNorm:
+    def test_normalizes_training_batch(self):
+        bn = BatchNorm(3)
+        x = RNG.standard_normal((64, 3)) * 5 + 2
+        y = bn.forward(x)
+        assert np.allclose(y.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(y.std(axis=0), 1.0, atol=1e-3)
+
+    def test_running_stats_used_in_eval(self):
+        bn = BatchNorm(2, momentum=0.5)
+        x = RNG.standard_normal((32, 2)) + 3.0
+        for _ in range(30):
+            bn.forward(x)
+        bn.eval()
+        y = bn.forward(x)
+        assert np.abs(y.mean(axis=0)).max() < 0.5
+
+    def test_gradients_training(self):
+        check_gradients(Sequential(BatchNorm(3)), RNG.standard_normal((8, 3, 4)))
+
+    def test_gradients_4d(self):
+        check_gradients(Sequential(BatchNorm(2)), RNG.standard_normal((3, 2, 5, 5)))
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            BatchNorm(4).forward(np.ones((2, 3)))
+
+
+class TestSequential:
+    def test_train_eval_propagates(self):
+        model = Sequential(Dense(4, 4), Dropout(0.5), ReLU())
+        model.eval()
+        assert not model.layers[1].training
+        model.train()
+        assert model.layers[1].training
+
+    def test_summary_lists_layers(self):
+        model = Sequential(Dense(8, 4), ReLU(), Dense(4, 2))
+        text = model.summary((8,))
+        assert "Dense" in text and "total" in text
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Sequential()
+
+    def test_n_parameters(self):
+        model = Sequential(Dense(8, 4), Dense(4, 2))
+        assert model.n_parameters() == (8 * 4 + 4) + (4 * 2 + 2)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6))
+    def test_gradient_random_mlp(self, n_in, n_hidden):
+        model = Sequential(Dense(n_in, n_hidden), Tanh(), Dense(n_hidden, 2))
+        check_gradients(model, np.random.default_rng(3).standard_normal((3, n_in)))

@@ -1,0 +1,219 @@
+"""Tests for losses, optimizers, pruning and quantization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    BCEWithLogitsLoss,
+    CrossEntropyLoss,
+    Dense,
+    MSELoss,
+    Parameter,
+    QuantizationSpec,
+    ReLU,
+    Sequential,
+    apply_masks,
+    channel_importance,
+    dequantize_array,
+    magnitude_prune,
+    quantization_error,
+    quantize_array,
+    quantize_module,
+    softmax,
+    sparsity,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestSoftmaxAndCrossEntropy:
+    def test_softmax_sums_to_one(self):
+        p = softmax(RNG.standard_normal((4, 7)))
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_softmax_shift_invariance(self):
+        x = RNG.standard_normal((2, 5))
+        assert np.allclose(softmax(x), softmax(x + 100.0))
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        loss = CrossEntropyLoss().forward(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_uniform_loss_is_log_k(self):
+        loss = CrossEntropyLoss().forward(np.zeros((3, 4)), np.array([0, 1, 2]))
+        assert loss == pytest.approx(np.log(4.0))
+
+    def test_gradient_matches_numeric(self):
+        loss_fn = CrossEntropyLoss()
+        logits = RNG.standard_normal((3, 4))
+        targets = np.array([0, 2, 1])
+        loss_fn.forward(logits, targets)
+        g = loss_fn.backward()
+        eps = 1e-6
+        for i in range(3):
+            for j in range(4):
+                lp = logits.copy()
+                lp[i, j] += eps
+                lm = logits.copy()
+                lm[i, j] -= eps
+                num = (loss_fn.forward(lp, targets) - loss_fn.forward(lm, targets)) / (2 * eps)
+                assert g[i, j] == pytest.approx(num, abs=1e-6)
+
+    def test_label_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss().forward(np.zeros((2, 3)), np.array([0, 3]))
+
+
+class TestMseAndBce:
+    def test_mse_zero_for_equal(self):
+        assert MSELoss().forward(np.ones(5), np.ones(5)) == 0.0
+
+    def test_mse_gradient(self):
+        loss = MSELoss()
+        pred = np.array([1.0, 2.0])
+        loss.forward(pred, np.array([0.0, 0.0]))
+        assert np.allclose(loss.backward(), [1.0, 2.0])
+
+    def test_bce_symmetric(self):
+        loss = BCEWithLogitsLoss()
+        v = loss.forward(np.array([0.0]), np.array([0.5]))
+        assert v == pytest.approx(np.log(2.0))
+
+    def test_bce_gradient_matches_numeric(self):
+        loss = BCEWithLogitsLoss()
+        logits = RNG.standard_normal(6)
+        targets = (RNG.uniform(size=6) > 0.5).astype(float)
+        loss.forward(logits, targets)
+        g = loss.backward()
+        eps = 1e-6
+        for i in range(6):
+            lp, lm = logits.copy(), logits.copy()
+            lp[i] += eps
+            lm[i] -= eps
+            num = (loss.forward(lp, targets) - loss.forward(lm, targets)) / (2 * eps)
+            assert g[i] == pytest.approx(num, abs=1e-6)
+
+
+class TestOptimizers:
+    def _quadratic_param(self):
+        return Parameter(np.array([5.0, -3.0]))
+
+    def test_sgd_converges_on_quadratic(self):
+        p = self._quadratic_param()
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            p.zero_grad()
+            p.grad += 2 * p.data
+            opt.step()
+        assert np.abs(p.data).max() < 1e-3
+
+    def test_sgd_momentum_accelerates(self):
+        losses = {}
+        for mom in (0.0, 0.9):
+            p = self._quadratic_param()
+            opt = SGD([p], lr=0.01, momentum=mom)
+            for _ in range(50):
+                p.zero_grad()
+                p.grad += 2 * p.data
+                opt.step()
+            losses[mom] = float(np.sum(p.data**2))
+        assert losses[0.9] < losses[0.0]
+
+    def test_adam_converges(self):
+        p = self._quadratic_param()
+        opt = Adam([p], lr=0.3)
+        for _ in range(300):
+            p.zero_grad()
+            p.grad += 2 * p.data
+            opt.step()
+        assert np.abs(p.data).max() < 1e-3
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.zero_grad()
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_empty_params_raise(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.0)
+
+
+class TestPruning:
+    def test_sparsity_after_prune(self):
+        model = Sequential(Dense(20, 20), ReLU(), Dense(20, 5))
+        magnitude_prune(model, 0.5)
+        assert sparsity(model) >= 0.4  # biases excluded from pruning
+
+    def test_masks_reapply(self):
+        model = Sequential(Dense(10, 10))
+        masks = magnitude_prune(model, 0.5)
+        model.parameters()[0].data += 1.0  # densify
+        apply_masks(model, masks)
+        assert sparsity(model) > 0.3
+
+    def test_keeps_largest_weights(self):
+        model = Sequential(Dense(4, 4))
+        w = model.parameters()[0]
+        w.data = np.arange(16.0).reshape(4, 4) + 1.0
+        magnitude_prune(model, 0.5)
+        assert w.data[3, 3] != 0.0
+        assert w.data[0, 0] == 0.0
+
+    def test_biases_untouched(self):
+        model = Sequential(Dense(8, 8))
+        model.parameters()[1].data[:] = 0.001
+        magnitude_prune(model, 0.9)
+        assert np.all(model.parameters()[1].data == 0.001)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            magnitude_prune(Sequential(Dense(4, 4)), 1.0)
+
+    def test_channel_importance_ranks(self):
+        p = Parameter(np.stack([np.zeros((3, 3)), np.ones((3, 3))]))
+        scores = channel_importance(p)
+        assert scores[1] > scores[0]
+
+
+class TestQuantization:
+    def test_round_trip_error_small_8bit(self):
+        x = RNG.standard_normal((16, 16))
+        assert quantization_error(x, QuantizationSpec(8)) < 0.01
+
+    def test_lower_bits_more_error(self):
+        x = RNG.standard_normal((32, 32))
+        e4 = quantization_error(x, QuantizationSpec(4, per_channel=False))
+        e8 = quantization_error(x, QuantizationSpec(8, per_channel=False))
+        assert e4 > e8
+
+    def test_levels_are_integers(self):
+        q, scale = quantize_array(RNG.standard_normal((4, 4)), QuantizationSpec(8))
+        assert np.allclose(q, np.round(q))
+        assert np.all(np.abs(q) <= 128)
+
+    def test_per_channel_scales(self):
+        x = np.stack([np.ones(8) * 0.01, np.ones(8) * 100.0])
+        q, scale = quantize_array(x, QuantizationSpec(8, per_channel=True))
+        back = dequantize_array(q, scale)
+        assert np.allclose(back, x, rtol=0.02)
+
+    def test_quantize_module_reports(self):
+        model = Sequential(Dense(8, 8), ReLU(), Dense(8, 2))
+        report = quantize_module(model, QuantizationSpec(8))
+        assert len(report) == 2  # two weight matrices, biases skipped
+        assert all(0 <= v < 0.05 for v in report.values())
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            QuantizationSpec(1)

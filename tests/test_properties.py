@@ -1,0 +1,141 @@
+"""Cross-module property-based tests (hypothesis).
+
+These pin down invariants that hold across subsystem boundaries — the sort
+of properties unit tests of a single module cannot express.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acoustics import (
+    MicrophoneArray,
+    RoadAcousticsSimulator,
+    Scene,
+    StaticPosition,
+)
+from repro.features import extract
+from repro.hw import RASPI4, estimate_cost, lower_module, pipeline_schedule
+from repro.nn import Dense, ReLU, Sequential
+from repro.sed.models import FeatureFrontEnd
+from repro.ssl import DoaGrid, FastSrpPhat, pair_tdoas
+
+FS = 8000.0
+
+
+class TestSimulatorProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(min_value=5.0, max_value=60.0), st.floats(min_value=0.5, max_value=3.0))
+    def test_linearity_in_amplitude(self, distance, gain):
+        """The whole propagation chain is LTI per static geometry:
+        scaling the source scales the output."""
+        mics = MicrophoneArray(np.array([[0.0, 0.0, 1.0]]))
+        scene = Scene(StaticPosition([distance, 1.0, 1.0]), mics, surface=None)
+        sim = RoadAcousticsSimulator(scene, FS, air_absorption=False)
+        rng = np.random.default_rng(int(distance * 10))
+        x = rng.standard_normal(2000)
+        y1 = sim.simulate(x)
+        y2 = sim.simulate(gain * x)
+        assert np.allclose(y2, gain * y1, atol=1e-12)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.floats(min_value=3.0, max_value=40.0))
+    def test_causality(self, distance):
+        """No output before the propagation delay (minus interpolator
+        support)."""
+        mics = MicrophoneArray(np.array([[0.0, 0.0, 1.0]]))
+        scene = Scene(StaticPosition([distance, 0.0, 1.0]), mics, surface=None)
+        sim = RoadAcousticsSimulator(scene, FS, air_absorption=False)
+        x = np.zeros(3000)
+        x[0] = 1.0
+        y = sim.simulate(x)[0]
+        arrival = int(np.floor(sim.path_snapshot(0.0).direct_delay_s * FS))
+        assert np.allclose(y[: max(0, arrival - 3)], 0.0, atol=1e-12)
+
+
+class TestSrpProperties:
+    MICS = np.array(
+        [[0.1, 0.1, 1.0], [0.1, -0.1, 1.0], [-0.1, -0.1, 1.0], [-0.1, 0.1, 1.0]]
+    )
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.floats(min_value=0.1, max_value=10.0))
+    def test_map_peak_invariant_to_gain(self, gain):
+        """PHAT whitening makes the SRP map's argmax gain-invariant."""
+        loc = FastSrpPhat(self.MICS, FS, grid=DoaGrid(n_azimuth=24, n_elevation=2), n_fft=512)
+        rng = np.random.default_rng(7)
+        frames = rng.standard_normal((4, 256))
+        m1 = loc.map_from_frames(frames)
+        m2 = loc.map_from_frames(gain * frames)
+        assert np.argmax(m1) == np.argmax(m2)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=2, max_value=8))
+    def test_tdoa_triangle_identity(self, n_mics):
+        """tau_ik == tau_ij + tau_jk for far-field TDOAs of any geometry."""
+        rng = np.random.default_rng(n_mics)
+        positions = rng.uniform(-1, 1, size=(n_mics, 3)) + [0, 0, 2.0]
+        dirs = DoaGrid(n_azimuth=8, n_elevation=1).directions()
+        taus = pair_tdoas(positions, dirs)
+        from repro.ssl.srp import mic_pairs
+
+        pairs = mic_pairs(n_mics)
+        index = {p: k for k, p in enumerate(pairs)}
+        for i in range(n_mics - 2):
+            t_ij = taus[index[(i, i + 1)]]
+            t_jk = taus[index[(i + 1, i + 2)]]
+            t_ik = taus[index[(i, i + 2)]]
+            assert np.allclose(t_ik, t_ij + t_jk, atol=1e-12)
+
+
+class TestFeatureProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(st.sampled_from(["spectrogram", "log_mel", "gammatonegram"]))
+    def test_log_features_shift_under_gain(self, name):
+        """Log-power features of a scaled signal differ by a constant
+        (maximum-referenced dB maps are exactly invariant)."""
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(4000)
+        f1 = extract(name, x, FS)
+        f2 = extract(name, 4.0 * x, FS)
+        assert np.allclose(f1, f2, atol=1e-6)
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_front_end_batch_consistency(self, seed):
+        """Batched extraction equals per-clip extraction."""
+        rng = np.random.default_rng(seed)
+        fe = FeatureFrontEnd("log_mel", FS, n_frames=16, n_mels=16)
+        clips = rng.standard_normal((3, 2000))
+        batch = fe(clips)
+        singles = np.concatenate([fe(c[None, :]) for c in clips])
+        assert np.allclose(batch, singles)
+
+
+class TestHwProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=2, max_value=64))
+    def test_cost_monotone_in_width(self, depth, width):
+        """Wider/deeper models never get cheaper on any device."""
+        def build(w, d):
+            layers = [Dense(16, w), ReLU()]
+            for _ in range(d - 1):
+                layers.extend([Dense(w, w), ReLU()])
+            layers.append(Dense(w, 4))
+            return Sequential(*layers)
+
+        small = estimate_cost(lower_module(build(width, depth), (16,)), RASPI4)
+        big = estimate_cost(lower_module(build(width * 2, depth), (16,)), RASPI4)
+        assert big.latency_s >= small.latency_s
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=1, max_value=6))
+    def test_schedule_work_conservation(self, n_stages):
+        """Staging never changes total work, and II <= total latency."""
+        model = Sequential(Dense(32, 64), ReLU(), Dense(64, 64), ReLU(), Dense(64, 8))
+        ir = lower_module(model, (32,))
+        serial = estimate_cost(ir, RASPI4).latency_s
+        schedule = pipeline_schedule(ir, RASPI4, n_stages=n_stages)
+        assert schedule.frame_latency_s == pytest.approx(serial, rel=1e-9)
+        assert schedule.initiation_interval_s <= serial + 1e-12

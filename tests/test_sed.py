@@ -1,0 +1,211 @@
+"""Tests for the SED package: events, dataset generation, models, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.sed import (
+    EVENT_CLASSES,
+    ClipSample,
+    DatasetConfig,
+    EventAnnotation,
+    FeatureFrontEnd,
+    SedCnnConfig,
+    TrainConfig,
+    accuracy,
+    accuracy_vs_snr,
+    build_sed_cnn,
+    build_sed_mlp,
+    class_index,
+    class_name,
+    confusion_matrix,
+    dataset_arrays,
+    f1_per_class,
+    generate_clip,
+    generate_dataset,
+    is_emergency,
+    predict,
+    train_classifier,
+)
+
+
+class TestEvents:
+    def test_taxonomy(self):
+        assert len(EVENT_CLASSES) == 5
+        assert class_name(class_index("horn")) == "horn"
+
+    def test_emergency_flags(self):
+        assert is_emergency("siren_wail")
+        assert is_emergency("horn")
+        assert not is_emergency("background")
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(ValueError):
+            class_index("unknown")
+        with pytest.raises(ValueError):
+            class_name(99)
+
+    def test_annotation_validation(self):
+        a = EventAnnotation("horn", 0.5, 1.5)
+        assert a.duration == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            EventAnnotation("horn", 1.0, 0.5)
+        with pytest.raises(ValueError):
+            EventAnnotation("unknown", 0.0, 1.0)
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return DatasetConfig(n_samples=10, duration=0.5, fs=4000.0)
+
+
+@pytest.fixture(scope="module")
+def small_dataset(small_config):
+    return generate_dataset(small_config, seed=1)
+
+
+class TestDataset:
+    def test_count_and_lengths(self, small_dataset, small_config):
+        assert len(small_dataset) == 10
+        for s in small_dataset:
+            assert s.waveform.size == int(small_config.duration * small_config.fs)
+
+    def test_labels_in_range(self, small_dataset):
+        for s in small_dataset:
+            assert 0 <= s.label < len(EVENT_CLASSES)
+
+    def test_snr_within_range(self, small_dataset, small_config):
+        lo, hi = small_config.snr_range_db
+        for s in small_dataset:
+            if not np.isnan(s.snr_db):
+                assert lo <= s.snr_db <= hi
+
+    def test_background_has_nan_snr(self, small_config):
+        rng = np.random.default_rng(0)
+        clip = generate_clip("background", small_config, rng)
+        assert np.isnan(clip.snr_db)
+        assert clip.label == class_index("background")
+
+    def test_peak_normalized(self, small_dataset):
+        for s in small_dataset:
+            assert np.max(np.abs(s.waveform)) == pytest.approx(0.99, abs=0.01)
+
+    def test_reproducible(self, small_config):
+        a = generate_dataset(small_config, seed=5)
+        b = generate_dataset(small_config, seed=5)
+        assert np.allclose(a[0].waveform, b[0].waveform)
+        assert a[0].label == b[0].label
+
+    def test_dataset_arrays(self, small_dataset):
+        x, y, snr = dataset_arrays(small_dataset)
+        assert x.shape[0] == y.shape[0] == snr.shape[0] == 10
+
+    def test_arrays_reject_mixed_lengths(self):
+        s1 = ClipSample(np.zeros(100), 0, 0.0, 1.0)
+        s2 = ClipSample(np.zeros(50), 0, 0.0, 1.0)
+        with pytest.raises(ValueError, match="inconsistent"):
+            dataset_arrays([s1, s2])
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DatasetConfig(n_samples=0)
+        with pytest.raises(ValueError):
+            DatasetConfig(snr_range_db=(0.0, -10.0))
+        with pytest.raises(ValueError):
+            DatasetConfig(classes=("car",))
+
+    def test_disabled_class_raises(self, small_config):
+        cfg = DatasetConfig(n_samples=1, duration=0.5, fs=4000.0, classes=("horn",))
+        with pytest.raises(ValueError, match="not enabled"):
+            generate_clip("siren_wail", cfg, np.random.default_rng(0))
+
+
+class TestModels:
+    def test_cnn_forward_shape(self):
+        model = build_sed_cnn(SedCnnConfig(n_classes=5, base_channels=4, n_blocks=2))
+        out = model.forward(np.zeros((2, 1, 16, 16)))
+        assert out.shape == (2, 5)
+
+    def test_mlp_forward_shape(self):
+        model = build_sed_mlp(40, 5)
+        assert model.forward(np.zeros((3, 40))).shape == (3, 5)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SedCnnConfig(n_classes=1)
+        with pytest.raises(ValueError):
+            SedCnnConfig(dropout=1.5)
+
+    def test_front_end_shapes(self):
+        fe = FeatureFrontEnd("log_mel", 4000.0, n_frames=16)
+        x = np.random.default_rng(0).standard_normal((3, 2000))
+        maps = fe(x)
+        assert maps.shape[0] == 3
+        assert maps.shape[1] == 1
+        assert maps.shape[3] == 16
+        assert maps.shape[2] % 4 == 0
+
+    def test_front_end_standardized(self):
+        fe = FeatureFrontEnd("log_mel", 4000.0, n_frames=16)
+        maps = fe(np.random.default_rng(1).standard_normal((2, 2000)))
+        assert np.allclose(maps.mean(axis=(2, 3)), 0.0, atol=1e-6)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 0])) == pytest.approx(2 / 3)
+
+    def test_confusion_matrix(self):
+        c = confusion_matrix(np.array([0, 0, 1]), np.array([0, 1, 1]), 2)
+        assert c[0, 0] == 1 and c[0, 1] == 1 and c[1, 1] == 1
+
+    def test_f1_perfect(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        f1 = f1_per_class(y, y, 3)
+        assert np.allclose(f1, 1.0)
+
+    def test_f1_absent_class_zero(self):
+        f1 = f1_per_class(np.array([0, 0]), np.array([0, 0]), 3)
+        assert f1[1] == 0.0 and f1[2] == 0.0
+
+    def test_accuracy_vs_snr_bins(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 1, 1, 1])
+        snr = np.array([-25.0, -25.0, -5.0, np.nan])
+        rows = accuracy_vs_snr(y_true, y_pred, snr)
+        low_bin = rows[0]
+        assert low_bin[3] == 2 and low_bin[2] == pytest.approx(0.5)
+        # nan SNR excluded
+        total = sum(r[3] for r in rows)
+        assert total == 3
+
+    def test_label_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 5]), np.array([0, 0]), 3)
+
+
+class TestTraining:
+    def test_classifier_learns_separable_features(self):
+        rng = np.random.default_rng(0)
+        n = 60
+        x = rng.standard_normal((n, 8))
+        y = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+        model = build_sed_mlp(8, 2, hidden=16, rng=rng)
+        history = train_classifier(
+            model, x, y, config=TrainConfig(epochs=30, batch_size=16, lr=5e-3),
+            x_val=x, y_val=y,
+        )
+        assert history["val_accuracy"][-1] >= 0.9
+        assert history["loss"][-1] < history["loss"][0]
+
+    def test_predict_shape(self):
+        model = build_sed_mlp(8, 3)
+        preds = predict(model, np.random.default_rng(0).standard_normal((10, 8)))
+        assert preds.shape == (10,)
+        assert np.all((preds >= 0) & (preds < 3))
+
+    def test_training_validation(self):
+        model = build_sed_mlp(4, 2)
+        with pytest.raises(ValueError):
+            train_classifier(model, np.zeros((2, 4)), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            TrainConfig(epochs=0)

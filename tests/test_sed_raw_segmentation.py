@@ -1,0 +1,244 @@
+"""Tests for raw-waveform models, the U-net segmenter, and augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, CrossEntropyLoss
+from repro.sed import (
+    DetectedEvent,
+    MultiPathDetector,
+    RawCnnConfig,
+    activity_to_events,
+    augment_batch,
+    build_raw_mlp,
+    build_raw_waveform_cnn,
+    build_unet1d,
+    event_based_scores,
+    median_filter_mask,
+    random_gain,
+    remix_noise,
+    spec_augment,
+    time_shift,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestRawModels:
+    def test_raw_cnn_shape(self):
+        model = build_raw_waveform_cnn(RawCnnConfig(base_channels=4, n_blocks=2))
+        out = model.forward(RNG.standard_normal((2, 1, 256)))
+        assert out.shape == (2, 5)
+
+    def test_raw_mlp_shape(self):
+        model = build_raw_mlp(128, 3)
+        assert model.forward(RNG.standard_normal((4, 128))).shape == (4, 3)
+
+    def test_raw_cnn_learns_tone_vs_noise(self):
+        fs, n = 2000, 256
+        t = np.arange(n) / fs
+        x = np.zeros((40, 1, n))
+        y = np.zeros(40, dtype=np.int64)
+        for i in range(40):
+            if i % 2 == 0:
+                x[i, 0] = np.sin(2 * np.pi * 300 * t) + 0.1 * RNG.standard_normal(n)
+            else:
+                x[i, 0] = RNG.standard_normal(n)
+                y[i] = 1
+        model = build_raw_waveform_cnn(
+            RawCnnConfig(n_classes=2, base_channels=4, n_blocks=2),
+            rng=np.random.default_rng(1),
+        )
+        loss_fn = CrossEntropyLoss()
+        opt = Adam(model.parameters(), lr=5e-3)
+        model.train()
+        for _ in range(30):
+            logits = model.forward(x)
+            loss_fn.forward(logits, y)
+            opt.zero_grad()
+            model.backward(loss_fn.backward())
+            opt.step()
+        model.eval()
+        acc = float(np.mean(np.argmax(model.forward(x), axis=1) == y))
+        assert acc >= 0.9
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RawCnnConfig(first_kernel=10)
+        with pytest.raises(ValueError):
+            build_raw_mlp(4, 2)
+
+
+class TestMultiPath:
+    def test_forward_shape(self):
+        model = MultiPathDetector(n_classes=4, raw_channels=4, tf_channels=4)
+        raw = RNG.standard_normal((3, 1, 128))
+        tf = RNG.standard_normal((3, 1, 8, 8))
+        assert model.forward((raw, tf)).shape == (3, 4)
+
+    def test_backward_returns_both_grads(self):
+        model = MultiPathDetector(n_classes=3, raw_channels=2, tf_channels=2)
+        raw = RNG.standard_normal((2, 1, 64))
+        tf = RNG.standard_normal((2, 1, 4, 4))
+        out = model.forward((raw, tf))
+        g_raw, g_tf = model.backward(np.ones_like(out))
+        assert g_raw.shape == raw.shape
+        assert g_tf.shape == tf.shape
+
+    def test_trains_jointly(self):
+        rng = np.random.default_rng(2)
+        n = 24
+        raw = rng.standard_normal((n, 1, 64))
+        tf = rng.standard_normal((n, 1, 4, 4))
+        y = np.zeros(n, dtype=np.int64)
+        # Make class depend on the tf branch only.
+        y[: n // 2] = 1
+        tf[: n // 2] += 2.0
+        model = MultiPathDetector(n_classes=2, raw_channels=2, tf_channels=4)
+        loss_fn = CrossEntropyLoss()
+        opt = Adam(model.parameters(), lr=5e-3)
+        model.train()
+        for _ in range(40):
+            logits = model.forward((raw, tf))
+            loss_fn.forward(logits, y)
+            opt.zero_grad()
+            model.backward(loss_fn.backward())
+            opt.step()
+        model.eval()
+        acc = float(np.mean(np.argmax(model.forward((raw, tf)), axis=1) == y))
+        assert acc >= 0.9
+
+    def test_validation(self):
+        model = MultiPathDetector()
+        with pytest.raises(ValueError):
+            model.forward((RNG.standard_normal((2, 2, 64)), RNG.standard_normal((2, 1, 4, 4))))
+
+
+class TestUnetSegmentation:
+    def test_unet_shape(self):
+        model = build_unet1d(8, depth=2, base_channels=4)
+        out = model.forward(RNG.standard_normal((2, 8, 16)))
+        assert out.shape == (2, 1, 16)
+
+    def test_unet_gradients(self):
+        from tests.test_nn_layers import check_gradients
+
+        model = build_unet1d(4, depth=1, base_channels=3)
+        check_gradients(model, RNG.standard_normal((2, 4, 8)))
+
+    def test_unet_learns_activity(self):
+        # Frames with high channel-0 energy are 'active'.
+        rng = np.random.default_rng(3)
+        n, f, t = 16, 4, 16
+        x = rng.standard_normal((n, f, t)) * 0.1
+        target = np.zeros((n, 1, t))
+        for i in range(n):
+            start = int(rng.integers(0, t - 6))
+            x[i, 0, start : start + 6] += 2.0
+            target[i, 0, start : start + 6] = 1.0
+        model = build_unet1d(f, depth=1, base_channels=4)
+        from repro.nn import BCEWithLogitsLoss
+
+        loss_fn = BCEWithLogitsLoss()
+        opt = Adam(model.parameters(), lr=5e-3)
+        model.train()
+        for _ in range(60):
+            logits = model.forward(x)
+            loss_fn.forward(logits, target)
+            opt.zero_grad()
+            model.backward(loss_fn.backward())
+            opt.step()
+        model.eval()
+        probs = 1 / (1 + np.exp(-model.forward(x)))
+        acc = float(np.mean((probs > 0.5) == (target > 0.5)))
+        assert acc >= 0.85
+
+
+class TestPostProcessing:
+    def test_median_filter_removes_spikes(self):
+        act = np.array([0, 0, 1, 0, 0, 1, 1, 1, 1, 0, 0])
+        mask = median_filter_mask(act, width=3)
+        assert not mask[2]  # isolated spike removed
+        assert mask[6]
+
+    def test_activity_to_events_extracts_blocks(self):
+        act = np.zeros(40)
+        act[5:15] = 0.9
+        act[25:35] = 0.8
+        events = activity_to_events(act, median_width=3, min_duration=3)
+        assert len(events) == 2
+        assert events[0].onset_frame == pytest.approx(5, abs=1)
+        assert events[1].duration_frames >= 8
+
+    def test_min_duration_prunes(self):
+        act = np.zeros(20)
+        act[3:5] = 1.0
+        assert activity_to_events(act, median_width=1, min_duration=5) == []
+
+    def test_trailing_event_closed(self):
+        act = np.zeros(20)
+        act[14:] = 1.0
+        events = activity_to_events(act, median_width=1, min_duration=3)
+        assert len(events) == 1
+        assert events[-1].offset_frame == 20
+
+    def test_event_scores_perfect(self):
+        ref = [DetectedEvent(5, 10), DetectedEvent(20, 30)]
+        scores = event_based_scores(ref, ref)
+        assert scores["f1"] == 1.0
+
+    def test_event_scores_tolerance(self):
+        ref = [DetectedEvent(5, 10)]
+        est = [DetectedEvent(8, 12)]
+        assert event_based_scores(ref, est, onset_tolerance=5)["f1"] == 1.0
+        assert event_based_scores(ref, est, onset_tolerance=1)["f1"] == 0.0
+
+    def test_event_scores_counts(self):
+        ref = [DetectedEvent(5, 10), DetectedEvent(30, 35)]
+        est = [DetectedEvent(5, 9)]
+        s = event_based_scores(ref, est)
+        assert s["tp"] == 1 and s["fn"] == 1 and s["fp"] == 0
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            DetectedEvent(5, 5)
+
+
+class TestAugmentation:
+    def test_time_shift_preserves_content(self):
+        x = RNG.standard_normal(100)
+        y = time_shift(x, 0.3, np.random.default_rng(0))
+        assert sorted(x.round(9)) == sorted(y.round(9))
+
+    def test_random_gain_bounds(self):
+        x = np.ones(10)
+        y = random_gain(x, np.random.default_rng(1), low_db=-6, high_db=6)
+        g = np.abs(y[0])
+        assert 10 ** (-6 / 20) <= g <= 10 ** (6 / 20)
+
+    def test_remix_noise_snr_in_range(self):
+        from repro.dsp.levels import snr_db
+
+        sig = np.sin(np.linspace(0, 40, 1000))
+        noise = RNG.standard_normal(1000)
+        mixed = remix_noise(sig, noise, np.random.default_rng(2), snr_range_db=(-10, -10))
+        # With a pinned range the SNR is exact.
+        assert snr_db(sig, mixed - sig) == pytest.approx(-10.0, abs=1e-6)
+
+    def test_spec_augment_masks(self):
+        feats = np.ones((16, 20))
+        out = spec_augment(feats, np.random.default_rng(3), mask_value=0.0)
+        assert out.min() == 0.0
+        assert np.all(feats == 1.0)  # input untouched
+
+    def test_augment_batch_shapes(self):
+        batch = RNG.standard_normal((4, 200))
+        noise_bank = [RNG.standard_normal(200)]
+        out = augment_batch(batch, noise_bank, np.random.default_rng(4))
+        assert out.shape == batch.shape
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_shift(np.ones(10), 0.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            spec_augment(np.ones(5), np.random.default_rng(0))

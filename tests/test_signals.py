@@ -1,0 +1,209 @@
+"""Tests for repro.signals: generators, sirens, horns, urban noise."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signals import (
+    HornSpec,
+    SirenSpec,
+    UrbanNoiseSpec,
+    colored_noise,
+    exponential_chirp,
+    harmonic_stack,
+    linear_chirp,
+    pulse_train,
+    siren_contour,
+    synthesize_horn,
+    synthesize_siren,
+    synthesize_urban_noise,
+    tone,
+    vehicle_pass_noise,
+    white_noise,
+)
+from repro.signals.sirens import DEFAULT_SPECS, SIREN_TYPES
+
+
+def dominant_freq(x, fs):
+    spec = np.abs(np.fft.rfft(x * np.hanning(x.size)))
+    return np.fft.rfftfreq(x.size, 1 / fs)[np.argmax(spec)]
+
+
+class TestGenerators:
+    def test_tone_frequency(self):
+        fs = 8000
+        assert abs(dominant_freq(tone(440.0, 1.0, fs), fs) - 440.0) < 2.0
+
+    def test_tone_amplitude(self):
+        x = tone(100.0, 0.5, 8000, amplitude=0.3)
+        assert np.max(np.abs(x)) == pytest.approx(0.3, abs=0.01)
+
+    def test_linear_chirp_endpoints(self):
+        fs = 8000
+        x = linear_chirp(200.0, 2000.0, 2.0, fs)
+        f_start = dominant_freq(x[: fs // 4], fs)
+        f_end = dominant_freq(x[-fs // 4 :], fs)
+        assert f_start < 600 and f_end > 1500
+
+    def test_exponential_chirp_requires_positive(self):
+        with pytest.raises(ValueError):
+            exponential_chirp(0.0, 100.0, 1.0, 8000)
+
+    def test_harmonic_stack_contains_harmonics(self):
+        fs = 16000
+        x = harmonic_stack(400.0, fs, n_harmonics=4, duration=1.0)
+        spec = np.abs(np.fft.rfft(x * np.hanning(x.size)))
+        freqs = np.fft.rfftfreq(x.size, 1 / fs)
+        for k in (1, 2, 3):
+            bin_k = np.argmin(np.abs(freqs - 400.0 * k))
+            local = spec[bin_k - 3 : bin_k + 4].max()
+            assert local > 0.05 * spec.max()
+
+    def test_harmonic_stack_drops_aliasing_harmonics(self):
+        fs = 2000
+        x = harmonic_stack(900.0, fs, n_harmonics=8, duration=0.5)
+        # Only the fundamental survives below Nyquist; above-Nyquist
+        # harmonics must not alias into the band.
+        spec = np.abs(np.fft.rfft(x * np.hanning(x.size)))
+        freqs = np.fft.rfftfreq(x.size, 1 / fs)
+        peak = freqs[np.argmax(spec)]
+        assert abs(peak - 900.0) < 10.0
+
+    def test_harmonic_stack_scalar_needs_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            harmonic_stack(100.0, 8000)
+
+    def test_pulse_train_count(self):
+        fs = 8000
+        x = pulse_train(10.0, 1.0, fs, pulse_width=1 / fs)
+        assert int(x.sum()) == 10
+
+    def test_white_noise_statistics(self):
+        x = white_noise(2.0, 8000, rng=np.random.default_rng(0))
+        assert abs(x.mean()) < 0.05
+        assert x.std() == pytest.approx(1.0, abs=0.05)
+
+    def test_bad_duration(self):
+        with pytest.raises(ValueError):
+            tone(100.0, 0.0, 8000)
+
+
+class TestSirens:
+    @pytest.mark.parametrize("kind", SIREN_TYPES)
+    def test_synthesis_normalized(self, kind):
+        x = synthesize_siren(kind, 2.0, 8000)
+        assert np.max(np.abs(x)) == pytest.approx(1.0)
+
+    def test_hilow_contour_two_levels(self):
+        spec = DEFAULT_SPECS["hi-low"]
+        c = siren_contour(spec, 2.0, 8000)
+        assert set(np.unique(c)) == {spec.f_low, spec.f_high}
+
+    def test_wail_contour_spans_range(self):
+        spec = DEFAULT_SPECS["wail"]
+        c = siren_contour(spec, spec.period, 8000)
+        assert c.min() == pytest.approx(spec.f_low, rel=0.01)
+        assert c.max() == pytest.approx(spec.f_high, rel=0.01)
+
+    def test_yelp_faster_than_wail(self):
+        assert DEFAULT_SPECS["yelp"].period < DEFAULT_SPECS["wail"].period
+
+    def test_wail_fundamental_in_band(self):
+        fs = 8000
+        x = synthesize_siren("wail", 4.0, fs)
+        f = dominant_freq(x, fs)
+        assert 500 < f < 3100  # fundamental or low harmonic
+
+    def test_jitter_changes_signal(self):
+        rng = np.random.default_rng(7)
+        a = synthesize_siren("wail", 1.0, 8000)
+        b = synthesize_siren("wail", 1.0, 8000, rng=rng, jitter=0.1)
+        assert not np.allclose(a, b)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown siren kind"):
+            synthesize_siren("whoop", 1.0, 8000)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SirenSpec("wail", 500.0, 400.0, 1.0)
+        with pytest.raises(ValueError):
+            SirenSpec("wail", 100.0, 200.0, -1.0)
+
+
+class TestHorn:
+    def test_normalized(self):
+        x = synthesize_horn(1.0, 8000)
+        assert np.max(np.abs(x)) == pytest.approx(1.0)
+
+    def test_burst_count_gaps(self):
+        fs = 8000
+        x = synthesize_horn(2.0, fs, n_bursts=2, duty=0.5)
+        # Second half of each burst period should be silent.
+        assert np.abs(x[int(0.6 * fs) : int(0.9 * fs)]).max() < 1e-9
+
+    def test_fundamental_near_spec(self):
+        fs = 16000
+        spec = HornSpec(f0=420.0, chord_ratio=1.0, n_harmonics=1)
+        x = synthesize_horn(1.0, fs, spec=spec, n_bursts=1, duty=1.0)
+        assert abs(dominant_freq(x, fs) - 420.0) < 5.0
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            HornSpec(f0=-1.0)
+        with pytest.raises(ValueError):
+            HornSpec(chord_ratio=0.5)
+
+    def test_bad_duty(self):
+        with pytest.raises(ValueError):
+            synthesize_horn(1.0, 8000, duty=0.0)
+
+
+class TestNoise:
+    def test_colored_noise_unit_rms(self):
+        x = colored_noise(1.0, 8000, alpha=1.0, rng=np.random.default_rng(0))
+        assert np.sqrt(np.mean(x**2)) == pytest.approx(1.0, abs=1e-9)
+
+    def test_pink_has_more_low_frequency_energy(self):
+        rng = np.random.default_rng(3)
+        x = colored_noise(4.0, 8000, alpha=2.0, rng=rng)
+        spec = np.abs(np.fft.rfft(x)) ** 2
+        freqs = np.fft.rfftfreq(x.size, 1 / 8000)
+        low = spec[(freqs > 10) & (freqs < 100)].mean()
+        high = spec[(freqs > 1000) & (freqs < 2000)].mean()
+        assert low > 20 * high
+
+    def test_white_alpha_zero_flat(self):
+        rng = np.random.default_rng(4)
+        x = colored_noise(4.0, 8000, alpha=0.0, rng=rng)
+        spec = np.abs(np.fft.rfft(x)) ** 2
+        freqs = np.fft.rfftfreq(x.size, 1 / 8000)
+        low = spec[(freqs > 100) & (freqs < 500)].mean()
+        high = spec[(freqs > 3000) & (freqs < 3900)].mean()
+        assert 0.3 < low / high < 3.0
+
+    def test_vehicle_pass_envelope_peaks_at_pass_time(self):
+        fs = 8000
+        x = vehicle_pass_noise(4.0, fs, pass_time=2.0, pass_width=0.5, rng=np.random.default_rng(5))
+        env = np.array([np.std(x[i : i + fs // 4]) for i in range(0, x.size - fs // 4, fs // 4)])
+        assert np.argmax(env) in (6, 7, 8)  # around 2 s in quarter-second blocks
+
+    def test_urban_noise_unit_rms(self):
+        x = synthesize_urban_noise(1.0, 8000, rng=np.random.default_rng(0))
+        assert np.sqrt(np.mean(x**2)) == pytest.approx(1.0, abs=1e-9)
+
+    def test_urban_noise_reproducible(self):
+        a = synthesize_urban_noise(1.0, 8000, rng=np.random.default_rng(11))
+        b = synthesize_urban_noise(1.0, 8000, rng=np.random.default_rng(11))
+        assert np.allclose(a, b)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            UrbanNoiseSpec(bed_level=-1.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(min_value=0.3, max_value=2.0))
+    def test_urban_noise_finite(self, duration):
+        x = synthesize_urban_noise(duration, 4000, rng=np.random.default_rng(1))
+        assert np.all(np.isfinite(x))

@@ -1,0 +1,154 @@
+"""Tests for the Cross3D model and the Kalman DOA tracker."""
+
+import numpy as np
+import pytest
+
+from repro.ssl import (
+    Cross3DConfig,
+    Cross3DNet,
+    KalmanDoaTracker,
+    azel_to_unit,
+    edge_variant,
+    evaluate_cross3d,
+    srp_map_sequence,
+    track_sequence,
+    train_cross3d,
+)
+from repro.ssl.doa import DoaGrid
+from repro.ssl.srp_fast import FastSrpPhat
+
+SMALL = Cross3DConfig(map_shape=(12, 4), base_channels=6, n_blocks=2, kernel_time=3)
+
+
+def synthetic_maps(n, t_steps, cfg, seed=0):
+    """SRP-like maps with a blurred moving peak and matching unit targets."""
+    rng = np.random.default_rng(seed)
+    a, e = cfg.map_shape
+    maps = np.zeros((n, 1, t_steps, a, e))
+    targets = np.zeros((n, t_steps, 3))
+    azs = np.linspace(-np.pi, np.pi, a, endpoint=False)
+    els = np.linspace(0, np.pi / 6, e)
+    for i in range(n):
+        start = rng.uniform(-np.pi, np.pi)
+        rate = rng.uniform(-0.15, 0.15)
+        el_idx = int(rng.integers(0, e))
+        for t in range(t_steps):
+            az = (start + rate * t + np.pi) % (2 * np.pi) - np.pi
+            dist = np.abs((azs - az + np.pi) % (2 * np.pi) - np.pi)
+            maps[i, 0, t, :, el_idx] = np.exp(-0.5 * (dist / 0.4) ** 2)
+            maps[i, 0, t] += 0.1 * rng.standard_normal((a, e))
+            targets[i, t] = azel_to_unit(az, els[el_idx])
+    return maps, targets
+
+
+class TestCross3DNet:
+    def test_output_shape(self):
+        net = Cross3DNet(SMALL)
+        out = net.forward(np.zeros((2, 1, 5, 12, 4)))
+        assert out.shape == (2, 3, 5)
+
+    def test_causality(self):
+        # Changing future map frames must not change earlier outputs.
+        net = Cross3DNet(SMALL)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((1, 1, 6, 12, 4))
+        net.eval()
+        y1 = net.forward(x)
+        x2 = x.copy()
+        x2[:, :, 4:] += 10.0
+        y2 = net.forward(x2)
+        assert np.allclose(y1[:, :, :4], y2[:, :, :4], atol=1e-9)
+        assert not np.allclose(y1[:, :, 4:], y2[:, :, 4:])
+
+    def test_edge_variant_smaller(self):
+        base = Cross3DNet(Cross3DConfig())
+        edge = Cross3DNet(edge_variant(Cross3DConfig()))
+        reduction = 1.0 - edge.n_parameters() / base.n_parameters()
+        assert reduction > 0.8  # the "~86% smaller" ballpark
+
+    def test_predict_directions_unit_norm(self):
+        net = Cross3DNet(SMALL)
+        dirs = net.predict_directions(np.random.default_rng(1).standard_normal((2, 1, 4, 12, 4)))
+        assert np.allclose(np.linalg.norm(dirs, axis=-1), 1.0)
+
+    def test_shape_validation(self):
+        net = Cross3DNet(SMALL)
+        with pytest.raises(ValueError):
+            net.forward(np.zeros((1, 2, 4, 12, 4)))
+        with pytest.raises(ValueError):
+            net.forward(np.zeros((1, 1, 4, 10, 4)))
+
+    def test_training_reduces_loss_and_error(self):
+        maps, targets = synthetic_maps(24, 6, SMALL, seed=3)
+        net = Cross3DNet(SMALL, rng=np.random.default_rng(5))
+        err_before = evaluate_cross3d(net, maps, targets)
+        losses = train_cross3d(net, maps, targets, epochs=12, lr=3e-3, batch_size=8)
+        err_after = evaluate_cross3d(net, maps, targets)
+        assert losses[-1] < losses[0]
+        assert err_after < err_before
+
+    def test_train_validation(self):
+        net = Cross3DNet(SMALL)
+        with pytest.raises(ValueError):
+            train_cross3d(net, np.zeros((2, 1, 4, 12, 4)), np.zeros((2, 5, 3)))
+
+
+class TestSrpMapSequence:
+    def test_shapes_and_normalization(self):
+        mics = np.array([[0.1, 0, 1.0], [-0.1, 0, 1.0], [0, 0.1, 1.0]])
+        grid = DoaGrid(n_azimuth=12, n_elevation=4, el_max=np.pi / 6)
+        loc = FastSrpPhat(mics, 16000, grid=grid, n_fft=512)
+        rng = np.random.default_rng(0)
+        signals = rng.standard_normal((3, 4000))
+        maps = srp_map_sequence(signals, loc, frame_length=256, hop_length=128)
+        assert maps.shape == ((4000 - 256) // 128 + 1, 12, 4)
+        assert np.allclose(maps.mean(axis=(1, 2)), 0.0, atol=1e-9)
+
+    def test_too_short_raises(self):
+        mics = np.array([[0.1, 0, 1.0], [-0.1, 0, 1.0]])
+        loc = FastSrpPhat(mics, 16000, n_fft=512)
+        with pytest.raises(ValueError):
+            srp_map_sequence(np.zeros((2, 100)), loc, 256, 128)
+
+
+class TestKalmanTracker:
+    def test_smooths_noisy_azimuth(self):
+        rng = np.random.default_rng(0)
+        t = np.arange(100)
+        truth = 0.01 * t
+        noisy = truth + 0.3 * rng.standard_normal(100)
+        states = track_sequence(noisy, measurement_noise=0.3)
+        est = np.array([s.azimuth for s in states])[20:]
+        raw_err = np.abs(noisy[20:] - truth[20:]).mean()
+        trk_err = np.abs(est - truth[20:]).mean()
+        assert trk_err < raw_err
+
+    def test_tracks_through_dropout(self):
+        truth = 0.02 * np.arange(60)
+        detected = np.ones(60, dtype=bool)
+        detected[30:40] = False
+        states = track_sequence(truth, detected=detected, measurement_noise=0.01)
+        est = np.array([s.azimuth for s in states])
+        assert np.abs(est[39] - truth[39]) < 0.1
+
+    def test_wraps_through_pi(self):
+        # Crossing the +-pi seam must not produce a 2*pi jump.
+        az = np.concatenate([np.linspace(3.0, np.pi - 0.01, 20), np.linspace(-np.pi + 0.01, -3.0, 20)])
+        states = track_sequence(az, measurement_noise=0.05)
+        est = np.array([s.azimuth for s in states])
+        step = np.abs(np.diff(est))
+        step = np.minimum(step, 2 * np.pi - step)
+        assert step.max() < 0.3
+
+    def test_predict_before_update_raises(self):
+        with pytest.raises(RuntimeError):
+            KalmanDoaTracker().predict()
+
+    def test_rate_estimated(self):
+        truth = 0.05 * np.arange(80)
+        states = track_sequence(truth, measurement_noise=0.01)
+        assert states[-1].azimuth_rate == pytest.approx(0.05, abs=0.01)
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError):
+            KalmanDoaTracker(process_noise=0.0)

@@ -1,0 +1,137 @@
+"""Tests for MUSIC DOA and TDOA multilateration."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import MicrophoneArray, RoadAcousticsSimulator, Scene, StaticPosition
+from repro.signals import white_noise
+from repro.ssl import (
+    DoaGrid,
+    MusicDoa,
+    angular_error_deg,
+    azel_to_unit,
+    localize_position,
+    multilaterate,
+    music_spectrum,
+    pair_tdoas,
+    spatial_covariance,
+    tdoa_vector,
+)
+
+FS = 16000.0
+MICS = np.array(
+    [[0.08, 0.08, 1.0], [0.08, -0.08, 1.0], [-0.08, -0.08, 1.0], [-0.08, 0.08, 1.0]]
+)
+
+
+def simulate(src, mics=MICS, seed=0, duration=0.4):
+    scene = Scene(StaticPosition(src), MicrophoneArray(mics), surface=None)
+    sim = RoadAcousticsSimulator(scene, FS, air_absorption=False, interpolation="linear")
+    sig = white_noise(duration, FS, rng=np.random.default_rng(seed))
+    return sim.simulate(sig)
+
+
+class TestSpatialCovariance:
+    def test_hermitian(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((5, 4, 16)) + 1j * rng.standard_normal((5, 4, 16))
+        r = spatial_covariance(x)
+        assert r.shape == (16, 4, 4)
+        assert np.allclose(r, np.conj(np.transpose(r, (0, 2, 1))))
+
+    def test_psd(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((10, 3, 8)) + 1j * rng.standard_normal((10, 3, 8))
+        r = spatial_covariance(x)
+        for k in range(8):
+            w = np.linalg.eigvalsh(r[k])
+            assert np.all(w > -1e-10)
+
+
+class TestMusicSpectrum:
+    def test_peaks_at_planted_direction(self):
+        m = 4
+        rng = np.random.default_rng(2)
+        a_true = np.exp(1j * rng.uniform(0, 2 * np.pi, m))
+        # Covariance = signal + small noise.
+        r = 5.0 * np.outer(a_true, np.conj(a_true)) + 0.1 * np.eye(m)
+        steering = np.stack([a_true, np.exp(1j * rng.uniform(0, 2 * np.pi, m))])
+        spec = music_spectrum(r, steering, 1)
+        assert spec[0] > 10 * spec[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            music_spectrum(np.eye(3), np.ones((2, 3)), 3)
+
+
+class TestMusicDoa:
+    def test_localizes_broadband_source(self):
+        grid = DoaGrid(n_azimuth=72, n_elevation=1, el_min=0.0, el_max=0.0)
+        music = MusicDoa(MICS, FS, grid=grid, n_fft=512, band_hz=(300.0, 1800.0))
+        for az_true in (-1.8, 0.4, 2.3):
+            src = 25.0 * azel_to_unit(az_true, 0.0) + np.array([0, 0, 1.0])
+            frames = simulate(src, seed=int(az_true * 10) % 5)[:, 2000:6096]
+            res = music.localize(frames)
+            err = angular_error_deg(azel_to_unit(res.azimuth, 0.0), azel_to_unit(az_true, 0.0))
+            assert err < 12.0
+
+    def test_needs_three_mics(self):
+        with pytest.raises(ValueError):
+            MusicDoa(MICS[:2], FS)
+
+    def test_frame_too_short_raises(self):
+        music = MusicDoa(MICS, FS, n_fft=512)
+        with pytest.raises(ValueError):
+            music.map_from_frames(np.zeros((4, 64)))
+
+    def test_band_validation(self):
+        with pytest.raises(ValueError):
+            MusicDoa(MICS, FS, band_hz=(5000.0, 1000.0))
+
+
+WIDE = np.array(
+    [
+        [2.0, 1.0, 0.6],
+        [2.0, -1.0, 0.6],
+        [-2.0, -1.0, 0.6],
+        [-2.0, 1.0, 0.6],
+        [0.0, 1.2, 1.1],
+        [0.0, -1.2, 1.1],
+    ]
+)
+
+
+class TestMultilateration:
+    def test_exact_tdoas_recover_position(self):
+        src = np.array([8.0, 5.0, 1.0])
+        d = np.linalg.norm(WIDE - src, axis=1)
+        from repro.ssl.srp import mic_pairs
+
+        taus = np.array([(d[i] - d[j]) / 343.0 for i, j in mic_pairs(WIDE.shape[0])])
+        fix = multilaterate(WIDE, taus, c=343.0, z_fixed=1.0)
+        assert np.linalg.norm(fix.position[:2] - src[:2]) < 0.1
+        assert fix.residual_s < 1e-9
+
+    def test_measured_tdoas_recover_position(self):
+        src = np.array([10.0, -6.0, 1.0])
+        received = simulate(src, mics=WIDE, seed=3)
+        frames = received[:, 2000:4048]
+        fix = localize_position(frames, WIDE, FS, z_fixed=1.0)
+        # Range error grows with distance; a few metres at 11.7 m is fine.
+        assert np.linalg.norm(fix.position[:2] - src[:2]) < 3.0
+
+    def test_distance_estimate(self):
+        src = np.array([6.0, 4.0, 1.0])
+        received = simulate(src, mics=WIDE, seed=4)
+        fix = localize_position(received[:, 2000:4048], WIDE, FS, z_fixed=1.0)
+        true_range = np.linalg.norm(src - WIDE.mean(axis=0))
+        assert fix.distance == pytest.approx(true_range, rel=0.4)
+
+    def test_needs_four_mics(self):
+        with pytest.raises(ValueError):
+            multilaterate(WIDE[:3], np.zeros(3))
+
+    def test_tdoa_vector_shape(self):
+        frames = np.random.default_rng(0).standard_normal((4, 512))
+        taus = tdoa_vector(frames, FS)
+        assert taus.shape == (6,)

@@ -1,0 +1,80 @@
+"""Tests for the joint SELD model and its feature stack."""
+
+import numpy as np
+import pytest
+
+from repro.ssl import SeldConfig, SeldNet, azel_to_unit, seld_features, train_seld
+
+RNG = np.random.default_rng(0)
+
+
+class TestSeldFeatures:
+    def test_channel_layout(self):
+        sig = RNG.standard_normal((4, 4000))
+        feats = seld_features(sig, 16000.0, n_mels=16, n_fft=256, hop=128)
+        # 4 mics + 6 pairs = 10 channels
+        assert feats.shape[0] == 10
+        assert feats.shape[1] == 16
+
+    def test_standardized(self):
+        sig = RNG.standard_normal((3, 4000))
+        feats = seld_features(sig, 16000.0, n_mels=16, n_fft=256, hop=128)
+        assert np.allclose(feats.mean(axis=(1, 2)), 0.0, atol=1e-9)
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            seld_features(np.zeros((2, 100)), 16000.0, n_fft=256)
+
+    def test_single_mic_raises(self):
+        with pytest.raises(ValueError):
+            seld_features(np.zeros((1, 4000)), 16000.0)
+
+
+class TestSeldNet:
+    def test_two_heads_shapes(self):
+        net = SeldNet(SeldConfig(n_classes=4, n_input_channels=6, base_channels=4))
+        logits, doa = net.forward(RNG.standard_normal((3, 6, 8, 8)))
+        assert logits.shape == (3, 4)
+        assert doa.shape == (3, 3)
+
+    def test_predict_normalizes_doa(self):
+        net = SeldNet(SeldConfig(n_input_channels=6, base_channels=4))
+        _, _, doa = net.predict(RNG.standard_normal((2, 6, 8, 8)))
+        assert np.allclose(np.linalg.norm(doa, axis=1), 1.0)
+
+    def test_channel_mismatch_raises(self):
+        net = SeldNet(SeldConfig(n_input_channels=6))
+        with pytest.raises(ValueError):
+            net.forward(RNG.standard_normal((1, 4, 8, 8)))
+
+    def test_joint_training_improves_both(self):
+        rng = np.random.default_rng(1)
+        n = 32
+        x = 0.1 * rng.standard_normal((n, 6, 8, 8))
+        y_class = np.zeros(n, dtype=np.int64)
+        y_doa = np.zeros((n, 3))
+        for i in range(n):
+            cls = i % 2
+            az = 0.5 if cls == 0 else -2.0
+            y_class[i] = cls
+            y_doa[i] = azel_to_unit(az, 0.0)
+            # Plant class/DOA evidence in separate channels.
+            x[i, cls] += 1.5
+            x[i, 4 + cls, :, :] += 1.0
+        net = SeldNet(SeldConfig(n_classes=2, n_input_channels=6, base_channels=6),
+                      rng=np.random.default_rng(2))
+        history = train_seld(net, x, y_class, y_doa, epochs=25, lr=3e-3, batch_size=8)
+        assert history["class_loss"][-1] < history["class_loss"][0]
+        assert history["doa_loss"][-1] < history["doa_loss"][0]
+        pred_class, _, pred_doa = net.predict(x)
+        acc = float(np.mean(pred_class == y_class))
+        assert acc >= 0.9
+        cos = np.sum(pred_doa * y_doa, axis=1)
+        assert float(np.mean(cos)) > 0.7
+
+    def test_train_validation(self):
+        net = SeldNet(SeldConfig(n_input_channels=4))
+        with pytest.raises(ValueError):
+            train_seld(net, np.zeros((2, 4, 8, 8)), np.zeros(2, dtype=int), np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            SeldConfig(n_classes=1)

@@ -1,0 +1,129 @@
+"""Tests for wind noise, posterior calibration, and the energy DSE objective."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import add_wind, wind_noise
+from repro.hw import DesignPoint, evaluate_point, run_codesign
+from repro.sed import apply_temperature, expected_calibration_error, fit_temperature
+
+
+class TestWindNoise:
+    def test_shape(self):
+        w = wind_noise(3, 1.0, 8000.0, rng=np.random.default_rng(0))
+        assert w.shape == (3, 8000)
+
+    def test_low_frequency_dominated(self):
+        w = wind_noise(1, 4.0, 8000.0, rng=np.random.default_rng(1))[0]
+        spec = np.abs(np.fft.rfft(w)) ** 2
+        freqs = np.fft.rfftfreq(w.size, 1 / 8000.0)
+        low = spec[(freqs > 5) & (freqs < 100)].mean()
+        high = spec[(freqs > 1000) & (freqs < 3000)].mean()
+        assert low > 100 * high
+
+    def test_incoherent_between_mics(self):
+        # Capsule noise is phase-independent; the shared gust envelope makes
+        # raw sample correlation meaningless (heavy-tailed effective DoF), so
+        # measure Welch magnitude-squared coherence instead.
+        w = wind_noise(2, 4.0, 8000.0, rng=np.random.default_rng(2))
+        n_fft, hop, k = 256, 128, 16
+        win = np.hanning(n_fft)
+        s00 = s11 = 0.0
+        s01 = 0j
+        for start in range(0, w.shape[1] - n_fft, hop):
+            f0 = np.fft.rfft(w[0, start : start + n_fft] * win)[k]
+            f1 = np.fft.rfft(w[1, start : start + n_fft] * win)[k]
+            s00 += abs(f0) ** 2
+            s11 += abs(f1) ** 2
+            s01 += f0 * np.conj(f1)
+        coherence = abs(s01) ** 2 / (s00 * s11)
+        assert coherence < 0.05
+
+    def test_level_scales_with_speed(self):
+        calm = wind_noise(1, 1.0, 8000.0, speed_mps=4.0, rng=np.random.default_rng(3))
+        storm = wind_noise(1, 1.0, 8000.0, speed_mps=16.0, rng=np.random.default_rng(3))
+        assert storm.std() > 10 * calm.std()
+
+    def test_add_wind_relative_level(self):
+        rng = np.random.default_rng(4)
+        sig = rng.standard_normal((2, 8000))
+        noisy = add_wind(sig, 8000.0, level_db=-20.0, rng=np.random.default_rng(5))
+        added = noisy - sig
+        ratio = np.sqrt(np.mean(added**2)) / np.sqrt(np.mean(sig**2))
+        assert 20 * np.log10(ratio) == pytest.approx(-20.0, abs=0.5)
+
+    def test_silent_signal_raises(self):
+        with pytest.raises(ValueError, match="silent"):
+            add_wind(np.zeros((2, 100)), 8000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wind_noise(0, 1.0, 8000.0)
+        with pytest.raises(ValueError):
+            wind_noise(1, 1.0, 8000.0, gust_rate_hz=0.0)
+
+
+class TestCalibration:
+    def _synthetic_logits(self, n=400, k=4, scale=3.0, seed=0):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, k, n)
+        logits = rng.standard_normal((n, k))
+        logits[np.arange(n), labels] += 2.0
+        return logits * scale, labels
+
+    def test_ece_zero_for_perfectly_calibrated(self):
+        # Deterministic correct predictions with confidence 1.0 -> ECE ~ 0.
+        probs = np.eye(4)[np.array([0, 1, 2, 3] * 10)]
+        labels = np.array([0, 1, 2, 3] * 10)
+        assert expected_calibration_error(probs, labels) == pytest.approx(0.0, abs=1e-9)
+
+    def test_overconfident_logits_have_high_ece(self):
+        logits, labels = self._synthetic_logits(scale=6.0)
+        ece_raw = expected_calibration_error(apply_temperature(logits, 1.0), labels)
+        assert ece_raw > 0.05
+
+    def test_temperature_improves_ece(self):
+        logits, labels = self._synthetic_logits(scale=6.0)
+        t = fit_temperature(logits, labels)
+        ece_raw = expected_calibration_error(apply_temperature(logits, 1.0), labels)
+        ece_cal = expected_calibration_error(apply_temperature(logits, t), labels)
+        assert t > 1.0  # overconfident -> temperature above 1
+        assert ece_cal < ece_raw
+
+    def test_fitted_temperature_near_true_scale(self):
+        # Logits scaled by 4 should calibrate back with T ~ 4.
+        logits, labels = self._synthetic_logits(scale=1.0, seed=1)
+        t = fit_temperature(logits * 4.0, labels)
+        assert 2.0 < t < 8.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            apply_temperature(np.zeros((2, 3)), 0.0)
+        with pytest.raises(ValueError):
+            expected_calibration_error(np.zeros((2, 3)), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            fit_temperature(np.zeros((2, 3)), np.array([0, 5]))
+
+
+class TestEnergyObjective:
+    def test_energy_objective_reduces_energy(self):
+        base = DesignPoint(base_channels=16, n_blocks=2)
+        res = run_codesign(base, objective="energy", sequence_length=4)
+        assert res.final.energy_mj < res.baseline.energy_mj
+
+    def test_objectives_may_disagree_on_path(self):
+        base = DesignPoint(base_channels=16, n_blocks=2)
+        lat = run_codesign(base, objective="latency", sequence_length=4)
+        eng = run_codesign(base, objective="energy", sequence_length=4)
+        # Both improve their own metric.
+        assert lat.final.latency_ms <= lat.baseline.latency_ms
+        assert eng.final.energy_mj <= eng.baseline.energy_mj
+
+    def test_pruning_discounts_energy(self):
+        dense = evaluate_point(DesignPoint(), sequence_length=4)
+        pruned = evaluate_point(DesignPoint(prune_ratio=0.4), sequence_length=4)
+        assert pruned.energy_mj < dense.energy_mj
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError, match="objective"):
+            run_codesign(objective="area")
