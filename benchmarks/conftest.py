@@ -1,11 +1,71 @@
-"""Shared fixtures for the experiment benches (E1-E11).
+"""Shared fixtures for the experiment benches (E1-E12).
 
 Every bench regenerates one table/figure analogue from the paper; the rows
 are printed (run with ``-s`` to see them) and the claim *shape* is asserted.
+
+Benches that measure wall-clock speedups record machine-readable
+``{bench, wall_ms, speedup}`` rows through the :func:`bench_json` fixture;
+the rows are appended to the file named by ``--bench-json`` (default
+``BENCH_pipeline.json`` at the repo root) when the session ends, so the
+performance trajectory across PRs stays queryable.
 """
+
+import json
+from pathlib import Path
 
 import numpy as np
 import pytest
+
+_BENCH_ROWS: list[dict] = []
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        default="BENCH_pipeline.json",
+        help="file (relative to the repo root) that benchmark rows are appended to",
+    )
+
+
+def assert_frame_results_equal(streamed, batched):
+    """The PR-1 equivalence contract: identical FrameResult sequences."""
+    assert len(streamed) == len(batched)
+    for r1, r2 in zip(streamed, batched):
+        assert r1.frame_index == r2.frame_index
+        assert r1.label == r2.label
+        assert r1.detected == r2.detected
+        assert np.isclose(r1.confidence, r2.confidence)
+        for a, b in ((r1.azimuth, r2.azimuth), (r1.elevation, r2.elevation)):
+            assert (np.isnan(a) and np.isnan(b)) or np.isclose(a, b)
+
+
+@pytest.fixture
+def bench_json():
+    """Return a recorder ``record(bench, wall_ms, speedup)`` for perf rows."""
+
+    def record(bench: str, wall_ms: float, speedup: float) -> None:
+        _BENCH_ROWS.append(
+            {"bench": str(bench), "wall_ms": float(wall_ms), "speedup": float(speedup)}
+        )
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _BENCH_ROWS or exitstatus != 0:
+        return  # never pollute the perf trail with rows from a failed run
+    path = Path(session.config.rootpath) / session.config.getoption("--bench-json")
+    try:
+        rows = json.loads(path.read_text()) if path.exists() else []
+        if not isinstance(rows, list):
+            rows = []
+    except (OSError, ValueError):
+        rows = []
+    rows.extend(_BENCH_ROWS)
+    try:
+        path.write_text(json.dumps(rows, indent=2) + "\n")
+    except OSError:
+        pass  # read-only checkout; the printed tables still carry the numbers
 
 
 @pytest.fixture(scope="session")

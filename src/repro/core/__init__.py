@@ -1,5 +1,13 @@
-"""End-to-end real-time acoustic perception pipeline."""
+"""End-to-end real-time acoustic perception pipeline.
 
+Two execution engines share one set of components: the streaming
+:class:`AcousticPerceptionPipeline` (per-hop ticks, the low-latency driving
+mode) and the batched :class:`BlockPipeline` /
+:func:`process_signal_batched` (whole recordings as array ops, for
+throughput work); both produce identical :class:`FrameResult` sequences.
+"""
+
+from repro.core.batch import BlockPipeline, process_signal_batched
 from repro.core.config import PipelineConfig
 from repro.core.modes import (
     EnergyTrigger,
@@ -15,6 +23,8 @@ __all__ = [
     "Alert",
     "AlertPolicy",
 
+    "BlockPipeline",
+    "process_signal_batched",
     "PipelineConfig",
     "EnergyTrigger",
     "ModeEnergyReport",

@@ -10,7 +10,7 @@ cost models can predict per-frame latency on embedded targets (bench E6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
 
@@ -30,9 +30,9 @@ from repro.ssl.tracking import KalmanDoaTracker
 __all__ = ["FrameResult", "AcousticPerceptionPipeline"]
 
 
-@dataclass(frozen=True)
-class FrameResult:
-    """Per-frame pipeline output.
+class FrameResult(NamedTuple):
+    """Per-frame pipeline output (a lightweight immutable record — one is
+    built per hop, so construction cost is part of the pipeline hot path).
 
     Attributes
     ----------
@@ -111,7 +111,8 @@ class AcousticPerceptionPipeline:
         reference_frame = np.asarray(reference_frame, dtype=np.float64)
         if reference_frame.shape != (self.config.frame_length,):
             raise ValueError(f"expected frame of {self.config.frame_length} samples")
-        spectrum = np.abs(np.fft.rfft(reference_frame * self.window)) ** 2
+        spec = np.fft.rfft(reference_frame * self.window)
+        spectrum = spec.real**2 + spec.imag**2
         mel = self.mel_fb @ spectrum
         feat = np.log(np.maximum(mel, 1e-10))
         feat = (feat - feat.mean()) / (feat.std() or 1.0)
@@ -145,7 +146,13 @@ class AcousticPerceptionPipeline:
         return out
 
     def process_signal(self, signals: np.ndarray) -> list[FrameResult]:
-        """Stream a full multichannel recording through the pipeline."""
+        """Stream a full multichannel recording through the pipeline.
+
+        This is the frame-by-frame reference path; for throughput work use
+        :meth:`process_signal_batched` (or
+        :class:`repro.core.batch.BlockPipeline`), which produces equivalent
+        results from a handful of batched array operations.
+        """
         signals = np.asarray(signals, dtype=np.float64)
         if signals.ndim != 2 or signals.shape[0] != self.positions.shape[0]:
             raise ValueError(f"signals must be ({self.positions.shape[0]}, n_samples)")
@@ -159,6 +166,13 @@ class AcousticPerceptionPipeline:
             )
             for t in range(n_frames)
         ]
+
+    def process_signal_batched(self, signals: np.ndarray) -> list[FrameResult]:
+        """Batched equivalent of :meth:`process_signal` (one FFT/detector
+        pass over all hops; see :mod:`repro.core.batch`)."""
+        from repro.core.batch import process_signal_batched
+
+        return process_signal_batched(self, signals)
 
     def reset(self) -> None:
         """Reset streaming state (tracker and frame counter)."""

@@ -20,12 +20,14 @@ from repro.dsp.resample import resample, time_axis
 from repro.dsp.stft import (
     db,
     frame_signal,
+    frame_signals,
     get_window,
     istft,
     magnitude,
     overlap_add,
     power,
     stft,
+    stft_batch,
 )
 
 from repro.dsp.streaming import StreamingFramer, StreamingLogMel, StreamingStft
@@ -50,10 +52,12 @@ __all__ = [
     "time_axis",
     "db",
     "frame_signal",
+    "frame_signals",
     "get_window",
     "istft",
     "magnitude",
     "overlap_add",
     "power",
     "stft",
+    "stft_batch",
 ]

@@ -8,13 +8,17 @@ not a dependency of this project).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 __all__ = [
     "frame_signal",
+    "frame_signals",
     "overlap_add",
     "get_window",
     "stft",
+    "stft_batch",
     "istft",
     "magnitude",
     "power",
@@ -22,6 +26,33 @@ __all__ = [
 ]
 
 _WINDOWS = ("hann", "hamming", "blackman", "rect", "bartlett")
+
+
+@lru_cache(maxsize=128)
+def _window_cached(name: str, length: int, periodic: bool) -> np.ndarray:
+    if length <= 0:
+        raise ValueError(f"window length must be positive, got {length}")
+    if name not in _WINDOWS:
+        raise ValueError(f"unknown window {name!r}, expected one of {_WINDOWS}")
+    if name == "rect":
+        w = np.ones(length)
+    else:
+        n = length if periodic else length - 1
+        if n == 0:
+            w = np.ones(length)
+        else:
+            t = np.arange(length) / n
+            if name == "hann":
+                w = 0.5 - 0.5 * np.cos(2 * np.pi * t)
+            elif name == "hamming":
+                w = 0.54 - 0.46 * np.cos(2 * np.pi * t)
+            elif name == "blackman":
+                w = 0.42 - 0.5 * np.cos(2 * np.pi * t) + 0.08 * np.cos(4 * np.pi * t)
+            else:  # bartlett
+                w = 1.0 - np.abs(2.0 * t - 1.0) if periodic else np.bartlett(length)
+    w = np.asarray(w, dtype=np.float64)
+    w.setflags(write=False)  # shared across callers; must stay immutable
+    return w
 
 
 def get_window(name: str, length: int, *, periodic: bool = True) -> np.ndarray:
@@ -36,25 +67,46 @@ def get_window(name: str, length: int, *, periodic: bool = True) -> np.ndarray:
     periodic:
         If True (default) the window is DFT-periodic, which is what the
         STFT overlap-add reconstruction assumes.
+
+    Results are memoized (windows are coefficient tables rebuilt by every
+    pipeline/front-end construction); the returned array is read-only —
+    ``.copy()`` it before mutating.
     """
-    if length <= 0:
-        raise ValueError(f"window length must be positive, got {length}")
-    if name not in _WINDOWS:
-        raise ValueError(f"unknown window {name!r}, expected one of {_WINDOWS}")
-    if name == "rect":
-        return np.ones(length)
-    n = length if periodic else length - 1
-    if n == 0:
-        return np.ones(length)
-    t = np.arange(length) / n
-    if name == "hann":
-        return 0.5 - 0.5 * np.cos(2 * np.pi * t)
-    if name == "hamming":
-        return 0.54 - 0.46 * np.cos(2 * np.pi * t)
-    if name == "blackman":
-        return 0.42 - 0.5 * np.cos(2 * np.pi * t) + 0.08 * np.cos(4 * np.pi * t)
-    # bartlett
-    return 1.0 - np.abs(2.0 * t - 1.0) if periodic else np.bartlett(length)
+    return _window_cached(str(name), int(length), bool(periodic))
+
+
+def frame_signals(
+    x: np.ndarray,
+    frame_length: int,
+    hop_length: int,
+    *,
+    pad: bool = True,
+) -> np.ndarray:
+    """Slice signals into overlapping frames along the last axis.
+
+    Accepts any leading batch shape: ``(..., n)`` becomes
+    ``(..., n_frames, frame_length)``.  When no end-padding is required the
+    result is a zero-copy strided (read-only) view of ``x``; the padded-copy
+    fallback only triggers when ``pad`` is True and the signal does not fill
+    an integer number of hops.
+    """
+    x = np.asarray(x)
+    if frame_length <= 0 or hop_length <= 0:
+        raise ValueError("frame_length and hop_length must be positive")
+    n = x.shape[-1]
+    if pad:
+        if n <= frame_length:
+            n_frames = 1
+        else:
+            n_frames = 1 + int(np.ceil((n - frame_length) / hop_length))
+        total = frame_length + (n_frames - 1) * hop_length
+        if total > n:
+            width = [(0, 0)] * (x.ndim - 1) + [(0, total - n)]
+            x = np.pad(x, width)
+    elif n < frame_length:
+        return np.empty((*x.shape[:-1], 0, frame_length), dtype=x.dtype)
+    view = np.lib.stride_tricks.sliding_window_view(x, frame_length, axis=-1)
+    return view[..., ::hop_length, :]
 
 
 def frame_signal(
@@ -64,33 +116,18 @@ def frame_signal(
     *,
     pad: bool = True,
 ) -> np.ndarray:
-    """Slice ``x`` into overlapping frames.
+    """Slice a 1-D ``x`` into overlapping frames.
 
     Returns an array of shape ``(n_frames, frame_length)``.  When ``pad`` is
     True the signal is zero-padded at the end so that every sample is covered
     by at least one frame; otherwise trailing samples that do not fill a full
-    frame are dropped.
+    frame are dropped.  The no-padding case is a zero-copy strided view (see
+    :func:`frame_signals` for the batched variant).
     """
     x = np.asarray(x)
     if x.ndim != 1:
         raise ValueError(f"expected 1-D signal, got shape {x.shape}")
-    if frame_length <= 0 or hop_length <= 0:
-        raise ValueError("frame_length and hop_length must be positive")
-    n = x.shape[0]
-    if pad:
-        if n <= frame_length:
-            n_frames = 1
-        else:
-            n_frames = 1 + int(np.ceil((n - frame_length) / hop_length))
-        total = frame_length + (n_frames - 1) * hop_length
-        if total > n:
-            x = np.concatenate([x, np.zeros(total - n, dtype=x.dtype)])
-    else:
-        if n < frame_length:
-            return np.empty((0, frame_length), dtype=x.dtype)
-        n_frames = 1 + (n - frame_length) // hop_length
-    idx = np.arange(frame_length)[None, :] + hop_length * np.arange(n_frames)[:, None]
-    return x[idx]
+    return frame_signals(x, frame_length, hop_length, pad=pad)
 
 
 def overlap_add(frames: np.ndarray, hop_length: int) -> np.ndarray:
@@ -128,6 +165,35 @@ def stft(
     frames = frame_signal(x, n_fft, hop_length)
     win = get_window(window, n_fft)
     return np.fft.rfft(frames * win, axis=1).T
+
+
+def stft_batch(
+    x: np.ndarray,
+    n_fft: int = 512,
+    hop_length: int | None = None,
+    window: str = "hann",
+    *,
+    center: bool = True,
+) -> np.ndarray:
+    """One-sided STFT of a batch of equal-length real signals.
+
+    ``x`` is ``(..., n_samples)``; returns ``(..., n_fft // 2 + 1, n_frames)``
+    matching :func:`stft` applied to each signal, but with a single framing
+    pass and one batched ``rfft`` — the front-end of the block-processing
+    engine in :mod:`repro.core.batch`.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape[-1] == 0:
+        raise ValueError("signals must be non-empty along the last axis")
+    if hop_length is None:
+        hop_length = n_fft // 4
+    if center:
+        half = n_fft // 2
+        width = [(0, 0)] * (x.ndim - 1) + [(half, half)]
+        x = np.pad(x, width, mode="reflect" if x.shape[-1] > half else "constant")
+    frames = frame_signals(x, n_fft, hop_length)
+    win = get_window(window, n_fft)
+    return np.swapaxes(np.fft.rfft(frames * win, axis=-1), -2, -1)
 
 
 def istft(

@@ -18,12 +18,19 @@ from repro.features.gfcc import gfcc
 from repro.features.mel import (
     hz_to_mel,
     log_mel_spectrogram,
+    log_mel_spectrogram_batch,
     mel_filterbank,
     mel_spectrogram,
+    mel_spectrogram_batch,
     mel_to_hz,
 )
 from repro.features.mfcc import delta, mfcc
-from repro.features.spectrogram import SpectrogramConfig, log_spectrogram, spectrogram
+from repro.features.spectrogram import (
+    SpectrogramConfig,
+    log_spectrogram,
+    spectrogram,
+    spectrogram_batch,
+)
 
 FRONT_ENDS = (
     "spectrogram",
@@ -78,14 +85,17 @@ __all__ = [
     "gfcc",
     "hz_to_mel",
     "log_mel_spectrogram",
+    "log_mel_spectrogram_batch",
     "mel_filterbank",
     "mel_spectrogram",
+    "mel_spectrogram_batch",
     "mel_to_hz",
     "delta",
     "mfcc",
     "SpectrogramConfig",
     "log_spectrogram",
     "spectrogram",
+    "spectrogram_batch",
     "FRONT_ENDS",
     "extract",
 ]

@@ -2,12 +2,22 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.dsp.stft import db
-from repro.features.spectrogram import SpectrogramConfig, spectrogram
+from repro.features.spectrogram import SpectrogramConfig, spectrogram, spectrogram_batch
 
-__all__ = ["hz_to_mel", "mel_to_hz", "mel_filterbank", "mel_spectrogram", "log_mel_spectrogram"]
+__all__ = [
+    "hz_to_mel",
+    "mel_to_hz",
+    "mel_filterbank",
+    "mel_spectrogram",
+    "mel_spectrogram_batch",
+    "log_mel_spectrogram",
+    "log_mel_spectrogram_batch",
+]
 
 
 def hz_to_mel(f: np.ndarray) -> np.ndarray:
@@ -35,7 +45,30 @@ def mel_filterbank(
 
     With ``norm=True`` each filter is area-normalized (Slaney style) so the
     filterbank output is comparable across bands.
+
+    Results are memoized (every pipeline / front-end construction asks for
+    the same coefficient table); the returned array is read-only —
+    ``.copy()`` it before mutating.
     """
+    return _mel_filterbank_cached(
+        int(n_mels),
+        int(n_fft),
+        float(fs),
+        float(fmin),
+        None if fmax is None else float(fmax),
+        bool(norm),
+    )
+
+
+@lru_cache(maxsize=128)
+def _mel_filterbank_cached(
+    n_mels: int,
+    n_fft: int,
+    fs: float,
+    fmin: float,
+    fmax: float | None,
+    norm: bool,
+) -> np.ndarray:
     if n_mels < 1:
         raise ValueError("n_mels must be >= 1")
     if fs <= 0:
@@ -54,6 +87,7 @@ def mel_filterbank(
         if norm:
             width = max(hi - lo, 1e-9)
             fb[i] *= 2.0 / width
+    fb.setflags(write=False)  # shared across callers; must stay immutable
     return fb
 
 
@@ -73,6 +107,27 @@ def mel_spectrogram(
     return fb @ s
 
 
+def mel_spectrogram_batch(
+    x: np.ndarray,
+    fs: float,
+    *,
+    n_mels: int = 64,
+    config: SpectrogramConfig | None = None,
+    fmin: float = 0.0,
+    fmax: float | None = None,
+) -> np.ndarray:
+    """Mel-power spectrograms of a batch of equal-length clips.
+
+    ``x`` is ``(..., n_samples)``; returns ``(..., n_mels, n_frames)``
+    matching :func:`mel_spectrogram` per clip, computed with one batched
+    STFT and a single filterbank contraction.
+    """
+    cfg = config or SpectrogramConfig()
+    s = spectrogram_batch(x, fs, cfg)  # (..., F, T)
+    fb = mel_filterbank(n_mels, cfg.n_fft, fs, fmin=fmin, fmax=fmax)
+    return fb @ s  # broadcasts over the batch axes
+
+
 def log_mel_spectrogram(
     x: np.ndarray,
     fs: float,
@@ -87,3 +142,20 @@ def log_mel_spectrogram(
     m = mel_spectrogram(x, fs, n_mels=n_mels, config=config, fmin=fmin, fmax=fmax)
     ref = float(m.max()) or 1.0
     return db(m, ref=ref, floor_db=floor_db)
+
+
+def log_mel_spectrogram_batch(
+    x: np.ndarray,
+    fs: float,
+    *,
+    n_mels: int = 64,
+    config: SpectrogramConfig | None = None,
+    fmin: float = 0.0,
+    fmax: float | None = None,
+    floor_db: float = -80.0,
+) -> np.ndarray:
+    """Batched :func:`log_mel_spectrogram` (dB relative to each clip's max)."""
+    m = mel_spectrogram_batch(x, fs, n_mels=n_mels, config=config, fmin=fmin, fmax=fmax)
+    ref = np.maximum(m.max(axis=(-2, -1), keepdims=True), np.finfo(np.float64).tiny)
+    floor = ref * 10.0 ** (floor_db / 10.0)
+    return 10.0 * np.log10(np.maximum(m, floor) / ref)

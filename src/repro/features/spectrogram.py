@@ -6,9 +6,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.dsp.stft import db, power, stft
+from repro.dsp.stft import db, power, stft, stft_batch
 
-__all__ = ["SpectrogramConfig", "spectrogram", "log_spectrogram"]
+__all__ = ["SpectrogramConfig", "spectrogram", "spectrogram_batch", "log_spectrogram"]
 
 
 @dataclass(frozen=True)
@@ -47,6 +47,20 @@ def spectrogram(x: np.ndarray, fs: float, config: SpectrogramConfig | None = Non
         raise ValueError("fs must be positive")
     cfg = config or SpectrogramConfig()
     return power(stft(x, cfg.n_fft, cfg.hop, cfg.window))
+
+
+def spectrogram_batch(
+    x: np.ndarray, fs: float, config: SpectrogramConfig | None = None
+) -> np.ndarray:
+    """Power spectrograms of a batch of equal-length clips.
+
+    ``x`` is ``(..., n_samples)``; returns ``(..., n_fft // 2 + 1, n_frames)``
+    from a single batched STFT (see :func:`repro.dsp.stft.stft_batch`).
+    """
+    if fs <= 0:
+        raise ValueError("fs must be positive")
+    cfg = config or SpectrogramConfig()
+    return power(stft_batch(x, cfg.n_fft, cfg.hop, cfg.window))
 
 
 def log_spectrogram(

@@ -4,6 +4,7 @@ from repro.sed.dataset import (
     ClipSample,
     DatasetConfig,
     dataset_arrays,
+    dataset_features,
     generate_clip,
     generate_dataset,
 )
@@ -71,6 +72,7 @@ __all__ = [
     "ClipSample",
     "DatasetConfig",
     "dataset_arrays",
+    "dataset_features",
     "generate_clip",
     "generate_dataset",
     "accuracy",

@@ -23,7 +23,14 @@ from repro.signals.horn import synthesize_horn
 from repro.signals.noise import synthesize_urban_noise
 from repro.signals.sirens import synthesize_siren
 
-__all__ = ["DatasetConfig", "ClipSample", "generate_clip", "generate_dataset", "dataset_arrays"]
+__all__ = [
+    "DatasetConfig",
+    "ClipSample",
+    "generate_clip",
+    "generate_dataset",
+    "dataset_arrays",
+    "dataset_features",
+]
 
 
 @dataclass(frozen=True)
@@ -151,6 +158,32 @@ def generate_dataset(config: DatasetConfig | None = None, *, seed: int = 0) -> l
         name = config.classes[int(rng.integers(0, len(config.classes)))]
         out.append(generate_clip(name, config, rng))
     return out
+
+
+def dataset_features(
+    samples: list[ClipSample] | np.ndarray,
+    fs: float,
+    *,
+    front_end: str = "log_mel",
+    n_frames: int = 32,
+    **kwargs,
+) -> np.ndarray:
+    """Feature maps for a whole dataset in one batched pass.
+
+    ``samples`` is either a list of :class:`ClipSample` or a stacked
+    ``(n_clips, n_samples)`` waveform array; returns the standardized
+    ``(n_clips, 1, F, T)`` maps of
+    :class:`repro.sed.models.FeatureFrontEnd`, whose ``log_mel`` path runs
+    through the batched STFT front-end (one FFT pass for all clips).
+    """
+    from repro.sed.models import FeatureFrontEnd
+
+    if isinstance(samples, list):
+        waveforms, _, _ = dataset_arrays(samples)
+    else:
+        waveforms = np.asarray(samples, dtype=np.float64)
+    front = FeatureFrontEnd(front_end, fs, n_frames=n_frames, **kwargs)
+    return front(waveforms)
 
 
 def dataset_arrays(samples: list[ClipSample]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

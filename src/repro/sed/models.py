@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.features import extract
+from repro.features import extract, log_mel_spectrogram_batch
 from repro.nn.conv import Conv2d
 from repro.nn.layers import BatchNorm, Dense, Dropout, Flatten, ReLU
 from repro.nn.module import Module, Sequential
@@ -97,6 +97,9 @@ class FeatureFrontEnd:
 
     Crops/pads the time axis to ``n_frames`` and the feature axis to a
     multiple of ``2 ** n_blocks`` so the CNN shape algebra always works.
+    The ``log_mel`` front-end runs through the batched STFT path
+    (:func:`repro.features.log_mel_spectrogram_batch`) — one FFT pass for
+    the whole batch instead of a Python loop per clip.
     """
 
     def __init__(
@@ -121,14 +124,29 @@ class FeatureFrontEnd:
         waveforms = np.asarray(waveforms, dtype=np.float64)
         if waveforms.ndim == 1:
             waveforms = waveforms[None, :]
-        maps = []
-        for w in waveforms:
-            m = extract(self.name, w, self.fs, **self.kwargs)
-            maps.append(self._fix_shape(m))
-        batch = np.stack(maps)[:, None, :, :]
+        if self.name == "log_mel":
+            maps = log_mel_spectrogram_batch(waveforms, self.fs, **self.kwargs)
+            batch = self._fix_shape_batch(maps)[:, None, :, :]
+        else:
+            fixed = [
+                self._fix_shape(extract(self.name, w, self.fs, **self.kwargs))
+                for w in waveforms
+            ]
+            batch = np.stack(fixed)[:, None, :, :]
         mean = batch.mean(axis=(2, 3), keepdims=True)
         std = batch.std(axis=(2, 3), keepdims=True)
         return (batch - mean) / np.maximum(std, 1e-9)
+
+    def _fix_shape_batch(self, maps: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_fix_shape` over a ``(N, F, T)`` stack."""
+        _, f, t = maps.shape
+        f_target = (f // self.feature_multiple) * self.feature_multiple
+        if f_target == 0:
+            raise ValueError(f"front-end produced too few feature rows ({f})")
+        maps = maps[:, :f_target]
+        if t >= self.n_frames:
+            return maps[:, :, : self.n_frames]
+        return np.pad(maps, ((0, 0), (0, 0), (0, self.n_frames - t)), mode="edge")
 
     def _fix_shape(self, m: np.ndarray) -> np.ndarray:
         f, t = m.shape

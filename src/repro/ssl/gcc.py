@@ -4,13 +4,15 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["gcc_phat", "gcc_phat_spectrum", "estimate_tdoa"]
+__all__ = ["gcc_phat", "gcc_phat_spectrum", "gcc_phat_spectra", "estimate_tdoa"]
 
 
 def gcc_phat_spectrum(x1: np.ndarray, x2: np.ndarray, *, n_fft: int | None = None) -> np.ndarray:
     """PHAT-weighted cross-power spectrum of two equal-length signals.
 
     Returns the one-sided spectrum ``X1 * conj(X2) / |X1 * conj(X2)|``.
+    This is the documented 2-signal API; multichannel callers should use
+    :func:`gcc_phat_spectra`, which computes each channel's FFT only once.
     """
     x1 = np.asarray(x1, dtype=np.float64)
     x2 = np.asarray(x2, dtype=np.float64)
@@ -20,6 +22,54 @@ def gcc_phat_spectrum(x1: np.ndarray, x2: np.ndarray, *, n_fft: int | None = Non
     cross = np.fft.rfft(x1, n) * np.conj(np.fft.rfft(x2, n))
     mag = np.abs(cross)
     return cross / np.maximum(mag, 1e-15)
+
+
+def gcc_phat_spectra(
+    frames: np.ndarray,
+    *,
+    n_fft: int | None = None,
+    pairs: list[tuple[int, int]] | None = None,
+) -> np.ndarray:
+    """PHAT-weighted cross-power spectra of all microphone pairs at once.
+
+    ``frames`` is ``(n_mics, frame_length)`` or batched
+    ``(n_frames, n_mics, frame_length)``; the per-mic FFTs are computed
+    exactly once (one batched ``rfft``) and every pair's cross-spectrum is
+    formed from them — ``n_mics`` transforms instead of ``2 * n_pairs``.
+
+    Parameters
+    ----------
+    frames:
+        Multichannel frame(s), microphones on the second-to-last axis.
+    n_fft:
+        FFT length (defaults to twice the frame length, which zero-pads for
+        linear correlation like :func:`gcc_phat_spectrum`).
+    pairs:
+        Microphone index pairs ``(i, j)``; defaults to all unordered pairs
+        in the order of :func:`repro.ssl.srp.mic_pairs`.
+
+    Returns
+    -------
+    ``(..., n_pairs, n_fft // 2 + 1)`` complex spectra, matching
+    ``gcc_phat_spectrum(frames[..., i, :], frames[..., j, :])`` per pair.
+    """
+    frames = np.asarray(frames, dtype=np.float64)
+    if frames.ndim < 2 or frames.shape[-1] == 0:
+        raise ValueError("frames must be (..., n_mics, frame_length)")
+    n_mics = frames.shape[-2]
+    if n_mics < 2:
+        raise ValueError("need at least 2 microphones")
+    if pairs is None:
+        pairs = [(i, j) for i in range(n_mics) for j in range(i + 1, n_mics)]
+    n = n_fft or (2 * frames.shape[-1])
+    spec = np.fft.rfft(frames, n, axis=-1)  # (..., M, F)
+    # PHAT per mic: |Xi Xj*| = |Xi||Xj|, so whitening each mic's spectrum
+    # once costs O(n_mics) magnitude passes instead of O(n_pairs).
+    mag = np.sqrt(spec.real**2 + spec.imag**2)
+    spec *= np.reciprocal(np.maximum(mag, 1e-15))
+    i_idx = [i for i, _ in pairs]
+    j_idx = [j for _, j in pairs]
+    return spec[..., i_idx, :] * np.conj(spec[..., j_idx, :])
 
 
 def gcc_phat(

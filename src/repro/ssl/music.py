@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.acoustics.geometry import SPEED_OF_SOUND
 from repro.ssl.doa import DoaGrid
-from repro.ssl.srp import SrpResult
+from repro.ssl.srp import SrpResult, _batch_peaks, _peak
 
 __all__ = ["spatial_covariance", "music_spectrum", "MusicDoa"]
 
@@ -111,7 +111,7 @@ class MusicDoa:
         if self._bins.size == 0:
             raise ValueError("band contains no FFT bins")
         # Steering vectors per bin: a_m(f, u) = exp(-j 2 pi f (r_m . u) / c).
-        dirs = self.grid.directions()  # (G, 3)
+        dirs = self._directions = self.grid.directions()  # (G, 3)
         delays = -(self.positions @ dirs.T) / self.c  # (M, G) arrival delays
         self._steering = np.exp(
             -2j * np.pi * freqs[self._bins][:, None, None] * delays.T[None, :, :]
@@ -143,9 +143,43 @@ class MusicDoa:
             spec += music_spectrum(cov[k], self._steering[b], self.n_sources)
         return (spec / self._bins.size).reshape(self.grid.shape)
 
+    def map_from_frames_batch(self, frames: np.ndarray, *, n_snapshots: int = 8) -> np.ndarray:
+        """MUSIC maps of a batch of frame blocks, ``(n_frames, n_az, n_el)``.
+
+        ``frames`` is ``(n_frames, n_mics, L)``.  Snapshot FFTs and band
+        covariances of all frames are computed in one shot; the per-bin
+        eigendecompositions run batched over the frame axis.
+        """
+        frames = np.asarray(frames, dtype=np.float64)
+        if frames.ndim != 3 or frames.shape[1] != self.positions.shape[0]:
+            raise ValueError(
+                f"frames must be (n_frames, n_mics={self.positions.shape[0]}, L)"
+            )
+        n_frames, m, total = frames.shape
+        snap_len = total // n_snapshots
+        if snap_len < 32:
+            raise ValueError("frame too short for the requested snapshots")
+        win = np.hanning(snap_len)
+        blocks = frames[:, :, : n_snapshots * snap_len].reshape(n_frames, m, n_snapshots, snap_len)
+        ffts = np.fft.rfft(blocks * win, n=self.n_fft, axis=-1)  # (T, M, S, F)
+        band = ffts[..., self._bins]  # (T, M, S, B)
+        cov = np.einsum("tmsb,tnsb->tbmn", band, np.conj(band)) / n_snapshots
+        spec = np.zeros((n_frames, self.grid.size))
+        n_noise = m - self.n_sources
+        for b in range(self._bins.size):
+            _, v = np.linalg.eigh(cov[:, b])  # batched over frames
+            noise = v[..., :n_noise]  # (T, M, n_noise), eigh sorts ascending
+            proj = np.einsum("gm,tmk->tgk", np.conj(self._steering[b]), noise)
+            denom = np.sum(np.abs(proj) ** 2, axis=-1)
+            spec += 1.0 / np.maximum(denom, 1e-12)
+        return (spec / self._bins.size).reshape(n_frames, *self.grid.shape)
+
     def localize(self, frames: np.ndarray, *, n_snapshots: int = 8) -> SrpResult:
         """Locate the dominant source in one multichannel frame block."""
         music_map = self.map_from_frames(frames, n_snapshots=n_snapshots)
-        flat = int(np.argmax(music_map))
-        az, el = self.grid.index_to_azel(flat)
-        return SrpResult(music_map, az, el, self.grid.directions()[flat])
+        return _peak(self.grid, self._directions, music_map)
+
+    def localize_batch(self, frames: np.ndarray, *, n_snapshots: int = 8) -> list[SrpResult]:
+        """Locate the dominant source in every frame block of a batch."""
+        maps = self.map_from_frames_batch(frames, n_snapshots=n_snapshots)
+        return _batch_peaks(self.grid, self._directions, maps)

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.acoustics.geometry import SPEED_OF_SOUND
 from repro.ssl.doa import DoaGrid
-from repro.ssl.gcc import gcc_phat_spectrum
+from repro.ssl.gcc import gcc_phat_spectra
 
 __all__ = ["SrpPhat", "SrpResult", "mic_pairs", "pair_tdoas"]
 
@@ -48,6 +48,38 @@ def pair_tdoas(
     pairs = mic_pairs(positions.shape[0])
     diff = np.stack([positions[j] - positions[i] for i, j in pairs])  # (P, 3)
     return (diff @ directions.T) / c
+
+
+def _check_frames(
+    positions: np.ndarray, n_fft: int, frames: np.ndarray, ndim: int
+) -> np.ndarray:
+    """Validate a single (``ndim=2``) or batched (``ndim=3``) frame block."""
+    frames = np.asarray(frames, dtype=np.float64)
+    if frames.ndim != ndim or frames.shape[-2] != positions.shape[0]:
+        shape = "(n_frames, " if ndim == 3 else "("
+        raise ValueError(f"frames must be {shape}n_mics={positions.shape[0]}, L)")
+    if frames.shape[-1] > n_fft // 2:
+        raise ValueError("frame longer than n_fft // 2; increase n_fft")
+    return frames
+
+
+def _peak(grid: DoaGrid, directions: np.ndarray, srp_map: np.ndarray) -> "SrpResult":
+    """Winning direction of one map."""
+    flat = int(np.argmax(srp_map))
+    az, el = grid.index_to_azel(flat)
+    return SrpResult(srp_map, az, el, directions[flat])
+
+
+def _batch_peaks(grid: DoaGrid, directions: np.ndarray, maps: np.ndarray) -> list["SrpResult"]:
+    """Peak extraction for a stack of maps with one vectorized argmax."""
+    flats = maps.reshape(maps.shape[0], -1).argmax(axis=1)
+    i, j = np.divmod(flats, grid.n_elevation)
+    azimuths = grid.azimuths[i]
+    elevations = grid.elevations[j]
+    return [
+        SrpResult(m, float(a), float(e), directions[f])
+        for m, a, e, f in zip(maps, azimuths, elevations, flats)
+    ]
 
 
 @dataclass(frozen=True)
@@ -108,13 +140,17 @@ class SrpPhat:
         self.n_fft = int(n_fft)
         self.c = float(c)
         self.pairs = mic_pairs(self.positions.shape[0])
-        self._tdoas = pair_tdoas(self.positions, self.grid.directions(), c=self.c)
+        self._directions = self.grid.directions()
+        self._tdoas = pair_tdoas(self.positions, self._directions, c=self.c)
         freqs = np.fft.rfftfreq(self.n_fft, d=1.0 / self.fs)
         # Steering phases: (n_pairs, n_dirs, n_freq); the dominant memory of
         # the conventional method and the "coefficients" bench E4 counts.
         self._steering = np.exp(
             2j * np.pi * freqs[None, None, :] * self._tdoas[:, :, None]
         )
+        # Interleaved real steering for the batched path, built lazily on the
+        # first map_from_frames_batch call (doubles steering memory).
+        self._steering_flat: np.ndarray | None = None
 
     @property
     def n_coefficients(self) -> int:
@@ -126,24 +162,43 @@ class SrpPhat:
 
         ``frames`` is ``(n_mics, frame_length)`` with
         ``frame_length <= n_fft // 2`` (zero-padding doubles the length for
-        linear correlation).
+        linear correlation).  Per-mic spectra are computed once and shared
+        across pairs (``n_mics`` FFTs instead of ``2 * n_pairs``).
         """
-        frames = np.asarray(frames, dtype=np.float64)
-        if frames.ndim != 2 or frames.shape[0] != self.positions.shape[0]:
-            raise ValueError(f"frames must be (n_mics={self.positions.shape[0]}, L)")
-        if frames.shape[1] > self.n_fft // 2:
-            raise ValueError("frame longer than n_fft // 2; increase n_fft")
+        frames = _check_frames(self.positions, self.n_fft, frames, 2)
+        cross = gcc_phat_spectra(frames, n_fft=self.n_fft, pairs=self.pairs)
         power = np.zeros(self.grid.size)
-        for p, (i, j) in enumerate(self.pairs):
-            spec = gcc_phat_spectrum(frames[i], frames[j], n_fft=self.n_fft)
+        for p in range(len(self.pairs)):
             # Re(sum_k S(k) e^{j w tau}): full frequency sum per direction.
-            power += np.real(self._steering[p] @ spec)
+            power += np.real(self._steering[p] @ cross[p])
         return power.reshape(self.grid.shape)
+
+    def map_from_frames_batch(self, frames: np.ndarray) -> np.ndarray:
+        """SRP maps of a batch of frames, shape ``(n_frames, n_az, n_el)``.
+
+        ``frames`` is ``(n_frames, n_mics, frame_length)``.  All pairs,
+        directions and frames are steered in a single real matmul against
+        the precomputed steering tensor:
+        ``power[t, g] = sum_{p,k} Re(S[t,p,k]) Re(W[p,g,k]) - Im(S) Im(W)``.
+        """
+        frames = _check_frames(self.positions, self.n_fft, frames, 3)
+        cross = gcc_phat_spectra(frames, n_fft=self.n_fft, pairs=self.pairs)
+        if self._steering_flat is None:
+            # Interleave Re/-Im rows so the complex steering sum becomes ONE
+            # real matmul over the (re, im, re, im, ...) view of the spectra.
+            flat = self._steering.transpose(0, 2, 1).reshape(-1, self.grid.size)
+            w = np.empty((2 * flat.shape[0], flat.shape[1]))
+            w[0::2] = flat.real
+            w[1::2] = -flat.imag
+            self._steering_flat = w
+        cross = np.ascontiguousarray(cross).reshape(frames.shape[0], -1)
+        power = cross.view(np.float64) @ self._steering_flat
+        return power.reshape(frames.shape[0], *self.grid.shape)
 
     def localize(self, frames: np.ndarray) -> SrpResult:
         """Locate the dominant source in one multichannel frame."""
-        srp_map = self.map_from_frames(frames)
-        flat = int(np.argmax(srp_map))
-        az, el = self.grid.index_to_azel(flat)
-        direction = self.grid.directions()[flat]
-        return SrpResult(srp_map, az, el, direction)
+        return _peak(self.grid, self._directions, self.map_from_frames(frames))
+
+    def localize_batch(self, frames: np.ndarray) -> list[SrpResult]:
+        """Locate the dominant source in every frame of a batch."""
+        return _batch_peaks(self.grid, self._directions, self.map_from_frames_batch(frames))

@@ -20,8 +20,8 @@ import numpy as np
 
 from repro.acoustics.geometry import SPEED_OF_SOUND
 from repro.ssl.doa import DoaGrid
-from repro.ssl.gcc import gcc_phat_spectrum
-from repro.ssl.srp import SrpResult, mic_pairs, pair_tdoas
+from repro.ssl.gcc import gcc_phat_spectra
+from repro.ssl.srp import SrpResult, _batch_peaks, _check_frames, _peak, mic_pairs, pair_tdoas
 
 __all__ = ["FastSrpPhat"]
 
@@ -63,8 +63,9 @@ class FastSrpPhat:
         self.c = float(c)
         self.n_interp_taps = int(n_interp_taps)
         self.pairs = mic_pairs(self.positions.shape[0])
+        self._directions = self.grid.directions()
 
-        tdoas = pair_tdoas(self.positions, self.grid.directions(), c=self.c)  # (P, G) seconds
+        tdoas = pair_tdoas(self.positions, self._directions, c=self.c)  # (P, G) seconds
         lags = tdoas * self.fs
         # Feasible lag span per pair (plus interpolation guard).
         half_span = int(np.ceil(np.abs(lags).max())) + n_interp_taps
@@ -80,6 +81,9 @@ class FastSrpPhat:
         self._weights = np.sinc(arg) * np.clip(window, 0.0, None)
         # Gather indices into the centred lag window, shape (P, G, T).
         self._indices = base[:, :, None] + taps[None, None, :] + half_span
+        # Dense (n_pairs * n_lags, n_dirs) read matrix for the batched path
+        # (scattered interpolation weights), built lazily on first use.
+        self._read_matrix: np.ndarray | None = None
 
     @property
     def n_coefficients(self) -> int:
@@ -87,26 +91,52 @@ class FastSrpPhat:
         return int(self._weights.size)
 
     def map_from_frames(self, frames: np.ndarray) -> np.ndarray:
-        """SRP map from one multichannel frame, shape ``(n_az, n_el)``."""
-        frames = np.asarray(frames, dtype=np.float64)
-        if frames.ndim != 2 or frames.shape[0] != self.positions.shape[0]:
-            raise ValueError(f"frames must be (n_mics={self.positions.shape[0]}, L)")
-        if frames.shape[1] > self.n_fft // 2:
-            raise ValueError("frame longer than n_fft // 2; increase n_fft")
-        power = np.zeros(self.grid.size)
+        """SRP map from one multichannel frame, shape ``(n_az, n_el)``.
+
+        Per-mic spectra are computed once and shared across pairs
+        (``n_mics`` FFTs instead of ``2 * n_pairs``).
+        """
+        frames = _check_frames(self.positions, self.n_fft, frames, 2)
+        cross = gcc_phat_spectra(frames, n_fft=self.n_fft, pairs=self.pairs)
+        cc = np.fft.irfft(cross, n=self.n_fft, axis=-1)  # (P, n_fft)
+        # Centred lag window: lag -h .. +h maps to index 0 .. 2h.
         h = self._half_span
-        for p, (i, j) in enumerate(self.pairs):
-            spec = gcc_phat_spectrum(frames[i], frames[j], n_fft=self.n_fft)
-            cc = np.fft.irfft(spec, n=self.n_fft)
-            # Centred lag window: lag -h .. +h maps to index 0 .. 2h.
-            cc_win = np.concatenate([cc[-h:], cc[: h + 1]])
-            power += np.einsum("gt,gt->g", cc_win[self._indices[p]], self._weights[p])
+        cc_win = np.concatenate([cc[:, -h:], cc[:, : h + 1]], axis=-1)
+        power = np.zeros(self.grid.size)
+        for p in range(len(self.pairs)):
+            power += np.einsum("gt,gt->g", cc_win[p][self._indices[p]], self._weights[p])
         return power.reshape(self.grid.shape)
+
+    def map_from_frames_batch(self, frames: np.ndarray) -> np.ndarray:
+        """SRP maps of a batch of frames, shape ``(n_frames, n_az, n_el)``.
+
+        ``frames`` is ``(n_frames, n_mics, frame_length)``.  One batched
+        FFT/IFFT round produces every pair's GCC, and the windowed-sinc
+        reads of all directions x frames are gathered per pair in a single
+        fancy-index + contraction.
+        """
+        frames = _check_frames(self.positions, self.n_fft, frames, 3)
+        cross = gcc_phat_spectra(frames, n_fft=self.n_fft, pairs=self.pairs)
+        cc = np.fft.irfft(cross, n=self.n_fft, axis=-1)  # (T, P, n_fft)
+        h = self._half_span
+        cc_win = np.concatenate([cc[..., -h:], cc[..., : h + 1]], axis=-1)
+        if self._read_matrix is None:
+            # Scatter the windowed-sinc weights into a dense (P * n_lags, G)
+            # matrix so all pairs x directions x frames reduce to one matmul.
+            n_pairs, n_lags = len(self.pairs), 2 * h + 1
+            dense = np.zeros((n_pairs, n_lags, self.grid.size))
+            p_idx = np.arange(n_pairs)[:, None, None]
+            g_idx = np.arange(self.grid.size)[None, :, None]
+            np.add.at(dense, (p_idx, self._indices, g_idx), self._weights)
+            self._read_matrix = dense.reshape(n_pairs * n_lags, self.grid.size)
+        n_frames = frames.shape[0]
+        power = cc_win.reshape(n_frames, -1) @ self._read_matrix
+        return power.reshape(n_frames, *self.grid.shape)
 
     def localize(self, frames: np.ndarray) -> SrpResult:
         """Locate the dominant source in one multichannel frame."""
-        srp_map = self.map_from_frames(frames)
-        flat = int(np.argmax(srp_map))
-        az, el = self.grid.index_to_azel(flat)
-        direction = self.grid.directions()[flat]
-        return SrpResult(srp_map, az, el, direction)
+        return _peak(self.grid, self._directions, self.map_from_frames(frames))
+
+    def localize_batch(self, frames: np.ndarray) -> list[SrpResult]:
+        """Locate the dominant source in every frame of a batch."""
+        return _batch_peaks(self.grid, self._directions, self.map_from_frames_batch(frames))

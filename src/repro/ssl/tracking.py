@@ -59,6 +59,10 @@ class KalmanDoaTracker:
         self._h = np.zeros((2, 4))
         self._h[0, 0] = 1.0
         self._h[1, 1] = 1.0
+        # Constant matrices, hoisted out of the per-frame hot path.
+        self._q_mat = self._q**2 * np.diag([0.25, 0.25, 1.0, 1.0])
+        self._r_mat = np.eye(2) * self._r**2
+        self._eye4 = np.eye(4)
 
     @property
     def initialized(self) -> bool:
@@ -84,13 +88,18 @@ class KalmanDoaTracker:
             self._p = np.diag([self._r**2, self._r**2, 0.1, 0.1])
             return self._state()
         x, p = self._predict_internal()
-        innovation = z - self._h @ x
+        # H selects the first two states, so H x / H P H^T are plain slices.
+        innovation = z - x[:2]
         innovation[0] = (innovation[0] + np.pi) % (2 * np.pi) - np.pi
-        s = self._h @ p @ self._h.T + np.eye(2) * self._r**2
-        k = p @ self._h.T @ np.linalg.inv(s)
+        s = p[:2, :2] + self._r_mat
+        det = s[0, 0] * s[1, 1] - s[0, 1] * s[1, 0]
+        s_inv = np.array([[s[1, 1], -s[0, 1]], [-s[1, 0], s[0, 0]]]) / det
+        k = p[:, :2] @ s_inv
         self._x = x + k @ innovation
         self._x[0] = (self._x[0] + np.pi) % (2 * np.pi) - np.pi
-        self._p = (np.eye(4) - k @ self._h) @ p
+        i_kh = self._eye4.copy()
+        i_kh[:, :2] -= k
+        self._p = i_kh @ p
         return self._state()
 
     def predict(self) -> TrackState:
@@ -102,8 +111,7 @@ class KalmanDoaTracker:
         return self._state()
 
     def _predict_internal(self) -> tuple[np.ndarray, np.ndarray]:
-        q = self._q**2 * np.diag([0.25, 0.25, 1.0, 1.0])
-        return self._f @ self._x, self._f @ self._p @ self._f.T + q
+        return self._f @ self._x, self._f @ self._p @ self._f.T + self._q_mat
 
     def _state(self) -> TrackState:
         x = self._x

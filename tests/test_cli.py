@@ -44,6 +44,51 @@ class TestGenerateDataset(object):
         assert "wrote 6 clips" in capsys.readouterr().out
 
 
+class TestGenerateFeatures:
+    def test_features_stored(self, tmp_path, capsys):
+        out = tmp_path / "clips.npz"
+        code = main(
+            [
+                "generate-dataset",
+                "--n-samples", "4",
+                "--duration", "0.5",
+                "--fs", "4000",
+                "--features",
+                "--feature-mels", "16",
+                "--feature-frames", "16",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        data = np.load(out)
+        assert data["features"].shape == (4, 1, 16, 16)
+        assert "features: 16 mels x 16 frames" in capsys.readouterr().out
+
+
+class TestProcess:
+    def test_demo_scene(self, capsys):
+        code = main(["process", "--duration", "0.5", "--fs", "8000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine          : batched" in out
+        assert "frames" in out
+
+    def test_npz_input(self, tmp_path, capsys):
+        path = tmp_path / "rec.npz"
+        rng = np.random.default_rng(0)
+        np.savez(path, signals=rng.standard_normal((4, 8000)), fs=16000.0)
+        code = main(["process", "--input", str(path), "--compare-streaming"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rec.npz" in out
+        assert "streaming" in out
+
+    def test_npz_missing_signals(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, waveforms=np.zeros((2, 100)))
+        assert main(["process", "--input", str(path)]) == 1
+
+
 class TestAssessArray:
     def test_uca_report(self, capsys):
         code = main(

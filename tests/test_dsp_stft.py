@@ -8,12 +8,14 @@ from hypothesis import strategies as st
 from repro.dsp.stft import (
     db,
     frame_signal,
+    frame_signals,
     get_window,
     istft,
     magnitude,
     overlap_add,
     power,
     stft,
+    stft_batch,
 )
 
 
@@ -42,6 +44,14 @@ class TestGetWindow:
         w = get_window("hann", 64)
         total = w[:32] + w[32:]
         assert np.allclose(total, 1.0)
+
+    def test_cached_and_read_only(self):
+        a = get_window("hann", 128)
+        b = get_window("hann", 128)
+        assert a is b  # memoized coefficient table
+        assert not a.flags.writeable
+        with pytest.raises(ValueError):
+            a[0] = 1.0
 
 
 class TestFrameSignal:
@@ -75,6 +85,57 @@ class TestFrameSignal:
     def test_bad_geometry_raises(self):
         with pytest.raises(ValueError):
             frame_signal(np.ones(16), 0, 4)
+
+    def test_no_pad_is_zero_copy_view(self):
+        x = np.arange(128.0)
+        frames = frame_signal(x, 32, 16, pad=False)
+        assert frames.base is not None  # strided view, no materialized copy
+        exact = frame_signal(x, 32, 16, pad=True)
+        assert exact.base is not None  # exact hop fit also avoids the copy
+
+
+class TestFrameSignals:
+    def test_matches_per_row_framing(self):
+        x = np.random.default_rng(0).standard_normal((3, 100))
+        batched = frame_signals(x, 32, 16)
+        for row, ref in zip(batched, (frame_signal(r, 32, 16) for r in x)):
+            assert np.array_equal(row, ref)
+
+    def test_no_pad_matches(self):
+        x = np.random.default_rng(1).standard_normal((2, 5, 100))
+        batched = frame_signals(x, 32, 16, pad=False)
+        assert batched.shape == (2, 5, 5, 32)
+
+    def test_short_no_pad_empty(self):
+        assert frame_signals(np.ones((3, 5)), 16, 8, pad=False).shape == (3, 0, 16)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            frame_signals(np.ones((2, 16)), 4, 0)
+
+
+class TestStftBatch:
+    def test_matches_per_signal_stft(self):
+        x = np.random.default_rng(2).standard_normal((4, 2000))
+        batched = stft_batch(x, 256, 64)
+        for row, ref in zip(batched, (stft(r, 256, 64) for r in x)):
+            assert np.allclose(row, ref)
+
+    def test_short_signal_constant_pad_branch(self):
+        x = np.random.default_rng(3).standard_normal((2, 100))
+        batched = stft_batch(x, 256, 64)
+        for row, ref in zip(batched, (stft(r, 256, 64) for r in x)):
+            assert np.allclose(row, ref)
+
+    def test_uncentered(self):
+        x = np.random.default_rng(4).standard_normal((2, 1024))
+        batched = stft_batch(x, 256, 128, center=False)
+        for row, ref in zip(batched, (stft(r, 256, 128, center=False) for r in x)):
+            assert np.allclose(row, ref)
+
+    def test_empty_signal_raises(self):
+        with pytest.raises(ValueError):
+            stft_batch(np.empty((2, 0)))
 
 
 class TestOverlapAdd:

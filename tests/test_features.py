@@ -236,3 +236,48 @@ class TestExtractDispatcher:
     def test_unknown_raises(self):
         with pytest.raises(ValueError, match="unknown front-end"):
             extract("plp", np.ones(100), FS)
+
+
+class TestBatchedFrontEnd:
+    def test_mel_filterbank_cached_and_read_only(self):
+        a = mel_filterbank(40, 512, FS)
+        b = mel_filterbank(40, 512, FS)
+        assert a is b  # memoized coefficient table
+        assert not a.flags.writeable
+        with pytest.raises(ValueError):
+            a[0, 0] = 1.0
+        assert mel_filterbank(40, 512, FS, fmin=50.0) is not a
+
+    def test_spectrogram_batch_matches_loop(self):
+        from repro.features import spectrogram, spectrogram_batch
+
+        x = np.random.default_rng(0).standard_normal((3, 4000))
+        batched = spectrogram_batch(x, FS)
+        for row, ref in zip(batched, (spectrogram(r, FS) for r in x)):
+            assert np.allclose(row, ref)
+
+    def test_log_mel_batch_matches_loop(self):
+        from repro.features import log_mel_spectrogram, log_mel_spectrogram_batch
+
+        x = np.random.default_rng(1).standard_normal((4, 4000))
+        batched = log_mel_spectrogram_batch(x, FS, n_mels=32)
+        assert batched.shape[0] == 4
+        for row, ref in zip(batched, (log_mel_spectrogram(r, FS, n_mels=32) for r in x)):
+            assert np.allclose(row, ref)
+
+    def test_log_mel_batch_silence(self):
+        from repro.features import log_mel_spectrogram_batch
+
+        x = np.zeros((2, 4000))
+        batched = log_mel_spectrogram_batch(x, FS, n_mels=16, floor_db=-80.0)
+        assert np.allclose(batched, -80.0)
+
+    def test_feature_front_end_batched_path_matches(self):
+        from repro.sed.models import FeatureFrontEnd
+
+        x = np.random.default_rng(2).standard_normal((5, 4000))
+        front = FeatureFrontEnd("log_mel", FS, n_frames=16, n_mels=16)
+        batched = front(x)
+        per_clip = np.concatenate([front(w) for w in x])
+        assert batched.shape == (5, 1, 16, 16)
+        assert np.allclose(batched, per_clip)

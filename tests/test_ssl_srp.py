@@ -5,7 +5,17 @@ import pytest
 
 from repro.acoustics import MicrophoneArray, RoadAcousticsSimulator, Scene, StaticPosition
 from repro.signals import white_noise
-from repro.ssl import DoaGrid, FastSrpPhat, SrpPhat, angular_error_deg, azel_to_unit, mic_pairs, pair_tdoas
+from repro.ssl import (
+    DoaGrid,
+    FastSrpPhat,
+    SrpPhat,
+    angular_error_deg,
+    azel_to_unit,
+    gcc_phat_spectra,
+    gcc_phat_spectrum,
+    mic_pairs,
+    pair_tdoas,
+)
 
 FS = 16000
 MICS = np.array(
@@ -79,6 +89,96 @@ class TestLocalization:
             cls(MICS[:1], FS)
         with pytest.raises(ValueError):
             cls(MICS, FS, n_fft=100)
+
+
+class TestGccPhatSpectra:
+    def test_matches_pairwise_api(self):
+        rng = np.random.default_rng(0)
+        frames = rng.standard_normal((4, 256))
+        spectra = gcc_phat_spectra(frames, n_fft=1024)
+        for p, (i, j) in enumerate(mic_pairs(4)):
+            ref = gcc_phat_spectrum(frames[i], frames[j], n_fft=1024)
+            assert np.allclose(spectra[p], ref)
+
+    def test_batched_matches_per_frame(self):
+        rng = np.random.default_rng(1)
+        frames = rng.standard_normal((5, 4, 256))
+        batched = gcc_phat_spectra(frames, n_fft=1024)
+        for t in range(5):
+            assert np.allclose(batched[t], gcc_phat_spectra(frames[t], n_fft=1024))
+
+    def test_default_nfft_doubles_frame(self):
+        frames = np.random.default_rng(2).standard_normal((2, 100))
+        assert gcc_phat_spectra(frames).shape == (1, 101)  # rfft bins of n=200
+
+    def test_custom_pairs(self):
+        frames = np.random.default_rng(3).standard_normal((4, 128))
+        sub = gcc_phat_spectra(frames, pairs=[(0, 3)])
+        assert sub.shape == (1, 129)
+        assert np.allclose(sub[0], gcc_phat_spectrum(frames[0], frames[3]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gcc_phat_spectra(np.ones(16))  # 1-D
+        with pytest.raises(ValueError):
+            gcc_phat_spectra(np.ones((1, 16)))  # one mic
+
+
+@pytest.mark.parametrize("cls", [SrpPhat, FastSrpPhat])
+class TestBatchedMaps:
+    def test_batch_matches_loop(self, cls):
+        loc = cls(MICS, FS, grid=GRID, n_fft=1024)
+        rng = np.random.default_rng(4)
+        frames = rng.standard_normal((6, 4, 512))
+        loop = np.stack([loc.map_from_frames(f) for f in frames])
+        batch = loc.map_from_frames_batch(frames)
+        assert batch.shape == (6, *GRID.shape)
+        assert np.allclose(loop, batch)
+
+    def test_localize_batch_matches_localize(self, cls):
+        loc = cls(MICS, FS, grid=GRID, n_fft=1024)
+        frames = np.stack([simulate_from(az, seed=s) for s, az in enumerate((-2.0, 0.3, 1.7))])
+        singles = [loc.localize(f) for f in frames]
+        batch = loc.localize_batch(frames)
+        for r1, r2 in zip(singles, batch):
+            assert r1.azimuth == r2.azimuth
+            assert r1.elevation == r2.elevation
+            assert np.allclose(r1.map, r2.map)
+            assert np.allclose(r1.direction, r2.direction)
+
+    def test_batch_validation(self, cls):
+        loc = cls(MICS, FS, grid=GRID, n_fft=1024)
+        with pytest.raises(ValueError):
+            loc.map_from_frames_batch(np.ones((4, 512)))  # missing frame axis
+        with pytest.raises(ValueError):
+            loc.map_from_frames_batch(np.ones((2, 3, 512)))  # wrong mic count
+        with pytest.raises(ValueError):
+            loc.map_from_frames_batch(np.ones((2, 4, 2048)))  # frame too long
+
+
+class TestMusicBatch:
+    def test_batch_matches_loop(self):
+        from repro.ssl import MusicDoa
+
+        grid = DoaGrid(n_azimuth=24, n_elevation=2)
+        music = MusicDoa(MICS, FS, grid=grid, n_fft=512)
+        rng = np.random.default_rng(5)
+        frames = rng.standard_normal((4, 4, 512))
+        loop = np.stack([music.map_from_frames(f) for f in frames])
+        batch = music.map_from_frames_batch(frames)
+        assert np.allclose(loop, batch)
+        singles = [music.localize(f) for f in frames]
+        for r1, r2 in zip(singles, music.localize_batch(frames)):
+            assert r1.azimuth == r2.azimuth and r1.elevation == r2.elevation
+
+    def test_batch_validation(self):
+        from repro.ssl import MusicDoa
+
+        music = MusicDoa(MICS, FS, grid=DoaGrid(n_azimuth=24, n_elevation=2), n_fft=512)
+        with pytest.raises(ValueError):
+            music.map_from_frames_batch(np.ones((2, 3, 512)))
+        with pytest.raises(ValueError):
+            music.map_from_frames_batch(np.ones((2, 4, 64)))  # too short to snapshot
 
 
 class TestEquivalence:
