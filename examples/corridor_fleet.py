@@ -1,0 +1,77 @@
+"""Corridor fleet walkthrough: simulate -> shard -> fuse -> report.
+
+    python examples/corridor_fleet.py
+
+Builds a 3-node roadside corridor, drives two crossing emergency vehicles
+through it with the road-acoustics simulator, shards the per-node batched
+pipelines through the fleet scheduler, fuses the per-node bearing streams
+into road-coordinate position tracks, and prints the corridor report —
+the multi-node counterpart of examples/emergency_vehicle_detection.py.
+"""
+
+import numpy as np
+
+from repro.acoustics.trajectory import LinearTrajectory
+from repro.core import PipelineConfig
+from repro.fleet import (
+    CorridorScene,
+    FleetScheduler,
+    OracleDetector,
+    Vehicle,
+    fleet_report,
+    format_report,
+    fuse_fleet,
+    localization_scorecard,
+    place_corridor_nodes,
+    synthesize_corridor,
+)
+from repro.signals import synthesize_siren
+
+FS = 8000.0
+DURATION = 3.0
+
+print("Placing 3 array nodes, 25 m apart, along the road ...")
+nodes = place_corridor_nodes(3, 25.0)
+for node in nodes:
+    print(f"  {node.node_id}: centre ({node.position[0]:+6.1f}, {node.position[1]:+4.1f}) m")
+
+print("\nSynthesizing two crossing emergency vehicles ...")
+rng = np.random.default_rng(0)
+vehicles = [
+    Vehicle(
+        "siren_wail",
+        LinearTrajectory([-35.0, 8.0, 0.8], [35.0, 8.0, 0.8], 15.0),
+        synthesize_siren("wail", DURATION, FS, rng=rng),
+    ),
+    Vehicle(
+        "siren_yelp",
+        LinearTrajectory([35.0, 14.0, 0.8], [-35.0, 14.0, 0.8], 12.0),
+        synthesize_siren("yelp", DURATION, FS, rng=rng),
+    ),
+]
+recording = synthesize_corridor(CorridorScene(vehicles, nodes), FS)
+
+print("Sharding per-node batched pipelines ...")
+config = PipelineConfig(fs=FS, n_azimuth=72, n_elevation=2, localizer="srp_fast")
+scheduler = FleetScheduler(nodes, config, detector=OracleDetector("siren_wail"))
+run = scheduler.run(recording)
+print(
+    f"  shards {run.shards}, {scheduler.n_shared_localizers} nodes share steering tensors;"
+    f" {run.fleet_latency.mean_s * 1e3:.1f} ms for {DURATION:.1f} s of corridor audio"
+)
+
+print("\nFusing cross-node tracks ...")
+tracks = fuse_fleet(run.node_results, nodes, frame_period=config.frame_period_s)
+report = fleet_report(tracks, run, frame_period=config.frame_period_s)
+print(format_report(report))
+
+n_frames = max(len(r) for r in run.node_results.values())
+truth = recording.vehicle_positions(np.arange(n_frames) * config.frame_period_s)[:, :, :2]
+fused_rms, single_rms = localization_scorecard(
+    report.tracks, run.node_results, nodes, truth, road_line_y=11.0
+)
+print("\nLocalization scorecard (RMS error vs simulated ground truth):")
+for v, rms in enumerate(fused_rms):
+    print(f"  vehicle {v}: best fused track {rms:5.1f} m")
+for node_id, rms in sorted(single_rms.items()):
+    print(f"  {node_id} bearing-only: {rms:5.1f} m")

@@ -28,6 +28,9 @@ hw
     Operator IR, roofline/cost models, CGRA fabric + mapper, co-design DSE.
 core
     The end-to-end streaming pipeline with drive/park modes.
+fleet
+    Multi-node roadside sensor network: corridor simulation, sharded
+    per-node pipelines, cross-node track fusion and corridor reports.
 
 Performance notes
 -----------------
@@ -65,4 +68,5 @@ __all__ = [
     "arrays",
     "hw",
     "core",
+    "fleet",
 ]

@@ -26,50 +26,47 @@ __all__ = ["VariableDelayLine", "render_varying_delay", "INTERPOLATORS"]
 INTERPOLATORS = ("linear", "lagrange", "sinc")
 
 
+def _gather(x: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """Read ``x`` at integer indices of any shape, zero outside its support."""
+    valid = (idx >= 0) & (idx < x.size)
+    return np.where(valid, x[np.clip(idx, 0, x.size - 1)], 0.0)
+
+
 def _interp_linear(x: np.ndarray, pos: np.ndarray) -> np.ndarray:
     idx = np.floor(pos).astype(np.int64)
     frac = pos - idx
-    v0 = (idx >= 0) & (idx < x.size)
-    v1 = (idx + 1 >= 0) & (idx + 1 < x.size)
-    t0 = np.where(v0, x[np.clip(idx, 0, x.size - 1)], 0.0)
-    t1 = np.where(v1, x[np.clip(idx + 1, 0, x.size - 1)], 0.0)
-    return (1.0 - frac) * t0 + frac * t1
+    return (1.0 - frac) * _gather(x, idx) + frac * _gather(x, idx + 1)
 
 
 def _interp_lagrange(x: np.ndarray, pos: np.ndarray, order: int) -> np.ndarray:
-    # Evaluate an order-N Lagrange interpolator at each fractional position.
+    # Evaluate an order-N Lagrange interpolator at each fractional position:
+    # the tap weights depend only on the fractional part (closed-form
+    # product), and all (position, tap) reads happen in one batched gather.
     base = np.floor(pos).astype(np.int64) - (order - 1) // 2
     frac = pos - np.floor(pos)
-    out = np.zeros_like(pos)
-    # Vectorize over taps: coefficients depend only on frac, computed per
-    # sample via the closed-form product.
     offsets = np.arange(order + 1)
     d = frac + (order - 1) // 2
-    coeffs = np.ones((pos.size, order + 1))
+    coeffs = np.ones((*pos.shape, order + 1))
     for k in range(order + 1):
         others = offsets[offsets != k]
-        num = d[:, None] - others[None, :]
+        num = d[..., None] - others
         den = float(np.prod(k - others))
-        coeffs[:, k] = np.prod(num, axis=1) / den
-    for k in range(order + 1):
-        idx = base + k
-        valid = (idx >= 0) & (idx < x.size)
-        out += coeffs[:, k] * np.where(valid, x[np.clip(idx, 0, x.size - 1)], 0.0)
-    return out
+        coeffs[..., k] = np.prod(num, axis=-1) / den
+    taps = _gather(x, base[..., None] + offsets)  # (..., order + 1)
+    return np.einsum("...t,...t->...", coeffs, taps)
 
 
 def _interp_sinc(x: np.ndarray, pos: np.ndarray, half_width: int) -> np.ndarray:
     base = np.floor(pos).astype(np.int64)
     frac = pos - base
     out = np.zeros_like(pos)
+    # Accumulate per tap: each iteration is one batched gather over every
+    # (receiver, sample) position.  Materializing the full (..., n, taps)
+    # cube instead would cost gigabytes for long sinc renders.
     for k in range(-half_width + 1, half_width + 1):
-        idx = base + k
         arg = k - frac
-        win = 0.5 + 0.5 * np.cos(np.pi * arg / half_width)
-        win = np.clip(win, 0.0, None)
-        kern = np.sinc(arg) * win
-        valid = (idx >= 0) & (idx < x.size)
-        out += kern * np.where(valid, x[np.clip(idx, 0, x.size - 1)], 0.0)
+        win = np.clip(0.5 + 0.5 * np.cos(np.pi * arg / half_width), 0.0, None)
+        out += np.sinc(arg) * win * _gather(x, base + k)
     return out
 
 
@@ -88,20 +85,27 @@ def render_varying_delay(
     outside its support, so reads before the wavefront arrives return the
     interpolator's (band-limited) onset tail and exact zeros further out.
 
+    Every (output sample, interpolator tap) read is a single batched gather
+    into ``x`` — the same strategy :class:`repro.ssl.srp_fast.FastSrpPhat`
+    uses for its windowed-sinc GCC reads — so one call can render many
+    receivers at once.
+
     Parameters
     ----------
     x:
         Source signal written into the delay line at the sample rate.
     delay_samples:
-        Per-output-sample delay, in (fractional) samples; same length as
-        ``x``, all values non-negative.
+        Per-output-sample delay, in (fractional) samples; all values
+        non-negative.  Shape ``(len(x),)`` for a single receiver, or
+        ``(..., len(x))`` to render a batch of receivers (e.g. one row per
+        microphone) in one gather; the output has the same shape.
     interpolation:
         ``linear``, ``lagrange`` (default, order ``order``) or ``sinc``.
     """
     x = np.asarray(x, dtype=np.float64)
     delay_samples = np.asarray(delay_samples, dtype=np.float64)
-    if x.ndim != 1 or delay_samples.shape != x.shape:
-        raise ValueError("x and delay_samples must be 1-D arrays of equal length")
+    if x.ndim != 1 or x.size == 0 or delay_samples.shape[-1:] != x.shape:
+        raise ValueError("x must be 1-D and delay_samples (..., len(x))")
     if np.any(delay_samples < 0):
         raise ValueError("delays must be non-negative")
     if interpolation not in INTERPOLATORS:
@@ -155,13 +159,10 @@ class VariableDelayLine:
         floor_pos = int(np.floor(pos))
         frac = pos - floor_pos
         h = lagrange_fractional_delay(frac, self.order)
-        base = floor_pos - (self.order - 1) // 2
-        acc = 0.0
-        for k in range(self.order + 1):
-            idx = base + k
-            if 0 <= idx < self._n_written and idx > self._n_written - self._size:
-                acc += h[k] * self._buf[idx % self._size]
-        return acc
+        idx = floor_pos - (self.order - 1) // 2 + np.arange(self.order + 1)
+        valid = (idx >= 0) & (idx < self._n_written) & (idx > self._n_written - self._size)
+        taps = np.where(valid, self._buf[idx % self._size], 0.0)
+        return float(h @ taps)
 
     def process(self, sample: float, delay: float) -> float:
         """Write one sample, then read at ``delay`` — one tick of the line."""

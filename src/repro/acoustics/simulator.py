@@ -118,9 +118,10 @@ class RoadAcousticsSimulator:
         img = src.copy()
         img[:, 2] = -img[:, 2]
         c = self.scene.speed_of_sound
-        out = np.empty((self.scene.array.n_mics, signal.size))
-        for i, mic in enumerate(self.scene.array.positions):
-            out[i] = self._render_mic(signal, src, img, mic, c)
+        mics = self.scene.array.positions
+        out = self._render_path(signal, src, mics, c, reflected=False)
+        if self._refl_fir is not None:
+            out = out + self._render_path(signal, img, mics, c, reflected=True)
         return out
 
     def path_snapshot(self, t: float, mic_index: int = 0) -> PathSnapshot:
@@ -136,40 +137,35 @@ class RoadAcousticsSimulator:
 
     # ------------------------------------------------------------- internals
 
-    def _render_mic(
+    def _render_path(
         self,
         signal: np.ndarray,
-        src: np.ndarray,
-        img: np.ndarray,
-        mic: np.ndarray,
+        source: np.ndarray,
+        mics: np.ndarray,
         c: float,
+        *,
+        reflected: bool,
     ) -> np.ndarray:
-        d1 = np.linalg.norm(src - mic[None, :], axis=1)
-        direct = render_varying_delay(
+        """Render one propagation path to every microphone at once.
+
+        The fractional-delay reads of all microphones happen in a single
+        batched gather (``(n_mics, n_samples)`` delay matrix); only the
+        distance-varying FIR stages remain per-mic.
+        """
+        d = np.linalg.norm(source[None, :, :] - mics[:, None, :], axis=2)
+        out = render_varying_delay(
             signal,
-            d1 / c * self.fs,
+            d / c * self.fs,
             interpolation=self.interpolation,
             order=self.order,
         )
-        direct = direct / np.maximum(d1, self.min_distance)
-        if self.air_absorption:
-            direct = self._apply_air(direct, d1)
-
-        if self._refl_fir is None:
-            return direct
-
-        d_refl = np.linalg.norm(img - mic[None, :], axis=1)
-        reflected = render_varying_delay(
-            signal,
-            d_refl / c * self.fs,
-            interpolation=self.interpolation,
-            order=self.order,
-        )
-        reflected = reflected / np.maximum(d_refl, self.min_distance)
-        reflected = apply_fir(reflected, self._refl_fir, zero_phase_pad=True)
-        if self.air_absorption:
-            reflected = self._apply_air(reflected, d_refl)
-        return direct + reflected
+        out = out / np.maximum(d, self.min_distance)
+        for i in range(mics.shape[0]):
+            if reflected:
+                out[i] = apply_fir(out[i], self._refl_fir, zero_phase_pad=True)
+            if self.air_absorption:
+                out[i] = self._apply_air(out[i], d[i])
+        return out
 
     def _air_fir(self, distance: float) -> np.ndarray:
         """Air-absorption FIR for a distance, cached on a 2 m grid."""

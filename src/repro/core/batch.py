@@ -24,6 +24,8 @@ in ``tests/test_core_batch.py``.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.core.config import PipelineConfig
@@ -160,17 +162,18 @@ class BlockPipeline:
         config: PipelineConfig | None = None,
         *,
         detector: Module | None = None,
+        localizer=None,
     ) -> None:
         if isinstance(mic_positions, AcousticPerceptionPipeline):
-            if config is not None or detector is not None:
+            if config is not None or detector is not None or localizer is not None:
                 raise ValueError(
-                    "config/detector are taken from the wrapped pipeline; "
+                    "config/detector/localizer are taken from the wrapped pipeline; "
                     "pass them only with raw mic positions"
                 )
             self.pipeline = mic_positions
         else:
             self.pipeline = AcousticPerceptionPipeline(
-                mic_positions, config, detector=detector
+                mic_positions, config, detector=detector, localizer=localizer
             )
 
     @property
@@ -191,30 +194,55 @@ class BlockPipeline:
         """Batched equivalent of the streaming ``process_signal``."""
         return process_signal_batched(self.pipeline, signals)
 
-    def process_batch(self, signals_batch: np.ndarray) -> list[list[FrameResult]]:
-        """Process ``(n_clips, n_mics, n_samples)`` recordings in one shot.
+    def process_batch(
+        self, signals_batch: np.ndarray | Sequence[np.ndarray]
+    ) -> list[list[FrameResult]]:
+        """Process a batch of multichannel recordings in one shot.
 
-        Detection and localization are batched across *all* clips at once;
-        each clip gets a fresh tracker (recordings are independent) and frame
+        Accepts either a rectangular ``(n_clips, n_mics, n_samples)`` array
+        or a sequence of ``(n_mics, n_samples_i)`` clips of *unequal* length
+        (e.g. fleet nodes with different capture windows).  Ragged clips are
+        segmented into their own hop grids — no padding artifacts — and the
+        frames of every clip are concatenated so detection and localization
+        still run as one batched pass over all clips.
+
+        Each clip gets a fresh tracker (recordings are independent) and frame
         indices starting at zero, exactly as if each clip had been streamed
         through a freshly reset pipeline.
         """
-        x = np.asarray(signals_batch, dtype=np.float64)
-        n_mics = self.pipeline.positions.shape[0]
-        if x.ndim != 3 or x.shape[1] != n_mics:
-            raise ValueError(f"signals_batch must be (n_clips, {n_mics}, n_samples)")
         cfg = self.config
-        if x.shape[2] < cfg.frame_length:
-            raise ValueError("clips shorter than one frame")
-        frames = frame_signals(x, cfg.frame_length, cfg.hop_length, pad=False)
-        frames = frames.transpose(0, 2, 1, 3)  # (B, T, M, L)
-        n_clips, per_clip = frames.shape[0], frames.shape[1]
-        flat = frames.reshape(n_clips * per_clip, n_mics, cfg.frame_length)
+        n_mics = self.pipeline.positions.shape[0]
+        if isinstance(signals_batch, np.ndarray) and signals_batch.ndim == 3:
+            x = np.asarray(signals_batch, dtype=np.float64)
+            if x.shape[1] != n_mics:
+                raise ValueError(f"signals_batch must be (n_clips, {n_mics}, n_samples)")
+            if x.shape[2] < cfg.frame_length:
+                raise ValueError("clips shorter than one frame")
+            frames = frame_signals(x, cfg.frame_length, cfg.hop_length, pad=False)
+            frames = frames.transpose(0, 2, 1, 3)  # (B, T, M, L)
+            n_clips, per_clip = frames.shape[0], frames.shape[1]
+            flat = frames.reshape(n_clips * per_clip, n_mics, cfg.frame_length)
+            counts = [per_clip] * n_clips
+        else:
+            clips = [np.asarray(c, dtype=np.float64) for c in signals_batch]
+            if not clips:
+                raise ValueError("signals_batch must contain at least one clip")
+            for c in clips:
+                if c.ndim != 2 or c.shape[0] != n_mics:
+                    raise ValueError(f"every clip must be ({n_mics}, n_samples)")
+                if c.shape[1] < cfg.frame_length:
+                    raise ValueError("clips shorter than one frame")
+            framed = [
+                frame_signals(c, cfg.frame_length, cfg.hop_length, pad=False).transpose(1, 0, 2)
+                for c in clips
+            ]
+            counts = [f.shape[0] for f in framed]
+            flat = np.concatenate(framed, axis=0)  # (sum T_i, M, L)
         labels, confidences, detected = _detect_block(self.pipeline, flat[:, 0, :])
         doas = _localize_hits(self.pipeline, flat, detected)
         out: list[list[FrameResult]] = []
-        for b in range(n_clips):
-            lo = b * per_clip
+        lo = 0
+        for per_clip in counts:
             clip_doas = {t - lo: r for t, r in doas.items() if lo <= t < lo + per_clip}
             out.append(
                 _replay_tracker(
@@ -226,6 +254,7 @@ class BlockPipeline:
                     0,
                 )
             )
+            lo += per_clip
         return out
 
     def reset(self) -> None:

@@ -70,6 +70,11 @@ class AcousticPerceptionPipeline:
         A classifier over ``(N, n_mels)`` log-mel vectors producing logits
         for :data:`~repro.sed.events.EVENT_CLASSES`; an untrained compact
         MLP is built when omitted (useful for latency studies).
+    localizer:
+        A pre-built localizer to reuse instead of constructing one —
+        pipelines over identical array geometries (e.g. fleet nodes with
+        the same mounting design) can share one instance and its cached
+        steering tensors.  Must match ``config.localizer``'s interface.
     """
 
     def __init__(
@@ -78,6 +83,7 @@ class AcousticPerceptionPipeline:
         config: PipelineConfig | None = None,
         *,
         detector: Module | None = None,
+        localizer=None,
     ) -> None:
         self.config = config or PipelineConfig()
         self.positions = np.asarray(mic_positions, dtype=np.float64)
@@ -88,16 +94,19 @@ class AcousticPerceptionPipeline:
         self.mel_fb = mel_filterbank(cfg.n_mels, cfg.frame_length, cfg.fs)
         self.detector = detector or build_sed_mlp(cfg.n_mels, len(EVENT_CLASSES))
         self.detector.eval()
-        grid = DoaGrid(n_azimuth=cfg.n_azimuth, n_elevation=cfg.n_elevation)
-        if cfg.localizer == "music":
-            from repro.ssl.music import MusicDoa
-
-            self.localizer = MusicDoa(
-                self.positions, cfg.fs, grid=grid, n_fft=cfg.n_fft_srp
-            )
+        if localizer is not None:
+            self.localizer = localizer
         else:
-            loc_cls = FastSrpPhat if cfg.localizer == "srp_fast" else SrpPhat
-            self.localizer = loc_cls(self.positions, cfg.fs, grid=grid, n_fft=cfg.n_fft_srp)
+            grid = DoaGrid(n_azimuth=cfg.n_azimuth, n_elevation=cfg.n_elevation)
+            if cfg.localizer == "music":
+                from repro.ssl.music import MusicDoa
+
+                self.localizer = MusicDoa(
+                    self.positions, cfg.fs, grid=grid, n_fft=cfg.n_fft_srp
+                )
+            else:
+                loc_cls = FastSrpPhat if cfg.localizer == "srp_fast" else SrpPhat
+                self.localizer = loc_cls(self.positions, cfg.fs, grid=grid, n_fft=cfg.n_fft_srp)
         self.tracker = KalmanDoaTracker()
         self._frame_index = 0
 

@@ -97,9 +97,20 @@ class LatencyMonitor:
         if self._t0 is None:
             raise RuntimeError("tick_end without tick_start")
         dt = time.perf_counter() - self._t0
-        self._samples.append(dt)
         self._t0 = None
+        self.record(dt)
         return dt
+
+    def record(self, duration_s: float) -> None:
+        """Record an externally measured tick duration.
+
+        Lets batch engines that process many logical ticks in one call (e.g.
+        a fleet shard batching several nodes) attribute each consumer's share
+        of the measured wall time to its own monitor.
+        """
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        self._samples.append(float(duration_s))
 
     @property
     def n_ticks(self) -> int:

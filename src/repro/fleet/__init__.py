@@ -1,0 +1,83 @@
+"""Multi-node roadside sensor network: corridor simulation, sharded
+per-node pipelines and cross-node track fusion.
+
+The single-array pipeline of :mod:`repro.core` observes bearings; a
+*fleet* of nodes along the road observes positions.  This package scales
+the reproduction from one array to a corridor:
+
+- :mod:`repro.fleet.corridor` — render one shared traffic scene to K
+  roadside array nodes with consistent geometry;
+- :mod:`repro.fleet.scheduler` — shard the node recordings through
+  per-node batched pipelines (shared detector + steering tensors,
+  round-robin shards, optional threads) with per-node and fleet-wide
+  latency accounting;
+- :mod:`repro.fleet.fusion` — associate per-node detections across nodes
+  and fuse them into road-coordinate Kalman tracks (bearing triangulation,
+  wide-baseline TDOA upgrades, bearing-only survival, coast +
+  re-association);
+- :mod:`repro.fleet.report` — corridor events (vehicle entered/left,
+  speed from the track slope) and per-node health.
+
+End-to-end: ``python -m repro.cli fleet`` or
+``examples/corridor_fleet.py``.
+"""
+
+from repro.fleet.corridor import (
+    CorridorNode,
+    CorridorRecording,
+    CorridorScene,
+    Vehicle,
+    place_corridor_nodes,
+    synthesize_corridor,
+)
+from repro.fleet.fusion import (
+    FusedTrack,
+    FusionConfig,
+    NodeDetection,
+    bearing_only_positions,
+    collect_detections,
+    fuse_fleet,
+    triangulate_bearings,
+)
+from repro.fleet.report import (
+    CorridorEvent,
+    FleetReport,
+    NodeHealth,
+    fleet_report,
+    format_report,
+    localization_scorecard,
+    track_rms_error,
+)
+from repro.fleet.scheduler import (
+    FleetRunResult,
+    FleetScheduler,
+    NodeRunStats,
+    OracleDetector,
+)
+
+__all__ = [
+    "CorridorNode",
+    "CorridorRecording",
+    "CorridorScene",
+    "Vehicle",
+    "place_corridor_nodes",
+    "synthesize_corridor",
+    "FusedTrack",
+    "FusionConfig",
+    "NodeDetection",
+    "bearing_only_positions",
+    "collect_detections",
+    "fuse_fleet",
+    "triangulate_bearings",
+    "CorridorEvent",
+    "FleetReport",
+    "NodeHealth",
+    "fleet_report",
+    "format_report",
+    "localization_scorecard",
+    "track_rms_error",
+    "FleetRunResult",
+    "FleetScheduler",
+    "NodeRunStats",
+    "OracleDetector",
+]

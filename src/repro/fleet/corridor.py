@@ -1,0 +1,258 @@
+"""Corridor scene synthesis: one traffic scene heard by K roadside nodes.
+
+A deployment of the paper's roadside monitoring system is not one array but
+a *corridor* of array nodes along the road.  This module renders a single
+shared physical scene — several vehicles moving on
+:mod:`repro.acoustics.trajectory` paths — to every node with the existing
+:class:`~repro.acoustics.simulator.RoadAcousticsSimulator`, so all nodes
+hear the same events with mutually consistent geometry (the property the
+cross-node fusion in :mod:`repro.fleet.fusion` relies on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.acoustics.air import Atmosphere
+from repro.acoustics.asphalt import RoadSurface
+from repro.acoustics.environment import MicrophoneArray, Scene
+from repro.acoustics.simulator import RoadAcousticsSimulator
+from repro.acoustics.trajectory import Trajectory
+from repro.arrays.topologies import uniform_circular_array
+from repro.sed.events import EVENT_CLASSES
+
+__all__ = [
+    "Vehicle",
+    "CorridorNode",
+    "CorridorScene",
+    "CorridorRecording",
+    "place_corridor_nodes",
+    "synthesize_corridor",
+]
+
+
+@dataclass(frozen=True)
+class Vehicle:
+    """One sound-emitting vehicle in the corridor.
+
+    Attributes
+    ----------
+    label:
+        Ground-truth event class from :data:`repro.sed.events.EVENT_CLASSES`.
+    trajectory:
+        Source motion in corridor (global) coordinates.
+    signal:
+        Source waveform at the synthesis sampling rate.
+    gain:
+        Linear emission gain applied to ``signal``.
+    """
+
+    label: str
+    trajectory: Trajectory
+    signal: np.ndarray
+    gain: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.label not in EVENT_CLASSES:
+            raise ValueError(f"unknown class {self.label!r}; expected one of {EVENT_CLASSES}")
+        sig = np.asarray(self.signal, dtype=np.float64)
+        if sig.ndim != 1 or sig.size == 0:
+            raise ValueError("signal must be a non-empty 1-D array")
+        if self.gain <= 0:
+            raise ValueError("gain must be positive")
+        object.__setattr__(self, "signal", sig)
+
+
+@dataclass(frozen=True)
+class CorridorNode:
+    """One roadside array node.
+
+    Attributes
+    ----------
+    node_id:
+        Unique name used to key recordings and per-node results.
+    array:
+        Microphone positions in corridor (global) coordinates.
+    heading:
+        Yaw of the node's local frame about +z, radians.  A node pipeline
+        measures azimuth in its local frame; the global bearing of a
+        detection is ``azimuth + heading``.
+    """
+
+    node_id: str
+    array: MicrophoneArray
+    heading: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.node_id:
+            raise ValueError("node_id must be non-empty")
+
+    @property
+    def position(self) -> np.ndarray:
+        """Node reference point: the array centroid, metres."""
+        return self.array.centroid
+
+    @property
+    def relative_positions(self) -> np.ndarray:
+        """Mic positions in the node's local (centroid-centred) frame.
+
+        The local frame is de-rotated by ``heading``, so nodes that share a
+        mounting design have *identical* relative geometry regardless of
+        placement — which lets :class:`repro.fleet.scheduler.FleetScheduler`
+        share one set of steering tensors across the whole fleet.
+        """
+        rel = self.array.positions - self.array.centroid
+        if self.heading:
+            c, s = np.cos(-self.heading), np.sin(-self.heading)
+            rot = np.array([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+            rel = rel @ rot.T
+        return rel
+
+
+def place_corridor_nodes(
+    n_nodes: int,
+    spacing: float,
+    *,
+    n_mics: int = 4,
+    radius: float = 0.1,
+    height: float = 1.0,
+    roadside_y: float = 0.0,
+    layout: np.ndarray | None = None,
+) -> list[CorridorNode]:
+    """Place ``n_nodes`` identical array nodes along the road (the x axis).
+
+    Node centres sit at ``x = (k - (n_nodes - 1) / 2) * spacing`` on the
+    line ``y = roadside_y``, so the corridor is centred on the origin.
+    Every node reuses the same local mic ``layout`` (default: an ``n_mics``
+    UCA of ``radius`` metres at ``height``), which keeps their relative
+    geometries identical.
+    """
+    if n_nodes < 1:
+        raise ValueError("need at least one node")
+    if spacing <= 0:
+        raise ValueError("spacing must be positive")
+    if layout is None:
+        layout = uniform_circular_array(n_mics, radius, center=(0.0, 0.0, height))
+    layout = np.asarray(layout, dtype=np.float64)
+    nodes = []
+    for k in range(n_nodes):
+        center = np.array([(k - (n_nodes - 1) / 2) * spacing, roadside_y, 0.0])
+        nodes.append(CorridorNode(f"node{k}", MicrophoneArray(layout + center)))
+    return nodes
+
+
+@dataclass
+class CorridorScene:
+    """A shared traffic scene observed by a fleet of nodes."""
+
+    vehicles: list[Vehicle]
+    nodes: list[CorridorNode]
+    surface: RoadSurface | str | None = None
+    atmosphere: Atmosphere = field(default_factory=Atmosphere)
+
+    def __post_init__(self) -> None:
+        if not self.vehicles:
+            raise ValueError("scene needs at least one vehicle")
+        if not self.nodes:
+            raise ValueError("scene needs at least one node")
+        ids = [n.node_id for n in self.nodes]
+        if len(set(ids)) != len(ids):
+            raise ValueError("node ids must be unique")
+
+
+@dataclass(frozen=True)
+class CorridorRecording:
+    """Per-node multichannel recordings of one corridor scene.
+
+    Attributes
+    ----------
+    fs:
+        Sampling rate, Hz.
+    recordings:
+        ``node_id -> (n_mics, n_samples)``; lengths may differ per node
+        when capture windows were truncated.
+    scene:
+        The scene that produced the recordings (carries the ground truth).
+    """
+
+    fs: float
+    recordings: dict[str, np.ndarray]
+    scene: CorridorScene
+
+    def duration_s(self, node_id: str) -> float:
+        """Capture length of one node, seconds."""
+        return self.recordings[node_id].shape[1] / self.fs
+
+    def vehicle_positions(self, t: np.ndarray) -> np.ndarray:
+        """Ground-truth positions, shape ``(n_vehicles, len(t), 3)``."""
+        t = np.asarray(t, dtype=np.float64)
+        return np.stack([v.trajectory.positions(t) for v in self.scene.vehicles])
+
+
+def synthesize_corridor(
+    scene: CorridorScene,
+    fs: float,
+    *,
+    interpolation: str = "linear",
+    order: int = 3,
+    air_absorption: bool = False,
+    capture_samples: dict[str, int] | None = None,
+    noise_std: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> CorridorRecording:
+    """Render every vehicle of ``scene`` to every node.
+
+    Each (node, vehicle) pair runs one :class:`RoadAcousticsSimulator` with
+    the *global* vehicle trajectory and the node's *global* array, so the
+    propagation geometry (delays, Doppler, spreading) is consistent across
+    the whole corridor.  Vehicle signals of unequal length are zero-padded
+    to the longest (a vehicle that falls silent simply stops emitting).
+
+    Parameters
+    ----------
+    capture_samples:
+        Optional per-node truncation ``node_id -> n_samples`` (nodes with
+        shorter capture windows); the ragged batch path of
+        :meth:`repro.core.batch.BlockPipeline.process_batch` handles the
+        resulting unequal lengths.
+    noise_std:
+        Per-mic white sensor-noise standard deviation.
+    """
+    if fs <= 0:
+        raise ValueError("fs must be positive")
+    n_samples = max(v.signal.size for v in scene.vehicles)
+    gen = rng if rng is not None else np.random.default_rng(0)
+    recordings: dict[str, np.ndarray] = {}
+    for node in scene.nodes:
+        out = np.zeros((node.array.n_mics, n_samples))
+        for vehicle in scene.vehicles:
+            sub = Scene(
+                vehicle.trajectory,
+                node.array,
+                surface=scene.surface,
+                atmosphere=scene.atmosphere,
+            )
+            sim = RoadAcousticsSimulator(
+                sub,
+                fs,
+                interpolation=interpolation,
+                order=order,
+                air_absorption=air_absorption,
+            )
+            sig = vehicle.signal
+            if sig.size < n_samples:
+                sig = np.pad(sig, (0, n_samples - sig.size))
+            out += vehicle.gain * sim.simulate(sig)
+        if noise_std > 0:
+            # One generator across nodes: sensor noise must be independent
+            # per node, or it injects spurious cross-node correlation.
+            out += noise_std * gen.standard_normal(out.shape)
+        stop = n_samples
+        if capture_samples and node.node_id in capture_samples:
+            stop = int(capture_samples[node.node_id])
+            if not 0 < stop <= n_samples:
+                raise ValueError("capture_samples must lie in (0, n_samples]")
+        recordings[node.node_id] = out[:, :stop]
+    return CorridorRecording(fs=float(fs), recordings=recordings, scene=scene)

@@ -18,9 +18,11 @@ from repro.sed.eval import (
 from repro.sed.events import (
     EMERGENCY_CLASSES,
     EVENT_CLASSES,
+    FUSION_CONFIDENCE_THRESHOLDS,
     EventAnnotation,
     class_index,
     class_name,
+    fusion_threshold,
     is_emergency,
 )
 from repro.sed.models import FeatureFrontEnd, SedCnnConfig, build_sed_cnn, build_sed_mlp
@@ -82,6 +84,8 @@ __all__ = [
     "predict",
     "EMERGENCY_CLASSES",
     "EVENT_CLASSES",
+    "FUSION_CONFIDENCE_THRESHOLDS",
+    "fusion_threshold",
     "EventAnnotation",
     "class_index",
     "class_name",

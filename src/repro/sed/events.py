@@ -4,13 +4,47 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["EVENT_CLASSES", "EMERGENCY_CLASSES", "class_index", "class_name", "is_emergency"]
+__all__ = [
+    "EVENT_CLASSES",
+    "EMERGENCY_CLASSES",
+    "FUSION_CONFIDENCE_THRESHOLDS",
+    "class_index",
+    "class_name",
+    "fusion_threshold",
+    "is_emergency",
+]
 
 EVENT_CLASSES = ("siren_hilow", "siren_wail", "siren_yelp", "horn", "background")
 """Closed-set labels: the three siren patterns, car horns, and pure noise."""
 
 EMERGENCY_CLASSES = frozenset({"siren_hilow", "siren_wail", "siren_yelp", "horn"})
 """Classes that should trigger a driving-behaviour change."""
+
+FUSION_CONFIDENCE_THRESHOLDS = {
+    "siren_hilow": 0.50,
+    "siren_wail": 0.50,
+    "siren_yelp": 0.55,
+    "horn": 0.65,
+}
+"""Per-class posterior floors for *cross-node* fusion.
+
+A single-node detection only has to clear the pipeline's
+``detect_threshold``; before a detection is allowed to steer a fleet-level
+track it must clear the (stricter) floor of its class.  Sustained siren
+patterns correlate well across nodes, so they fuse near the detection
+threshold; short impulsive horns produce more single-node false positives
+and need a higher bar.
+"""
+
+
+def fusion_threshold(name: str) -> float:
+    """Minimum confidence for a detection of ``name`` to enter fusion.
+
+    Non-emergency classes return ``inf``: they never steer a fleet track.
+    """
+    if name not in EVENT_CLASSES:
+        raise ValueError(f"unknown class {name!r}; expected one of {EVENT_CLASSES}")
+    return FUSION_CONFIDENCE_THRESHOLDS.get(name, float("inf"))
 
 
 def class_index(name: str) -> int:

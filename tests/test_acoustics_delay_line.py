@@ -106,3 +106,29 @@ class TestStreamingDelayLine:
             VariableDelayLine(max_delay=0.0)
         with pytest.raises(ValueError):
             VariableDelayLine(max_delay=8.0, order=0)
+
+
+class TestBatchedDelays:
+    """A (..., n) delay matrix renders every receiver in one gather."""
+
+    @pytest.mark.parametrize("interp", INTERPOLATORS)
+    def test_matches_per_row_rendering(self, interp):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(400)
+        n = np.arange(400)
+        delays = np.stack(
+            [
+                20.0 + 5.0 * np.sin(n / 50.0),
+                35.0 - 0.02 * n,
+                np.full(400, 7.25),
+            ]
+        )
+        batched = render_varying_delay(x, delays, interpolation=interp)
+        assert batched.shape == (3, 400)
+        for row in range(3):
+            single = render_varying_delay(x, delays[row], interpolation=interp)
+            assert np.allclose(batched[row], single, atol=1e-12)
+
+    def test_trailing_axis_must_match(self):
+        with pytest.raises(ValueError):
+            render_varying_delay(np.ones(10), np.ones((3, 5)))

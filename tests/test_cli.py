@@ -89,6 +89,28 @@ class TestProcess:
         assert main(["process", "--input", str(path)]) == 1
 
 
+class TestFleet:
+    def test_corridor_demo(self, capsys):
+        code = main(
+            ["fleet", "--n-nodes", "2", "--spacing", "12", "--duration", "0.6",
+             "--fs", "4000", "--n-azimuth", "36"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "corridor          : 2 nodes" in out
+        assert "node health" in out
+        assert "fleet wall time" in out
+
+    def test_rejects_single_node(self, capsys):
+        assert main(["fleet", "--n-nodes", "1"]) == 1
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.n_nodes == 3
+        assert args.detector == "oracle"
+        assert not args.threads
+
+
 class TestAssessArray:
     def test_uca_report(self, capsys):
         code = main(

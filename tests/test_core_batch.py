@@ -155,3 +155,41 @@ class TestValidation:
         p = AcousticPerceptionPipeline(MICS, PipelineConfig(n_azimuth=24, n_elevation=2))
         results = p.process_signal_batched(np.zeros((4, 4000)))
         assert len(results) == 1 + (4000 - 512) // 256
+
+
+class TestRaggedBatch:
+    """Ragged-length clips (fleet nodes with unequal capture windows)."""
+
+    def config(self):
+        return PipelineConfig(n_azimuth=24, n_elevation=2)
+
+    def test_ragged_matches_per_clip_streaming(self):
+        cfg = self.config()
+        block = BlockPipeline(MICS, cfg, detector=AlwaysSiren(cfg.n_mels))
+        p = block.pipeline
+        rng = np.random.default_rng(11)
+        clips = [rng.standard_normal((4, n)) for n in (4000, 6100, 2900)]
+        batched = block.process_batch(clips)
+        assert len(batched) == 3
+        for clip, got in zip(clips, batched):
+            p.reset()
+            assert_results_equal(p.process_signal(clip), got)
+        p.reset()
+
+    def test_ragged_matches_rectangular_when_equal(self):
+        cfg = self.config()
+        block = BlockPipeline(MICS, cfg, detector=AlwaysSiren(cfg.n_mels))
+        clips = np.random.default_rng(12).standard_normal((3, 4, 4000))
+        rect = block.process_batch(clips)
+        ragged = block.process_batch([clips[0], clips[1], clips[2]])
+        for a, b in zip(rect, ragged):
+            assert_results_equal(a, b)
+
+    def test_ragged_validation(self):
+        block = BlockPipeline(MICS, self.config())
+        with pytest.raises(ValueError):
+            block.process_batch([])
+        with pytest.raises(ValueError):
+            block.process_batch([np.zeros((3, 4000))])  # wrong mic count
+        with pytest.raises(ValueError):
+            block.process_batch([np.zeros((4, 4000)), np.zeros((4, 100))])  # too short
