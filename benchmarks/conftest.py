@@ -25,6 +25,18 @@ def pytest_addoption(parser):
         default="BENCH_pipeline.json",
         help="file (relative to the repo root) that benchmark rows are appended to",
     )
+    parser.addoption(
+        "--bench-min-speedup",
+        action="append",
+        default=[],
+        metavar="BENCH=SPEEDUP",
+        help=(
+            "regression guard: fail the session unless every recorded row named "
+            "BENCH reached at least SPEEDUP (repeatable, e.g. "
+            "--bench-min-speedup pipeline_10s_4mic_dense=5.0); a named bench "
+            "that recorded no row also fails"
+        ),
+    )
 
 
 def assert_frame_results_equal(streamed, batched):
@@ -51,7 +63,41 @@ def bench_json():
     return record
 
 
+def _check_min_speedups(session) -> bool:
+    """Enforce ``--bench-min-speedup`` guards; returns True when all hold."""
+    guards = session.config.getoption("--bench-min-speedup")
+    ok = True
+    for spec in guards:
+        name, _, floor = spec.partition("=")
+        try:
+            floor = float(floor)
+        except ValueError:
+            floor = None
+        if not name or floor is None:
+            print(f"\nbench-min-speedup: malformed guard {spec!r} (want BENCH=SPEEDUP)")
+            ok = False
+            continue
+        rows = [r for r in _BENCH_ROWS if r["bench"] == name]
+        if not rows:
+            print(f"\nbench-min-speedup: no recorded row named {name!r}")
+            ok = False
+            continue
+        worst = min(r["speedup"] for r in rows)
+        if worst < floor:
+            print(
+                f"\nbench-min-speedup: {name} regressed — "
+                f"recorded {worst:.2f}x, floor {floor:.2f}x"
+            )
+            ok = False
+    return ok
+
+
 def pytest_sessionfinish(session, exitstatus):
+    if exitstatus == 0 and not _check_min_speedups(session):
+        # Surface the regression as a failed session so CI cannot silently
+        # ship a dense-regime slowdown.
+        session.exitstatus = pytest.ExitCode.TESTS_FAILED
+        return
     if not _BENCH_ROWS or exitstatus != 0:
         return  # never pollute the perf trail with rows from a failed run
     path = Path(session.config.rootpath) / session.config.getoption("--bench-json")

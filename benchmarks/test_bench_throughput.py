@@ -91,7 +91,10 @@ def test_e12_pipeline_block_throughput(square_array, clip, bench_json):
 
 
 def test_e12_pipeline_dense_detections(square_array, clip, bench_json):
-    """Every frame detects and localizes: the batched SRP path must still win."""
+    """Every frame detects and localizes *on pure noise* — the adversarial
+    dense case (multimodal maps defeat temporal window reuse).  The
+    continuous-siren dense row lives in E14 (``pipeline_10s_4mic_dense``);
+    this noise variant must still clearly beat streaming."""
     cfg = PipelineConfig()  # 512/256 framing, srp_fast localizer
     pipeline = AcousticPerceptionPipeline(
         square_array, cfg, detector=_siren_everywhere_detector(cfg.n_mels)
@@ -101,15 +104,15 @@ def test_e12_pipeline_dense_detections(square_array, clip, bench_json):
     assert all(r.detected for r in streamed)
     speedup = t_stream / t_batch
     print_table(
-        "E12 pipeline throughput, dense detections (every frame localized)",
+        "E12 pipeline throughput, dense detections on noise (worst case)",
         ["engine", "frames", "wall ms", "speedup"],
         [
             ("streaming", len(streamed), t_stream * 1e3, 1.0),
             ("batched", len(batched), t_batch * 1e3, speedup),
         ],
     )
-    bench_json("pipeline_10s_4mic_dense", t_batch * 1e3, speedup)
-    assert speedup > 1.2
+    bench_json("pipeline_10s_4mic_dense_noise", t_batch * 1e3, speedup)
+    assert speedup > 2.0
 
 
 def _time_srp(localizer, frames, repeats=3):

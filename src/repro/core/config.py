@@ -32,6 +32,20 @@ class PipelineConfig:
     detect_threshold:
         Posterior threshold above which a non-background class counts as a
         detection (enables localization of that frame).
+    refine_levels:
+        Coarse-to-fine pyramid depth of the localization sweep (see
+        :mod:`repro.ssl.refine`); the default ``2`` sweeps a 2x-decimated
+        grid and refines the top cells at full resolution.  ``1`` restores
+        the one-shot dense sweep.
+    refine_top_k:
+        Coarse cells refined at full resolution per window selection.
+    refine_reuse_gate:
+        Temporal window-reuse gate in coarse cells (``0`` re-selects whenever
+        the coarse peak moves).
+    spectra_dtype:
+        Working dtype (``"float32"``/``"float64"``) of the shared
+        localization spectra cache.  float32 halves the dense path's memory
+        traffic; detection stays float64 unless the cache is primed dense.
     """
 
     fs: float = 16000.0
@@ -43,6 +57,10 @@ class PipelineConfig:
     n_elevation: int = 4
     localizer: str = "srp_fast"
     detect_threshold: float = 0.5
+    refine_levels: int = 2
+    refine_top_k: int = 2
+    refine_reuse_gate: int = 1
+    spectra_dtype: str = "float32"
 
     def __post_init__(self) -> None:
         if self.fs <= 0:
@@ -61,6 +79,10 @@ class PipelineConfig:
             raise ValueError("detect_threshold must lie in (0, 1)")
         if self.n_azimuth < 8 or self.n_elevation < 1:
             raise ValueError("SRP grid too small")
+        if self.refine_levels < 1 or self.refine_top_k < 1 or self.refine_reuse_gate < 0:
+            raise ValueError("invalid coarse-to-fine refinement parameters")
+        if self.spectra_dtype not in ("float32", "float64"):
+            raise ValueError("spectra_dtype must be 'float32' or 'float64'")
 
     @property
     def frame_period_s(self) -> float:

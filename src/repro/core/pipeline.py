@@ -23,6 +23,7 @@ from repro.nn.module import Module
 from repro.sed.events import EVENT_CLASSES, class_name, is_emergency
 from repro.sed.models import build_sed_mlp
 from repro.ssl.doa import DoaGrid
+from repro.ssl.refine import RefineConfig, RefineState
 from repro.ssl.srp import SrpPhat, mic_pairs
 from repro.ssl.srp_fast import FastSrpPhat
 from repro.ssl.tracking import KalmanDoaTracker
@@ -98,16 +99,50 @@ class AcousticPerceptionPipeline:
             self.localizer = localizer
         else:
             grid = DoaGrid(n_azimuth=cfg.n_azimuth, n_elevation=cfg.n_elevation)
+            refine = (
+                RefineConfig(
+                    levels=cfg.refine_levels,
+                    top_k=cfg.refine_top_k,
+                    reuse_gate=cfg.refine_reuse_gate,
+                )
+                if cfg.refine_levels > 1
+                else None
+            )
+            dtype = np.float32 if cfg.spectra_dtype == "float32" else np.float64
             if cfg.localizer == "music":
                 from repro.ssl.music import MusicDoa
 
                 self.localizer = MusicDoa(
-                    self.positions, cfg.fs, grid=grid, n_fft=cfg.n_fft_srp
+                    self.positions,
+                    cfg.fs,
+                    grid=grid,
+                    n_fft=cfg.n_fft_srp,
+                    refine=refine,
+                    spectra_dtype=dtype,
                 )
             else:
                 loc_cls = FastSrpPhat if cfg.localizer == "srp_fast" else SrpPhat
-                self.localizer = loc_cls(self.positions, cfg.fs, grid=grid, n_fft=cfg.n_fft_srp)
+                self.localizer = loc_cls(
+                    self.positions,
+                    cfg.fs,
+                    grid=grid,
+                    n_fft=cfg.n_fft_srp,
+                    refine=refine,
+                    spectra_dtype=dtype,
+                )
         self.tracker = KalmanDoaTracker()
+        # Temporal-reuse state of the coarse-to-fine localization path; owned
+        # by the pipeline (not the localizer) so fleet nodes sharing one
+        # localizer instance keep independent anchors.
+        self.refine_state = RefineState()
+        # Detection-density EMA: the block engine primes the shared spectra
+        # cache for the dense regime once most recent hops localized.  Note
+        # priming is a performance hint, not stream semantics: primed blocks
+        # derive detection spectra from the (float32 by default) shared FFTs,
+        # equal to the streaming detector only to ~1e-6 relative — labels and
+        # flags agree unless a confidence sits exactly on the threshold.
+        self._dense_ema = 0.0
+        self._localizer_takes_state: bool | None = None
         self._frame_index = 0
 
     # ------------------------------------------------------------------ API
@@ -142,9 +177,10 @@ class AcousticPerceptionPipeline:
             )
         label, confidence, _ = self.detect_frame(frames[0])
         detected = is_emergency(label) and confidence >= self.config.detect_threshold
+        self._dense_ema = 0.9 * self._dense_ema + 0.1 * float(detected)
         azimuth = elevation = float("nan")
         if detected:
-            result = self.localizer.localize(frames)
+            result = self._localize(frames)
             state = self.tracker.update(result.azimuth, result.elevation)
             azimuth, elevation = state.azimuth, state.elevation
         elif self.tracker.initialized:
@@ -153,6 +189,24 @@ class AcousticPerceptionPipeline:
         out = FrameResult(self._frame_index, label, confidence, detected, azimuth, elevation)
         self._frame_index += 1
         return out
+
+    def _localize(self, frames: np.ndarray):
+        """One localization step through the configured path.
+
+        Passes the pipeline-owned temporal-reuse state when the localizer
+        supports the coarse-to-fine keywords (external localizers may not).
+        """
+        if self._localizer_takes_state is None:
+            import inspect
+
+            try:
+                params = inspect.signature(self.localizer.localize).parameters
+                self._localizer_takes_state = "state" in params
+            except (TypeError, ValueError):
+                self._localizer_takes_state = False
+        if self._localizer_takes_state:
+            return self.localizer.localize(frames, state=self.refine_state)
+        return self.localizer.localize(frames)
 
     def process_signal(self, signals: np.ndarray) -> list[FrameResult]:
         """Stream a full multichannel recording through the pipeline.
@@ -184,8 +238,14 @@ class AcousticPerceptionPipeline:
         return process_signal_batched(self, signals)
 
     def reset(self) -> None:
-        """Reset streaming state (tracker and frame counter)."""
+        """Reset streaming state (tracker, refinement window, frame counter).
+
+        The detection-density EMA deliberately survives: like the lazily
+        built steering tensors it is a performance hint (whether to prime
+        the shared spectra cache), not part of a stream's semantics.
+        """
         self.tracker.reset()
+        self.refine_state.reset()
         self._frame_index = 0
 
     # ---------------------------------------------------------------- IR

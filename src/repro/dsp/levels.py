@@ -76,4 +76,6 @@ def normalize_peak(x: np.ndarray, peak: float = 0.99) -> np.ndarray:
     m = np.max(np.abs(x)) if x.size else 0.0
     if m == 0.0:
         return x.copy()
-    return x * (peak / m)
+    # Divide by the peak first: ``peak / m`` overflows to inf for subnormal
+    # peaks, turning zero samples into nan.
+    return (x / m) * peak

@@ -4,17 +4,19 @@ Every front-end returns a ``(n_features, n_frames)`` array, so detection
 models can swap representations freely — the comparison in bench E3.
 """
 
-from repro.features.chroma import chroma_filterbank, chromagram
-from repro.features.cqt import cqt, cqt_frequencies, log_cqt
+from repro.features.chroma import chroma_filterbank, chromagram, chromagram_batch
+from repro.features.cqt import cqt, cqt_batch, cqt_frequencies, log_cqt, log_cqt_batch
 from repro.features.gammatone import (
     erb_space,
     erb_to_hz,
     gammatone_filterbank_coefficients,
     gammatonegram,
+    gammatonegram_batch,
     hz_to_erb,
     log_gammatonegram,
+    log_gammatonegram_batch,
 )
-from repro.features.gfcc import gfcc
+from repro.features.gfcc import gfcc, gfcc_batch
 from repro.features.mel import (
     hz_to_mel,
     log_mel_spectrogram,
@@ -24,10 +26,11 @@ from repro.features.mel import (
     mel_spectrogram_batch,
     mel_to_hz,
 )
-from repro.features.mfcc import delta, mfcc
+from repro.features.mfcc import delta, mfcc, mfcc_batch
 from repro.features.spectrogram import (
     SpectrogramConfig,
     log_spectrogram,
+    log_spectrogram_batch,
     spectrogram,
     spectrogram_batch,
 )
@@ -66,6 +69,30 @@ def extract(name: str, x, fs: float, **kwargs):
     return _np.asarray(dispatch[name](x, fs, **kwargs))
 
 
+def extract_batch(name: str, x, fs: float, **kwargs):
+    """Extract the named front-end from a batch of equal-length clips.
+
+    ``x`` is ``(n_clips, n_samples)``; returns ``(n_clips, F, T)`` matching
+    :func:`extract` per clip.  Every front-end has a batched path (one
+    framing/FFT/filter pass over all clips) — the comparison surface of
+    bench E3 at dataset scale.
+    """
+    import numpy as _np
+
+    dispatch = {
+        "spectrogram": log_spectrogram_batch,
+        "log_mel": log_mel_spectrogram_batch,
+        "mfcc": mfcc_batch,
+        "gammatonegram": log_gammatonegram_batch,
+        "gfcc": gfcc_batch,
+        "cqt": log_cqt_batch,
+        "chroma": chromagram_batch,
+    }
+    if name not in dispatch:
+        raise ValueError(f"unknown front-end {name!r}; expected one of {FRONT_ENDS}")
+    return _np.asarray(dispatch[name](_np.asarray(x, dtype=_np.float64), fs, **kwargs))
+
+
 from repro.features.stack import context_window, stack_deltas
 __all__ = [
     "context_window",
@@ -73,16 +100,22 @@ __all__ = [
 
     "chroma_filterbank",
     "chromagram",
+    "chromagram_batch",
     "cqt",
+    "cqt_batch",
     "cqt_frequencies",
     "log_cqt",
+    "log_cqt_batch",
     "erb_space",
     "erb_to_hz",
     "gammatone_filterbank_coefficients",
     "gammatonegram",
+    "gammatonegram_batch",
     "hz_to_erb",
     "log_gammatonegram",
+    "log_gammatonegram_batch",
     "gfcc",
+    "gfcc_batch",
     "hz_to_mel",
     "log_mel_spectrogram",
     "log_mel_spectrogram_batch",
@@ -92,10 +125,13 @@ __all__ = [
     "mel_to_hz",
     "delta",
     "mfcc",
+    "mfcc_batch",
     "SpectrogramConfig",
     "log_spectrogram",
+    "log_spectrogram_batch",
     "spectrogram",
     "spectrogram_batch",
     "FRONT_ENDS",
     "extract",
+    "extract_batch",
 ]

@@ -4,9 +4,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.features.spectrogram import SpectrogramConfig, spectrogram
+from repro.features.spectrogram import SpectrogramConfig, spectrogram, spectrogram_batch
 
-__all__ = ["chroma_filterbank", "chromagram"]
+__all__ = ["chroma_filterbank", "chromagram", "chromagram_batch"]
 
 
 def chroma_filterbank(
@@ -60,4 +60,27 @@ def chromagram(
         peak = c.max(axis=0, keepdims=True)
         peak[peak == 0] = 1.0
         c = c / peak
+    return c
+
+
+def chromagram_batch(
+    x: np.ndarray,
+    fs: float,
+    *,
+    n_chroma: int = 12,
+    config: SpectrogramConfig | None = None,
+    normalize: bool = True,
+) -> np.ndarray:
+    """Chromagrams of a batch of clips, ``(n_clips, n_chroma, n_frames)``.
+
+    Matches :func:`chromagram` per clip, from one batched STFT and a single
+    broadcast filterbank contraction.
+    """
+    cfg = config or SpectrogramConfig(n_fft=2048)
+    s = spectrogram_batch(x, fs, cfg)  # (..., F, T)
+    fb = chroma_filterbank(cfg.n_fft, fs, n_chroma=n_chroma)
+    c = fb @ s
+    if normalize:
+        peak = c.max(axis=-2, keepdims=True)
+        c = c / np.where(peak == 0, 1.0, peak)
     return c

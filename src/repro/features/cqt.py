@@ -1,9 +1,11 @@
 """Constant-Q transform (CQT) front-end.
 
-A direct (naive) CQT: one windowed complex kernel per bin, geometrically
-spaced centre frequencies with constant Q.  Kernels are evaluated in the
-frequency domain for efficiency.  Accurate enough for the classification
-front-end comparison; not an invertible CQT.
+A direct CQT: one windowed complex kernel per bin, geometrically spaced
+centre frequencies with constant Q.  Per bin, every hop position's windowed
+segment is gathered through one strided view and correlated with the kernel
+in a single matmul — no Python loop over frames — and whole batches of clips
+share the same pass (:func:`cqt_batch`).  Accurate enough for the
+classification front-end comparison; not an invertible CQT.
 """
 
 from __future__ import annotations
@@ -12,7 +14,7 @@ import numpy as np
 
 from repro.dsp.stft import db
 
-__all__ = ["cqt_frequencies", "cqt", "log_cqt"]
+__all__ = ["cqt_frequencies", "cqt", "cqt_batch", "log_cqt", "log_cqt_batch"]
 
 
 def cqt_frequencies(n_bins: int, fmin: float, bins_per_octave: int = 12) -> np.ndarray:
@@ -24,6 +26,57 @@ def cqt_frequencies(n_bins: int, fmin: float, bins_per_octave: int = 12) -> np.n
     if bins_per_octave < 1:
         raise ValueError("bins_per_octave must be >= 1")
     return fmin * 2.0 ** (np.arange(n_bins) / bins_per_octave)
+
+
+def cqt_batch(
+    x: np.ndarray,
+    fs: float,
+    *,
+    n_bins: int = 48,
+    fmin: float = 55.0,
+    bins_per_octave: int = 12,
+    hop_length: int = 512,
+) -> np.ndarray:
+    """Constant-Q magnitudes of a batch of clips, ``(n_clips, n_bins, T)``.
+
+    Matches :func:`cqt` per clip: for each bin, the Hann-windowed complex
+    kernel is correlated with every hop-centred segment of every clip in one
+    gather + matmul (clips x frames at once) instead of a Python loop per
+    frame per clip.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2 or x.shape[-1] == 0:
+        raise ValueError("x must be (n_clips, n_samples)")
+    if hop_length < 1:
+        raise ValueError("hop_length must be >= 1")
+    freqs = cqt_frequencies(n_bins, fmin, bins_per_octave)
+    if freqs[-1] >= fs / 2:
+        raise ValueError(
+            f"top CQT bin {freqs[-1]:.1f} Hz exceeds Nyquist {fs / 2:.1f} Hz; "
+            "reduce n_bins or fmin"
+        )
+    q = 1.0 / (2.0 ** (1.0 / bins_per_octave) - 1.0)
+    n = x.shape[-1]
+    n_frames = 1 + n // hop_length
+    centres = np.arange(n_frames) * hop_length
+    out = np.empty((x.shape[0], n_bins, n_frames))
+    pad: np.ndarray | None = None
+    pad_len = -1
+    for k, fk in enumerate(freqs):
+        n_k = max(2, min(int(np.ceil(q * fs / fk)), n))
+        t = np.arange(n_k)
+        win = 0.5 - 0.5 * np.cos(2 * np.pi * t / n_k)
+        kernel = win * np.exp(-2j * np.pi * fk / fs * t) / n_k
+        # Right-pad with zeros so clipped tail segments keep full kernel
+        # length (zero samples contribute nothing, exactly like truncating
+        # the kernel); the left clip matches the reference start index.
+        if pad is None or pad_len < n_k:
+            pad_len = max(2, min(int(np.ceil(q * fs / freqs[0])), n))  # longest kernel
+            pad = np.concatenate([x, np.zeros((x.shape[0], pad_len))], axis=-1)
+        starts = np.maximum(centres - n_k // 2, 0)
+        windows = np.lib.stride_tricks.sliding_window_view(pad, n_k, axis=-1)
+        out[:, k, :] = np.abs(windows[:, starts, :] @ kernel)
+    return out
 
 
 def cqt(
@@ -44,31 +97,14 @@ def cqt(
     x = np.asarray(x, dtype=np.float64)
     if x.ndim != 1 or x.size == 0:
         raise ValueError("x must be a non-empty 1-D signal")
-    if hop_length < 1:
-        raise ValueError("hop_length must be >= 1")
-    freqs = cqt_frequencies(n_bins, fmin, bins_per_octave)
-    if freqs[-1] >= fs / 2:
-        raise ValueError(
-            f"top CQT bin {freqs[-1]:.1f} Hz exceeds Nyquist {fs / 2:.1f} Hz; "
-            "reduce n_bins or fmin"
-        )
-    q = 1.0 / (2.0 ** (1.0 / bins_per_octave) - 1.0)
-    n_frames = 1 + x.size // hop_length
-    out = np.zeros((n_bins, n_frames))
-    for k, fk in enumerate(freqs):
-        n_k = int(np.ceil(q * fs / fk))
-        n_k = min(n_k, x.size)
-        n_k = max(n_k, 2)
-        t = np.arange(n_k)
-        win = 0.5 - 0.5 * np.cos(2 * np.pi * t / n_k)
-        kernel = win * np.exp(-2j * np.pi * fk / fs * t) / n_k
-        for m in range(n_frames):
-            centre = m * hop_length
-            start = max(0, centre - n_k // 2)
-            stop = min(x.size, start + n_k)
-            seg = x[start:stop]
-            out[k, m] = np.abs(np.dot(seg, kernel[: seg.size]))
-    return out
+    return cqt_batch(
+        x[None],
+        fs,
+        n_bins=n_bins,
+        fmin=fmin,
+        bins_per_octave=bins_per_octave,
+        hop_length=hop_length,
+    )[0]
 
 
 def log_cqt(
@@ -85,3 +121,23 @@ def log_cqt(
     c = cqt(x, fs, n_bins=n_bins, fmin=fmin, bins_per_octave=bins_per_octave, hop_length=hop_length)
     ref = float(c.max()) or 1.0
     return db(c**2, ref=ref**2, floor_db=floor_db)
+
+
+def log_cqt_batch(
+    x: np.ndarray,
+    fs: float,
+    *,
+    n_bins: int = 48,
+    fmin: float = 55.0,
+    bins_per_octave: int = 12,
+    hop_length: int = 512,
+    floor_db: float = -80.0,
+) -> np.ndarray:
+    """Batched :func:`log_cqt` (dB relative to each clip's own maximum)."""
+    c = cqt_batch(
+        x, fs, n_bins=n_bins, fmin=fmin, bins_per_octave=bins_per_octave, hop_length=hop_length
+    )
+    p = c**2
+    ref = np.maximum(p.max(axis=(-2, -1), keepdims=True), np.finfo(np.float64).tiny)
+    floor = ref * 10.0 ** (floor_db / 10.0)
+    return 10.0 * np.log10(np.maximum(p, floor) / ref)

@@ -5,9 +5,9 @@ from __future__ import annotations
 import numpy as np
 from scipy.fftpack import dct
 
-from repro.features.gammatone import gammatonegram
+from repro.features.gammatone import gammatonegram, gammatonegram_batch
 
-__all__ = ["gfcc"]
+__all__ = ["gfcc", "gfcc_batch"]
 
 
 def gfcc(
@@ -42,3 +42,36 @@ def gfcc(
     )
     log_g = np.log(np.maximum(g, 1e-10))
     return dct(log_g, type=2, axis=0, norm="ortho")[:n_gfcc]
+
+
+def gfcc_batch(
+    x: np.ndarray,
+    fs: float,
+    *,
+    n_gfcc: int = 13,
+    n_bands: int = 40,
+    fmin: float = 50.0,
+    fmax: float | None = None,
+    frame_length: int = 512,
+    hop_length: int = 256,
+) -> np.ndarray:
+    """GFCCs of a batch of clips, shape ``(n_clips, n_gfcc, n_frames)``.
+
+    Matches :func:`gfcc` per clip, on top of the batched gammatonegram
+    (lfilter along the time axis of the whole batch).
+    """
+    if n_gfcc < 1:
+        raise ValueError("n_gfcc must be >= 1")
+    if n_gfcc > n_bands:
+        raise ValueError("n_gfcc cannot exceed n_bands")
+    g = gammatonegram_batch(
+        x,
+        fs,
+        n_bands=n_bands,
+        fmin=fmin,
+        fmax=fmax,
+        frame_length=frame_length,
+        hop_length=hop_length,
+    )
+    log_g = np.log(np.maximum(g, 1e-10))
+    return dct(log_g, type=2, axis=-2, norm="ortho")[:, :n_gfcc]

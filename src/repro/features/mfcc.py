@@ -5,10 +5,10 @@ from __future__ import annotations
 import numpy as np
 from scipy.fftpack import dct
 
-from repro.features.mel import mel_spectrogram
+from repro.features.mel import mel_spectrogram, mel_spectrogram_batch
 from repro.features.spectrogram import SpectrogramConfig
 
-__all__ = ["mfcc", "delta"]
+__all__ = ["mfcc", "mfcc_batch", "delta"]
 
 
 def mfcc(
@@ -33,6 +33,29 @@ def mfcc(
     m = mel_spectrogram(x, fs, n_mels=n_mels, config=config, fmin=fmin, fmax=fmax)
     log_m = np.log(np.maximum(m, 1e-10))
     return dct(log_m, type=2, axis=0, norm="ortho")[:n_mfcc]
+
+
+def mfcc_batch(
+    x: np.ndarray,
+    fs: float,
+    *,
+    n_mfcc: int = 13,
+    n_mels: int = 40,
+    config: SpectrogramConfig | None = None,
+    fmin: float = 20.0,
+    fmax: float | None = None,
+) -> np.ndarray:
+    """MFCCs of a batch of clips, shape ``(n_clips, n_mfcc, n_frames)``.
+
+    Matches :func:`mfcc` per clip, from one batched STFT + mel contraction.
+    """
+    if n_mfcc < 1:
+        raise ValueError("n_mfcc must be >= 1")
+    if n_mfcc > n_mels:
+        raise ValueError("n_mfcc cannot exceed n_mels")
+    m = mel_spectrogram_batch(x, fs, n_mels=n_mels, config=config, fmin=fmin, fmax=fmax)
+    log_m = np.log(np.maximum(m, 1e-10))
+    return dct(log_m, type=2, axis=-2, norm="ortho")[:, :n_mfcc]
 
 
 def delta(features: np.ndarray, *, width: int = 9) -> np.ndarray:

@@ -8,7 +8,13 @@ import numpy as np
 
 from repro.dsp.stft import db, power, stft, stft_batch
 
-__all__ = ["SpectrogramConfig", "spectrogram", "spectrogram_batch", "log_spectrogram"]
+__all__ = [
+    "SpectrogramConfig",
+    "spectrogram",
+    "spectrogram_batch",
+    "log_spectrogram",
+    "log_spectrogram_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -70,3 +76,13 @@ def log_spectrogram(
     s = spectrogram(x, fs, config)
     ref = float(s.max()) or 1.0
     return db(s, ref=ref, floor_db=floor_db)
+
+
+def log_spectrogram_batch(
+    x: np.ndarray, fs: float, config: SpectrogramConfig | None = None, *, floor_db: float = -80.0
+) -> np.ndarray:
+    """Batched :func:`log_spectrogram` (dB relative to each clip's max)."""
+    s = spectrogram_batch(x, fs, config)
+    ref = np.maximum(s.max(axis=(-2, -1), keepdims=True), np.finfo(np.float64).tiny)
+    floor = ref * 10.0 ** (floor_db / 10.0)
+    return 10.0 * np.log10(np.maximum(s, floor) / ref)

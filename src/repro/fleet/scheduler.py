@@ -7,8 +7,12 @@ engine exists to exploit.  The scheduler
 - builds one :class:`~repro.core.batch.BlockPipeline` per node, sharing a
   single detector (the fleet deploys one model) and — whenever nodes share
   a mounting design, i.e. identical local mic geometry — a single localizer
-  instance, so the cached steering/interpolation tensors are built once for
-  the whole fleet;
+  instance, so the cached steering/interpolation tensors *and the
+  coarse-to-fine steering pyramids* (per-level coarse tensors, window LUTs;
+  see :mod:`repro.ssl.refine`) are built once for the whole fleet.  Temporal
+  window-reuse state stays per node: each pipeline owns its own
+  :class:`~repro.ssl.refine.RefineState`, so one node's anchor never leaks
+  into another's stream;
 - assigns nodes to shards round-robin and fans each shard's recordings
   through **one** ragged ``process_batch`` call (unequal capture lengths
   batch cleanly), optionally across a thread pool;

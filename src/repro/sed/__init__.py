@@ -26,9 +26,16 @@ from repro.sed.events import (
     is_emergency,
 )
 from repro.sed.models import FeatureFrontEnd, SedCnnConfig, build_sed_cnn, build_sed_mlp
-from repro.sed.train import TrainConfig, train_classifier
+from repro.sed.train import TrainConfig, train_classifier, waveform_augmenter
 
-from repro.sed.augment import augment_batch, random_gain, remix_noise, spec_augment, time_shift
+from repro.sed.augment import (
+    augment_batch,
+    random_gain,
+    remix_noise,
+    spec_augment,
+    spec_augment_batch,
+    time_shift,
+)
 from repro.sed.raw_models import MultiPathDetector, RawCnnConfig, build_raw_mlp, build_raw_waveform_cnn
 from repro.sed.segmentation import (
     DetectedEvent,
@@ -60,6 +67,7 @@ __all__ = [
     "random_gain",
     "remix_noise",
     "spec_augment",
+    "spec_augment_batch",
     "time_shift",
     "MultiPathDetector",
     "RawCnnConfig",
@@ -96,4 +104,5 @@ __all__ = [
     "build_sed_mlp",
     "TrainConfig",
     "train_classifier",
+    "waveform_augmenter",
 ]

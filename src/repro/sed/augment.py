@@ -3,7 +3,10 @@
 Waveform-level: circular time shift, gain scaling, SNR remixing with fresh
 noise.  Feature-level: SpecAugment-style time/frequency masking.  All
 operations are pure functions over numpy arrays with an explicit RNG so
-augmented datasets are reproducible.
+augmented datasets are reproducible.  The batch entry points
+(:func:`augment_batch`, :func:`spec_augment_batch`) draw their random
+parameters as vectors and apply every transform as array-level ops over the
+whole batch — the per-clip functions remain for single-clip callers.
 """
 
 from __future__ import annotations
@@ -12,7 +15,14 @@ import numpy as np
 
 from repro.dsp.levels import mix_at_snr
 
-__all__ = ["time_shift", "random_gain", "remix_noise", "spec_augment", "augment_batch"]
+__all__ = [
+    "time_shift",
+    "random_gain",
+    "remix_noise",
+    "spec_augment",
+    "spec_augment_batch",
+    "augment_batch",
+]
 
 
 def time_shift(x: np.ndarray, max_fraction: float, rng: np.random.Generator) -> np.ndarray:
@@ -80,6 +90,51 @@ def spec_augment(
     return features
 
 
+def spec_augment_batch(
+    features: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    n_freq_masks: int = 1,
+    n_time_masks: int = 1,
+    max_width_fraction: float = 0.15,
+    mask_value: float | None = None,
+) -> np.ndarray:
+    """SpecAugment masking over a ``(N, F, T)`` feature batch (a copy).
+
+    All mask widths/positions are drawn as vectors and applied through
+    boolean index arithmetic — no Python loop over clips.
+    """
+    features = np.array(features, dtype=np.float64, copy=True)
+    if features.ndim != 3:
+        raise ValueError("features must be (N, F, T)")
+    if not 0.0 < max_width_fraction <= 0.5:
+        raise ValueError("max_width_fraction must lie in (0, 0.5]")
+    if n_freq_masks < 0 or n_time_masks < 0:
+        raise ValueError("mask counts must be non-negative")
+    n, f, t = features.shape
+    fill = (
+        features.mean(axis=(1, 2))
+        if mask_value is None
+        else np.full(n, float(mask_value))
+    )
+
+    def masks(n_masks: int, size: int) -> np.ndarray:
+        """(N, size) bool: union of ``n_masks`` random spans per clip."""
+        hi = max(2, int(max_width_fraction * size))
+        width = rng.integers(1, hi + 1, size=(n, n_masks))
+        start = rng.integers(0, np.maximum(1, size - width + 1))
+        idx = np.arange(size)
+        return ((idx >= start[..., None]) & (idx < (start + width)[..., None])).any(axis=1)
+
+    if n_freq_masks:
+        fm = masks(n_freq_masks, f)
+        features = np.where(fm[:, :, None], fill[:, None, None], features)
+    if n_time_masks:
+        tm = masks(n_time_masks, t)
+        features = np.where(tm[:, None, :], fill[:, None, None], features)
+    return features
+
+
 def augment_batch(
     waveforms: np.ndarray,
     noise_bank: list[np.ndarray] | None,
@@ -88,17 +143,43 @@ def augment_batch(
     shift_fraction: float = 0.2,
     snr_range_db: tuple[float, float] = (-20.0, 5.0),
 ) -> np.ndarray:
-    """Apply shift + gain (+ optional noise remix) to every clip in a batch."""
+    """Apply shift + gain (+ optional noise remix) to every clip in a batch.
+
+    Fully array-level: circular shifts are one modular gather, gains one
+    broadcast multiply, and the SNR remix one vectorized mix against the
+    per-clip selected noise rows — no Python loop over clips.
+    """
     waveforms = np.asarray(waveforms, dtype=np.float64)
     if waveforms.ndim != 2:
         raise ValueError("waveforms must be (N, samples)")
-    out = np.empty_like(waveforms)
-    for i, w in enumerate(waveforms):
-        a = time_shift(w, shift_fraction, rng)
-        a = random_gain(a, rng)
-        if noise_bank:
-            noise = noise_bank[int(rng.integers(0, len(noise_bank)))]
-            if np.sqrt(np.mean(a**2)) > 0:
-                a = remix_noise(a, noise, rng, snr_range_db=snr_range_db)
-        out[i] = a
+    if not 0.0 < shift_fraction <= 1.0:
+        raise ValueError("shift_fraction must lie in (0, 1]")
+    lo, hi = snr_range_db
+    if lo > hi:
+        raise ValueError("snr_range_db must be (low, high)")
+    n, s = waveforms.shape
+    max_shift = int(shift_fraction * s)
+    shifts = rng.integers(-max_shift, max_shift + 1, size=n)
+    idx = (np.arange(s)[None, :] - shifts[:, None]) % s
+    out = waveforms[np.arange(n)[:, None], idx]
+    gains_db = rng.uniform(-6.0, 6.0, size=n)
+    out *= (10.0 ** (gains_db / 20.0))[:, None]
+    if noise_bank:
+        pick = rng.integers(0, len(noise_bank), size=n)
+        snrs = rng.uniform(lo, hi, size=n)
+        # Tile each selected noise clip to the signal length; unique noise
+        # rows are materialized once and gathered per clip.
+        tiled = {}
+        for j in np.unique(pick):
+            nj = np.asarray(noise_bank[int(j)], dtype=np.float64)
+            reps = int(np.ceil(s / nj.size))
+            tiled[int(j)] = np.tile(nj, reps)[:s]
+        noise = np.stack([tiled[int(j)] for j in pick])
+        sig_rms = np.sqrt(np.mean(out**2, axis=1))
+        noise_rms = np.sqrt(np.mean(noise**2, axis=1))
+        ok = (sig_rms > 0) & (noise_rms > 0)
+        gain = np.zeros(n)
+        np.divide(sig_rms, noise_rms, out=gain, where=ok)
+        gain *= 10.0 ** (-snrs / 20.0)  # already zero where either rms is silent
+        out += gain[:, None] * noise
     return out

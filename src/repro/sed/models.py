@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.features import extract, log_mel_spectrogram_batch
+from repro.features import extract_batch
 from repro.nn.conv import Conv2d
 from repro.nn.layers import BatchNorm, Dense, Dropout, Flatten, ReLU
 from repro.nn.module import Module, Sequential
@@ -97,8 +97,8 @@ class FeatureFrontEnd:
 
     Crops/pads the time axis to ``n_frames`` and the feature axis to a
     multiple of ``2 ** n_blocks`` so the CNN shape algebra always works.
-    The ``log_mel`` front-end runs through the batched STFT path
-    (:func:`repro.features.log_mel_spectrogram_batch`) — one FFT pass for
+    Every front-end runs through its batched path
+    (:func:`repro.features.extract_batch`) — one framing/FFT/filter pass for
     the whole batch instead of a Python loop per clip.
     """
 
@@ -124,15 +124,8 @@ class FeatureFrontEnd:
         waveforms = np.asarray(waveforms, dtype=np.float64)
         if waveforms.ndim == 1:
             waveforms = waveforms[None, :]
-        if self.name == "log_mel":
-            maps = log_mel_spectrogram_batch(waveforms, self.fs, **self.kwargs)
-            batch = self._fix_shape_batch(maps)[:, None, :, :]
-        else:
-            fixed = [
-                self._fix_shape(extract(self.name, w, self.fs, **self.kwargs))
-                for w in waveforms
-            ]
-            batch = np.stack(fixed)[:, None, :, :]
+        maps = extract_batch(self.name, waveforms, self.fs, **self.kwargs)
+        batch = self._fix_shape_batch(maps)[:, None, :, :]
         mean = batch.mean(axis=(2, 3), keepdims=True)
         std = batch.std(axis=(2, 3), keepdims=True)
         return (batch - mean) / np.maximum(std, 1e-9)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -10,7 +11,30 @@ from repro.nn.losses import CrossEntropyLoss
 from repro.nn.module import Module
 from repro.nn.optim import Adam
 
-__all__ = ["TrainConfig", "train_classifier"]
+__all__ = ["TrainConfig", "train_classifier", "waveform_augmenter"]
+
+
+def waveform_augmenter(
+    noise_bank: list[np.ndarray] | None = None,
+    *,
+    shift_fraction: float = 0.2,
+    snr_range_db: tuple[float, float] = (-20.0, 5.0),
+) -> "Callable[[np.ndarray, np.random.Generator], np.ndarray]":
+    """Build an ``augment_fn`` for :func:`train_classifier` from the batched
+    waveform augmenter (:func:`repro.sed.augment.augment_batch`).
+
+    Suitable when the model consumes raw waveforms (``repro.sed.raw_models``)
+    or when features are extracted inside the forward; the whole minibatch is
+    augmented in one array-level pass per step.
+    """
+    from repro.sed.augment import augment_batch
+
+    def augment_fn(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return augment_batch(
+            batch, noise_bank, rng, shift_fraction=shift_fraction, snr_range_db=snr_range_db
+        )
+
+    return augment_fn
 
 
 @dataclass(frozen=True)
@@ -40,9 +64,15 @@ def train_classifier(
     config: TrainConfig | None = None,
     x_val: np.ndarray | None = None,
     y_val: np.ndarray | None = None,
+    augment_fn: "Callable[[np.ndarray, np.random.Generator], np.ndarray] | None" = None,
     verbose: bool = False,
 ) -> dict[str, list[float]]:
     """Train ``model`` with softmax cross-entropy and Adam.
+
+    ``augment_fn(batch, rng) -> batch`` is applied to every minibatch before
+    the forward pass (e.g. :func:`waveform_augmenter`, or a lambda over
+    :func:`repro.sed.augment.spec_augment_batch` for feature inputs) — the
+    batched augmenters keep this a single array-level op per step.
 
     Returns a history dict with ``loss`` (per epoch) and, when validation
     data is given, ``val_accuracy``.
@@ -67,7 +97,8 @@ def train_classifier(
         total = 0.0
         for start in range(0, n, cfg.batch_size):
             idx = order[start : start + cfg.batch_size]
-            logits = model.forward(x[idx])
+            batch = x[idx] if augment_fn is None else augment_fn(x[idx], rng)
+            logits = model.forward(batch)
             loss = loss_fn.forward(logits, y[idx])
             optimizer.zero_grad()
             model.backward(loss_fn.backward())

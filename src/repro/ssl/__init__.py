@@ -9,7 +9,20 @@ from repro.ssl.cross3d import (
     train_cross3d,
 )
 from repro.ssl.doa import DoaGrid, angular_error_deg, azel_to_unit, unit_to_azel
-from repro.ssl.gcc import estimate_tdoa, gcc_phat, gcc_phat_spectra, gcc_phat_spectrum
+from repro.ssl.gcc import (
+    SpectraCache,
+    estimate_tdoa,
+    gcc_phat,
+    gcc_phat_spectra,
+    gcc_phat_spectrum,
+)
+from repro.ssl.refine import (
+    GridPyramid,
+    RefineConfig,
+    RefineState,
+    coarse_to_fine_search,
+    refinement_gap,
+)
 from repro.ssl.srp import SrpPhat, SrpResult, mic_pairs, pair_tdoas
 from repro.ssl.srp_fast import FastSrpPhat
 from repro.ssl.tracking import KalmanDoaTracker, TrackState, track_sequence
@@ -45,6 +58,12 @@ __all__ = [
     "gcc_phat",
     "gcc_phat_spectra",
     "gcc_phat_spectrum",
+    "SpectraCache",
+    "GridPyramid",
+    "RefineConfig",
+    "RefineState",
+    "coarse_to_fine_search",
+    "refinement_gap",
     "SrpPhat",
     "SrpResult",
     "mic_pairs",

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.acoustics.geometry import SPEED_OF_SOUND
-from repro.ssl.gcc import estimate_tdoa
+from repro.ssl.gcc import SpectraCache
 from repro.ssl.srp import mic_pairs
 
 __all__ = ["PositionFix", "tdoa_vector", "multilaterate", "localize_position"]
@@ -46,15 +46,50 @@ def tdoa_vector(
     *,
     max_tau: float | None = None,
     interp: int = 4,
+    cache: SpectraCache | None = None,
 ) -> np.ndarray:
-    """Measured TDOAs (seconds) for every mic pair of a frame block."""
+    """Measured TDOAs (seconds) for every mic pair of a frame block.
+
+    All pairs are estimated from one shared frequency-domain pass: per-mic
+    FFTs are computed once (``n_mics`` transforms instead of
+    ``2 * n_pairs``, via :class:`~repro.ssl.gcc.SpectraCache`), every pair's
+    upsampled GCC comes from one batched inverse FFT, and the parabolic
+    sub-sample peak interpolation runs vectorized over pairs.  Pass a
+    ``cache`` over the same frames to share spectra with other consumers
+    (e.g. a node pipeline that already transformed the block).
+    """
+    if fs <= 0:
+        raise ValueError("fs must be positive")
+    if interp < 1:
+        raise ValueError("interp must be >= 1")
     frames = np.asarray(frames, dtype=np.float64)
     if frames.ndim != 2 or frames.shape[0] < 2:
         raise ValueError("frames must be (n_mics >= 2, L)")
     pairs = mic_pairs(frames.shape[0])
-    return np.array(
-        [estimate_tdoa(frames[i], frames[j], fs, max_tau=max_tau, interp=interp) for i, j in pairs]
-    )
+    n = 2 * frames.shape[1]
+    if cache is None:
+        cache = SpectraCache(frames)
+    spec = cache.cross_spectra(n, pairs)[0]  # (P, n // 2 + 1)
+    cc = np.fft.irfft(spec, n=interp * n, axis=-1)
+    max_shift = interp * n // 2
+    if max_tau is not None:
+        if max_tau <= 0:
+            raise ValueError("max_tau must be positive")
+        max_shift = min(max_shift, int(np.ceil(interp * fs * max_tau)))
+    cc = np.concatenate([cc[:, -max_shift:], cc[:, : max_shift + 1]], axis=-1)
+    k = cc.argmax(axis=1)
+    rows = np.arange(len(pairs))
+    taus = (k - max_shift) / (interp * fs)
+    # Vectorized parabolic refinement around each pair's peak.
+    inner = (k > 0) & (k < cc.shape[1] - 1)
+    ki = np.clip(k, 1, cc.shape[1] - 2)
+    y0, y1, y2 = cc[rows, ki - 1], cc[rows, ki], cc[rows, ki + 1]
+    denom = y0 - 2.0 * y1 + y2
+    ok = inner & (np.abs(denom) > 1e-15)
+    delta = np.zeros(len(pairs))
+    np.divide(0.5 * (y0 - y2), denom, out=delta, where=ok)
+    taus = taus + np.clip(delta, -0.5, 0.5) / (interp * fs)
+    return taus
 
 
 def _predicted_tdoas(positions: np.ndarray, source: np.ndarray, c: float) -> np.ndarray:

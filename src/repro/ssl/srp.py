@@ -14,7 +14,8 @@ import numpy as np
 
 from repro.acoustics.geometry import SPEED_OF_SOUND
 from repro.ssl.doa import DoaGrid
-from repro.ssl.gcc import gcc_phat_spectra
+from repro.ssl.gcc import SpectraCache, gcc_phat_spectra
+from repro.ssl.refine import GridPyramid, RefineConfig, RefineState, coarse_to_fine_search
 
 __all__ = ["SrpPhat", "SrpResult", "mic_pairs", "pair_tdoas"]
 
@@ -73,13 +74,100 @@ def _peak(grid: DoaGrid, directions: np.ndarray, srp_map: np.ndarray) -> "SrpRes
 def _batch_peaks(grid: DoaGrid, directions: np.ndarray, maps: np.ndarray) -> list["SrpResult"]:
     """Peak extraction for a stack of maps with one vectorized argmax."""
     flats = maps.reshape(maps.shape[0], -1).argmax(axis=1)
+    return _results_at(grid, directions, maps, flats)
+
+
+def _results_at(
+    grid: DoaGrid, directions: np.ndarray, maps: np.ndarray, flats: np.ndarray
+) -> list["SrpResult"]:
+    """Build SrpResults for precomputed per-frame peak indices."""
     i, j = np.divmod(flats, grid.n_elevation)
     azimuths = grid.azimuths[i]
     elevations = grid.elevations[j]
+    maps = maps.reshape(maps.shape[0], *grid.shape)
     return [
         SrpResult(m, float(a), float(e), directions[f])
         for m, a, e, f in zip(maps, azimuths, elevations, flats)
     ]
+
+
+class _CoarseToFineMixin:
+    """Shared coarse-to-fine plumbing for the grid-sweep localizers.
+
+    Subclasses provide ``_c2f_power_fn(cache, pyramid, **kw)`` returning the
+    column-subset power evaluator used by
+    :func:`repro.ssl.refine.coarse_to_fine_search`, and set ``self.refine``
+    (default :class:`RefineConfig` or ``None``) and ``self.spectra_dtype``
+    (working dtype of self-built caches on the coarse-to-fine path).
+    """
+
+    refine: RefineConfig | None
+    spectra_dtype: np.dtype
+
+    def _validate_block(self, frames: np.ndarray) -> np.ndarray:
+        """Validate a ``(n_frames, n_mics, L)`` block (overridable per class)."""
+        return _check_frames(self.positions, self.n_fft, frames, 3)
+
+    def _pyramid(self, levels: int) -> GridPyramid:
+        cache = getattr(self, "_pyramids", None)
+        if cache is None:
+            cache = self._pyramids = {}
+        if levels not in cache:
+            cache[levels] = GridPyramid(self.grid, levels)
+        return cache[levels]
+
+    def _window_slice(self, base: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Contiguous column slice ``base[:, cols]`` with memoization.
+
+        Refinement windows recur heavily (the pyramid memoizes them per cell
+        set), and for the conventional localizer the steering slice is the
+        dominant memory traffic of a window GEMM — gathering it once per
+        distinct window instead of once per frame group is what keeps
+        fragmented (fast-moving / noisy) replays fast.
+        """
+        memo = getattr(self, "_win_slices", None)
+        if memo is None:
+            memo = self._win_slices = {}
+        key = (id(base), cols.tobytes())
+        hit = memo.get(key)
+        if hit is None:
+            if len(memo) > 64:  # bound the cached slices (windows are small)
+                memo.clear()
+            hit = memo[key] = np.ascontiguousarray(base[:, cols])
+        return hit
+
+    def _resolve_refine(self, refine) -> RefineConfig | None:
+        if refine is None:
+            refine = self.refine
+        if refine is None:
+            return None
+        if isinstance(refine, int):
+            refine = RefineConfig(levels=refine)
+        return refine if refine.levels > 1 else None
+
+    def _c2f_localize_batch(
+        self,
+        frames: np.ndarray | None,
+        refine: RefineConfig,
+        state: RefineState | None,
+        cache: SpectraCache | None,
+        **kwargs,
+    ) -> list["SrpResult"]:
+        """Coarse-to-fine localization of a block (frames or a shared cache)."""
+        if cache is None:
+            frames = self._validate_block(np.asarray(frames))
+            cache = SpectraCache(frames, dtype=self.spectra_dtype)
+        elif cache.n_mics != self.positions.shape[0]:
+            raise ValueError(f"cache has {cache.n_mics} mics, expected {self.positions.shape[0]}")
+        pyramid = self._pyramid(refine.levels)
+        if pyramid.is_trivial:
+            maps = self._map_from_cache(cache, **kwargs)
+            return _batch_peaks(self.grid, self._directions, maps)
+        power_fn = self._c2f_power_fn(cache, pyramid, **kwargs)
+        flats, maps = coarse_to_fine_search(
+            power_fn, cache.n_frames, pyramid, refine, state
+        )
+        return _results_at(self.grid, self._directions, maps, flats)
 
 
 @dataclass(frozen=True)
@@ -102,7 +190,7 @@ class SrpResult:
     direction: np.ndarray
 
 
-class SrpPhat:
+class SrpPhat(_CoarseToFineMixin):
     """Conventional frequency-domain SRP-PHAT localizer.
 
     Parameters
@@ -117,6 +205,15 @@ class SrpPhat:
         FFT length for the cross-power spectra (frames are zero-padded).
     c:
         Speed of sound, m/s.
+    refine:
+        Default :class:`~repro.ssl.refine.RefineConfig` for
+        ``localize``/``localize_batch``; ``None`` (default) keeps the dense
+        full-grid sweep, preserving the original behaviour.
+    spectra_dtype:
+        Working dtype of the coarse-to-fine path's self-built
+        :class:`~repro.ssl.gcc.SpectraCache` (float32 by default — the dense
+        detection regime trades bit-exactness for ~2x memory bandwidth; the
+        dense ``map_from_frames*`` APIs stay float64).
     """
 
     def __init__(
@@ -127,6 +224,8 @@ class SrpPhat:
         grid: DoaGrid | None = None,
         n_fft: int = 1024,
         c: float = SPEED_OF_SOUND,
+        refine: RefineConfig | None = None,
+        spectra_dtype: np.dtype | type = np.float32,
     ) -> None:
         if fs <= 0:
             raise ValueError("fs must be positive")
@@ -151,11 +250,66 @@ class SrpPhat:
         # Interleaved real steering for the batched path, built lazily on the
         # first map_from_frames_batch call (doubles steering memory).
         self._steering_flat: np.ndarray | None = None
+        self.refine = refine
+        self.spectra_dtype = np.dtype(spectra_dtype)
+        self._typed_steering: dict[str, np.ndarray] = {}
+        self._coarse_steering: dict[tuple[int, str], np.ndarray] = {}
 
     @property
     def n_coefficients(self) -> int:
         """Stored steering coefficients (complex), the E4 coefficient count."""
         return int(self._steering.size)
+
+    def _steering_interleaved(self, dtype: np.dtype) -> np.ndarray:
+        """Interleaved (re, -im) steering matrix ``(2 * P * F, G)`` in dtype."""
+        if self._steering_flat is None:
+            # Interleave Re/-Im rows so the complex steering sum becomes ONE
+            # real matmul over the (re, im, re, im, ...) view of the spectra.
+            flat = self._steering.transpose(0, 2, 1).reshape(-1, self.grid.size)
+            w = np.empty((2 * flat.shape[0], flat.shape[1]))
+            w[0::2] = flat.real
+            w[1::2] = -flat.imag
+            self._steering_flat = w
+        key = np.dtype(dtype).name
+        if key not in self._typed_steering:
+            self._typed_steering[key] = np.ascontiguousarray(
+                self._steering_flat, dtype=dtype
+            )
+        return self._typed_steering[key]
+
+    def _coarse_tensor(self, pyramid: GridPyramid, dtype: np.dtype) -> np.ndarray:
+        """Precomputed per-level steering tensor (coarse-grid column subset)."""
+        key = (pyramid.az_stride * 100000 + pyramid.el_stride, np.dtype(dtype).name)
+        if key not in self._coarse_steering:
+            self._coarse_steering[key] = np.ascontiguousarray(
+                self._steering_interleaved(dtype)[:, pyramid.coarse_flat]
+            )
+        return self._coarse_steering[key]
+
+    def _cross_flat(self, cache: SpectraCache) -> np.ndarray:
+        """Cross-spectra of a cache as an interleaved real matrix ``(T, 2PF)``."""
+        cross = np.ascontiguousarray(cache.cross_spectra(self.n_fft, self.pairs))
+        real = np.float32 if cross.dtype == np.complex64 else np.float64
+        return cross.view(real).reshape(cache.n_frames, -1)
+
+    def _map_from_cache(self, cache: SpectraCache) -> np.ndarray:
+        """Dense sweep from a shared cache (dtype follows the cache)."""
+        flat = self._cross_flat(cache)
+        power = flat @ self._steering_interleaved(flat.dtype)
+        return power.reshape(cache.n_frames, *self.grid.shape)
+
+    def _c2f_power_fn(self, cache: SpectraCache, pyramid: GridPyramid):
+        flat = self._cross_flat(cache)
+        steering = self._steering_interleaved(flat.dtype)
+        coarse = self._coarse_tensor(pyramid, flat.dtype)
+
+        def power_fn(rows: np.ndarray | None, cols: np.ndarray) -> np.ndarray:
+            x = flat if rows is None else flat[rows]
+            if cols is pyramid.coarse_flat:
+                return x @ coarse
+            return x @ self._window_slice(steering, cols)
+
+        return power_fn
 
     def map_from_frames(self, frames: np.ndarray) -> np.ndarray:
         """SRP map from one multichannel frame, shape ``(n_az, n_el)``.
@@ -183,22 +337,63 @@ class SrpPhat:
         """
         frames = _check_frames(self.positions, self.n_fft, frames, 3)
         cross = gcc_phat_spectra(frames, n_fft=self.n_fft, pairs=self.pairs)
-        if self._steering_flat is None:
-            # Interleave Re/-Im rows so the complex steering sum becomes ONE
-            # real matmul over the (re, im, re, im, ...) view of the spectra.
-            flat = self._steering.transpose(0, 2, 1).reshape(-1, self.grid.size)
-            w = np.empty((2 * flat.shape[0], flat.shape[1]))
-            w[0::2] = flat.real
-            w[1::2] = -flat.imag
-            self._steering_flat = w
+        steering = self._steering_interleaved(np.float64)
         cross = np.ascontiguousarray(cross).reshape(frames.shape[0], -1)
-        power = cross.view(np.float64) @ self._steering_flat
+        power = cross.view(np.float64) @ steering
         return power.reshape(frames.shape[0], *self.grid.shape)
 
-    def localize(self, frames: np.ndarray) -> SrpResult:
-        """Locate the dominant source in one multichannel frame."""
-        return _peak(self.grid, self._directions, self.map_from_frames(frames))
+    def localize(
+        self,
+        frames: np.ndarray,
+        *,
+        refine: RefineConfig | int | None = None,
+        state: RefineState | None = None,
+        cache: SpectraCache | None = None,
+    ) -> SrpResult:
+        """Locate the dominant source in one multichannel frame.
 
-    def localize_batch(self, frames: np.ndarray) -> list[SrpResult]:
-        """Locate the dominant source in every frame of a batch."""
-        return _batch_peaks(self.grid, self._directions, self.map_from_frames_batch(frames))
+        With an effective refine config (argument or constructor default)
+        the frame runs through the same coarse-to-fine path as
+        :meth:`localize_batch`, carrying ``state`` across calls for temporal
+        window reuse; otherwise the original dense sweep runs.
+        """
+        if self._resolve_refine(refine) is None and cache is None:
+            return _peak(self.grid, self._directions, self.map_from_frames(frames))
+        if cache is None:
+            frames = np.asarray(frames)[None]
+        return self.localize_batch(frames, refine=refine, state=state, cache=cache)[0]
+
+    def localize_batch(
+        self,
+        frames: np.ndarray | None,
+        *,
+        refine: RefineConfig | int | None = None,
+        state: RefineState | None = None,
+        cache: SpectraCache | None = None,
+    ) -> list[SrpResult]:
+        """Locate the dominant source in every frame of a batch.
+
+        Parameters
+        ----------
+        frames:
+            ``(n_frames, n_mics, frame_length)`` block, or ``None`` when a
+            ``cache`` carries the frames.
+        refine:
+            Coarse-to-fine override (a :class:`RefineConfig` or just a level
+            count); defaults to the constructor's ``refine``.  ``None`` with
+            no constructor default runs the dense sweep.
+        state:
+            :class:`RefineState` carried across calls for temporal window
+            reuse (owned by the stream/pipeline, not the localizer).
+        cache:
+            Shared :class:`~repro.ssl.gcc.SpectraCache` over the same frames
+            (e.g. primed by the detection front-end); built internally when
+            omitted.
+        """
+        cfg = self._resolve_refine(refine)
+        if cfg is None:
+            if cache is not None:
+                maps = self._map_from_cache(cache)
+                return _batch_peaks(self.grid, self._directions, maps)
+            return _batch_peaks(self.grid, self._directions, self.map_from_frames_batch(frames))
+        return self._c2f_localize_batch(frames, cfg, state, cache)

@@ -20,13 +20,22 @@ import numpy as np
 
 from repro.acoustics.geometry import SPEED_OF_SOUND
 from repro.ssl.doa import DoaGrid
-from repro.ssl.gcc import gcc_phat_spectra
-from repro.ssl.srp import SrpResult, _batch_peaks, _check_frames, _peak, mic_pairs, pair_tdoas
+from repro.ssl.gcc import SpectraCache, gcc_phat_spectra
+from repro.ssl.refine import GridPyramid, RefineConfig, RefineState
+from repro.ssl.srp import (
+    SrpResult,
+    _batch_peaks,
+    _check_frames,
+    _CoarseToFineMixin,
+    _peak,
+    mic_pairs,
+    pair_tdoas,
+)
 
 __all__ = ["FastSrpPhat"]
 
 
-class FastSrpPhat:
+class FastSrpPhat(_CoarseToFineMixin):
     """Nyquist-sampled SRP-PHAT localizer (drop-in for :class:`SrpPhat`).
 
     Parameters
@@ -36,6 +45,8 @@ class FastSrpPhat:
     n_interp_taps:
         Even number of windowed-sinc taps per fractional-lag read; larger is
         closer to exact.
+    refine, spectra_dtype:
+        Coarse-to-fine defaults, as in :class:`repro.ssl.srp.SrpPhat`.
     """
 
     def __init__(
@@ -47,6 +58,8 @@ class FastSrpPhat:
         n_fft: int = 1024,
         c: float = SPEED_OF_SOUND,
         n_interp_taps: int = 8,
+        refine: RefineConfig | None = None,
+        spectra_dtype: np.dtype | type = np.float32,
     ) -> None:
         if fs <= 0:
             raise ValueError("fs must be positive")
@@ -84,11 +97,67 @@ class FastSrpPhat:
         # Dense (n_pairs * n_lags, n_dirs) read matrix for the batched path
         # (scattered interpolation weights), built lazily on first use.
         self._read_matrix: np.ndarray | None = None
+        self.refine = refine
+        self.spectra_dtype = np.dtype(spectra_dtype)
+        self._typed_read: dict[str, np.ndarray] = {}
+        self._coarse_read: dict[tuple[int, str], np.ndarray] = {}
 
     @property
     def n_coefficients(self) -> int:
         """Stored interpolation coefficients (real), the E4 coefficient count."""
         return int(self._weights.size)
+
+    def _read_matrix_typed(self, dtype: np.dtype) -> np.ndarray:
+        """Dense windowed-sinc read matrix ``(P * n_lags, G)`` in dtype."""
+        if self._read_matrix is None:
+            # Scatter the windowed-sinc weights into a dense (P * n_lags, G)
+            # matrix so all pairs x directions x frames reduce to one matmul.
+            h = self._half_span
+            n_pairs, n_lags = len(self.pairs), 2 * h + 1
+            dense = np.zeros((n_pairs, n_lags, self.grid.size))
+            p_idx = np.arange(n_pairs)[:, None, None]
+            g_idx = np.arange(self.grid.size)[None, :, None]
+            np.add.at(dense, (p_idx, self._indices, g_idx), self._weights)
+            self._read_matrix = dense.reshape(n_pairs * n_lags, self.grid.size)
+        key = np.dtype(dtype).name
+        if key not in self._typed_read:
+            self._typed_read[key] = np.ascontiguousarray(self._read_matrix, dtype=dtype)
+        return self._typed_read[key]
+
+    def _coarse_tensor(self, pyramid: GridPyramid, dtype: np.dtype) -> np.ndarray:
+        """Precomputed per-level read tensor (coarse-grid column subset)."""
+        key = (pyramid.az_stride * 100000 + pyramid.el_stride, np.dtype(dtype).name)
+        if key not in self._coarse_read:
+            self._coarse_read[key] = np.ascontiguousarray(
+                self._read_matrix_typed(dtype)[:, pyramid.coarse_flat]
+            )
+        return self._coarse_read[key]
+
+    def _cc_flat(self, cache: SpectraCache) -> np.ndarray:
+        """Centred lag windows of every pair's GCC, ``(T, P * n_lags)``."""
+        cc = cache.gcc(self.n_fft, self.pairs)  # (T, P, n_fft)
+        h = self._half_span
+        cc_win = np.concatenate([cc[..., -h:], cc[..., : h + 1]], axis=-1)
+        return cc_win.reshape(cache.n_frames, -1)
+
+    def _map_from_cache(self, cache: SpectraCache) -> np.ndarray:
+        """Dense sweep from a shared cache (dtype follows the cache)."""
+        flat = self._cc_flat(cache)
+        power = flat @ self._read_matrix_typed(flat.dtype)
+        return power.reshape(cache.n_frames, *self.grid.shape)
+
+    def _c2f_power_fn(self, cache: SpectraCache, pyramid: GridPyramid):
+        flat = self._cc_flat(cache)
+        read = self._read_matrix_typed(flat.dtype)
+        coarse = self._coarse_tensor(pyramid, flat.dtype)
+
+        def power_fn(rows: np.ndarray | None, cols: np.ndarray) -> np.ndarray:
+            x = flat if rows is None else flat[rows]
+            if cols is pyramid.coarse_flat:
+                return x @ coarse
+            return x @ self._window_slice(read, cols)
+
+        return power_fn
 
     def map_from_frames(self, frames: np.ndarray) -> np.ndarray:
         """SRP map from one multichannel frame, shape ``(n_az, n_el)``.
@@ -120,23 +189,40 @@ class FastSrpPhat:
         cc = np.fft.irfft(cross, n=self.n_fft, axis=-1)  # (T, P, n_fft)
         h = self._half_span
         cc_win = np.concatenate([cc[..., -h:], cc[..., : h + 1]], axis=-1)
-        if self._read_matrix is None:
-            # Scatter the windowed-sinc weights into a dense (P * n_lags, G)
-            # matrix so all pairs x directions x frames reduce to one matmul.
-            n_pairs, n_lags = len(self.pairs), 2 * h + 1
-            dense = np.zeros((n_pairs, n_lags, self.grid.size))
-            p_idx = np.arange(n_pairs)[:, None, None]
-            g_idx = np.arange(self.grid.size)[None, :, None]
-            np.add.at(dense, (p_idx, self._indices, g_idx), self._weights)
-            self._read_matrix = dense.reshape(n_pairs * n_lags, self.grid.size)
         n_frames = frames.shape[0]
-        power = cc_win.reshape(n_frames, -1) @ self._read_matrix
+        power = cc_win.reshape(n_frames, -1) @ self._read_matrix_typed(np.float64)
         return power.reshape(n_frames, *self.grid.shape)
 
-    def localize(self, frames: np.ndarray) -> SrpResult:
-        """Locate the dominant source in one multichannel frame."""
-        return _peak(self.grid, self._directions, self.map_from_frames(frames))
+    def localize(
+        self,
+        frames: np.ndarray,
+        *,
+        refine: RefineConfig | int | None = None,
+        state: RefineState | None = None,
+        cache: SpectraCache | None = None,
+    ) -> SrpResult:
+        """Locate the dominant source in one multichannel frame (see
+        :meth:`repro.ssl.srp.SrpPhat.localize` for the refine semantics)."""
+        if self._resolve_refine(refine) is None and cache is None:
+            return _peak(self.grid, self._directions, self.map_from_frames(frames))
+        if cache is None:
+            frames = np.asarray(frames)[None]
+        return self.localize_batch(frames, refine=refine, state=state, cache=cache)[0]
 
-    def localize_batch(self, frames: np.ndarray) -> list[SrpResult]:
-        """Locate the dominant source in every frame of a batch."""
-        return _batch_peaks(self.grid, self._directions, self.map_from_frames_batch(frames))
+    def localize_batch(
+        self,
+        frames: np.ndarray | None,
+        *,
+        refine: RefineConfig | int | None = None,
+        state: RefineState | None = None,
+        cache: SpectraCache | None = None,
+    ) -> list[SrpResult]:
+        """Locate the dominant source in every frame of a batch (see
+        :meth:`repro.ssl.srp.SrpPhat.localize_batch` for the parameters)."""
+        cfg = self._resolve_refine(refine)
+        if cfg is None:
+            if cache is not None:
+                maps = self._map_from_cache(cache)
+                return _batch_peaks(self.grid, self._directions, maps)
+            return _batch_peaks(self.grid, self._directions, self.map_from_frames_batch(frames))
+        return self._c2f_localize_batch(frames, cfg, state, cache)

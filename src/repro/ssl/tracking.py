@@ -38,6 +38,13 @@ class KalmanDoaTracker:
     State is ``[az, el, az_rate, el_rate]``; azimuth innovations are wrapped
     into ``[-pi, pi]`` so the filter tracks through the +-pi seam.
 
+    Because process, measurement and initial covariances are all diagonal,
+    the 4-state filter decomposes exactly into two independent 2-state
+    (angle, rate) filters; the implementation runs them as plain Python
+    scalar arithmetic — the tracker replay is sequential by definition, so
+    per-step numpy overhead is pure loss in the dense-detection hot path
+    (one update *per hop* when a siren is continuously present).
+
     Parameters
     ----------
     process_noise:
@@ -51,71 +58,87 @@ class KalmanDoaTracker:
             raise ValueError("noise parameters must be positive")
         self._q = float(process_noise)
         self._r = float(measurement_noise)
-        self._x: np.ndarray | None = None
-        self._p: np.ndarray | None = None
-        self._f = np.eye(4)
-        self._f[0, 2] = 1.0
-        self._f[1, 3] = 1.0
-        self._h = np.zeros((2, 4))
-        self._h[0, 0] = 1.0
-        self._h[1, 1] = 1.0
-        # Constant matrices, hoisted out of the per-frame hot path.
-        self._q_mat = self._q**2 * np.diag([0.25, 0.25, 1.0, 1.0])
-        self._r_mat = np.eye(2) * self._r**2
-        self._eye4 = np.eye(4)
+        # Per-axis process noise (matches the old q^2 * diag(0.25, 0.25, 1, 1)).
+        self._q00 = 0.25 * self._q**2
+        self._q11 = self._q**2
+        self._r2 = self._r**2
+        self._init = False
+        # Per-axis state (angle, rate) and covariance (p00, p01, p11).
+        self._az = self._el = 0.0
+        self._vaz = self._vel = 0.0
+        self._paz = [0.0, 0.0, 0.0]
+        self._pel = [0.0, 0.0, 0.0]
 
     @property
     def initialized(self) -> bool:
         """Whether the filter has been seeded with a measurement."""
-        return self._x is not None
+        return self._init
 
     def reset(self) -> None:
         """Forget the current track."""
-        self._x = None
-        self._p = None
+        self._init = False
+
+    @staticmethod
+    def _wrap(angle: float) -> float:
+        return (angle + np.pi) % (2 * np.pi) - np.pi
+
+    def _predict_axis(self, pos: float, vel: float, p: list) -> tuple[float, float, list]:
+        p00, p01, p11 = p
+        return (
+            pos + vel,
+            vel,
+            [p00 + 2.0 * p01 + p11 + self._q00, p01 + p11, p11 + self._q11],
+        )
+
+    def _update_axis(
+        self, pos: float, vel: float, p: list, innovation: float
+    ) -> tuple[float, float, list]:
+        p00, p01, p11 = p
+        s = p00 + self._r2
+        k0 = p00 / s
+        k1 = p01 / s
+        return (
+            pos + k0 * innovation,
+            vel + k1 * innovation,
+            [(1.0 - k0) * p00, (1.0 - k0) * p01, p11 - k1 * p01],
+        )
 
     def update(self, azimuth: float, elevation: float | None = None) -> TrackState:
         """Fuse one measurement; pass ``elevation=None`` for azimuth-only.
 
         Missing detections can be skipped by calling :meth:`predict` instead.
         """
+        azimuth = float(azimuth)
         if not -2 * np.pi <= azimuth <= 2 * np.pi:
             raise ValueError("azimuth must be in radians")
         el = 0.0 if elevation is None else float(elevation)
-        z = np.array([azimuth, el])
-        if self._x is None:
-            self._x = np.array([azimuth, el, 0.0, 0.0])
-            self._p = np.diag([self._r**2, self._r**2, 0.1, 0.1])
+        if not self._init:
+            self._az, self._el = azimuth, el
+            self._vaz = self._vel = 0.0
+            self._paz = [self._r2, 0.0, 0.1]
+            self._pel = [self._r2, 0.0, 0.1]
+            self._init = True
             return self._state()
-        x, p = self._predict_internal()
-        # H selects the first two states, so H x / H P H^T are plain slices.
-        innovation = z - x[:2]
-        innovation[0] = (innovation[0] + np.pi) % (2 * np.pi) - np.pi
-        s = p[:2, :2] + self._r_mat
-        det = s[0, 0] * s[1, 1] - s[0, 1] * s[1, 0]
-        s_inv = np.array([[s[1, 1], -s[0, 1]], [-s[1, 0], s[0, 0]]]) / det
-        k = p[:, :2] @ s_inv
-        self._x = x + k @ innovation
-        self._x[0] = (self._x[0] + np.pi) % (2 * np.pi) - np.pi
-        i_kh = self._eye4.copy()
-        i_kh[:, :2] -= k
-        self._p = i_kh @ p
+        az, vaz, paz = self._predict_axis(self._az, self._vaz, self._paz)
+        ele, vel, pel = self._predict_axis(self._el, self._vel, self._pel)
+        self._az, self._vaz, self._paz = self._update_axis(
+            az, vaz, paz, self._wrap(azimuth - az)
+        )
+        self._el, self._vel, self._pel = self._update_axis(ele, vel, pel, el - ele)
+        self._az = self._wrap(self._az)
         return self._state()
 
     def predict(self) -> TrackState:
         """Advance one step without a measurement (detection dropout)."""
-        if self._x is None:
+        if not self._init:
             raise RuntimeError("tracker not initialized; call update first")
-        self._x, self._p = self._predict_internal()
-        self._x[0] = (self._x[0] + np.pi) % (2 * np.pi) - np.pi
+        self._az, self._vaz, self._paz = self._predict_axis(self._az, self._vaz, self._paz)
+        self._el, self._vel, self._pel = self._predict_axis(self._el, self._vel, self._pel)
+        self._az = self._wrap(self._az)
         return self._state()
 
-    def _predict_internal(self) -> tuple[np.ndarray, np.ndarray]:
-        return self._f @ self._x, self._f @ self._p @ self._f.T + self._q_mat
-
     def _state(self) -> TrackState:
-        x = self._x
-        return TrackState(float(x[0]), float(x[1]), float(x[2]), float(x[3]))
+        return TrackState(self._az, self._el, self._vaz, self._vel)
 
 
 def track_sequence(
