@@ -37,6 +37,20 @@ def pytest_addoption(parser):
             "that recorded no row also fails"
         ),
     )
+    parser.addoption(
+        "--bench-max-p95",
+        action="append",
+        default=[],
+        metavar="BENCH=MS",
+        help=(
+            "latency guard: fail the session unless every recorded row named "
+            "BENCH carries a p95_ms at or below MS milliseconds (repeatable, "
+            "e.g. --bench-max-p95 E15_stream_corridor_4n=32); a named bench "
+            "that recorded no row — or rows without a p95_ms field — also "
+            "fails.  This is how the streaming benches pin the per-hop p95 "
+            "to the hop deadline"
+        ),
+    )
 
 
 def assert_frame_results_equal(streamed, batched):
@@ -53,12 +67,19 @@ def assert_frame_results_equal(streamed, batched):
 
 @pytest.fixture
 def bench_json():
-    """Return a recorder ``record(bench, wall_ms, speedup)`` for perf rows."""
+    """Return a recorder ``record(bench, wall_ms, speedup, **extra)`` for
+    perf rows.
 
-    def record(bench: str, wall_ms: float, speedup: float) -> None:
-        _BENCH_ROWS.append(
-            {"bench": str(bench), "wall_ms": float(wall_ms), "speedup": float(speedup)}
-        )
+    Extra keyword fields (floats) ride along in the row — the streaming
+    benches use ``p95_ms``/``deadline_ms`` so the ``--bench-max-p95`` guard
+    can pin per-hop latency the same way ``--bench-min-speedup`` pins
+    throughput.
+    """
+
+    def record(bench: str, wall_ms: float, speedup: float, **extra: float) -> None:
+        row = {"bench": str(bench), "wall_ms": float(wall_ms), "speedup": float(speedup)}
+        row.update({k: float(v) for k, v in extra.items()})
+        _BENCH_ROWS.append(row)
 
     return record
 
@@ -92,8 +113,47 @@ def _check_min_speedups(session) -> bool:
     return ok
 
 
+def _check_max_p95(session) -> bool:
+    """Enforce ``--bench-max-p95`` guards; returns True when all hold."""
+    guards = session.config.getoption("--bench-max-p95")
+    ok = True
+    for spec in guards:
+        name, _, ceiling = spec.partition("=")
+        try:
+            ceiling = float(ceiling)
+        except ValueError:
+            ceiling = None
+        if not name or ceiling is None:
+            print(f"\nbench-max-p95: malformed guard {spec!r} (want BENCH=MS)")
+            ok = False
+            continue
+        rows = [r for r in _BENCH_ROWS if r["bench"] == name]
+        if not rows:
+            print(f"\nbench-max-p95: no recorded row named {name!r}")
+            ok = False
+            continue
+        missing = [r for r in rows if "p95_ms" not in r]
+        if missing:
+            print(f"\nbench-max-p95: rows named {name!r} carry no p95_ms field")
+            ok = False
+            continue
+        worst = max(r["p95_ms"] for r in rows)
+        if worst > ceiling:
+            print(
+                f"\nbench-max-p95: {name} missed its deadline — "
+                f"recorded p95 {worst:.2f} ms, ceiling {ceiling:.2f} ms"
+            )
+            ok = False
+    return ok
+
+
 def pytest_sessionfinish(session, exitstatus):
-    if exitstatus == 0 and not _check_min_speedups(session):
+    if exitstatus == 0:
+        guards_ok = _check_min_speedups(session)
+        guards_ok = _check_max_p95(session) and guards_ok  # report both kinds
+    else:
+        guards_ok = True
+    if exitstatus == 0 and not guards_ok:
         # Surface the regression as a failed session so CI cannot silently
         # ship a dense-regime slowdown.
         session.exitstatus = pytest.ExitCode.TESTS_FAILED

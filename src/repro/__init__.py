@@ -31,10 +31,14 @@ core
 fleet
     Multi-node roadside sensor network: corridor simulation, sharded
     per-node pipelines, cross-node track fusion and corridor reports.
+stream
+    Real-time ingest runtime: ring buffers, chunk sources, hop-clocked
+    engines with latency and late/dropped-chunk accounting.
 
 Performance notes
 -----------------
-Two execution engines share one set of pipeline components:
+Three execution engines drive one shared per-hop implementation
+(:class:`repro.core.hop.HopKernel` — detect, prime, localize, track):
 
 - **Streaming** (:class:`repro.core.AcousticPerceptionPipeline`): one
   ``process_frame`` tick per hop — bounded latency, the low-latency driving
@@ -47,6 +51,11 @@ Two execution engines share one set of pipeline components:
   detected frames (``map_from_frames_batch``).  Results are numerically
   equivalent to streaming; throughput is ~10x on front-end-bound clips
   (see ``benchmarks/test_bench_throughput.py`` and ``BENCH_pipeline.json``).
+- **Real-time ingest** (:class:`repro.stream.StreamPipeline`, and
+  :class:`repro.fleet.FleetStream` for a corridor): chunk sources feed
+  fixed-capacity ring buffers; each hop-clocked step advances one hop
+  batch and (fleet-wide) fuses the new frames immediately, with per-hop
+  latency guarded against the hop deadline (bench E15).
 
 The batched GCC layer (:func:`repro.ssl.gcc_phat_spectra`) computes each
 microphone's FFT once and whitens per mic, so both engines spend
@@ -73,4 +82,5 @@ __all__ = [
     "hw",
     "core",
     "fleet",
+    "stream",
 ]

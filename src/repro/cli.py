@@ -8,7 +8,9 @@ Five subcommands cover the workflows a downstream user runs most:
   recording (or a synthesized drive-by demo scene) and report detections;
 - ``fleet`` — simulate a multi-node corridor with crossing vehicles, shard
   the per-node pipelines, fuse cross-node tracks and print the corridor
-  report;
+  report; ``--stream`` runs the same corridor through the hop-clocked
+  real-time ingest runtime instead (ring-buffer ingestion, per-hop fusion,
+  live track updates and per-hop latency accounting);
 - ``assess-array`` — the Sec. V geometry assessment for a built-in topology;
 - ``codesign`` — the Fig. 4 DSE loop from the full Cross3D baseline.
 
@@ -17,6 +19,7 @@ Usage::
     python -m repro.cli generate-dataset --n-samples 100 --out clips.npz --features
     python -m repro.cli process --localizer srp_fast --duration 2.0
     python -m repro.cli fleet --n-nodes 3 --spacing 25 --duration 3.0
+    python -m repro.cli fleet --stream --n-nodes 4 --duration 3.0 --drop-prob 0.01
     python -m repro.cli assess-array --topology uca --n-mics 6 --size 0.15
     python -m repro.cli codesign --error-budget 2.0
 """
@@ -99,6 +102,22 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("oracle", "untrained"),
         default="oracle",
         help="oracle: assume-present detector (reproducible demo); untrained: random MLP",
+    )
+    flt.add_argument(
+        "--stream",
+        action="store_true",
+        help="run the hop-clocked real-time ingest runtime (per-node ring "
+        "buffers, per-hop fusion, live track updates) instead of the "
+        "offline batch run",
+    )
+    flt.add_argument(
+        "--hop-batch", type=int, default=8, help="hops per fleet stream step"
+    )
+    flt.add_argument(
+        "--drop-prob",
+        type=float,
+        default=0.0,
+        help="simulated per-chunk driver drop probability (stream mode)",
     )
     flt.add_argument("--seed", type=int, default=0)
 
@@ -219,14 +238,17 @@ def _cmd_fleet(args) -> int:
     from repro.core import PipelineConfig
     from repro.fleet import (
         CorridorScene,
+        CorridorStream,
         FleetScheduler,
         OracleDetector,
         Vehicle,
         fleet_report,
         format_report,
+        format_track_update,
         fuse_fleet,
         localization_scorecard,
         place_corridor_nodes,
+        summarize_updates,
         synthesize_corridor,
     )
     from repro.signals import synthesize_siren
@@ -258,21 +280,50 @@ def _cmd_fleet(args) -> int:
     scheduler = FleetScheduler(
         nodes, config, detector=detector, n_shards=args.shards, use_threads=args.threads
     )
-    run = scheduler.run(recording)
-    tracks = fuse_fleet(
-        run.node_results,
-        nodes,
-        frame_period=config.frame_period_s,
-        recordings=recording.recordings if args.multilaterate else None,
-        fs=fs if args.multilaterate else None,
-        hop_length=config.hop_length,
-    )
-    report = fleet_report(tracks, run, frame_period=config.frame_period_s)
-
     print(f"corridor          : {args.n_nodes} nodes x {args.spacing:.0f} m, "
           f"{args.duration:.1f} s at {fs:.0f} Hz")
     print(f"vehicles          : 2 crossing ({args.speed:.0f} and {args.speed2:.0f} m/s), "
           f"detector: {args.detector}")
+    if args.stream:
+        # Hop-clocked live session: ring-buffer ingest, per-hop fusion,
+        # live track updates as they happen.
+        stream = CorridorStream(
+            recording, chunk_samples=config.hop_length, drop_prob=args.drop_prob, rng=rng
+        )
+        session = scheduler.stream(
+            stream.sources(),
+            hop_batch=args.hop_batch,
+            recordings=recording.recordings if args.multilaterate else None,
+        )
+        print(f"engine            : streaming (hop batch {args.hop_batch}, "
+              f"chunk {config.hop_length} samples, drop prob {args.drop_prob:.2f})")
+        while not session.done:
+            for update in session.step().updates:
+                if update.kind in ("confirmed", "retired"):
+                    print("  " + format_track_update(update, frame_period=config.frame_period_s))
+        result = session.finalize()
+        run, tracks = result.as_run_result(), result.tracks
+        counts = summarize_updates(result.updates)
+        hop = result.hop_latency
+        print(f"live updates      : " + ", ".join(f"{k} {v}" for k, v in counts.items()))
+        late = sum(s.n_late_chunks for s in result.ingest.values())
+        dropped = sum(s.n_dropped_chunks for s in result.ingest.values())
+        print(f"ingest            : {sum(s.n_chunks for s in result.ingest.values())} chunks, "
+              f"{dropped} dropped, {late} late")
+        print(f"per-hop latency   : p95 {hop.p95_s * 1e3:.2f} ms vs "
+              f"{hop.deadline_s * 1e3:.1f} ms hop deadline "
+              f"({'real-time' if result.realtime else 'OVERRUN'})")
+    else:
+        run = scheduler.run(recording)
+        tracks = fuse_fleet(
+            run.node_results,
+            nodes,
+            frame_period=config.frame_period_s,
+            recordings=recording.recordings if args.multilaterate else None,
+            fs=fs if args.multilaterate else None,
+            hop_length=config.hop_length,
+        )
+    report = fleet_report(tracks, run, frame_period=config.frame_period_s)
     print(f"shards            : {run.shards} "
           f"({scheduler.n_shared_localizers} shared steering tensors)")
     print(f"fleet wall time   : {run.fleet_latency.mean_s * 1e3:.1f} ms "

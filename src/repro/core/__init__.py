@@ -1,13 +1,16 @@
 """End-to-end real-time acoustic perception pipeline.
 
-Two execution engines share one set of components: the streaming
-:class:`AcousticPerceptionPipeline` (per-hop ticks, the low-latency driving
-mode) and the batched :class:`BlockPipeline` /
-:func:`process_signal_batched` (whole recordings as array ops, for
-throughput work); both produce identical :class:`FrameResult` sequences.
+Every execution engine — the streaming :class:`AcousticPerceptionPipeline`
+(per-hop ticks, the low-latency driving mode), the batched
+:class:`BlockPipeline` / :func:`process_signal_batched` (whole recordings
+as array ops, for throughput work), and the real-time ingest runtime of
+:mod:`repro.stream` — drives the one shared per-hop implementation in
+:class:`~repro.core.hop.HopKernel`; all produce identical
+:class:`FrameResult` sequences.
 """
 
 from repro.core.batch import BlockPipeline, process_signal_batched
+from repro.core.hop import HopKernel
 from repro.core.config import PipelineConfig
 from repro.core.modes import (
     EnergyTrigger,
@@ -22,6 +25,7 @@ from repro.core.alerts import Alert, AlertPolicy
 __all__ = [
     "Alert",
     "AlertPolicy",
+    "HopKernel",
 
     "BlockPipeline",
     "process_signal_batched",

@@ -11,14 +11,19 @@ detector/localizer/tracker as array operations:
    :class:`~repro.ssl.gcc.SpectraCache` shared by every stage;
 2. the reference channel runs one batched ``rfft`` + mel matmul + a single
    detector forward over all hops (the detection MLP already accepts
-   ``(N, n_mels)``) — and when the recent detection density is high, the
-   detector *derives* its windowed spectra from the localizer's cached FFTs
-   instead of transforming the frames again;
+   ``(N, n_mels)``) — and when the recent detection density clears the
+   kernel's priming break-even, the detector *derives* its windowed spectra
+   from the localizer's cached FFTs instead of transforming the frames
+   again;
 3. only the frames whose detection fired are localized, through the cached
    coarse-to-fine SRP/MUSIC paths (``localize_batch`` with the pipeline's
    temporal-reuse state);
 4. the scalar Kalman tracker replays sequentially — it is O(1) per frame and
    order-dependent by definition.
+
+All four stages live in the shared :class:`~repro.core.hop.HopKernel`; this
+module only frames recordings and chooses chunk/stream boundaries, so the
+batched engine and the streaming tick cannot drift apart.
 
 **Dense vs sparse regimes.**  With detections *sparse* (quiet street), the
 cost is the detection front-end, and the engine's win over streaming is the
@@ -47,154 +52,17 @@ import numpy as np
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import AcousticPerceptionPipeline, FrameResult
 from repro.dsp.stft import frame_signals
-from repro.nn.losses import softmax
 from repro.nn.module import Module
-from repro.sed.events import EVENT_CLASSES, is_emergency
-
-_EMERGENCY_MASK = np.array([is_emergency(name) for name in EVENT_CLASSES])
-from repro.ssl.gcc import SpectraCache
 from repro.ssl.refine import RefineState
-from repro.ssl.srp import SrpResult
 from repro.ssl.tracking import KalmanDoaTracker
 
 __all__ = ["BlockPipeline", "process_signal_batched"]
-
-# Recent detection density above which the block engine primes the shared
-# cache: the localizer's FFTs get computed up front and the detector derives
-# its windowed spectra from them instead of re-transforming the frames.
-_DENSE_PRIME_THRESHOLD = 0.5
 
 # Frames per processing chunk of a long recording.  At the default config a
 # chunk's spectra working set (~15 MB) stays L3-resident, which is both
 # faster than streaming the whole block through DRAM and far less sensitive
 # to memory-bandwidth contention from co-tenants.
 _CHUNK_FRAMES = 256
-
-
-def _block_cache(pipeline: AcousticPerceptionPipeline, frames: np.ndarray) -> SpectraCache:
-    """Shared spectra cache over a ``(T, M, L)`` frame block."""
-    dtype = np.float32 if pipeline.config.spectra_dtype == "float32" else np.float64
-    return SpectraCache(frames, dtype=dtype)
-
-
-def _detect_block(
-    pipeline: AcousticPerceptionPipeline, cache: SpectraCache
-) -> tuple[list[str], np.ndarray, np.ndarray]:
-    """Batched detection front-end over a shared spectra cache.
-
-    Returns ``(labels, confidences, detected)`` — the vectorized equivalent
-    of calling :meth:`AcousticPerceptionPipeline.detect_frame` per row.  In
-    the dense regime (recent detection density above the priming threshold)
-    the localizer's raw FFTs are computed first and the windowed detection
-    spectra are derived from them — one FFT pass for the whole block.
-    """
-    if pipeline._dense_ema > _DENSE_PRIME_THRESHOLD:
-        cache.prime_dense(pipeline.config.n_fft_srp, pipeline.window)
-    spectra = cache.ref_windowed_power(pipeline.window)
-    mel = spectra @ pipeline.mel_fb.T
-    feat = np.log(np.maximum(mel, 1e-10))
-    std = feat.std(axis=-1, keepdims=True)
-    feat = (feat - feat.mean(axis=-1, keepdims=True)) / np.where(std == 0.0, 1.0, std)
-    post = softmax(pipeline.detector.forward(feat), axis=1)
-    best = np.argmax(post, axis=1)
-    confidences = post[np.arange(post.shape[0]), best]
-    labels = [EVENT_CLASSES[k] for k in best]
-    detected = _EMERGENCY_MASK[best] & (confidences >= pipeline.config.detect_threshold)
-    if detected.size:
-        # Same 0.9/0.1 per-hop EMA as the streaming tick, closed-form.
-        decay = 0.9 ** np.arange(detected.size - 1, -1, -1)
-        pipeline._dense_ema = float(
-            0.9**detected.size * pipeline._dense_ema + 0.1 * (detected @ decay)
-        )
-    return labels, confidences, detected
-
-
-def _accepts_cache(localize_batch) -> bool:
-    """Whether a localizer's ``localize_batch`` takes the cache/state kwargs."""
-    try:
-        import inspect
-
-        params = inspect.signature(localize_batch).parameters
-    except (TypeError, ValueError):
-        return False
-    return "cache" in params and "state" in params
-
-
-def _localize_cache(
-    pipeline: AcousticPerceptionPipeline, sub: SpectraCache, state: RefineState | None
-) -> list[SrpResult]:
-    """Run one cache of frames through the localizer's batched path."""
-    fn = pipeline.localizer.localize_batch
-    if _accepts_cache(fn):
-        return fn(None, cache=sub, state=state)
-    # External localizer without the cache/coarse-to-fine keywords: hand it
-    # the original float64 frames, exactly like the streaming path does.
-    return fn(np.ascontiguousarray(sub.source_frames, dtype=np.float64))
-
-
-def _localize_hits(
-    pipeline: AcousticPerceptionPipeline,
-    cache: SpectraCache,
-    detected: np.ndarray,
-    state: RefineState | None,
-    *,
-    offset: int = 0,
-) -> dict[int, SrpResult]:
-    """Batched localization of the detected frames only.
-
-    ``detected`` indexes cache rows ``offset .. offset + len(detected)``; the
-    hit rows are sliced out of the shared cache (keeping whatever spectra the
-    detector already computed) and run through the localizer's cached
-    coarse-to-fine path; ``state`` carries the temporal-reuse window.  The
-    returned dict is keyed relative to ``offset``.
-    """
-    hits = np.flatnonzero(detected)
-    if hits.size == 0:
-        return {}
-    if offset == 0 and hits.size == cache.n_frames:
-        sub = cache
-    else:
-        sub = cache.take(hits + offset)
-    return dict(zip(hits.tolist(), _localize_cache(pipeline, sub, state)))
-
-
-def _replay_tracker(
-    tracker: KalmanDoaTracker,
-    labels: list[str],
-    confidences: np.ndarray,
-    detected: np.ndarray,
-    doas: dict[int, SrpResult],
-    start_index: int,
-) -> list[FrameResult]:
-    """Sequential tracker update/predict pass, identical to streaming order."""
-    nan = float("nan")
-    if not tracker.initialized and not detected.any():
-        # Nothing fires and nothing is tracked: the replay is pure bookkeeping.
-        return [
-            FrameResult(start_index + t, labels[t], conf, False, nan, nan)
-            for t, conf in enumerate(confidences.tolist())
-        ]
-    out: list[FrameResult] = []
-    for t in range(len(labels)):
-        azimuth = elevation = float("nan")
-        if detected[t]:
-            res = doas[t]
-            state = tracker.update(res.azimuth, res.elevation)
-            azimuth, elevation = state.azimuth, state.elevation
-        elif tracker.initialized:
-            state = tracker.predict()
-            azimuth, elevation = state.azimuth, state.elevation
-        out.append(
-            FrameResult(
-                start_index + t,
-                labels[t],
-                float(confidences[t]),
-                bool(detected[t]),
-                azimuth,
-                elevation,
-            )
-        )
-    return out
 
 
 def process_signal_batched(
@@ -207,7 +75,7 @@ def process_signal_batched(
     it shares (and advances) the pipeline's tracker state and frame counter,
     and returns numerically equivalent :class:`FrameResult` objects — only
     one batched FFT/mel/detector pass and one batched localizer call happen
-    instead of a Python loop per hop.
+    per chunk instead of a Python loop per hop.
     """
     cfg = pipeline.config
     signals = np.asarray(signals, dtype=np.float64)
@@ -217,18 +85,19 @@ def process_signal_batched(
         raise ValueError("signal shorter than one frame")
     frames = frame_signals(signals, cfg.frame_length, cfg.hop_length, pad=False)
     frames = frames.transpose(1, 0, 2)  # (n_frames, n_mics, frame_length) view
+    kernel = pipeline.hop_kernel
     out: list[FrameResult] = []
     # Chunked replay: every stage is row-wise (and the tracker / refinement
     # state advance sequentially anyway), so splitting the block changes
     # nothing semantically while keeping the spectra working set cache-sized.
     for lo in range(0, frames.shape[0], _CHUNK_FRAMES):
         chunk = frames[lo : lo + _CHUNK_FRAMES]
-        cache = _block_cache(pipeline, chunk)
-        labels, confidences, detected = _detect_block(pipeline, cache)
-        doas = _localize_hits(pipeline, cache, detected, pipeline.refine_state)
         out.extend(
-            _replay_tracker(
-                pipeline.tracker, labels, confidences, detected, doas, pipeline._frame_index
+            kernel.step(
+                chunk,
+                tracker=pipeline.tracker,
+                state=pipeline.refine_state,
+                start_index=pipeline._frame_index,
             )
         )
         pipeline._frame_index += chunk.shape[0]
@@ -286,6 +155,40 @@ class BlockPipeline:
         """Batched equivalent of the streaming ``process_signal``."""
         return process_signal_batched(self.pipeline, signals)
 
+    def frame_clips(
+        self, signals_batch: np.ndarray | Sequence[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Frame a (possibly ragged) batch of recordings into hop blocks.
+
+        Accepts either a rectangular ``(n_clips, n_mics, n_samples)`` array
+        or a sequence of ``(n_mics, n_samples_i)`` clips of unequal length;
+        returns one ``(T_i, n_mics, frame_length)`` block per clip (strided
+        views where possible).  Shared with the streaming fleet runtime,
+        which frames each node's ring-buffer slice the same way.
+        """
+        cfg = self.config
+        n_mics = self.pipeline.positions.shape[0]
+        if isinstance(signals_batch, np.ndarray) and signals_batch.ndim == 3:
+            x = np.asarray(signals_batch, dtype=np.float64)
+            if x.shape[1] != n_mics:
+                raise ValueError(f"signals_batch must be (n_clips, {n_mics}, n_samples)")
+            if x.shape[2] < cfg.frame_length:
+                raise ValueError("clips shorter than one frame")
+            frames = frame_signals(x, cfg.frame_length, cfg.hop_length, pad=False)
+            return list(frames.transpose(0, 2, 1, 3))  # (B, T, M, L) views
+        clips = [np.asarray(c, dtype=np.float64) for c in signals_batch]
+        if not clips:
+            raise ValueError("signals_batch must contain at least one clip")
+        for c in clips:
+            if c.ndim != 2 or c.shape[0] != n_mics:
+                raise ValueError(f"every clip must be ({n_mics}, n_samples)")
+            if c.shape[1] < cfg.frame_length:
+                raise ValueError("clips shorter than one frame")
+        return [
+            frame_signals(c, cfg.frame_length, cfg.hop_length, pad=False).transpose(1, 0, 2)
+            for c in clips
+        ]
+
     def process_batch(
         self, signals_batch: np.ndarray | Sequence[np.ndarray]
     ) -> list[list[FrameResult]]:
@@ -298,61 +201,18 @@ class BlockPipeline:
         frames of every clip are concatenated so detection and localization
         still run as one batched pass over all clips.
 
-        Each clip gets a fresh tracker (recordings are independent) and frame
+        Each clip gets a fresh tracker (recordings are independent), a fresh
+        refinement state (no temporal window reuse across streams) and frame
         indices starting at zero, exactly as if each clip had been streamed
         through a freshly reset pipeline.
         """
-        cfg = self.config
-        n_mics = self.pipeline.positions.shape[0]
-        if isinstance(signals_batch, np.ndarray) and signals_batch.ndim == 3:
-            x = np.asarray(signals_batch, dtype=np.float64)
-            if x.shape[1] != n_mics:
-                raise ValueError(f"signals_batch must be (n_clips, {n_mics}, n_samples)")
-            if x.shape[2] < cfg.frame_length:
-                raise ValueError("clips shorter than one frame")
-            frames = frame_signals(x, cfg.frame_length, cfg.hop_length, pad=False)
-            frames = frames.transpose(0, 2, 1, 3)  # (B, T, M, L)
-            n_clips, per_clip = frames.shape[0], frames.shape[1]
-            flat = frames.reshape(n_clips * per_clip, n_mics, cfg.frame_length)
-            counts = [per_clip] * n_clips
-        else:
-            clips = [np.asarray(c, dtype=np.float64) for c in signals_batch]
-            if not clips:
-                raise ValueError("signals_batch must contain at least one clip")
-            for c in clips:
-                if c.ndim != 2 or c.shape[0] != n_mics:
-                    raise ValueError(f"every clip must be ({n_mics}, n_samples)")
-                if c.shape[1] < cfg.frame_length:
-                    raise ValueError("clips shorter than one frame")
-            framed = [
-                frame_signals(c, cfg.frame_length, cfg.hop_length, pad=False).transpose(1, 0, 2)
-                for c in clips
-            ]
-            counts = [f.shape[0] for f in framed]
-            flat = np.concatenate(framed, axis=0)  # (sum T_i, M, L)
-        cache = _block_cache(self.pipeline, flat)
-        labels, confidences, detected = _detect_block(self.pipeline, cache)
-        out: list[list[FrameResult]] = []
-        lo = 0
-        for per_clip in counts:
-            # Fresh tracker and refinement state per clip: recordings are
-            # independent streams, so no temporal window reuse across them.
-            clip_detected = detected[lo : lo + per_clip]
-            clip_doas = _localize_hits(
-                self.pipeline, cache, clip_detected, RefineState(), offset=lo
-            )
-            out.append(
-                _replay_tracker(
-                    KalmanDoaTracker(),
-                    labels[lo : lo + per_clip],
-                    confidences[lo : lo + per_clip],
-                    clip_detected,
-                    clip_doas,
-                    0,
-                )
-            )
-            lo += per_clip
-        return out
+        blocks = self.frame_clips(signals_batch)
+        return self.pipeline.hop_kernel.run_clips(
+            blocks,
+            [KalmanDoaTracker() for _ in blocks],
+            [RefineState() for _ in blocks],
+            [0] * len(blocks),
+        )
 
     def reset(self) -> None:
         """Reset streaming state (tracker and frame counter)."""

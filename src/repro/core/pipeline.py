@@ -20,7 +20,7 @@ from repro.features.mel import mel_filterbank
 from repro.hw.ir import IRGraph, dsp_op, lower_module
 from repro.nn.losses import softmax
 from repro.nn.module import Module
-from repro.sed.events import EVENT_CLASSES, class_name, is_emergency
+from repro.sed.events import EVENT_CLASSES, class_name
 from repro.sed.models import build_sed_mlp
 from repro.ssl.doa import DoaGrid
 from repro.ssl.refine import RefineConfig, RefineState
@@ -142,8 +142,19 @@ class AcousticPerceptionPipeline:
         # equal to the streaming detector only to ~1e-6 relative — labels and
         # flags agree unless a confidence sits exactly on the threshold.
         self._dense_ema = 0.0
-        self._localizer_takes_state: bool | None = None
+        self._hop_kernel = None
         self._frame_index = 0
+
+    @property
+    def hop_kernel(self):
+        """The shared per-hop kernel (see :mod:`repro.core.hop`) every
+        execution engine of this pipeline drives — built lazily because the
+        kernel module imports :class:`FrameResult` from here."""
+        if self._hop_kernel is None:
+            from repro.core.hop import HopKernel
+
+            self._hop_kernel = HopKernel(self)
+        return self._hop_kernel
 
     # ------------------------------------------------------------------ API
 
@@ -168,45 +179,26 @@ class AcousticPerceptionPipeline:
     def process_frame(self, frames: np.ndarray) -> FrameResult:
         """Run one full pipeline tick on a multichannel frame.
 
-        ``frames`` is ``(n_mics, frame_length)``.
+        ``frames`` is ``(n_mics, frame_length)``.  A tick is a hop-kernel
+        step over a block of one: the same detect → localize → track
+        implementation the batched and real-time ingest engines drive (see
+        :mod:`repro.core.hop`), with cache priming pinned off so the
+        detection front-end stays on the bit-exact float64 path.
         """
         frames = np.asarray(frames, dtype=np.float64)
         if frames.shape != (self.positions.shape[0], self.config.frame_length):
             raise ValueError(
                 f"expected ({self.positions.shape[0]}, {self.config.frame_length}) frame block"
             )
-        label, confidence, _ = self.detect_frame(frames[0])
-        detected = is_emergency(label) and confidence >= self.config.detect_threshold
-        self._dense_ema = 0.9 * self._dense_ema + 0.1 * float(detected)
-        azimuth = elevation = float("nan")
-        if detected:
-            result = self._localize(frames)
-            state = self.tracker.update(result.azimuth, result.elevation)
-            azimuth, elevation = state.azimuth, state.elevation
-        elif self.tracker.initialized:
-            state = self.tracker.predict()
-            azimuth, elevation = state.azimuth, state.elevation
-        out = FrameResult(self._frame_index, label, confidence, detected, azimuth, elevation)
+        out = self.hop_kernel.step(
+            frames[None],
+            tracker=self.tracker,
+            state=self.refine_state,
+            start_index=self._frame_index,
+            prime=False,
+        )
         self._frame_index += 1
-        return out
-
-    def _localize(self, frames: np.ndarray):
-        """One localization step through the configured path.
-
-        Passes the pipeline-owned temporal-reuse state when the localizer
-        supports the coarse-to-fine keywords (external localizers may not).
-        """
-        if self._localizer_takes_state is None:
-            import inspect
-
-            try:
-                params = inspect.signature(self.localizer.localize).parameters
-                self._localizer_takes_state = "state" in params
-            except (TypeError, ValueError):
-                self._localizer_takes_state = False
-        if self._localizer_takes_state:
-            return self.localizer.localize(frames, state=self.refine_state)
-        return self.localizer.localize(frames)
+        return out[0]
 
     def process_signal(self, signals: np.ndarray) -> list[FrameResult]:
         """Stream a full multichannel recording through the pipeline.

@@ -10,7 +10,11 @@ the reproduction from one array to a corridor:
 - :mod:`repro.fleet.scheduler` — shard the node recordings through
   per-node batched pipelines (shared detector + steering tensors,
   round-robin shards, optional threads) with per-node and fleet-wide
-  latency accounting;
+  latency accounting — offline via :meth:`FleetScheduler.run`, or live via
+  :meth:`FleetScheduler.stream`: a hop-clocked :class:`FleetStream`
+  session over per-node ring buffers (:mod:`repro.stream`) with per-hop
+  incremental fusion and live :class:`TrackUpdate` events, producing
+  tracks identical to the offline run;
 - :mod:`repro.fleet.fusion` — associate per-node detections across nodes
   and fuse them into road-coordinate Kalman tracks (bearing triangulation,
   wide-baseline TDOA upgrades, bearing-only survival, coast +
@@ -18,14 +22,15 @@ the reproduction from one array to a corridor:
 - :mod:`repro.fleet.report` — corridor events (vehicle entered/left,
   speed from the track slope) and per-node health.
 
-End-to-end: ``python -m repro.cli fleet`` or
-``examples/corridor_fleet.py``.
+End-to-end: ``python -m repro.cli fleet`` (``--stream`` for the live
+runtime) or ``examples/corridor_fleet.py``.
 """
 
 from repro.fleet.corridor import (
     CorridorNode,
     CorridorRecording,
     CorridorScene,
+    CorridorStream,
     Vehicle,
     place_corridor_nodes,
     synthesize_corridor,
@@ -33,9 +38,12 @@ from repro.fleet.corridor import (
 from repro.fleet.fusion import (
     FusedTrack,
     FusionConfig,
+    FusionEngine,
     NodeDetection,
+    TrackUpdate,
     bearing_only_positions,
     collect_detections,
+    detection_from_result,
     fuse_fleet,
     triangulate_bearings,
 )
@@ -45,12 +53,17 @@ from repro.fleet.report import (
     NodeHealth,
     fleet_report,
     format_report,
+    format_track_update,
     localization_scorecard,
+    summarize_updates,
     track_rms_error,
 )
 from repro.fleet.scheduler import (
     FleetRunResult,
     FleetScheduler,
+    FleetStepResult,
+    FleetStream,
+    FleetStreamResult,
     NodeRunStats,
     OracleDetector,
 )
@@ -59,12 +72,16 @@ __all__ = [
     "CorridorNode",
     "CorridorRecording",
     "CorridorScene",
+    "CorridorStream",
     "Vehicle",
     "place_corridor_nodes",
     "synthesize_corridor",
     "FusedTrack",
     "FusionConfig",
+    "FusionEngine",
     "NodeDetection",
+    "TrackUpdate",
+    "detection_from_result",
     "bearing_only_positions",
     "collect_detections",
     "fuse_fleet",
@@ -74,10 +91,15 @@ __all__ = [
     "NodeHealth",
     "fleet_report",
     "format_report",
+    "format_track_update",
+    "summarize_updates",
     "localization_scorecard",
     "track_rms_error",
     "FleetRunResult",
     "FleetScheduler",
+    "FleetStepResult",
+    "FleetStream",
+    "FleetStreamResult",
     "NodeRunStats",
     "OracleDetector",
 ]

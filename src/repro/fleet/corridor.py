@@ -28,6 +28,7 @@ __all__ = [
     "CorridorNode",
     "CorridorScene",
     "CorridorRecording",
+    "CorridorStream",
     "place_corridor_nodes",
     "synthesize_corridor",
 ]
@@ -256,3 +257,103 @@ def synthesize_corridor(
                 raise ValueError("capture_samples must lie in (0, n_samples]")
         recordings[node.node_id] = out[:, :stop]
     return CorridorRecording(fs=float(fs), recordings=recordings, scene=scene)
+
+
+class CorridorStream:
+    """A corridor scene as a *live* feed: hop-sized slices per node.
+
+    The bridge between the offline scene synthesis and the real-time ingest
+    runtime: it exposes every node's capture as a
+    :class:`~repro.stream.source.RecordingChunkSource` delivering the scene
+    in hop-sized chunks (sequence-numbered, capture-timestamped), optionally
+    with simulated driver faults — chunk drops and delivery jitter — so the
+    engine's late/dropped accounting can be exercised end to end.
+
+    The acoustic render itself is computed lazily in one pass on first use
+    (the fractional-delay simulator needs the whole trajectory for
+    continuity); *delivery* is what streams.  A hardware deployment replaces
+    these sources with ADC-backed :class:`~repro.stream.source.ChunkSource`
+    implementations and nothing above them changes.
+
+    Parameters
+    ----------
+    scene:
+        The corridor scene to render, or a pre-rendered
+        :class:`CorridorRecording` to replay.
+    fs:
+        Synthesis sampling rate (ignored when a recording is given).
+    chunk_samples:
+        Samples per delivered chunk; defaults to one pipeline hop (256).
+    drop_prob, jitter_s:
+        Per-node driver-fault simulation, forwarded to every source.
+    rng:
+        Generator seeding both the render (sensor noise) and the fault
+        simulation; per-node sub-generators keep faults independent.
+    synth_kwargs:
+        Extra keyword arguments for :func:`synthesize_corridor`.
+    """
+
+    def __init__(
+        self,
+        scene: CorridorScene | CorridorRecording,
+        fs: float | None = None,
+        *,
+        chunk_samples: int = 256,
+        drop_prob: float = 0.0,
+        jitter_s: float = 0.0,
+        rng: np.random.Generator | None = None,
+        **synth_kwargs,
+    ) -> None:
+        if chunk_samples < 1:
+            raise ValueError("chunk_samples must be >= 1")
+        if isinstance(scene, CorridorRecording):
+            self._recording: CorridorRecording | None = scene
+            self._scene = scene.scene
+            self.fs = float(scene.fs)
+        else:
+            if fs is None or fs <= 0:
+                raise ValueError("fs is required (and positive) when rendering a scene")
+            self._recording = None
+            self._scene = scene
+            self.fs = float(fs)
+        self.chunk_samples = int(chunk_samples)
+        self.drop_prob = float(drop_prob)
+        self.jitter_s = float(jitter_s)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._synth_kwargs = dict(synth_kwargs)
+
+    @property
+    def node_ids(self) -> list[str]:
+        """Node ids of the corridor, in scene order."""
+        return [n.node_id for n in self._scene.nodes]
+
+    @property
+    def recording(self) -> CorridorRecording:
+        """The rendered corridor (computed once, on first access)."""
+        if self._recording is None:
+            self._recording = synthesize_corridor(
+                self._scene, self.fs, rng=self._rng, **self._synth_kwargs
+            )
+        return self._recording
+
+    def sources(self) -> dict:
+        """Fresh per-node chunk sources over the rendered corridor.
+
+        Each call returns independent sources (rewound to t=0), so one
+        stream object can feed several sessions — e.g. a live run and an
+        offline equivalence check over the same audio.
+        """
+        from repro.stream.source import RecordingChunkSource
+
+        recording = self.recording
+        return {
+            node_id: RecordingChunkSource(
+                signals,
+                self.fs,
+                chunk_samples=self.chunk_samples,
+                drop_prob=self.drop_prob,
+                jitter_s=self.jitter_s,
+                rng=np.random.default_rng(self._rng.integers(2**32)),
+            )
+            for node_id, signals in recording.recordings.items()
+        }

@@ -42,7 +42,10 @@ __all__ = [
     "FusionConfig",
     "NodeDetection",
     "FusedTrack",
+    "TrackUpdate",
+    "FusionEngine",
     "collect_detections",
+    "detection_from_result",
     "triangulate_bearings",
     "bearing_only_positions",
     "fuse_fleet",
@@ -158,6 +161,36 @@ class NodeDetection:
     origin: np.ndarray
 
 
+def detection_from_result(
+    result: FrameResult,
+    node: CorridorNode,
+    *,
+    config: FusionConfig,
+    origin: np.ndarray | None = None,
+) -> NodeDetection | None:
+    """One node's frame result as a global bearing ray, or ``None``.
+
+    Applies the fusion gates — emergency class, finite tracked azimuth,
+    per-class confidence floor — and converts the node-local azimuth to a
+    corridor bearing.  The single shared filter behind both the offline
+    :func:`collect_detections` pass and the per-hop streaming fusion of
+    :class:`repro.fleet.scheduler.FleetStream`, so the two runtimes cannot
+    disagree about what counts as a detection.
+    """
+    if not (result.detected and is_emergency(result.label)):
+        return None
+    if not np.isfinite(result.azimuth) or result.confidence < config.threshold(result.label):
+        return None
+    return NodeDetection(
+        node_id=node.node_id,
+        frame_index=result.frame_index,
+        label=result.label,
+        confidence=float(result.confidence),
+        bearing=_wrap(result.azimuth + node.heading),
+        origin=origin if origin is not None else node.position[:2].copy(),
+    )
+
+
 def collect_detections(
     node_results: Mapping[str, Sequence[FrameResult]],
     nodes: Sequence[CorridorNode],
@@ -174,20 +207,9 @@ def collect_detections(
             raise ValueError(f"results for unknown node {node_id!r}")
         origin = node.position[:2].copy()
         for r in results:
-            if not (r.detected and is_emergency(r.label)):
-                continue
-            if not np.isfinite(r.azimuth) or r.confidence < config.threshold(r.label):
-                continue
-            out.setdefault(r.frame_index, []).append(
-                NodeDetection(
-                    node_id=node_id,
-                    frame_index=r.frame_index,
-                    label=r.label,
-                    confidence=float(r.confidence),
-                    bearing=_wrap(r.azimuth + node.heading),
-                    origin=origin,
-                )
-            )
+            det = detection_from_result(r, node, config=config, origin=origin)
+            if det is not None:
+                out.setdefault(r.frame_index, []).append(det)
     return out
 
 
@@ -360,8 +382,53 @@ def bearing_only_positions(
     return np.asarray(frames, dtype=np.int64), np.stack(points)
 
 
-class _Fuser:
-    """Internal frame-by-frame fusion engine behind :func:`fuse_fleet`."""
+@dataclass(frozen=True)
+class TrackUpdate:
+    """One live fusion event, emitted by :meth:`FusionEngine.step`.
+
+    The streaming runtime's operator feed: every per-hop fusion step reports
+    what happened to each touched track, so a corridor dashboard can follow
+    vehicles in real time instead of waiting for the end-of-run report.
+
+    Attributes
+    ----------
+    kind:
+        ``spawned`` (new tentative track), ``confirmed`` (crossed the M/N
+        confirmation gate this frame), ``updated`` (confirmed track took a
+        detection), ``coasted`` (confirmed track predicted through a miss)
+        or ``retired`` (miss budget exhausted).
+    frame_index:
+        Fusion frame the event belongs to.
+    track_id, label:
+        The track.
+    x, y:
+        Road-plane state after the step, metres.
+    speed_mps:
+        Track-filter speed estimate.
+    n_nodes:
+        Distinct nodes that have contributed so far.
+    """
+
+    kind: str
+    frame_index: int
+    track_id: int
+    label: str
+    x: float
+    y: float
+    speed_mps: float
+    n_nodes: int
+
+
+class FusionEngine:
+    """Frame-by-frame cross-node fusion engine.
+
+    The one implementation behind both runtimes: the offline
+    :func:`fuse_fleet` pass replays every frame through :meth:`step`, and
+    the streaming :class:`repro.fleet.scheduler.FleetStream` calls
+    :meth:`step` per hop as node results arrive — so live corridor tracks
+    are *identical* (same association decisions, same filter states) to the
+    offline ones on the same detections.
+    """
 
     def __init__(
         self,
@@ -387,8 +454,31 @@ class _Fuser:
 
     # -------------------------------------------------------------- stepping
 
-    def step(self, frame: int, detections: list[NodeDetection]) -> None:
+    @property
+    def tracks(self) -> list[FusedTrack]:
+        """Every track ever spawned (retired + active), in creation order."""
+        return self.retired + self.active
+
+    def _event(self, kind: str, frame: int, track: FusedTrack) -> TrackUpdate:
+        return TrackUpdate(
+            kind=kind,
+            frame_index=frame,
+            track_id=track.track_id,
+            label=track.label,
+            x=float(track.kf.x[0]),
+            y=float(track.kf.x[1]),
+            speed_mps=track.speed_mps,
+            n_nodes=len(track.nodes),
+        )
+
+    def step(self, frame: int, detections: list[NodeDetection]) -> list[TrackUpdate]:
+        """Advance the fusion state by one frame of detections.
+
+        Predict → associate → update/spawn → coast/retire; returns the live
+        :class:`TrackUpdate` events of this frame (one per touched track).
+        """
         cfg = self.config
+        events: list[TrackUpdate] = []
         for track in self.active:
             track.kf.predict()
         assigned, unassigned = self._associate(detections)
@@ -396,10 +486,17 @@ class _Fuser:
         for track in self.active:
             dets = assigned.get(track.track_id, [])
             if dets:
+                was_confirmed = track.confirmed
                 self._apply(track, frame, dets)
                 updated.add(track.track_id)
+                kind = "confirmed" if track.confirmed and not was_confirmed else "updated"
+                events.append(self._event(kind, frame, track))
         leftovers = [d for d in detections if id(d) in unassigned]
-        updated.update(t.track_id for t in self._spawn(frame, leftovers))
+        for track in self._spawn(frame, leftovers):
+            updated.add(track.track_id)
+            events.append(
+                self._event("confirmed" if track.confirmed else "spawned", frame, track)
+            )
         survivors: list[FusedTrack] = []
         for track in self.active:
             if track.track_id not in updated and track.history:
@@ -407,12 +504,15 @@ class _Fuser:
                 if track.confirmed:
                     # Coast: record the predicted state so gaps stay covered.
                     track.history.append((frame, float(track.kf.x[0]), float(track.kf.x[1])))
+                    events.append(self._event("coasted", frame, track))
             budget = cfg.coast_frames if track.confirmed else cfg.tentative_coast_frames
             if track.misses > budget:
                 self.retired.append(track)
+                events.append(self._event("retired", frame, track))
             else:
                 survivors.append(track)
         self.active = survivors
+        return events
 
     def _associate(
         self, detections: list[NodeDetection]
@@ -625,7 +725,7 @@ def fuse_fleet(
         raise ValueError("fs is required when recordings are given")
     config = config or FusionConfig()
     detections = collect_detections(node_results, nodes, config=config)
-    fuser = _Fuser(
+    fuser = FusionEngine(
         nodes,
         config,
         frame_period,
@@ -640,4 +740,4 @@ def fuse_fleet(
             last_frame = max(last_frame, r.frame_index)
     for frame in range(last_frame + 1):
         fuser.step(frame, detections.get(frame, []))
-    return fuser.retired + fuser.active
+    return fuser.tracks

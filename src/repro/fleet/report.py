@@ -19,7 +19,7 @@ from repro.core.alerts import AlertPolicy
 from repro.core.pipeline import FrameResult
 from repro.core.realtime import LatencyStats
 from repro.fleet.corridor import CorridorNode
-from repro.fleet.fusion import FusedTrack, bearing_only_positions
+from repro.fleet.fusion import FusedTrack, TrackUpdate, bearing_only_positions
 from repro.fleet.scheduler import FleetRunResult
 
 __all__ = [
@@ -28,6 +28,8 @@ __all__ = [
     "FleetReport",
     "fleet_report",
     "format_report",
+    "format_track_update",
+    "summarize_updates",
     "localization_scorecard",
     "track_rms_error",
 ]
@@ -242,6 +244,29 @@ def localization_scorecard(
         )
         single_rms[node.node_id] = float(np.sqrt(per_frame.mean()))
     return fused_rms, single_rms
+
+
+def format_track_update(update: TrackUpdate, *, frame_period: float) -> str:
+    """Render one live fusion event as an operator log line.
+
+    The streaming counterpart of :func:`format_report`: the corridor CLI
+    prints these as :class:`repro.fleet.scheduler.FleetStream` steps emit
+    them, instead of waiting for the end-of-run report.
+    """
+    return (
+        f"[{update.frame_index * frame_period:7.2f} s] {update.kind:<9} "
+        f"track {update.track_id} ({update.label}) "
+        f"at ({update.x:+7.1f}, {update.y:+6.1f}) m, "
+        f"{update.speed_mps * 3.6:5.1f} km/h, {update.n_nodes} node(s)"
+    )
+
+
+def summarize_updates(updates: Sequence[TrackUpdate]) -> dict[str, int]:
+    """Event counts by kind over a live feed (missing kinds are zero)."""
+    counts = {k: 0 for k in ("spawned", "confirmed", "updated", "coasted", "retired")}
+    for u in updates:
+        counts[u.kind] = counts.get(u.kind, 0) + 1
+    return counts
 
 
 def format_report(report: FleetReport) -> str:

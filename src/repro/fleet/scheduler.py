@@ -1,4 +1,4 @@
-"""Sharded execution of per-node pipelines over a fleet of recordings.
+"""Sharded execution of per-node pipelines over a fleet — offline or live.
 
 Every corridor node runs the same perception stack; running K nodes as K
 independent streaming loops wastes exactly the redundancy PR 1's batched
@@ -10,35 +10,59 @@ engine exists to exploit.  The scheduler
   instance, so the cached steering/interpolation tensors *and the
   coarse-to-fine steering pyramids* (per-level coarse tensors, window LUTs;
   see :mod:`repro.ssl.refine`) are built once for the whole fleet.  Temporal
-  window-reuse state stays per node: each pipeline owns its own
+  window-reuse state stays per node: each stream owns its own
   :class:`~repro.ssl.refine.RefineState`, so one node's anchor never leaks
-  into another's stream;
-- assigns nodes to shards round-robin and fans each shard's recordings
-  through **one** ragged ``process_batch`` call (unequal capture lengths
-  batch cleanly), optionally across a thread pool;
+  into another's;
+- offline (:meth:`FleetScheduler.run`), assigns nodes to shards round-robin
+  and fans each shard's recordings through **one** ragged ``process_batch``
+  call (unequal capture lengths batch cleanly), optionally across a thread
+  pool;
+- live (:meth:`FleetScheduler.stream`), opens a hop-clocked
+  :class:`FleetStream` session: per-node ring-buffer ingestion
+  (:mod:`repro.stream`), one shared-:class:`~repro.ssl.gcc.SpectraCache`
+  hop batch per shard per step through the same
+  :class:`~repro.core.hop.HopKernel`, and *incremental* cross-node fusion
+  (:class:`~repro.fleet.fusion.FusionEngine` stepped per hop, emitting
+  live :class:`~repro.fleet.fusion.TrackUpdate` events) — producing tracks
+  identical to the offline run on the same audio;
 - accounts wall time per node and fleet-wide with
-  :class:`~repro.core.realtime.LatencyMonitor`, against each node's own
-  real-time budget (its capture duration).
+  :class:`~repro.core.realtime.LatencyMonitor` — against each node's
+  capture duration offline, and against the hop deadline per step live.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.acoustics.geometry import SPEED_OF_SOUND
 from repro.core.batch import BlockPipeline
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import FrameResult
 from repro.core.realtime import LatencyMonitor, LatencyStats
 from repro.fleet.corridor import CorridorNode, CorridorRecording
+from repro.fleet.fusion import FusionConfig, FusedTrack, FusionEngine, TrackUpdate, detection_from_result
 from repro.nn.module import Module
 from repro.sed.events import EVENT_CLASSES, class_index
 from repro.sed.models import build_sed_mlp
+from repro.ssl.refine import RefineState
+from repro.ssl.tracking import KalmanDoaTracker
+from repro.stream.engine import IngestStats, NodeIngest
+from repro.stream.source import ChunkSource
 
-__all__ = ["OracleDetector", "NodeRunStats", "FleetRunResult", "FleetScheduler"]
+__all__ = [
+    "OracleDetector",
+    "NodeRunStats",
+    "FleetRunResult",
+    "FleetScheduler",
+    "FleetStepResult",
+    "FleetStreamResult",
+    "FleetStream",
+]
 
 
 class OracleDetector(Module):
@@ -246,6 +270,37 @@ class FleetScheduler:
             shards=[list(s) for s in self.shards],
         )
 
+    def stream(
+        self,
+        sources: "Mapping[str, ChunkSource]",
+        *,
+        hop_batch: int = 8,
+        fusion_config: FusionConfig | None = None,
+        recordings: Mapping[str, np.ndarray] | None = None,
+        ring_capacity: int | None = None,
+        late_tolerance_s: float | None = None,
+    ) -> "FleetStream":
+        """Open a hop-clocked live session over per-node chunk sources.
+
+        ``sources`` maps every node id to its :class:`ChunkSource` (e.g.
+        from :meth:`repro.fleet.corridor.CorridorStream.sources`).  Each
+        :meth:`FleetStream.step` advances every shard by one ``hop_batch``
+        of hops and fuses the newly complete frames; the fused corridor
+        tracks are identical to :meth:`run` + :func:`~repro.fleet.fusion.
+        fuse_fleet` on the same audio.  Pass ``recordings`` to enable the
+        wide-baseline multilateration upgrade, exactly as with
+        :func:`fuse_fleet`.
+        """
+        return FleetStream(
+            self,
+            sources,
+            hop_batch=hop_batch,
+            fusion_config=fusion_config,
+            recordings=recordings,
+            ring_capacity=ring_capacity,
+            late_tolerance_s=late_tolerance_s,
+        )
+
     # ------------------------------------------------------------- internals
 
     def _run_shard(
@@ -273,3 +328,331 @@ class FleetScheduler:
         total = sum(clips[nid].shape[1] for nid in shard)
         durations = {nid: wall * clips[nid].shape[1] / total for nid in shard}
         return results, durations
+
+
+@dataclass(frozen=True)
+class FleetStepResult:
+    """What one :meth:`FleetStream.step` produced.
+
+    Attributes
+    ----------
+    new_results:
+        Per-node :class:`FrameResult` rows completed this step (nodes with
+        no new complete frame are absent).
+    updates:
+        Live fusion events of the frames fused this step.
+    fused_upto:
+        Frames fused so far (exclusive upper bound of the fusion frontier).
+    done:
+        Whether every source is exhausted, drained and fused.
+    """
+
+    new_results: dict[str, list[FrameResult]]
+    updates: list[TrackUpdate]
+    fused_upto: int
+    done: bool
+
+
+@dataclass(frozen=True)
+class FleetStreamResult:
+    """Everything one :meth:`FleetStream.run` session produced.
+
+    ``node_results``/``node_stats``/``fleet_latency``/``shards`` mirror
+    :class:`FleetRunResult` (so :func:`repro.fleet.report.fleet_report`
+    consumes a finished stream unchanged, via :meth:`as_run_result`); on
+    top of those, the live session adds the fused ``tracks``, the full
+    ``updates`` feed, the per-hop ``hop_latency`` distribution (the Sec. II
+    real-time criterion: one fleet step must fit the hop deadline) and the
+    per-node delivery accounting in ``ingest``.
+    """
+
+    node_results: dict[str, list[FrameResult]]
+    node_stats: dict[str, NodeRunStats]
+    fleet_latency: LatencyStats
+    shards: list[list[str]]
+    tracks: list[FusedTrack]
+    updates: list[TrackUpdate]
+    hop_latency: LatencyStats
+    ingest: dict[str, IngestStats]
+    n_steps: int
+
+    @property
+    def realtime(self) -> bool:
+        """Whether the p95 per-hop fleet step met the hop deadline."""
+        return self.hop_latency.realtime
+
+    def as_run_result(self) -> FleetRunResult:
+        """The offline-shaped view (for :func:`~repro.fleet.report.fleet_report`)."""
+        return FleetRunResult(
+            node_results=self.node_results,
+            node_stats=self.node_stats,
+            fleet_latency=self.fleet_latency,
+            shards=self.shards,
+        )
+
+
+class FleetStream:
+    """A live hop-clocked session over a :class:`FleetScheduler`.
+
+    Construction wires, per node, a :class:`~repro.stream.engine.NodeIngest`
+    (chunk source → ring buffer → hop blocks) plus stream-owned tracker and
+    refinement state, and one incremental
+    :class:`~repro.fleet.fusion.FusionEngine` for the corridor.  Each
+    :meth:`step` then advances the engine clock by one hop batch:
+
+    1. every shard pulls its nodes' due chunks and runs the newly complete
+       hop blocks through the shard-lead pipeline's shared
+       :class:`~repro.core.hop.HopKernel` — one shared-cache detector pass
+       per shard per step, reusing the fleet's shared detector, steering
+       pyramids and (per node) temporal refinement windows;
+    2. the fusion frontier — frames every still-active node has finished —
+       advances, and each frontier frame is fused immediately
+       (associate/update/coast), emitting live
+       :class:`~repro.fleet.fusion.TrackUpdate` events;
+    3. the step's wall time is recorded against the hop deadline.
+
+    Determinism contract: on the same audio (no drops, ample rings) the
+    per-node result streams and the fused tracks are identical to the
+    offline :meth:`FleetScheduler.run` + :func:`~repro.fleet.fusion.
+    fuse_fleet` pass — association decisions and all; asserted in
+    ``tests/test_fleet_stream.py``.
+    """
+
+    def __init__(
+        self,
+        scheduler: FleetScheduler,
+        sources: "Mapping[str, ChunkSource]",
+        *,
+        hop_batch: int = 8,
+        fusion_config: FusionConfig | None = None,
+        recordings: Mapping[str, np.ndarray] | None = None,
+        ring_capacity: int | None = None,
+        late_tolerance_s: float | None = None,
+    ) -> None:
+        if hop_batch < 1:
+            raise ValueError("hop_batch must be >= 1")
+        missing = [n.node_id for n in scheduler.nodes if n.node_id not in sources]
+        if missing:
+            raise ValueError(f"missing sources for nodes: {missing}")
+        cfg = scheduler.config
+        self.scheduler = scheduler
+        self.hop_batch = int(hop_batch)
+        # Shard-major node order matches the insertion order of the offline
+        # run's node_results dict, so per-frame detection lists reach the
+        # fusion engine in the identical order (association ties and all).
+        self.node_order = [nid for shard in scheduler.shards for nid in shard]
+        self._nodes = {n.node_id: n for n in scheduler.nodes}
+        self._origins = {nid: n.position[:2].copy() for nid, n in self._nodes.items()}
+        if ring_capacity is None:
+            ring_capacity = 2 * (cfg.frame_length + self.hop_batch * cfg.hop_length)
+        self._ingest: dict[str, NodeIngest] = {}
+        for node in scheduler.nodes:
+            source = sources[node.node_id]
+            if source.n_channels != node.array.n_mics:
+                raise ValueError(
+                    f"source for {node.node_id!r} has {source.n_channels} channels, "
+                    f"node has {node.array.n_mics} mics"
+                )
+            if source.fs != cfg.fs:
+                raise ValueError(
+                    f"source fs {source.fs} does not match pipeline fs {cfg.fs}"
+                )
+            self._ingest[node.node_id] = NodeIngest(
+                source,
+                cfg.frame_length,
+                cfg.hop_length,
+                capacity=ring_capacity,
+                late_tolerance_s=late_tolerance_s,
+            )
+        # Stream-owned per-node state: fresh tracker/refinement per session,
+        # exactly like the offline per-clip replay.
+        self._trackers = {nid: KalmanDoaTracker() for nid in self._nodes}
+        self._refine = {nid: RefineState() for nid in self._nodes}
+        self._results: dict[str, list[FrameResult]] = {nid: [] for nid in self._nodes}
+        self.fusion = FusionEngine(
+            scheduler.nodes,
+            fusion_config or FusionConfig(),
+            cfg.frame_period_s,
+            recordings=recordings,
+            fs=cfg.fs if recordings is not None else None,
+            hop_length=cfg.hop_length,
+            c=SPEED_OF_SOUND,
+        )
+        self.updates: list[TrackUpdate] = []
+        self.hop_monitor = LatencyMonitor(cfg.frame_period_s)
+        self._node_monitors = {nid: LatencyMonitor(cfg.frame_period_s) for nid in self._nodes}
+        self._t = 0.0
+        self._wall = 0.0
+        self._fused_upto = 0
+        self._n_steps = 0
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def node_results(self) -> dict[str, list[FrameResult]]:
+        """Per-node result streams accumulated so far (shard-major order)."""
+        return {nid: self._results[nid] for nid in self.node_order}
+
+    @property
+    def done(self) -> bool:
+        """Whether every source is exhausted, drained and fully fused."""
+        if not all(self._node_done(nid) for nid in self._nodes):
+            return False
+        return self._fused_upto >= self._last_frame() + 1
+
+    def _node_done(self, nid: str) -> bool:
+        ing = self._ingest[nid]
+        return ing.exhausted and ing.ring.available < self.scheduler.config.frame_length
+
+    def _last_frame(self) -> int:
+        return max((len(r) for r in self._results.values()), default=0) - 1
+
+    def step(self) -> FleetStepResult:
+        """Advance every shard by one hop batch and fuse the new frontier."""
+        cfg = self.scheduler.config
+        t0 = time.perf_counter()
+        self._t += self.hop_batch * cfg.frame_period_s
+        new_results: dict[str, list[FrameResult]] = {}
+        hops_advanced = 0
+        for shard in self.scheduler.shards:
+            t_shard = time.perf_counter()
+            blocks: list[np.ndarray] = []
+            nids: list[str] = []
+            for nid in shard:
+                ing = self._ingest[nid]
+                ing.pull(None if ing._exhausted else self._t)
+                # Steady state: exactly hop_batch frames.  After a delivery
+                # stall the backlog drains in one step (catch up, don't let
+                # the bounded ring overflow).
+                frames = ing.pop_frames()
+                if frames.shape[0]:
+                    blocks.append(frames)
+                    nids.append(nid)
+            if not blocks:
+                continue
+            pipes = [self.scheduler.pipelines[nid] for nid in nids]
+            shared = all(
+                p.pipeline.localizer is pipes[0].pipeline.localizer for p in pipes
+            )
+            if shared and len(nids) > 1:
+                # One shared-cache kernel pass for the whole shard: a single
+                # detector forward, per-node localization/tracking replay.
+                outs = pipes[0].pipeline.hop_kernel.run_clips(
+                    blocks,
+                    [self._trackers[nid] for nid in nids],
+                    [self._refine[nid] for nid in nids],
+                    [len(self._results[nid]) for nid in nids],
+                )
+            else:
+                outs = [
+                    pipe.pipeline.hop_kernel.step(
+                        block,
+                        tracker=self._trackers[nid],
+                        state=self._refine[nid],
+                        start_index=len(self._results[nid]),
+                    )
+                    for nid, pipe, block in zip(nids, pipes, blocks)
+                ]
+            shard_wall = time.perf_counter() - t_shard
+            total_frames = sum(b.shape[0] for b in blocks)
+            for nid, out, block in zip(nids, outs, blocks):
+                self._results[nid].extend(out)
+                new_results[nid] = out
+                hops_advanced = max(hops_advanced, block.shape[0])
+                # Per-hop attributed share of the shard's wall time.
+                self._node_monitors[nid].record(shard_wall / total_frames)
+        updates = self._fuse_frontier()
+        self.updates.extend(updates)
+        step_wall = time.perf_counter() - t0
+        self._wall += step_wall
+        if hops_advanced:
+            # The corridor clock advanced `hops_advanced` hops in step_wall:
+            # per-hop fleet latency vs the hop deadline (Sec. II).
+            self.hop_monitor.record(step_wall / hops_advanced)
+        self._n_steps += 1
+        return FleetStepResult(
+            new_results=new_results,
+            updates=updates,
+            fused_upto=self._fused_upto,
+            done=self.done,
+        )
+
+    def _fuse_frontier(self) -> list[TrackUpdate]:
+        """Fuse every frame all still-active nodes have completed."""
+        active_counts = [
+            len(self._results[nid]) for nid in self._nodes if not self._node_done(nid)
+        ]
+        if active_counts:
+            frontier = min(active_counts)
+        else:
+            frontier = self._last_frame() + 1  # ragged tail: fuse to the end
+        cfg = self.fusion.config
+        updates: list[TrackUpdate] = []
+        for frame in range(self._fused_upto, frontier):
+            detections = []
+            for nid in self.node_order:
+                results = self._results[nid]
+                if frame >= len(results):
+                    continue  # shorter capture: node ended before this frame
+                det = detection_from_result(
+                    results[frame],
+                    self._nodes[nid],
+                    config=cfg,
+                    origin=self._origins[nid],
+                )
+                if det is not None:
+                    detections.append(det)
+            updates.extend(self.fusion.step(frame, detections))
+        self._fused_upto = max(self._fused_upto, frontier)
+        return updates
+
+    def run(self) -> FleetStreamResult:
+        """Step until every source is drained; returns the session summary."""
+        while not self.done:
+            self.step()
+        return self.finalize()
+
+    def finalize(self) -> FleetStreamResult:
+        """Summarize the session (callable mid-run for a snapshot)."""
+        cfg = self.scheduler.config
+        node_stats = {}
+        for nid in self.node_order:
+            monitor = self._node_monitors[nid]
+            if monitor.n_ticks == 0:
+                # No frame completed yet (mid-run snapshot while the ring is
+                # still filling): report zeros without polluting the monitor.
+                latency = LatencyStats(
+                    mean_s=0.0, p95_s=0.0, max_s=0.0, deadline_s=monitor.deadline_s
+                )
+            else:
+                latency = monitor.stats()
+            node_stats[nid] = NodeRunStats(
+                node_id=nid,
+                n_frames=len(self._results[nid]),
+                n_detections=sum(r.detected for r in self._results[nid]),
+                latency=latency,
+            )
+        # Whole-session budget: total wall vs the longest capture ingested.
+        deadline = max(
+            (ing.ring.total_pushed / cfg.fs for ing in self._ingest.values()),
+            default=cfg.frame_period_s,
+        )
+        fleet_monitor = LatencyMonitor(max(deadline, 1e-9))
+        fleet_monitor.record(self._wall)
+        if self.hop_monitor.n_ticks == 0:
+            hop_latency = LatencyStats(
+                mean_s=0.0, p95_s=0.0, max_s=0.0, deadline_s=self.hop_monitor.deadline_s
+            )
+        else:
+            hop_latency = self.hop_monitor.stats()
+        return FleetStreamResult(
+            node_results=self.node_results,
+            node_stats=node_stats,
+            fleet_latency=fleet_monitor.stats(),
+            shards=[list(s) for s in self.scheduler.shards],
+            tracks=self.fusion.tracks,
+            updates=list(self.updates),
+            hop_latency=hop_latency,
+            ingest={nid: ing.stats for nid, ing in self._ingest.items()},
+            n_steps=self._n_steps,
+        )

@@ -106,6 +106,21 @@ class RefineState:
         self.n_reused = 0
         self.n_selected = 0
 
+    def clone(self) -> "RefineState":
+        """Independent snapshot of the current anchor/window/accounting.
+
+        Streaming runtimes hand state across step boundaries by mutating one
+        object; a clone checkpoints it — e.g. to compare two engines driven
+        over the same hops, or to fork a speculative replay — without the
+        original and the copy aliasing the window index array.
+        """
+        out = RefineState()
+        out.anchor = self.anchor
+        out.window = None if self.window is None else self.window.copy()
+        out.n_reused = self.n_reused
+        out.n_selected = self.n_selected
+        return out
+
 
 class GridPyramid:
     """Decimated-index pyramid over a :class:`~repro.ssl.doa.DoaGrid`.

@@ -1,0 +1,34 @@
+"""Real-time ingest runtime: chunks in, per-hop perception out.
+
+The paper's headline requirement is "real-time low-latency operation"; the
+offline engines of :mod:`repro.core` consume *complete* recordings.  This
+package closes that gap with a hop-clocked runtime over the same shared
+:class:`~repro.core.hop.HopKernel`:
+
+- :mod:`repro.stream.ring` — fixed-capacity multichannel
+  :class:`RingBuffer` (O(frame) memory, overflow accounting);
+- :mod:`repro.stream.source` — :class:`Chunk` / :class:`ChunkSource`
+  producer interface and the :class:`RecordingChunkSource` replay feed
+  (with simulated drops and delivery jitter);
+- :mod:`repro.stream.engine` — :class:`NodeIngest` (source → ring → hop
+  blocks with late/dropped-chunk accounting) and :class:`StreamPipeline`
+  (the single-node real-time driver).
+
+The fleet-level streaming session (:class:`repro.fleet.FleetStream`)
+composes these per node and adds per-hop cross-node fusion.
+"""
+
+from repro.stream.engine import IngestStats, NodeIngest, StreamPipeline, StreamRunResult
+from repro.stream.ring import RingBuffer
+from repro.stream.source import Chunk, ChunkSource, RecordingChunkSource
+
+__all__ = [
+    "Chunk",
+    "ChunkSource",
+    "IngestStats",
+    "NodeIngest",
+    "RecordingChunkSource",
+    "RingBuffer",
+    "StreamPipeline",
+    "StreamRunResult",
+]

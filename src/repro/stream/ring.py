@@ -1,0 +1,135 @@
+"""Preallocated multichannel ring buffer for real-time ingest.
+
+The sample store between an ADC chunk source and the hop-clocked engine:
+chunks of arbitrary size go in, overlapping analysis frames come out, with
+O(frame) memory and O(samples) total copying.  Unlike the growable
+:class:`repro.dsp.streaming.StreamingFramer` (an offline-friendly framer
+that never loses data), this ring has a *fixed* capacity and real-time drop
+semantics: when a producer outruns the consumer, the oldest samples are
+overwritten and counted, because a live service must bound its memory and
+latency rather than its history.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RingBuffer"]
+
+
+class RingBuffer:
+    """Fixed-capacity multichannel sample ring with overflow accounting.
+
+    Parameters
+    ----------
+    n_channels:
+        Microphone count; chunks are ``(n_channels, n)``.
+    capacity:
+        Samples retained per channel.  When a push overflows, the *oldest*
+        samples are dropped (live data wins over stale data) and the loss is
+        recorded in :attr:`dropped_samples`.
+    """
+
+    def __init__(self, n_channels: int, capacity: int) -> None:
+        if n_channels < 1:
+            raise ValueError("n_channels must be >= 1")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.n_channels = int(n_channels)
+        self._buf = np.zeros((self.n_channels, int(capacity)))
+        self._head = 0  # read position of the oldest buffered sample
+        self._size = 0
+        self.dropped_samples = 0
+        self.total_pushed = 0
+
+    # -------------------------------------------------------------- state
+
+    @property
+    def capacity(self) -> int:
+        """Samples retained per channel."""
+        return self._buf.shape[1]
+
+    @property
+    def available(self) -> int:
+        """Samples currently buffered per channel."""
+        return self._size
+
+    # --------------------------------------------------------------- push
+
+    def push(self, chunk: np.ndarray) -> int:
+        """Append a ``(n_channels, n)`` chunk; returns samples dropped.
+
+        A chunk longer than the whole capacity keeps only its newest
+        ``capacity`` samples; otherwise the oldest buffered samples are
+        overwritten as needed.  Either way the hop grid downstream slips by
+        the dropped count — the engine surfaces that through its accounting
+        rather than silently stretching time.
+        """
+        chunk = np.asarray(chunk, dtype=np.float64)
+        if chunk.ndim != 2 or chunk.shape[0] != self.n_channels:
+            raise ValueError(f"chunk must be ({self.n_channels}, n)")
+        n = chunk.shape[1]
+        self.total_pushed += n
+        cap = self.capacity
+        dropped = 0
+        if n >= cap:
+            # The chunk alone fills the ring: everything buffered plus the
+            # chunk's own stale prefix is lost.
+            dropped = self._size + (n - cap)
+            self._buf[:] = chunk[:, n - cap :]
+            self._head, self._size = 0, cap
+        else:
+            overflow = self._size + n - cap
+            if overflow > 0:
+                dropped = overflow
+                self._head = (self._head + overflow) % cap
+                self._size -= overflow
+            tail = (self._head + self._size) % cap
+            first = min(n, cap - tail)
+            self._buf[:, tail : tail + first] = chunk[:, :first]
+            if first < n:
+                self._buf[:, : n - first] = chunk[:, first:]
+            self._size += n
+        self.dropped_samples += dropped
+        return dropped
+
+    # ---------------------------------------------------------------- pop
+
+    def pop_frames(
+        self, frame_length: int, hop_length: int, *, max_frames: int | None = None
+    ) -> np.ndarray:
+        """Emit completed analysis frames, ``(T, n_channels, frame_length)``.
+
+        Consumes ``hop_length`` samples per emitted frame (frames overlap by
+        ``frame_length - hop_length``); at most ``max_frames`` are emitted so
+        a hop-clocked engine can advance by exactly one hop batch per step.
+        Returns an empty ``(0, C, L)`` array when less than one frame is
+        buffered.
+        """
+        if frame_length < 1 or not 0 < hop_length <= frame_length:
+            raise ValueError("need frame_length >= 1 and 0 < hop_length <= frame_length")
+        if frame_length > self.capacity:
+            raise ValueError("frame_length exceeds ring capacity")
+        n_ready = 0
+        if self._size >= frame_length:
+            n_ready = 1 + (self._size - frame_length) // hop_length
+        if max_frames is not None:
+            n_ready = min(n_ready, max(0, int(max_frames)))
+        out = np.empty((n_ready, self.n_channels, frame_length))
+        cap = self.capacity
+        for t in range(n_ready):
+            head = self._head
+            first = min(frame_length, cap - head)
+            out[t, :, :first] = self._buf[:, head : head + first]
+            if first < frame_length:
+                out[t, :, first:] = self._buf[:, : frame_length - first]
+            self._head = (head + hop_length) % cap
+            self._size -= hop_length
+        return out
+
+    def reset(self) -> None:
+        """Drop buffered samples and the accounting counters."""
+        self._head = 0
+        self._size = 0
+        self.dropped_samples = 0
+        self.total_pushed = 0

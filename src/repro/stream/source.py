@@ -1,0 +1,145 @@
+"""Chunk sources: the capture side of the real-time ingest runtime.
+
+An ADC driver delivers multichannel audio as a sequence of fixed-size
+chunks, each stamped with a sequence number (so the consumer can detect
+drops) and an arrival time (so it can detect lateness).  :class:`Chunk` is
+that unit; :class:`ChunkSource` the producer interface; and
+:class:`RecordingChunkSource` the reference implementation that replays a
+rendered recording as a live feed — optionally with simulated chunk drops
+and arrival jitter, which is how the ingest engine's late/dropped-chunk
+accounting is exercised without real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Chunk", "ChunkSource", "RecordingChunkSource"]
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One capture chunk as delivered by a driver.
+
+    Attributes
+    ----------
+    data:
+        Samples, ``(n_channels, n)``.
+    seq:
+        Monotone sequence number assigned at *capture* time; a gap between
+        consecutive delivered chunks means the driver dropped data.
+    t:
+        Nominal capture-complete time of the chunk's last sample, seconds
+        on the stream clock.
+    arrival_s:
+        When the chunk became available to the consumer; ``arrival_s - t``
+        is the delivery latency (0 for an ideal driver).
+    """
+
+    data: np.ndarray
+    seq: int
+    t: float
+    arrival_s: float
+
+
+class ChunkSource:
+    """Producer interface of the ingest runtime.
+
+    Subclasses implement :meth:`next_chunk`; the engine polls it and treats
+    ``None`` as end-of-stream.  ``fs`` and ``n_channels`` describe the feed.
+    """
+
+    fs: float
+    n_channels: int
+
+    def next_chunk(self) -> Chunk | None:
+        """The next delivered chunk, or ``None`` when the stream ended."""
+        raise NotImplementedError
+
+
+class RecordingChunkSource(ChunkSource):
+    """Replay a ``(n_channels, n_samples)`` recording as a live chunk feed.
+
+    Parameters
+    ----------
+    signals:
+        The recording to slice.
+    fs:
+        Sampling rate, Hz.
+    chunk_samples:
+        Samples per chunk (the hop length, for a hop-clocked feed).  The
+        final partial chunk is delivered short rather than padded.
+    drop_prob:
+        Per-chunk probability that the driver loses the chunk: its sequence
+        number is consumed but the data is never delivered, so the consumer
+        sees a gap.
+    jitter_s:
+        Upper bound of a uniform random delivery delay added to each
+        chunk's arrival time (0 = ideal driver).
+    rng:
+        Generator for drops/jitter; seeded default keeps runs reproducible.
+    """
+
+    def __init__(
+        self,
+        signals: np.ndarray,
+        fs: float,
+        *,
+        chunk_samples: int,
+        drop_prob: float = 0.0,
+        jitter_s: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        signals = np.asarray(signals, dtype=np.float64)
+        if signals.ndim != 2 or signals.shape[1] == 0:
+            raise ValueError("signals must be (n_channels, n_samples)")
+        if fs <= 0:
+            raise ValueError("fs must be positive")
+        if chunk_samples < 1:
+            raise ValueError("chunk_samples must be >= 1")
+        if not 0.0 <= drop_prob < 1.0:
+            raise ValueError("drop_prob must lie in [0, 1)")
+        if jitter_s < 0.0:
+            raise ValueError("jitter_s must be non-negative")
+        self._signals = signals
+        self.fs = float(fs)
+        self.n_channels = signals.shape[0]
+        self.chunk_samples = int(chunk_samples)
+        self._drop_prob = float(drop_prob)
+        self._jitter_s = float(jitter_s)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._cursor = 0
+        self._seq = 0
+
+    @property
+    def n_chunks_total(self) -> int:
+        """Chunks the recording slices into (including any dropped ones)."""
+        n = self._signals.shape[1]
+        return -(-n // self.chunk_samples)
+
+    def next_chunk(self) -> Chunk | None:
+        """The next *delivered* chunk; dropped chunks are skipped silently
+        (their sequence numbers are consumed, which is how the consumer
+        notices)."""
+        n = self._signals.shape[1]
+        while self._cursor < n:
+            start = self._cursor
+            stop = min(start + self.chunk_samples, n)
+            seq = self._seq
+            self._cursor = stop
+            self._seq += 1
+            if self._drop_prob > 0.0 and self._rng.random() < self._drop_prob:
+                continue  # the driver lost this one
+            t = stop / self.fs
+            arrival = t
+            if self._jitter_s > 0.0:
+                arrival += float(self._rng.uniform(0.0, self._jitter_s))
+            return Chunk(data=self._signals[:, start:stop], seq=seq, t=t, arrival_s=arrival)
+        return None
+
+    def reset(self) -> None:
+        """Rewind the feed to the start of the recording."""
+        self._cursor = 0
+        self._seq = 0

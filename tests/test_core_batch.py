@@ -193,3 +193,67 @@ class TestRaggedBatch:
             block.process_batch([np.zeros((3, 4000))])  # wrong mic count
         with pytest.raises(ValueError):
             block.process_batch([np.zeros((4, 4000)), np.zeros((4, 100))])  # too short
+
+
+class TestExternalLocalizers:
+    """The hop kernel must keep the streaming tick's contract for custom
+    localizers: a ``localize``-only object (no ``localize_batch``, no
+    cache/state keywords) still drives, frame by frame."""
+
+    def config(self):
+        return PipelineConfig(n_azimuth=24, n_elevation=2)
+
+    class LocalizeOnly:
+        """Minimal external localizer: just ``localize(frames)``."""
+
+        def __init__(self):
+            self.calls = 0
+
+        def localize(self, frames):
+            from repro.ssl.srp import SrpResult
+
+            self.calls += 1
+            assert frames.ndim == 2  # one (n_mics, frame_length) block
+            return SrpResult(
+                map=np.zeros((1, 1)), azimuth=0.3, elevation=0.1,
+                direction=np.array([1.0, 0.0, 0.0]),
+            )
+
+    def test_streaming_tick_with_localize_only(self):
+        cfg = self.config()
+        loc = self.LocalizeOnly()
+        p = AcousticPerceptionPipeline(
+            MICS, cfg, detector=AlwaysSiren(cfg.n_mels), localizer=loc
+        )
+        r = p.process_frame(np.random.default_rng(0).standard_normal((4, 512)))
+        assert r.detected and np.isfinite(r.azimuth)
+        assert loc.calls == 1
+
+    def test_batched_with_localize_only(self):
+        cfg = self.config()
+        loc = self.LocalizeOnly()
+        p = AcousticPerceptionPipeline(
+            MICS, cfg, detector=AlwaysSiren(cfg.n_mels), localizer=loc
+        )
+        results = p.process_signal_batched(signal(8, 4000))
+        assert all(r.detected for r in results)
+        assert loc.calls == len(results)
+
+    def test_localize_only_state_kwarg_forwarded(self):
+        cfg = self.config()
+
+        class StatefulLocalizeOnly(self.LocalizeOnly):
+            def __init__(self):
+                super().__init__()
+                self.states = []
+
+            def localize(self, frames, *, state=None):
+                self.states.append(state)
+                return super().localize(frames)
+
+        loc = StatefulLocalizeOnly()
+        p = AcousticPerceptionPipeline(
+            MICS, cfg, detector=AlwaysSiren(cfg.n_mels), localizer=loc
+        )
+        p.process_frame(np.random.default_rng(1).standard_normal((4, 512)))
+        assert loc.states == [p.refine_state]

@@ -46,6 +46,38 @@ class TestStreamingFramer:
         framer.reset()
         assert framer.buffered == 0
 
+    def test_many_small_chunks_ring_regression(self):
+        """Sample-at-a-time ingest of a long stream: correct frames and
+        O(frame) memory — the ring must never grow with stream length (the
+        old implementation concatenated the whole buffer per push)."""
+        n = 20000
+        x = np.random.default_rng(42).standard_normal(n)
+        framer = StreamingFramer(64, 32)
+        frames = []
+        pos = 0
+        rng = np.random.default_rng(7)
+        while pos < n:
+            size = int(rng.integers(1, 4))
+            frames.extend(framer.push(x[pos : pos + size]))
+            pos += size
+        offline = frame_signal(x, 64, 32, pad=False)
+        assert len(frames) == offline.shape[0]
+        assert np.allclose(np.stack(frames), offline)
+        # O(frame + max_chunk) memory: 20k samples streamed, ring stays small.
+        assert framer.capacity <= 4 * 64
+
+    def test_large_chunk_grows_then_wraps_correctly(self):
+        """A chunk bigger than the ring forces a grow + linearize; later
+        pushes must still wrap and emit exact frames."""
+        x = np.random.default_rng(3).standard_normal(5000)
+        framer = StreamingFramer(128, 64)
+        frames = list(framer.push(x[:2000]))  # >> initial 256-sample ring
+        for start in range(2000, 5000, 37):
+            frames.extend(framer.push(x[start : start + 37]))
+        offline = frame_signal(x, 128, 64, pad=False)
+        assert len(frames) == offline.shape[0]
+        assert np.allclose(np.stack(frames), offline)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             StreamingFramer(16, 0)
