@@ -11,12 +11,26 @@ performance trajectory across PRs stays queryable.
 """
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
 import pytest
 
 _BENCH_ROWS: list[dict] = []
+
+
+def _blas_threads() -> int:
+    """Effective BLAS thread setting: the first pinned env var, else the
+    machine's core count (what OpenBLAS/MKL default to)."""
+    for var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS"):
+        value = os.environ.get(var)
+        if value:
+            try:
+                return int(value)
+            except ValueError:
+                continue
+    return os.cpu_count() or 1
 
 
 def pytest_addoption(parser):
@@ -74,11 +88,18 @@ def bench_json():
     benches use ``p95_ms``/``deadline_ms`` so the ``--bench-max-p95`` guard
     can pin per-hop latency the same way ``--bench-min-speedup`` pins
     throughput.
+
+    Every row also records its hardware context — ``cpu_count`` and the
+    effective ``blas_threads`` setting — because a speedup (especially the
+    process-parallel E16 rows) is meaningless without knowing how many
+    cores it had to work with.
     """
 
     def record(bench: str, wall_ms: float, speedup: float, **extra: float) -> None:
         row = {"bench": str(bench), "wall_ms": float(wall_ms), "speedup": float(speedup)}
         row.update({k: float(v) for k, v in extra.items()})
+        row["cpu_count"] = os.cpu_count() or 1
+        row["blas_threads"] = _blas_threads()
         _BENCH_ROWS.append(row)
 
     return record

@@ -1,0 +1,186 @@
+"""E16 — process-parallel fleet runtime: speedup and detect-to-update p95.
+
+E15 pinned the *serial* streaming corridor's per-hop latency; E16 measures
+what moving each shard's kernel pass into a forked worker process buys.
+The 4-node dense corridor (oracle detector: every hop localizes) runs once
+through the serial :class:`FleetStream` baseline and then through
+:class:`ParallelFleetStream` at 1, 2 and 4 workers, all on the same scene.
+The claims asserted:
+
+1. fused corridor tracks are **bit-identical** across the serial baseline
+   and every worker count (the determinism contract of
+   ``tests/test_stream_parallel.py``, re-checked on the bench scene);
+2. with >= 4 usable cores, the 4-worker session beats the serial baseline
+   by at least ``MIN_SPEEDUP_4W`` (the fork + shared-memory rings must pay
+   for themselves on a dense workload);
+3. every emitted update carries a stage budget, and the end-to-end
+   ``detect_to_update_ms`` p95 stays inside the nominal budget of one hop
+   batch of delivery delay plus one hop of processing.
+
+Rows ``{bench, wall_ms, speedup, workers, ...}`` land in
+``BENCH_pipeline.json`` (with ``cpu_count``/``blas_threads`` context from
+the conftest); the CI guards are
+
+    --bench-min-speedup E16_parallel_fleet_4w=1.8
+    --bench-max-p95 E16_detect_to_update=300
+
+The whole module is marked ``parallel`` — it skips on single-core runners,
+where a process-level speedup is unmeasurable by construction.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.acoustics.trajectory import LinearTrajectory
+from repro.core import PipelineConfig
+from repro.fleet import (
+    CorridorScene,
+    CorridorStream,
+    FleetScheduler,
+    OracleDetector,
+    Vehicle,
+    place_corridor_nodes,
+    synthesize_corridor,
+)
+from repro.signals import synthesize_siren
+from repro.stream import ParallelFleetStream
+
+pytestmark = pytest.mark.parallel
+
+FS = 8000.0
+DURATION_S = 2.0
+N_NODES = 4
+N_SHARDS = 4  # one shard per node: 4 workers can each own one kernel pass
+CONFIG = PipelineConfig(fs=FS, n_azimuth=36, n_elevation=2, localizer="srp_fast")
+MIN_SPEEDUP_4W = 1.8
+
+
+@pytest.fixture(scope="module")
+def corridor():
+    rng = np.random.default_rng(16)
+    vehicles = [
+        Vehicle(
+            "siren_wail",
+            LinearTrajectory([-40.0, 8.0, 0.8], [40.0, 8.0, 0.8], 15.0),
+            synthesize_siren("wail", DURATION_S, FS, rng=rng),
+        ),
+        Vehicle(
+            "siren_yelp",
+            LinearTrajectory([40.0, 14.0, 0.8], [-40.0, 14.0, 0.8], 12.0),
+            synthesize_siren("yelp", DURATION_S, FS, rng=rng),
+        ),
+    ]
+    nodes = place_corridor_nodes(N_NODES, 22.0)
+    recording = synthesize_corridor(CorridorScene(vehicles, nodes), FS)
+    return nodes, recording
+
+
+def _scheduler(nodes):
+    return FleetScheduler(
+        nodes, CONFIG, detector=OracleDetector("siren_wail"), n_shards=N_SHARDS
+    )
+
+
+def _sources(recording):
+    return CorridorStream(recording, chunk_samples=CONFIG.hop_length).sources()
+
+
+def _assert_tracks_identical(ref_tracks, tracks, label):
+    assert len(tracks) == len(ref_tracks), label
+    for live, ref in zip(tracks, ref_tracks):
+        assert live.track_id == ref.track_id, label
+        assert live.label == ref.label, label
+        assert live.hits == ref.hits, label
+        assert live.nodes == ref.nodes, label
+        assert live.confirmed == ref.confirmed, label
+        assert live.confirmed_frame == ref.confirmed_frame, label
+        assert np.array_equal(live.frames(), ref.frames()), label
+        # Bit-identical, not merely close: fusion consumed the same numbers.
+        assert np.array_equal(live.positions(), ref.positions()), label
+
+
+def test_e16_parallel_fleet_speedup_and_budget(corridor, bench_json):
+    nodes, recording = corridor
+
+    # Serial baseline (E15's runtime) on the same scheduler config.  The
+    # warmup session builds the lazy steering pyramids; parallel sessions
+    # fork from an equally warm parent, so the comparison is kernels-only.
+    serial_sched = _scheduler(nodes)
+    serial_sched.stream(_sources(recording), hop_batch=8).run()
+    t0 = time.perf_counter()
+    serial = serial_sched.stream(_sources(recording), hop_batch=8).run()
+    serial_wall_ms = (time.perf_counter() - t0) * 1e3
+
+    rows = [("serial", serial_wall_ms, 1.0, float("nan"), float("nan"))]
+    speedups = {}
+    for workers in (1, 2, 4):
+        sched = _scheduler(nodes)
+        sched.stream(_sources(recording), hop_batch=8).run()  # warm the fork parent
+        t0 = time.perf_counter()
+        result = ParallelFleetStream(
+            sched, _sources(recording), hop_batch=8, workers=workers
+        ).run()
+        wall_ms = (time.perf_counter() - t0) * 1e3
+        speedup = serial_wall_ms / wall_ms
+        speedups[workers] = speedup
+
+        # Claim 1: bit-identical fused tracks at every worker count.
+        _assert_tracks_identical(serial.tracks, result.tracks, f"workers={workers}")
+
+        # Claim 3: every update budgeted; p95 inside the nominal budget.
+        assert len(result.stage_budgets) == len(result.updates)
+        d2u = result.detect_to_update
+        assert d2u is not None
+        d2u_p95_ms = d2u.p95_s * 1e3
+        d2u_budget_ms = d2u.deadline_s * 1e3
+        assert d2u_p95_ms <= d2u_budget_ms, (
+            f"workers={workers}: detect-to-update p95 {d2u_p95_ms:.1f} ms "
+            f"exceeds the {d2u_budget_ms:.1f} ms nominal budget"
+        )
+
+        rows.append(
+            (f"workers={workers}", wall_ms, speedup, d2u_p95_ms, d2u_budget_ms)
+        )
+        bench_json(
+            f"E16_parallel_fleet_{workers}w",
+            wall_ms,
+            speedup,
+            workers=workers,
+            p95_ms=result.hop_latency.p95_s * 1e3,
+            deadline_ms=result.hop_latency.deadline_s * 1e3,
+        )
+        if workers == 4:
+            # The guarded end-to-end latency row: one per session, at the
+            # worker count the speedup floor is claimed for.
+            bench_json(
+                "E16_detect_to_update",
+                wall_ms,
+                speedup,
+                workers=workers,
+                p95_ms=d2u_p95_ms,
+                deadline_ms=d2u_budget_ms,
+            )
+
+    print_table(
+        f"E16 process-parallel corridor ({N_NODES} nodes, {DURATION_S:.0f} s, dense)",
+        ["run", "wall ms", "speedup", "d2u p95 ms", "d2u budget ms"],
+        rows,
+    )
+
+    # Claim 2: the 4-worker run pays for its forks — only meaningful when
+    # the machine actually has the cores the workers are supposed to use.
+    import os
+
+    if (os.cpu_count() or 1) >= 4:
+        assert speedups[4] >= MIN_SPEEDUP_4W, (
+            f"4-worker speedup {speedups[4]:.2f}x below the "
+            f"{MIN_SPEEDUP_4W:.1f}x floor"
+        )
+    else:
+        pytest.skip(
+            f"speedup floor needs >= 4 CPUs (have {os.cpu_count()}); "
+            "identity and budget claims checked above"
+        )

@@ -1,0 +1,52 @@
+"""Repo-wide pytest configuration: the ``parallel`` marker.
+
+Tests marked ``@pytest.mark.parallel`` exercise multi-worker
+process-parallel sessions (``repro.stream.parallel``) and only make sense
+where they can actually run concurrently: they are skipped when the
+machine has fewer than 2 CPUs, when the ``fork`` start method is missing,
+or when ``multiprocessing.shared_memory`` is unusable (e.g. no /dev/shm).
+Single-worker and in-process parallel tests are unmarked — the runtime
+itself works on one CPU; only the *speedup* claims need cores.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "parallel: multi-worker process-parallel tests (skipped when "
+        "cpu_count() < 2, fork is unavailable, or shared_memory is unusable)",
+    )
+
+
+def _parallel_skip_reason():
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        return f"needs >= 2 CPUs (have {cpus})"
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return "the 'fork' start method is unavailable"
+    try:
+        from multiprocessing import shared_memory
+
+        seg = shared_memory.SharedMemory(create=True, size=8)
+        seg.close()
+        seg.unlink()
+    except Exception as exc:
+        return f"multiprocessing.shared_memory is unusable: {exc}"
+    return None
+
+
+def pytest_collection_modifyitems(config, items):
+    if not any(item.get_closest_marker("parallel") for item in items):
+        return
+    reason = _parallel_skip_reason()
+    if reason is None:
+        return
+    skip = pytest.mark.skip(reason=f"parallel: {reason}")
+    for item in items:
+        if item.get_closest_marker("parallel"):
+            item.add_marker(skip)

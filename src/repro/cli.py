@@ -114,6 +114,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--hop-batch", type=int, default=8, help="hops per fleet stream step"
     )
     flt.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run the stream through the process-parallel runtime with this "
+        "many forked shard workers over shared-memory rings (0 = same "
+        "runtime in-process); adds adaptive per-shard pacing and the live "
+        "detect-to-update stage budget",
+    )
+    flt.add_argument(
         "--drop-prob",
         type=float,
         default=0.0,
@@ -252,6 +261,7 @@ def _cmd_fleet(args) -> int:
         synthesize_corridor,
     )
     from repro.signals import synthesize_siren
+    from repro.stream import format_stage_summary, summarize_budgets
 
     if args.n_nodes < 2:
         print("error: a corridor fleet needs at least 2 nodes", file=sys.stderr)
@@ -284,25 +294,41 @@ def _cmd_fleet(args) -> int:
           f"{args.duration:.1f} s at {fs:.0f} Hz")
     print(f"vehicles          : 2 crossing ({args.speed:.0f} and {args.speed2:.0f} m/s), "
           f"detector: {args.detector}")
+    pacer_stats = None
     if args.stream:
         # Hop-clocked live session: ring-buffer ingest, per-hop fusion,
         # live track updates as they happen.
         stream = CorridorStream(
             recording, chunk_samples=config.hop_length, drop_prob=args.drop_prob, rng=rng
         )
+        parallel = args.workers is not None
         session = scheduler.stream(
             stream.sources(),
             hop_batch=args.hop_batch,
+            workers=args.workers,
             recordings=recording.recordings if args.multilaterate else None,
         )
-        print(f"engine            : streaming (hop batch {args.hop_batch}, "
+        engine = "streaming"
+        if parallel:
+            engine = f"parallel streaming, {session.workers} worker process(es)"
+        print(f"engine            : {engine} (hop batch {args.hop_batch}, "
               f"chunk {config.hop_length} samples, drop prob {args.drop_prob:.2f})")
+        n_steps = 0
         while not session.done:
             for update in session.step().updates:
                 if update.kind in ("confirmed", "retired"):
                     print("  " + format_track_update(update, frame_period=config.frame_period_s))
+            n_steps += 1
+            if parallel and n_steps % 32 == 0:
+                # Live stage-budget line: where the detect-to-update
+                # latency is going, per stage, so far.
+                print(format_stage_summary(summarize_budgets(session.stage_budgets)))
         result = session.finalize()
+        if parallel:
+            session.close()
         run, tracks = result.as_run_result(), result.tracks
+        if parallel:
+            pacer_stats = result.node_pacer_stats()
         counts = summarize_updates(result.updates)
         hop = result.hop_latency
         print(f"live updates      : " + ", ".join(f"{k} {v}" for k, v in counts.items()))
@@ -313,6 +339,11 @@ def _cmd_fleet(args) -> int:
         print(f"per-hop latency   : p95 {hop.p95_s * 1e3:.2f} ms vs "
               f"{hop.deadline_s * 1e3:.1f} ms hop deadline "
               f"({'real-time' if result.realtime else 'OVERRUN'})")
+        if parallel:
+            print(format_stage_summary(result.stage_summary()))
+            d2u = result.detect_to_update
+            print(f"detect→update     : p95 {d2u.p95_s * 1e3:.1f} ms vs "
+                  f"{d2u.deadline_s * 1e3:.1f} ms nominal budget")
     else:
         run = scheduler.run(recording)
         tracks = fuse_fleet(
@@ -323,7 +354,9 @@ def _cmd_fleet(args) -> int:
             fs=fs if args.multilaterate else None,
             hop_length=config.hop_length,
         )
-    report = fleet_report(tracks, run, frame_period=config.frame_period_s)
+    report = fleet_report(
+        tracks, run, frame_period=config.frame_period_s, pacer_stats=pacer_stats
+    )
     print(f"shards            : {run.shards} "
           f"({scheduler.n_shared_localizers} shared steering tensors)")
     print(f"fleet wall time   : {run.fleet_latency.mean_s * 1e3:.1f} ms "

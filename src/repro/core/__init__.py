@@ -21,10 +21,12 @@ from repro.core.modes import (
 from repro.core.pipeline import AcousticPerceptionPipeline, FrameResult
 from repro.core.realtime import LatencyMonitor, LatencyStats, measure_latency, realtime_ok
 
-from repro.core.alerts import Alert, AlertPolicy
+from repro.core.alerts import Alert, AlertPolicy, BudgetAlert, OverrunPolicy
 __all__ = [
     "Alert",
     "AlertPolicy",
+    "BudgetAlert",
+    "OverrunPolicy",
     "HopKernel",
 
     "BlockPipeline",

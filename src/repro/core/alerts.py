@@ -1,22 +1,32 @@
-"""Alert policy: turn per-frame pipeline results into driver-level events.
+"""Alert policies: turn raw pipeline telemetry into driver-level events.
 
 Use case (i) of the paper's Fig. 1 — "detecting dangerous situations" —
 needs more than per-frame labels: an emergency alert should fire once per
 event, survive frame-level dropouts, and say whether the source is
-approaching.  This module implements hysteresis-debounced alerting with
-approach analysis from the tracked DOA and detection confidence trend.
+approaching.  :class:`AlertPolicy` implements that hysteresis-debounced
+alerting with approach analysis from the tracked DOA and detection
+confidence trend.
+
+The same debounce discipline applies to *operational* telemetry:
+:class:`OverrunPolicy` watches a stream of per-step ``(duration, budget)``
+samples from the paced fleet runtime (:mod:`repro.stream.pacer`) and raises
+a :class:`BudgetAlert` only after sustained overruns — a single slow step
+is noise, a run of them means the node's shard genuinely cannot hold its
+hop deadline and the health rollup (:mod:`repro.fleet.report`) should say
+so.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.core.pipeline import FrameResult
 from repro.sed.events import is_emergency
 
-__all__ = ["Alert", "AlertPolicy"]
+__all__ = ["Alert", "AlertPolicy", "BudgetAlert", "OverrunPolicy"]
 
 
 @dataclass(frozen=True)
@@ -144,5 +154,100 @@ class AlertPolicy:
         for r in results:
             alert = self.update(r)
             if alert is not None and alert.kind in ("raised", "cleared"):
+                out.append(alert)
+        return out
+
+
+@dataclass(frozen=True)
+class BudgetAlert:
+    """A debounced real-time budget transition.
+
+    Attributes
+    ----------
+    kind:
+        ``overrun`` (sustained deadline misses began) or ``recovered``
+        (the step loop held its budget again for long enough).
+    step_index:
+        Step at which the transition fired.
+    duration_s, budget_s:
+        The step measurement that tipped the debounce.
+    """
+
+    kind: str
+    step_index: int
+    duration_s: float
+    budget_s: float
+
+
+class OverrunPolicy:
+    """Hysteresis-debounced overrun alerting over step-budget samples.
+
+    The operational sibling of :class:`AlertPolicy`: an overrun alert raises
+    after ``on_steps`` consecutive steps whose wall time exceeded their hop
+    budget, and clears after ``off_steps`` consecutive steps back inside it
+    — so transient GC pauses or one cold cache fill never page an operator,
+    while a shard that genuinely cannot keep up does.
+
+    Parameters
+    ----------
+    on_steps, off_steps:
+        Debounce lengths in steps.
+    """
+
+    def __init__(self, *, on_steps: int = 3, off_steps: int = 5) -> None:
+        if on_steps < 1 or off_steps < 1:
+            raise ValueError("debounce lengths must be positive")
+        self.on_steps = int(on_steps)
+        self.off_steps = int(off_steps)
+        self._consec_over = 0
+        self._consec_ok = 0
+        self._active = False
+        self._step = 0
+
+    @property
+    def active(self) -> bool:
+        """Whether an overrun alert is currently raised."""
+        return self._active
+
+    def reset(self) -> None:
+        """Clear all debounce state."""
+        self._consec_over = 0
+        self._consec_ok = 0
+        self._active = False
+        self._step = 0
+
+    def update(self, duration_s: float, budget_s: float) -> BudgetAlert | None:
+        """Feed one step measurement; returns a transition or ``None``."""
+        if duration_s < 0 or budget_s <= 0:
+            raise ValueError("need duration >= 0 and budget > 0")
+        step = self._step
+        self._step += 1
+        if duration_s > budget_s:
+            self._consec_over += 1
+            self._consec_ok = 0
+        else:
+            self._consec_ok += 1
+            self._consec_over = 0
+        if not self._active and self._consec_over >= self.on_steps:
+            self._active = True
+            return BudgetAlert("overrun", step, float(duration_s), float(budget_s))
+        if self._active and self._consec_ok >= self.off_steps:
+            self._active = False
+            return BudgetAlert("recovered", step, float(duration_s), float(budget_s))
+        return None
+
+    def process(
+        self, samples: Iterable[Sequence[float]]
+    ) -> list[BudgetAlert]:
+        """Run the policy over ``(duration_s, budget_s, ...)`` samples.
+
+        Accepts the ``records`` tuples of
+        :class:`repro.stream.pacer.PacerStats` directly (extra fields are
+        ignored); returns the transitions.
+        """
+        out = []
+        for sample in samples:
+            alert = self.update(float(sample[0]), float(sample[1]))
+            if alert is not None:
                 out.append(alert)
         return out

@@ -88,3 +88,13 @@ class PipelineConfig:
     def frame_period_s(self) -> float:
         """Real-time deadline per frame, seconds."""
         return self.hop_length / self.fs
+
+    @property
+    def capture_latency_s(self) -> float:
+        """Time to fill one analysis window, seconds.
+
+        The physics floor of the detect-to-update latency budget (see
+        :mod:`repro.stream.budget`): no stage downstream can start before
+        the window's last sample exists.
+        """
+        return self.frame_length / self.fs

@@ -28,7 +28,7 @@ or parallel-ray geometries degrade gracefully to bearing-only updates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
@@ -37,6 +37,9 @@ from repro.core.pipeline import FrameResult
 from repro.fleet.corridor import CorridorNode
 from repro.sed.events import fusion_threshold, is_emergency
 from repro.ssl.multilateration import localize_position
+
+if TYPE_CHECKING:  # imported lazily to keep fleet importable without stream
+    from repro.stream.budget import StageBudget
 
 __all__ = [
     "FusionConfig",
@@ -407,6 +410,11 @@ class TrackUpdate:
         Track-filter speed estimate.
     n_nodes:
         Distinct nodes that have contributed so far.
+    budget:
+        End-to-end :class:`~repro.stream.budget.StageBudget` of this update
+        (capture → delivery → ingest → kernel → fusion → emit), attached by
+        the process-parallel runtime; ``None`` in offline/serial sessions
+        that do not instrument stages.
     """
 
     kind: str
@@ -417,6 +425,7 @@ class TrackUpdate:
     y: float
     speed_mps: float
     n_nodes: int
+    budget: "StageBudget | None" = None
 
 
 class FusionEngine:

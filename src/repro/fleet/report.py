@@ -15,12 +15,13 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.core.alerts import AlertPolicy
+from repro.core.alerts import AlertPolicy, OverrunPolicy
 from repro.core.pipeline import FrameResult
 from repro.core.realtime import LatencyStats
 from repro.fleet.corridor import CorridorNode
 from repro.fleet.fusion import FusedTrack, TrackUpdate, bearing_only_positions
 from repro.fleet.scheduler import FleetRunResult
+from repro.stream.pacer import PacerStats
 
 __all__ = [
     "CorridorEvent",
@@ -79,6 +80,15 @@ class NodeHealth:
         Attributed processing-time stats for the node.
     realtime:
         Whether the node's attributed processing met its capture budget.
+    n_overruns:
+        Paced sessions only: steps of the node's shard that blew their hop
+        budget (raw count, before debouncing).
+    n_overrun_alerts:
+        Debounced overrun alerts from :class:`~repro.core.alerts.
+        OverrunPolicy` — sustained misses, not single slow steps.
+    peak_hop_batch:
+        Widest effective hop batch the shard's pacer reached while
+        catching up (0 when the session was not paced).
     """
 
     node_id: str
@@ -87,6 +97,9 @@ class NodeHealth:
     n_alerts: int
     latency: LatencyStats
     realtime: bool
+    n_overruns: int = 0
+    n_overrun_alerts: int = 0
+    peak_hop_batch: int = 0
 
     @property
     def detection_rate(self) -> float:
@@ -129,8 +142,18 @@ def fleet_report(
     *,
     frame_period: float,
     alert_policy_factory=AlertPolicy,
+    pacer_stats: Mapping[str, PacerStats] | None = None,
+    overrun_policy_factory=OverrunPolicy,
 ) -> FleetReport:
-    """Build the corridor report from fused tracks and a fleet run."""
+    """Build the corridor report from fused tracks and a fleet run.
+
+    ``pacer_stats`` (``node_id -> PacerStats``, e.g. from
+    :meth:`~repro.stream.parallel.ParallelStreamResult.node_pacer_stats`)
+    folds a paced session's overrun/catch-up accounting into each node's
+    health row: the raw overrun count, the *debounced* overrun alerts from
+    :class:`~repro.core.alerts.OverrunPolicy`, and the widest hop batch the
+    backpressure reached.
+    """
     if frame_period <= 0:
         raise ValueError("frame_period must be positive")
     confirmed = [t for t in tracks if t.confirmed and t.history]
@@ -171,6 +194,13 @@ def fleet_report(
         results = run.node_results[node_id]
         alerts = alert_policy_factory().process(list(results))
         n_alerts = sum(1 for a in alerts if a.kind == "raised")
+        n_overruns = n_overrun_alerts = peak_hop_batch = 0
+        if pacer_stats is not None and node_id in pacer_stats:
+            ps = pacer_stats[node_id]
+            n_overruns = ps.n_overruns
+            peak_hop_batch = ps.max_batch_used
+            transitions = overrun_policy_factory().process(ps.records)
+            n_overrun_alerts = sum(1 for a in transitions if a.kind == "overrun")
         health.append(
             NodeHealth(
                 node_id=node_id,
@@ -179,6 +209,9 @@ def fleet_report(
                 n_alerts=n_alerts,
                 latency=stats.latency,
                 realtime=stats.latency.realtime,
+                n_overruns=n_overruns,
+                n_overrun_alerts=n_overrun_alerts,
+                peak_hop_batch=peak_hop_batch,
             )
         )
     return FleetReport(
@@ -281,8 +314,14 @@ def format_report(report: FleetReport) -> str:
     lines.append("node health       :")
     for h in report.node_health:
         status = "ok" if h.realtime else "OVERRUN"
-        lines.append(
+        line = (
             f"  {h.node_id:<8} frames {h.n_frames:>5}  det {h.detection_rate:5.1%}  "
             f"alerts {h.n_alerts}  proc {h.latency.mean_s * 1e3:7.1f} ms  [{status}]"
         )
+        if h.peak_hop_batch:
+            line += (
+                f"  pacer: {h.n_overruns} overrun(s), "
+                f"{h.n_overrun_alerts} alert(s), peak batch {h.peak_hop_batch}"
+            )
+        lines.append(line)
     return "\n".join(lines)

@@ -204,6 +204,10 @@ class FleetScheduler:
         self.shards: list[list[str]] = [[] for _ in range(min(n_shards, len(self.nodes)))]
         for k, node in enumerate(self.nodes):
             self.shards[k % len(self.shards)].append(node.node_id)
+        # One pool for the scheduler's lifetime (created on first threaded
+        # run): per-call executors rebuilt and tore down their worker
+        # threads every run, paying thread spawn latency each time.
+        self._executor: ThreadPoolExecutor | None = None
 
     # ------------------------------------------------------------------ API
 
@@ -241,11 +245,11 @@ class FleetScheduler:
 
         fleet_monitor.tick_start()
         if self.use_threads and len(self.shards) > 1:
-            with ThreadPoolExecutor(max_workers=len(self.shards)) as pool:
-                for shard_out in pool.map(lambda s: self._run_shard(s, clips), self.shards):
-                    node_results.update(shard_out[0])
-                    for nid, dt in shard_out[1].items():
-                        node_monitors[nid].record(dt)
+            pool = self._get_executor()
+            for shard_out in pool.map(lambda s: self._run_shard(s, clips), self.shards):
+                node_results.update(shard_out[0])
+                for nid, dt in shard_out[1].items():
+                    node_monitors[nid].record(dt)
         else:
             for shard in self.shards:
                 results, durations = self._run_shard(shard, clips)
@@ -275,11 +279,13 @@ class FleetScheduler:
         sources: "Mapping[str, ChunkSource]",
         *,
         hop_batch: int = 8,
+        workers: int | None = None,
+        pacer=None,
         fusion_config: FusionConfig | None = None,
         recordings: Mapping[str, np.ndarray] | None = None,
         ring_capacity: int | None = None,
         late_tolerance_s: float | None = None,
-    ) -> "FleetStream":
+    ):
         """Open a hop-clocked live session over per-node chunk sources.
 
         ``sources`` maps every node id to its :class:`ChunkSource` (e.g.
@@ -290,7 +296,30 @@ class FleetScheduler:
         fuse_fleet` on the same audio.  Pass ``recordings`` to enable the
         wide-baseline multilateration upgrade, exactly as with
         :func:`fuse_fleet`.
+
+        With ``workers`` set (0 for the in-process reference path, >= 1
+        for forked shard workers over shared-memory rings) the session is
+        a :class:`~repro.stream.parallel.ParallelFleetStream` instead —
+        same surface and identical fused tracks, plus per-shard adaptive
+        pacing (``pacer``, a :class:`~repro.stream.pacer.PacerConfig`) and
+        per-update stage budgets.
         """
+        if workers is not None:
+            from repro.stream.parallel import ParallelFleetStream
+
+            return ParallelFleetStream(
+                self,
+                sources,
+                hop_batch=hop_batch,
+                workers=workers,
+                pacer=pacer,
+                fusion_config=fusion_config,
+                recordings=recordings,
+                ring_capacity=ring_capacity,
+                late_tolerance_s=late_tolerance_s,
+            )
+        if pacer is not None:
+            raise ValueError("pacer requires the parallel runtime (pass workers=)")
         return FleetStream(
             self,
             sources,
@@ -301,7 +330,28 @@ class FleetScheduler:
             late_tolerance_s=late_tolerance_s,
         )
 
+    def close(self) -> None:
+        """Shut the persistent shard executor down (idempotent; the
+        scheduler remains usable — the next threaded run re-creates it)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "FleetScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # ------------------------------------------------------------- internals
+
+    def _get_executor(self) -> ThreadPoolExecutor:
+        """The scheduler-lifetime shard pool, created on first use."""
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=len(self.shards), thread_name_prefix="fleet-shard"
+            )
+        return self._executor
 
     def _run_shard(
         self, shard: list[str], clips: Mapping[str, np.ndarray]

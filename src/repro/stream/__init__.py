@@ -6,29 +6,82 @@ package closes that gap with a hop-clocked runtime over the same shared
 :class:`~repro.core.hop.HopKernel`:
 
 - :mod:`repro.stream.ring` — fixed-capacity multichannel
-  :class:`RingBuffer` (O(frame) memory, overflow accounting);
+  :class:`RingBuffer` (O(frame) memory, overflow accounting) and its
+  :class:`SharedRingBuffer` twin over ``multiprocessing.shared_memory``
+  (same semantics, pages visible across processes);
 - :mod:`repro.stream.source` — :class:`Chunk` / :class:`ChunkSource`
   producer interface and the :class:`RecordingChunkSource` replay feed
   (with simulated drops and delivery jitter);
 - :mod:`repro.stream.engine` — :class:`NodeIngest` (source → ring → hop
   blocks with late/dropped-chunk accounting) and :class:`StreamPipeline`
-  (the single-node real-time driver).
+  (the single-node real-time driver);
+- :mod:`repro.stream.pacer` — the adaptive hop-batch governor
+  (:class:`Pacer`): overruns widen a shard's batch, headroom shrinks it,
+  optional monotonic-clock pacing replays at capture speed;
+- :mod:`repro.stream.budget` — the :class:`StageBudget` detect-to-update
+  latency decomposition stamped on every fused update;
+- :mod:`repro.stream.parallel` — the process-parallel fleet runtime
+  (:class:`ParallelFleetStream`).
 
-The fleet-level streaming session (:class:`repro.fleet.FleetStream`)
-composes these per node and adds per-hop cross-node fusion.
+Execution tiers of the fleet stack, slowest-coupling first:
+
+===========  ==========================================================
+serial       :class:`repro.fleet.FleetStream` — every shard's kernel
+             pass in the main process.  Lowest overhead; wins for small
+             fleets and short captures.
+threaded     :meth:`repro.fleet.FleetScheduler.run` with
+             ``use_threads=True`` (offline only) — shards on a thread
+             pool; helps once NumPy releases the GIL for long batches.
+process      :class:`ParallelFleetStream` — each shard's kernel in a
+             forked worker fed through shared-memory rings; the per-hop
+             Python cost parallelizes too.  Wins for many-node fleets
+             and dense (per-hop localization) workloads; costs a fork
+             plus one pipe round-trip per step.
+===========  ==========================================================
+
+All tiers drive the same :class:`~repro.core.hop.HopKernel` and produce
+bit-identical per-node results and fused tracks.
 """
 
 from repro.stream.engine import IngestStats, NodeIngest, StreamPipeline, StreamRunResult
-from repro.stream.ring import RingBuffer
+from repro.stream.ring import RingBuffer, SharedRingBuffer
 from repro.stream.source import Chunk, ChunkSource, RecordingChunkSource
+from repro.stream.budget import (
+    STAGES,
+    StageBudget,
+    format_stage_summary,
+    percentile_ms,
+    summarize_budgets,
+)
+from repro.stream.pacer import Pacer, PacerConfig, PacerStats
+
+# Imported last: parallel pulls in repro.fleet.fusion, which may re-enter
+# this package mid-initialization — everything it needs is already bound.
+from repro.stream.parallel import (
+    ParallelFleetStream,
+    ParallelStreamResult,
+    parallel_supported,
+)
 
 __all__ = [
     "Chunk",
     "ChunkSource",
     "IngestStats",
     "NodeIngest",
+    "Pacer",
+    "PacerConfig",
+    "PacerStats",
+    "ParallelFleetStream",
+    "ParallelStreamResult",
     "RecordingChunkSource",
     "RingBuffer",
+    "STAGES",
+    "SharedRingBuffer",
+    "StageBudget",
     "StreamPipeline",
     "StreamRunResult",
+    "format_stage_summary",
+    "parallel_supported",
+    "percentile_ms",
+    "summarize_budgets",
 ]

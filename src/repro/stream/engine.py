@@ -72,6 +72,12 @@ class NodeIngest:
     late_tolerance_s:
         Delivery latency above which a chunk counts as late; defaults to
         one hop period at the source rate.
+    ring:
+        An externally owned ring to ingest into instead of allocating one —
+        how the process-parallel runtime injects a
+        :class:`~repro.stream.ring.SharedRingBuffer` so the pushed audio
+        lands directly in the shard worker's shared pages.  ``capacity`` is
+        ignored when given.
     """
 
     def __init__(
@@ -82,13 +88,19 @@ class NodeIngest:
         *,
         capacity: int | None = None,
         late_tolerance_s: float | None = None,
+        ring: RingBuffer | None = None,
     ) -> None:
         self.source = source
         self.frame_length = int(frame_length)
         self.hop_length = int(hop_length)
         if capacity is None:
             capacity = 2 * (self.frame_length + 64 * self.hop_length)
-        self.ring = RingBuffer(source.n_channels, capacity)
+        if ring is not None and ring.n_channels != source.n_channels:
+            raise ValueError(
+                f"injected ring has {ring.n_channels} channels, "
+                f"source has {source.n_channels}"
+            )
+        self.ring = ring if ring is not None else RingBuffer(source.n_channels, capacity)
         if late_tolerance_s is None:
             late_tolerance_s = self.hop_length / source.fs
         self.late_tolerance_s = float(late_tolerance_s)

@@ -1,0 +1,219 @@
+"""Monotonic-clock pacing with backpressure: the adaptive hop batch.
+
+The lock-step runtime of PR 5 advances shards as fast as Python allows and
+*accounts* overruns after the fact; a deployed corridor service must instead
+*react* to them.  :class:`Pacer` closes that loop per shard:
+
+- **overrun → widen.**  When a shard's step spends more wall time than the
+  hops it advanced bought it (``hops x hop_period``), the pacer widens that
+  shard's effective hop batch (doubling, up to ``max_batch``).  A wider
+  batch amortizes the per-step Python cost over more hops — the classic
+  batching throughput/latency trade — so the shard catches up *by design*
+  instead of letting the bounded ring silently overwrite samples.
+- **headroom → shrink.**  When the step finishes well inside its budget
+  (below ``shrink_headroom`` of it), the batch halves again (down to
+  ``min_batch``), cutting the hop-batch delivery delay that dominates the
+  detect-to-update latency budget (see :mod:`repro.stream.budget`).
+- **real-time pacing (optional).**  With ``pace=True`` the pacer sleeps on
+  the *monotonic* clock until the stream clock catches up, so a replayed
+  corridor runs at capture speed instead of as-fast-as-possible.  The clock
+  is injectable for deterministic tests.
+
+Every decision is recorded; :class:`PacerStats` feeds the per-node health
+rollups in :mod:`repro.fleet.report` through the debounced
+:class:`repro.core.alerts.OverrunPolicy`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["PacerConfig", "PacerStats", "Pacer"]
+
+
+@dataclass(frozen=True)
+class PacerConfig:
+    """Backpressure policy of one :class:`Pacer`.
+
+    Attributes
+    ----------
+    min_batch, max_batch:
+        Bounds of the effective hop batch.  ``max_batch`` defaults to 8x
+        the nominal batch at construction; ``min_batch`` to 1 (lowest
+        delivery delay the hop grid allows).
+    widen_factor:
+        Multiplicative widen step on overrun (and the shrink divisor).
+    shrink_headroom:
+        Fraction of the step budget *below* which the batch shrinks again;
+        between it and 1.0 the batch holds (hysteresis band, so the batch
+        does not oscillate every step).
+    pace:
+        Sleep on the monotonic clock so steps track the stream clock
+        (real-time replay) instead of free-running.
+    """
+
+    min_batch: int = 1
+    max_batch: int | None = None
+    widen_factor: float = 2.0
+    shrink_headroom: float = 0.5
+    pace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.min_batch < 1:
+            raise ValueError("min_batch must be >= 1")
+        if self.max_batch is not None and self.max_batch < self.min_batch:
+            raise ValueError("max_batch must be >= min_batch")
+        if self.widen_factor <= 1.0:
+            raise ValueError("widen_factor must be > 1")
+        if not 0.0 < self.shrink_headroom < 1.0:
+            raise ValueError("shrink_headroom must lie in (0, 1)")
+
+
+@dataclass(frozen=True)
+class PacerStats:
+    """What one pacer saw and did over a session.
+
+    ``records`` holds one ``(wall_s, budget_s, batch)`` triple per step with
+    at least one hop advanced, so report-side policies (e.g. the debounced
+    :class:`~repro.core.alerts.OverrunPolicy`) can replay the decisions.
+    """
+
+    n_steps: int
+    n_overruns: int
+    n_widenings: int
+    n_shrinks: int
+    min_batch_used: int
+    max_batch_used: int
+    records: tuple[tuple[float, float, int], ...] = field(default=())
+
+    @property
+    def overrun_rate(self) -> float:
+        """Fraction of recorded steps that blew their hop budget."""
+        return self.n_overruns / self.n_steps if self.n_steps else 0.0
+
+
+class Pacer:
+    """Adaptive hop-batch governor for one shard's step loop.
+
+    Usage per step: read :attr:`batch`, advance the shard by (up to) that
+    many hops, then call :meth:`observe` with the measured wall time and the
+    hops actually advanced.  :meth:`wait` (no-op unless ``pace=True``)
+    sleeps until the stream clock's next step is due.
+
+    Parameters
+    ----------
+    hop_period_s:
+        The hop deadline (``hop_length / fs``).
+    hop_batch:
+        Nominal (starting) hops per step.
+    config:
+        Backpressure policy; default bounds are ``[1, 8 x hop_batch]``.
+    clock, sleep:
+        Injectable monotonic clock and sleeper (tests pass fakes).
+    """
+
+    def __init__(
+        self,
+        hop_period_s: float,
+        *,
+        hop_batch: int = 8,
+        config: PacerConfig | None = None,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ) -> None:
+        if hop_period_s <= 0:
+            raise ValueError("hop_period_s must be positive")
+        if hop_batch < 1:
+            raise ValueError("hop_batch must be >= 1")
+        cfg = config or PacerConfig()
+        if cfg.max_batch is None:
+            cfg = PacerConfig(
+                min_batch=cfg.min_batch,
+                max_batch=max(8 * hop_batch, cfg.min_batch),
+                widen_factor=cfg.widen_factor,
+                shrink_headroom=cfg.shrink_headroom,
+                pace=cfg.pace,
+            )
+        self.hop_period_s = float(hop_period_s)
+        self.nominal_batch = int(hop_batch)
+        self.config = cfg
+        self._clock = clock
+        self._sleep = sleep
+        self._batch = min(max(int(hop_batch), cfg.min_batch), cfg.max_batch)
+        self._origin: float | None = None  # monotonic epoch of stream t=0
+        self._stream_t = 0.0
+        self.n_steps = 0
+        self.n_overruns = 0
+        self.n_widenings = 0
+        self.n_shrinks = 0
+        self._min_used = self._batch
+        self._max_used = self._batch
+        self._records: list[tuple[float, float, int]] = []
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def batch(self) -> int:
+        """Current effective hop batch (what the next step should advance)."""
+        return self._batch
+
+    def wait(self, next_stream_t: float) -> float:
+        """Sleep (monotonic clock) until stream time ``next_stream_t`` is
+        due; returns the seconds slept.  No-op when pacing is off."""
+        self._stream_t = float(next_stream_t)
+        if not self.config.pace:
+            return 0.0
+        now = self._clock()
+        if self._origin is None:
+            self._origin = now
+            return 0.0
+        due = self._origin + next_stream_t
+        delay = due - now
+        if delay > 0:
+            self._sleep(delay)
+            return delay
+        return 0.0
+
+    def observe(self, wall_s: float, hops_advanced: int) -> None:
+        """Feed one step's measurement; adapts the batch for the next step.
+
+        Steps that advanced no hops (ring still filling, source stalled)
+        are not judged — there was no budget to spend.
+        """
+        if wall_s < 0:
+            raise ValueError("wall_s must be non-negative")
+        if hops_advanced <= 0:
+            return
+        self.n_steps += 1
+        budget = hops_advanced * self.hop_period_s
+        self._records.append((float(wall_s), float(budget), self._batch))
+        cfg = self.config
+        if wall_s > budget:
+            # Backpressure: the shard cannot keep up at this batch size —
+            # amortize harder instead of letting the ring drop.
+            self.n_overruns += 1
+            widened = min(cfg.max_batch, max(self._batch + 1, int(self._batch * cfg.widen_factor)))
+            if widened != self._batch:
+                self._batch = widened
+                self.n_widenings += 1
+        elif wall_s < cfg.shrink_headroom * budget and self._batch > cfg.min_batch:
+            # Headroom returned: shrink toward the lowest delivery delay.
+            shrunk = max(cfg.min_batch, int(self._batch / cfg.widen_factor))
+            if shrunk != self._batch:
+                self._batch = shrunk
+                self.n_shrinks += 1
+        self._min_used = min(self._min_used, self._batch)
+        self._max_used = max(self._max_used, self._batch)
+
+    def stats(self) -> PacerStats:
+        """Everything this pacer saw and did so far."""
+        return PacerStats(
+            n_steps=self.n_steps,
+            n_overruns=self.n_overruns,
+            n_widenings=self.n_widenings,
+            n_shrinks=self.n_shrinks,
+            min_batch_used=self._min_used,
+            max_batch_used=self._max_used,
+            records=tuple(self._records),
+        )

@@ -1,0 +1,753 @@
+"""Process-parallel fleet runtime: shard workers over shared-memory rings.
+
+The third execution tier of the fleet stack.  PR 5's :class:`~repro.fleet.
+scheduler.FleetStream` runs every shard's hop-kernel pass in the main
+process, so K shards share one interpreter; the batched kernels release the
+GIL inside NumPy but the per-hop Python (priming, tracking, refinement
+bookkeeping) serializes.  :class:`ParallelFleetStream` moves each shard's
+kernel pass into a persistent **worker process**:
+
+- **audio crosses the process boundary zero-copy.**  The main process
+  ingests every node's chunk feed into a
+  :class:`~repro.stream.ring.SharedRingBuffer` whose pages live in
+  ``multiprocessing.shared_memory``; the worker pops hop frames straight
+  out of the same pages.  Only the int64 ring header (head/size/drop
+  counters) and the per-hop :class:`~repro.core.pipeline.FrameResult` rows
+  (a few floats each) move over the pipe — never samples.
+- **workers are forked, not spawned.**  Fork inherits the scheduler's
+  built pipelines — detector weights, steering/interpolation tensors,
+  coarse-to-fine pyramids — without pickling a single array.
+- **fusion stays in the main process.**  Workers return per-hop
+  localization results; the main process merges them in deterministic
+  shard order and steps the incremental
+  :class:`~repro.fleet.fusion.FusionEngine` exactly like the serial
+  runtime, so fused tracks are **bit-identical** to
+  :class:`~repro.fleet.scheduler.FleetStream` and to the offline
+  :meth:`~repro.fleet.scheduler.FleetScheduler.run` pass (the PR 5
+  hop-batch invariance contract makes the interleaving immaterial).
+
+Single-producer/single-consumer turn-taking makes the rings lock-free: the
+main process pushes a shard's chunks *before* sending its step command and
+the worker pops *before* replying, so the two sides never touch a ring
+concurrently.
+
+Each shard is governed by a :class:`~repro.stream.pacer.Pacer`: hop-budget
+overruns widen that shard's effective hop batch (catch up by amortizing,
+not by ring drops) and headroom shrinks it back.  Every emitted
+:class:`~repro.fleet.fusion.TrackUpdate` carries a
+:class:`~repro.stream.budget.StageBudget` decomposing its detect-to-update
+latency across capture → delivery → ingest → kernel → fusion → emit.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.acoustics.geometry import SPEED_OF_SOUND
+from repro.core.pipeline import FrameResult
+from repro.core.realtime import LatencyMonitor, LatencyStats
+from repro.fleet.fusion import (
+    FusionConfig,
+    FusedTrack,
+    FusionEngine,
+    TrackUpdate,
+    detection_from_result,
+)
+from repro.ssl.refine import RefineState
+from repro.ssl.tracking import KalmanDoaTracker
+from repro.stream.budget import StageBudget, summarize_budgets
+from repro.stream.engine import IngestStats, NodeIngest
+from repro.stream.pacer import Pacer, PacerConfig, PacerStats
+from repro.stream.ring import RingBuffer, SharedRingBuffer
+from repro.stream.source import ChunkSource
+
+if TYPE_CHECKING:  # pragma: no cover - circular at runtime, fine for typing
+    from repro.core.batch import BlockPipeline
+    from repro.fleet.scheduler import (
+        FleetRunResult,
+        FleetScheduler,
+        FleetStepResult,
+        NodeRunStats,
+    )
+
+__all__ = [
+    "parallel_supported",
+    "ParallelFleetStream",
+    "ParallelStreamResult",
+]
+
+
+def parallel_supported() -> str | None:
+    """Why process-parallel execution is unavailable here, or ``None``.
+
+    Needs the ``fork`` start method (workers inherit built pipelines
+    without pickling) and a working ``multiprocessing.shared_memory``
+    (some sandboxes mount no /dev/shm).
+    """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return "the 'fork' start method is unavailable on this platform"
+    try:
+        from multiprocessing import shared_memory
+
+        seg = shared_memory.SharedMemory(create=True, size=8)
+        seg.close()
+        seg.unlink()
+    except Exception as exc:  # pragma: no cover - environment specific
+        return f"multiprocessing.shared_memory is unavailable: {exc}"
+    return None
+
+
+@dataclass(frozen=True)
+class _ShardReply:
+    """One shard's kernel pass: which nodes produced frames, their rows,
+    and the wall time the pass took (pop + kernel, seconds)."""
+
+    nids: tuple[str, ...]
+    results: dict[str, list[FrameResult]]
+    kernel_s: float
+
+
+@dataclass(frozen=True)
+class _WorkerError:
+    """A worker's traceback, shipped over the pipe before it exits."""
+
+    traceback: str
+
+
+class _ShardRunner:
+    """The kernel side of one shard: rings in, FrameResults out.
+
+    Runs identically in-process (``workers=0``) and inside a forked worker
+    (``workers>=1``) — the same object, the same code path — which is what
+    makes the worker-count equivalence property testable at all.  Holds the
+    shard's per-node stream state (tracker, refinement, frame counter) next
+    to the pipelines so a forked worker owns everything its kernel pass
+    mutates.
+    """
+
+    def __init__(
+        self,
+        nids: list[str],
+        pipelines: "dict[str, BlockPipeline]",
+        rings: dict[str, RingBuffer],
+        frame_length: int,
+        hop_length: int,
+    ) -> None:
+        self.nids = list(nids)
+        self.pipelines = {nid: pipelines[nid] for nid in self.nids}
+        self.rings = {nid: rings[nid] for nid in self.nids}
+        self.frame_length = int(frame_length)
+        self.hop_length = int(hop_length)
+        self.trackers = {nid: KalmanDoaTracker() for nid in self.nids}
+        self.refine = {nid: RefineState() for nid in self.nids}
+        self.counts = {nid: 0 for nid in self.nids}
+
+    def step(self) -> _ShardReply:
+        """Pop every completed frame and run the shard's kernel pass.
+
+        Steady state pops one hop batch per node; after a stall the whole
+        backlog drains in one pass (catch up, don't let the bounded ring
+        overflow) — byte-for-byte the serial ``FleetStream`` shard body.
+        """
+        t0 = time.perf_counter()
+        blocks: list[np.ndarray] = []
+        nids: list[str] = []
+        for nid in self.nids:
+            frames = self.rings[nid].pop_frames(self.frame_length, self.hop_length)
+            if frames.shape[0]:
+                blocks.append(frames)
+                nids.append(nid)
+        if not nids:
+            return _ShardReply((), {}, time.perf_counter() - t0)
+        pipes = [self.pipelines[nid] for nid in nids]
+        shared = all(p.pipeline.localizer is pipes[0].pipeline.localizer for p in pipes)
+        if shared and len(nids) > 1:
+            # One shared-cache kernel pass for the whole shard: a single
+            # detector forward, per-node localization/tracking replay.
+            outs = pipes[0].pipeline.hop_kernel.run_clips(
+                blocks,
+                [self.trackers[nid] for nid in nids],
+                [self.refine[nid] for nid in nids],
+                [self.counts[nid] for nid in nids],
+            )
+        else:
+            outs = [
+                pipe.pipeline.hop_kernel.step(
+                    block,
+                    tracker=self.trackers[nid],
+                    state=self.refine[nid],
+                    start_index=self.counts[nid],
+                )
+                for nid, pipe, block in zip(nids, pipes, blocks)
+            ]
+        results: dict[str, list[FrameResult]] = {}
+        for nid, out in zip(nids, outs):
+            self.counts[nid] += len(out)
+            results[nid] = out
+        return _ShardReply(tuple(nids), results, time.perf_counter() - t0)
+
+
+def _worker_main(runners: dict[int, _ShardRunner], conn) -> None:
+    """Worker loop: step every owned shard per command, reply with rows.
+
+    Commands: any truthy message steps; ``None`` shuts down.  A kernel
+    exception ships its traceback back as :class:`_WorkerError` so the main
+    process can raise instead of deadlocking on a dead pipe.
+    """
+    import traceback
+
+    try:
+        while True:
+            msg = conn.recv()
+            if msg is None:
+                break
+            try:
+                conn.send([(si, runners[si].step()) for si in sorted(runners)])
+            except Exception:
+                conn.send(_WorkerError(traceback.format_exc()))
+                break
+    except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+@dataclass(frozen=True)
+class ParallelStreamResult:
+    """Everything one :meth:`ParallelFleetStream.run` session produced.
+
+    The first nine fields mirror :class:`~repro.fleet.scheduler.
+    FleetStreamResult` (so report tooling consumes either via
+    :meth:`as_run_result`); on top the parallel session adds the worker
+    count, per-shard pacer accounting and the per-update stage budgets.
+
+    Attributes
+    ----------
+    workers:
+        Worker processes used (0 = the in-process reference path).
+    pacer_stats:
+        ``shard index -> PacerStats``: overruns, widenings, shrinks and the
+        raw per-step records (feed them to
+        :class:`~repro.core.alerts.OverrunPolicy` for debounced alerts).
+    stage_budgets:
+        One :class:`StageBudget` per emitted update, in emission order.
+    detect_to_update:
+        Distribution of ``detect_to_update_ms`` vs the nominal budget of
+        one hop batch of delivery delay plus one hop of processing.
+    """
+
+    node_results: dict[str, list[FrameResult]]
+    node_stats: "dict[str, NodeRunStats]"
+    fleet_latency: LatencyStats
+    shards: list[list[str]]
+    tracks: list[FusedTrack]
+    updates: list[TrackUpdate]
+    hop_latency: LatencyStats
+    ingest: dict[str, IngestStats]
+    n_steps: int
+    workers: int
+    hop_batch: int
+    pacer_stats: dict[int, PacerStats]
+    stage_budgets: tuple[StageBudget, ...] = field(default=())
+    detect_to_update: LatencyStats | None = None
+
+    @property
+    def realtime(self) -> bool:
+        """Whether the p95 per-hop fleet step met the hop deadline."""
+        return self.hop_latency.realtime
+
+    def as_run_result(self) -> "FleetRunResult":
+        """The offline-shaped view (for :func:`~repro.fleet.report.fleet_report`)."""
+        from repro.fleet.scheduler import FleetRunResult
+
+        return FleetRunResult(
+            node_results=self.node_results,
+            node_stats=self.node_stats,
+            fleet_latency=self.fleet_latency,
+            shards=self.shards,
+        )
+
+    def stage_summary(self) -> dict[str, tuple[float, float]]:
+        """Per-stage ``(p50_ms, p95_ms)`` over every emitted update."""
+        return summarize_budgets(self.stage_budgets)
+
+    def node_pacer_stats(self) -> dict[str, PacerStats]:
+        """Each node's shard pacer accounting (nodes share their shard's)."""
+        return {
+            nid: self.pacer_stats[si]
+            for si, shard in enumerate(self.shards)
+            for nid in shard
+            if si in self.pacer_stats
+        }
+
+
+class ParallelFleetStream:
+    """A live fleet session whose shard kernels run in worker processes.
+
+    Drop-in peer of :class:`~repro.fleet.scheduler.FleetStream` — same
+    sources, same step/run/finalize surface, identical fused tracks — with
+    three additions: ``workers`` processes fed through shared-memory rings,
+    one adaptive :class:`~repro.stream.pacer.Pacer` per shard, and a
+    :class:`~repro.stream.budget.StageBudget` on every emitted update.
+
+    Parameters
+    ----------
+    scheduler:
+        The fleet (its pipelines are forked into the workers, so construct
+        and optionally warm it *before* opening the session).
+    workers:
+        Worker processes; 0 runs every shard in-process through the exact
+        same :class:`_ShardRunner` code (the determinism reference), >= 1
+        distributes shards round-robin over forked workers.  Clamped to
+        the shard count.
+    pacer:
+        Per-shard backpressure policy (shared config, independent state);
+        default :class:`PacerConfig` widens on overrun up to ``8 x
+        hop_batch`` and shrinks when headroom returns.
+    hop_batch, fusion_config, recordings, ring_capacity, late_tolerance_s:
+        As in :class:`~repro.fleet.scheduler.FleetStream`; the default ring
+        capacity covers the pacer's *maximum* batch so an adaptively
+        widened step never overflows.
+
+    Use as a context manager (or call :meth:`close`) so worker processes
+    and shared-memory segments are torn down deterministically.
+    """
+
+    def __init__(
+        self,
+        scheduler: "FleetScheduler",
+        sources: Mapping[str, ChunkSource],
+        *,
+        hop_batch: int = 8,
+        workers: int = 0,
+        pacer: PacerConfig | None = None,
+        fusion_config: FusionConfig | None = None,
+        recordings: Mapping[str, np.ndarray] | None = None,
+        ring_capacity: int | None = None,
+        late_tolerance_s: float | None = None,
+    ) -> None:
+        if hop_batch < 1:
+            raise ValueError("hop_batch must be >= 1")
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        missing = [n.node_id for n in scheduler.nodes if n.node_id not in sources]
+        if missing:
+            raise ValueError(f"missing sources for nodes: {missing}")
+        cfg = scheduler.config
+        self.scheduler = scheduler
+        self.hop_batch = int(hop_batch)
+        self.workers = min(int(workers), len(scheduler.shards))
+        if self.workers:
+            reason = parallel_supported()
+            if reason is not None:
+                raise RuntimeError(f"process-parallel execution unavailable: {reason}")
+        self.node_order = [nid for shard in scheduler.shards for nid in shard]
+        self._nodes = {n.node_id: n for n in scheduler.nodes}
+        self._origins = {nid: n.position[:2].copy() for nid, n in self._nodes.items()}
+        pacer_cfg = pacer or PacerConfig()
+        max_batch = pacer_cfg.max_batch
+        if max_batch is None:
+            max_batch = max(8 * self.hop_batch, pacer_cfg.min_batch)
+        if ring_capacity is None:
+            # Cover the widest adaptive batch: a fully widened catch-up step
+            # must fit without overwriting unread samples.
+            ring_capacity = 2 * (cfg.frame_length + max_batch * cfg.hop_length)
+        self._shared_rings = self.workers > 0
+        self._rings: dict[str, RingBuffer] = {}
+        self._ingest: dict[str, NodeIngest] = {}
+        for node in scheduler.nodes:
+            source = sources[node.node_id]
+            if source.n_channels != node.array.n_mics:
+                raise ValueError(
+                    f"source for {node.node_id!r} has {source.n_channels} channels, "
+                    f"node has {node.array.n_mics} mics"
+                )
+            if source.fs != cfg.fs:
+                raise ValueError(
+                    f"source fs {source.fs} does not match pipeline fs {cfg.fs}"
+                )
+            ring: RingBuffer
+            if self._shared_rings:
+                ring = SharedRingBuffer(node.array.n_mics, ring_capacity)
+            else:
+                ring = RingBuffer(node.array.n_mics, ring_capacity)
+            self._rings[node.node_id] = ring
+            self._ingest[node.node_id] = NodeIngest(
+                source,
+                cfg.frame_length,
+                cfg.hop_length,
+                late_tolerance_s=late_tolerance_s,
+                ring=ring,
+            )
+        # One runner per shard: the kernel-side state a worker owns.
+        self._runners = [
+            _ShardRunner(
+                shard,
+                scheduler.pipelines,
+                self._rings,
+                cfg.frame_length,
+                cfg.hop_length,
+            )
+            for shard in scheduler.shards
+        ]
+        self._pacers = [
+            Pacer(cfg.frame_period_s, hop_batch=self.hop_batch, config=pacer_cfg)
+            for _ in scheduler.shards
+        ]
+        self._t = [0.0 for _ in scheduler.shards]
+        # Main-side mirror of every node's result stream (workers report
+        # rows back each step; fusion and `done` read this copy).
+        self._results: dict[str, list[FrameResult]] = {nid: [] for nid in self._nodes}
+        # Per-frame (delivery_ms, ingest_ms, kernel_ms) for budget assembly.
+        self._frame_cost: dict[str, list[tuple[float, float, float]]] = {
+            nid: [] for nid in self._nodes
+        }
+        self.fusion = FusionEngine(
+            scheduler.nodes,
+            fusion_config or FusionConfig(),
+            cfg.frame_period_s,
+            recordings=recordings,
+            fs=cfg.fs if recordings is not None else None,
+            hop_length=cfg.hop_length,
+            c=SPEED_OF_SOUND,
+        )
+        self.updates: list[TrackUpdate] = []
+        self.stage_budgets: list[StageBudget] = []
+        self.hop_monitor = LatencyMonitor(cfg.frame_period_s)
+        self._node_monitors = {nid: LatencyMonitor(cfg.frame_period_s) for nid in self._nodes}
+        self._wall = 0.0
+        self._fused_upto = 0
+        self._n_steps = 0
+        self._closed = False
+        self._procs: list = []
+        self._conns: list = []
+        if self.workers:
+            self._start_workers()
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def node_results(self) -> dict[str, list[FrameResult]]:
+        """Per-node result streams accumulated so far (shard-major order)."""
+        return {nid: self._results[nid] for nid in self.node_order}
+
+    @property
+    def done(self) -> bool:
+        """Whether every source is exhausted, drained and fully fused."""
+        if not all(self._node_done(nid) for nid in self._nodes):
+            return False
+        return self._fused_upto >= self._last_frame() + 1
+
+    def batches(self) -> list[int]:
+        """Each shard's current effective hop batch (pacer-governed)."""
+        return [p.batch for p in self._pacers]
+
+    def step(self) -> "FleetStepResult":
+        """Advance every shard by its pacer's hop batch and fuse the frontier.
+
+        Per shard: advance that shard's stream clock, pull the chunks now
+        delivered into its nodes' (shared) rings, then run the kernel pass —
+        in-process or in the shard's worker.  Replies merge in shard-index
+        order, the fusion frontier advances exactly as in the serial
+        runtime, and every emitted update gets its stage budget attached.
+        """
+        from repro.fleet.scheduler import FleetStepResult
+
+        if self._closed:
+            raise RuntimeError("session is closed")
+        cfg = self.scheduler.config
+        t0 = time.perf_counter()
+        shard_list = self.scheduler.shards
+        ingest_wall: list[float] = []
+        for si, shard in enumerate(shard_list):
+            self._t[si] += self._pacers[si].batch * cfg.frame_period_s
+            self._pacers[si].wait(self._t[si])
+            t_ing = time.perf_counter()
+            for nid in shard:
+                ing = self._ingest[nid]
+                ing.pull(None if ing._exhausted else self._t[si])
+            ingest_wall.append(time.perf_counter() - t_ing)
+        if self._procs:
+            for conn in self._conns:
+                conn.send(True)
+            replies = self._collect_replies()
+        else:
+            replies = {si: runner.step() for si, runner in enumerate(self._runners)}
+        new_results: dict[str, list[FrameResult]] = {}
+        hops_advanced = 0
+        for si in range(len(shard_list)):
+            rep = replies[si]
+            shard_hops = max((len(out) for out in rep.results.values()), default=0)
+            hops_advanced = max(hops_advanced, shard_hops)
+            total_frames = sum(len(out) for out in rep.results.values())
+            ingest_ms = ingest_wall[si] / total_frames * 1e3 if total_frames else 0.0
+            kernel_ms = rep.kernel_s / total_frames * 1e3 if total_frames else 0.0
+            for nid in rep.nids:
+                out = rep.results[nid]
+                base = len(self._results[nid])
+                for k in range(len(out)):
+                    # Stream-clock wait from capture-complete to this pop.
+                    f = base + k
+                    t_cap = (f * cfg.hop_length + cfg.frame_length) / cfg.fs
+                    delivery_ms = max(0.0, self._t[si] - t_cap) * 1e3
+                    self._frame_cost[nid].append((delivery_ms, ingest_ms, kernel_ms))
+                self._results[nid].extend(out)
+                new_results[nid] = out
+                # Per-hop attributed share of the shard's wall time.
+                self._node_monitors[nid].record(
+                    (ingest_wall[si] + rep.kernel_s) / total_frames
+                )
+            # Backpressure: judge the shard's step cost against the hops it
+            # actually advanced; the pacer widens/shrinks its batch.
+            self._pacers[si].observe(ingest_wall[si] + rep.kernel_s, shard_hops)
+        fused_before = self._fused_upto
+        t_fuse = time.perf_counter()
+        updates = self._fuse_frontier()
+        fusion_s = time.perf_counter() - t_fuse
+        updates = self._attach_budgets(updates, fusion_s, self._fused_upto - fused_before)
+        self.updates.extend(updates)
+        step_wall = time.perf_counter() - t0
+        self._wall += step_wall
+        if hops_advanced:
+            self.hop_monitor.record(step_wall / hops_advanced)
+        self._n_steps += 1
+        return FleetStepResult(
+            new_results=new_results,
+            updates=updates,
+            fused_upto=self._fused_upto,
+            done=self.done,
+        )
+
+    def run(self) -> ParallelStreamResult:
+        """Step until every source is drained; closes workers when done."""
+        try:
+            while not self.done:
+                self.step()
+            return self.finalize()
+        finally:
+            self.close()
+
+    def finalize(self) -> ParallelStreamResult:
+        """Summarize the session (callable mid-run for a snapshot)."""
+        from repro.fleet.scheduler import NodeRunStats
+
+        cfg = self.scheduler.config
+        node_stats = {}
+        for nid in self.node_order:
+            monitor = self._node_monitors[nid]
+            if monitor.n_ticks == 0:
+                latency = LatencyStats(
+                    mean_s=0.0, p95_s=0.0, max_s=0.0, deadline_s=monitor.deadline_s
+                )
+            else:
+                latency = monitor.stats()
+            node_stats[nid] = NodeRunStats(
+                node_id=nid,
+                n_frames=len(self._results[nid]),
+                n_detections=sum(r.detected for r in self._results[nid]),
+                latency=latency,
+            )
+        deadline = max(
+            (ing.ring.total_pushed / cfg.fs for ing in self._ingest.values()),
+            default=cfg.frame_period_s,
+        )
+        fleet_monitor = LatencyMonitor(max(deadline, 1e-9))
+        fleet_monitor.record(self._wall)
+        if self.hop_monitor.n_ticks == 0:
+            hop_latency = LatencyStats(
+                mean_s=0.0, p95_s=0.0, max_s=0.0, deadline_s=self.hop_monitor.deadline_s
+            )
+        else:
+            hop_latency = self.hop_monitor.stats()
+        # Nominal end-to-end budget: one hop batch of delivery delay plus
+        # one hop of processing.
+        d2u_deadline = (self.hop_batch + 1) * cfg.frame_period_s
+        if self.stage_budgets:
+            vals = np.asarray([b.detect_to_update_ms for b in self.stage_budgets]) / 1e3
+            detect_to_update = LatencyStats(
+                mean_s=float(vals.mean()),
+                p95_s=float(np.percentile(vals, 95)),
+                max_s=float(vals.max()),
+                deadline_s=d2u_deadline,
+            )
+        else:
+            detect_to_update = LatencyStats(
+                mean_s=0.0, p95_s=0.0, max_s=0.0, deadline_s=d2u_deadline
+            )
+        return ParallelStreamResult(
+            node_results=self.node_results,
+            node_stats=node_stats,
+            fleet_latency=fleet_monitor.stats(),
+            shards=[list(s) for s in self.scheduler.shards],
+            tracks=self.fusion.tracks,
+            updates=list(self.updates),
+            hop_latency=hop_latency,
+            ingest={nid: ing.stats for nid, ing in self._ingest.items()},
+            n_steps=self._n_steps,
+            workers=self.workers,
+            hop_batch=self.hop_batch,
+            pacer_stats={si: p.stats() for si, p in enumerate(self._pacers)},
+            stage_budgets=tuple(self.stage_budgets),
+            detect_to_update=detect_to_update,
+        )
+
+    def close(self) -> None:
+        """Shut workers down and release shared-memory rings (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (OSError, BrokenPipeError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._procs = []
+        self._conns = []
+        if self._shared_rings:
+            for ring in self._rings.values():
+                try:
+                    ring.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+
+    def __enter__(self) -> "ParallelFleetStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------- internals
+
+    def _start_workers(self) -> None:
+        ctx = multiprocessing.get_context("fork")
+        for w in range(self.workers):
+            owned = {
+                si: self._runners[si]
+                for si in range(len(self._runners))
+                if si % self.workers == w
+            }
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main, args=(owned, child_conn), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    def _collect_replies(self) -> dict[int, _ShardReply]:
+        replies: dict[int, _ShardReply] = {}
+        for proc, conn in zip(self._procs, self._conns):
+            while not conn.poll(0.2):
+                if not proc.is_alive():  # pragma: no cover - crashed worker
+                    raise RuntimeError(
+                        f"shard worker pid={proc.pid} died (exit code {proc.exitcode})"
+                    )
+            msg = conn.recv()
+            if isinstance(msg, _WorkerError):
+                raise RuntimeError("shard worker failed:\n" + msg.traceback)
+            for si, rep in msg:
+                replies[si] = rep
+        return replies
+
+    def _node_done(self, nid: str) -> bool:
+        ing = self._ingest[nid]
+        return ing.exhausted and ing.ring.available < self.scheduler.config.frame_length
+
+    def _last_frame(self) -> int:
+        return max((len(r) for r in self._results.values()), default=0) - 1
+
+    def _fuse_frontier(self) -> list[TrackUpdate]:
+        """Fuse every frame all still-active nodes have completed.
+
+        Verbatim mirror of the serial runtime's frontier pass — fusion runs
+        in the main process over the merged result streams, in shard-major
+        node order, so association decisions cannot depend on worker count.
+        """
+        active_counts = [
+            len(self._results[nid]) for nid in self._nodes if not self._node_done(nid)
+        ]
+        if active_counts:
+            frontier = min(active_counts)
+        else:
+            frontier = self._last_frame() + 1  # ragged tail: fuse to the end
+        cfg = self.fusion.config
+        updates: list[TrackUpdate] = []
+        for frame in range(self._fused_upto, frontier):
+            detections = []
+            for nid in self.node_order:
+                results = self._results[nid]
+                if frame >= len(results):
+                    continue  # shorter capture: node ended before this frame
+                det = detection_from_result(
+                    results[frame],
+                    self._nodes[nid],
+                    config=cfg,
+                    origin=self._origins[nid],
+                )
+                if det is not None:
+                    detections.append(det)
+            updates.extend(self.fusion.step(frame, detections))
+        self._fused_upto = max(self._fused_upto, frontier)
+        return updates
+
+    def _attach_budgets(
+        self, updates: list[TrackUpdate], fusion_s: float, n_fused: int
+    ) -> list[TrackUpdate]:
+        """Stamp each new update with its detect-to-update stage breakdown.
+
+        Delivery/ingest/kernel are the max over the nodes contributing that
+        frame (the update waited for the slowest node); fusion is the
+        frontier pass attributed per fused frame; emit is measured here.
+        """
+        if not updates:
+            return updates
+        cfg = self.scheduler.config
+        capture_ms = cfg.capture_latency_s * 1e3
+        fusion_ms = fusion_s / max(1, n_fused) * 1e3
+        t_emit = time.perf_counter()
+        out: list[TrackUpdate] = []
+        for u in updates:
+            delivery = ingest = kernel = 0.0
+            for nid in self.node_order:
+                costs = self._frame_cost[nid]
+                if u.frame_index < len(costs):
+                    d, i, k = costs[u.frame_index]
+                    delivery = max(delivery, d)
+                    ingest = max(ingest, i)
+                    kernel = max(kernel, k)
+            budget = StageBudget(
+                capture_ms=capture_ms,
+                delivery_ms=delivery,
+                ingest_ms=ingest,
+                kernel_ms=kernel,
+                fusion_ms=fusion_ms,
+                emit_ms=(time.perf_counter() - t_emit) * 1e3,
+            )
+            self.stage_budgets.append(budget)
+            out.append(replace(u, budget=budget))
+        return out

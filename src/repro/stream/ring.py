@@ -1,20 +1,31 @@
-"""Preallocated multichannel ring buffer for real-time ingest.
+"""Preallocated multichannel ring buffers for real-time ingest.
 
 The sample store between an ADC chunk source and the hop-clocked engine:
 chunks of arbitrary size go in, overlapping analysis frames come out, with
 O(frame) memory and O(samples) total copying.  Unlike the growable
 :class:`repro.dsp.streaming.StreamingFramer` (an offline-friendly framer
-that never loses data), this ring has a *fixed* capacity and real-time drop
-semantics: when a producer outruns the consumer, the oldest samples are
+that never loses data), these rings have a *fixed* capacity and real-time
+drop semantics: when a producer outruns the consumer, the oldest samples are
 overwritten and counted, because a live service must bound its memory and
 latency rather than its history.
+
+Two implementations share one set of push/pop semantics:
+
+- :class:`RingBuffer` — process-local, heap-backed; the single-process
+  runtime's store.
+- :class:`SharedRingBuffer` — the same ring with its sample store *and*
+  its head/size/accounting header in :mod:`multiprocessing.shared_memory`,
+  so an ingest process can feed a shard worker process without ever
+  serializing audio: the producer writes samples straight into the mapped
+  pages, the consumer slices frames straight out of them, and only
+  sequence/timestamp headers cross the command queue.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["RingBuffer"]
+__all__ = ["RingBuffer", "SharedRingBuffer"]
 
 
 class RingBuffer:
@@ -133,3 +144,140 @@ class RingBuffer:
         self._size = 0
         self.dropped_samples = 0
         self.total_pushed = 0
+
+
+# Shared header layout (int64): head, size, dropped_samples, total_pushed.
+_HDR_FIELDS = 4
+_HDR_BYTES = _HDR_FIELDS * 8
+
+
+def _hdr_field(index: int, doc: str):
+    """An int64 slot of the shared header, exposed as a plain int attribute
+    so the inherited push/pop logic reads and writes it transparently."""
+
+    def fget(self) -> int:
+        return int(self._hdr[index])
+
+    def fset(self, value: int) -> None:
+        self._hdr[index] = value
+
+    return property(fget, fset, doc=doc)
+
+
+class SharedRingBuffer(RingBuffer):
+    """A :class:`RingBuffer` whose store and header live in shared memory.
+
+    Push/pop/overflow semantics are *identical* to :class:`RingBuffer` (the
+    implementation is inherited verbatim); only the storage differs: the
+    sample array and the head/size/drop counters are views over one
+    :class:`multiprocessing.shared_memory.SharedMemory` segment, so a
+    producer process and a consumer process operate on the same physical
+    pages.  Audio is written exactly once (producer push) and read exactly
+    once (consumer frame slice) — no pickling, no queue copies.
+
+    Concurrency contract: single producer, single consumer, *turn-taking* —
+    the fleet runtime's step protocol guarantees the producer finishes its
+    pushes before the consumer pops (commands cross a queue after the push),
+    so no lock is needed and the header updates stay race-free.
+
+    Parameters
+    ----------
+    n_channels, capacity:
+        As :class:`RingBuffer`.
+    name:
+        Optional explicit shared-memory segment name (default: OS-chosen).
+
+    Use :meth:`attach` in a process that did not create the segment (only
+    needed under the ``spawn`` start method — ``fork`` children inherit the
+    mapping); call :meth:`close` everywhere and :meth:`unlink` exactly once,
+    in the creating process, when the stream shuts down.
+    """
+
+    _head = _hdr_field(0, "read position of the oldest buffered sample")
+    _size = _hdr_field(1, "samples currently buffered per channel")
+    dropped_samples = _hdr_field(2, "samples lost to ring overflow")
+    total_pushed = _hdr_field(3, "samples ever pushed")
+
+    def __init__(
+        self,
+        n_channels: int,
+        capacity: int,
+        *,
+        name: str | None = None,
+        _shm=None,
+    ) -> None:
+        if n_channels < 1:
+            raise ValueError("n_channels must be >= 1")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.n_channels = int(n_channels)
+        capacity = int(capacity)
+        nbytes = _HDR_BYTES + self.n_channels * capacity * 8
+        created = _shm is None
+        if created:
+            from multiprocessing import shared_memory
+
+            _shm = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+        elif _shm.size < nbytes:
+            raise ValueError(
+                f"segment {_shm.name!r} holds {_shm.size} bytes, "
+                f"ring needs {nbytes}"
+            )
+        self._shm = _shm
+        self._shm_name = _shm.name
+        self._owner = created
+        self._hdr = np.ndarray((_HDR_FIELDS,), dtype=np.int64, buffer=_shm.buf)
+        self._buf = np.ndarray(
+            (self.n_channels, capacity), dtype=np.float64, buffer=_shm.buf, offset=_HDR_BYTES
+        )
+        if created:
+            self._hdr[:] = 0
+            self._buf[:] = 0.0
+
+    @classmethod
+    def attach(cls, name: str, n_channels: int, capacity: int) -> "SharedRingBuffer":
+        """Map an existing segment (same geometry) from another process."""
+        from multiprocessing import shared_memory
+
+        return cls(n_channels, capacity, _shm=shared_memory.SharedMemory(name=name))
+
+    @property
+    def name(self) -> str:
+        """The shared-memory segment name (pass to :meth:`attach`)."""
+        return self._shm_name
+
+    def close(self) -> None:
+        """Release this process's mapping (buffered data stays for others)."""
+        if self._shm is None:
+            return
+        # The numpy views pin the exported buffer; drop them first.
+        self._hdr = None
+        self._buf = None
+        try:
+            self._shm.close()
+        except (OSError, BufferError):
+            pass
+        self._shm = None
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only; implies :meth:`close`)."""
+        shm, self._shm = self._shm, None
+        self._hdr = None
+        self._buf = None
+        if shm is None:
+            # Already closed locally: reopen by name so the segment itself
+            # can still be destroyed.
+            try:
+                from multiprocessing import shared_memory
+
+                shm = shared_memory.SharedMemory(name=self._shm_name)
+            except (OSError, FileNotFoundError):
+                return
+        try:
+            shm.close()
+        except (OSError, BufferError):
+            pass
+        try:
+            shm.unlink()
+        except (OSError, FileNotFoundError):
+            pass
