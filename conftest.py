@@ -1,4 +1,4 @@
-"""Repo-wide pytest configuration: the ``parallel`` marker.
+"""Repo-wide pytest configuration: the ``parallel`` and ``soak`` markers.
 
 Tests marked ``@pytest.mark.parallel`` exercise multi-worker
 process-parallel sessions (``repro.stream.parallel``) and only make sense
@@ -7,6 +7,11 @@ machine has fewer than 2 CPUs, when the ``fork`` start method is missing,
 or when ``multiprocessing.shared_memory`` is unusable (e.g. no /dev/shm).
 Single-worker and in-process parallel tests are unmarked — the runtime
 itself works on one CPU; only the *speedup* claims need cores.
+
+Tests marked ``@pytest.mark.soak`` are long-running endurance benchmarks
+(the city supervisor join/leave soak, E17).  They are **skipped by
+default** — pass ``--run-soak`` to run them — so the tier-1 suite stays
+fast; CI runs them on an opt-in schedule.
 """
 
 import multiprocessing
@@ -15,11 +20,26 @@ import os
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-soak",
+        action="store_true",
+        default=False,
+        help="run tests marked 'soak' (long-running endurance benchmarks; "
+        "skipped by default)",
+    )
+
+
 def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "parallel: multi-worker process-parallel tests (skipped when "
         "cpu_count() < 2, fork is unavailable, or shared_memory is unusable)",
+    )
+    config.addinivalue_line(
+        "markers",
+        "soak: long-running endurance benchmarks (skipped unless --run-soak "
+        "is given)",
     )
 
 
@@ -41,6 +61,11 @@ def _parallel_skip_reason():
 
 
 def pytest_collection_modifyitems(config, items):
+    if not config.getoption("--run-soak"):
+        skip_soak = pytest.mark.skip(reason="soak: needs --run-soak")
+        for item in items:
+            if item.get_closest_marker("soak"):
+                item.add_marker(skip_soak)
     if not any(item.get_closest_marker("parallel") for item in items):
         return
     reason = _parallel_skip_reason()

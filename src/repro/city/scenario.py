@@ -1,0 +1,247 @@
+"""City scenarios: which corridors exist, when they join, how they render.
+
+A city run is declared, not scripted: a :class:`CityScenario` lists the
+corridors (node count, spacing, traffic, capture length) plus the supervisor
+schedule (which supervisor step each corridor joins at, and when it is asked
+to leave).  :func:`load_scenario` reads the same structure from a JSON file
+for the ``repro city`` CLI; :func:`default_scenario` builds the staggered
+three-corridor demo used by the CLI default, the example and the E17 soak
+bench.
+
+Seed hygiene
+------------
+Every corridor's traffic must be *distinct* — two corridors rendering
+identical vehicles would make the city-wide picture degenerate — yet the
+whole city must replay from one root seed.  :func:`corridor_rngs` derives
+one independent generator per corridor via
+:class:`numpy.random.SeedSequence` spawning, the supported way to split one
+seed into parallel streams (hand-offsetting the root seed, e.g. ``seed+i``,
+gives correlated streams for some bit generators and collides when two
+scenarios use nearby roots).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Mapping
+
+import numpy as np
+
+from repro.fleet.corridor import (
+    CorridorRecording,
+    CorridorScene,
+    Vehicle,
+    place_corridor_nodes,
+    synthesize_corridor,
+)
+
+__all__ = [
+    "CorridorSpec",
+    "CityScenario",
+    "corridor_rngs",
+    "render_corridor",
+    "default_scenario",
+    "load_scenario",
+]
+
+
+@dataclass(frozen=True)
+class CorridorSpec:
+    """One corridor's declaration inside a city scenario.
+
+    Attributes
+    ----------
+    corridor_id:
+        Unique name; also the session id registered on the worker pool.
+    n_nodes, spacing_m:
+        Roadside array nodes along the corridor and their spacing.
+    duration_s:
+        Capture length rendered for the corridor.
+    speed_mps, speed2_mps:
+        First vehicle's speed and (optionally) a second, crossing
+        vehicle's; ``None`` renders single-vehicle traffic.
+    drop_prob:
+        Simulated per-chunk driver drop probability for the live feed.
+    join_step:
+        Supervisor step at which the session is admitted (0 = at start).
+    leave_step:
+        Supervisor step at which the session is asked to drain and leave
+        even if its sources are not exhausted (``None`` = run to
+        completion).
+    n_shards:
+        Shard count for the corridor's :class:`~repro.fleet.scheduler.
+        FleetScheduler` (``None`` = the scheduler's default).
+    """
+
+    corridor_id: str
+    n_nodes: int = 3
+    spacing_m: float = 25.0
+    duration_s: float = 1.0
+    speed_mps: float = 15.0
+    speed2_mps: float | None = 12.0
+    drop_prob: float = 0.0
+    join_step: int = 0
+    leave_step: int | None = None
+    n_shards: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.corridor_id:
+            raise ValueError("corridor_id must be non-empty")
+        if self.n_nodes < 2:
+            raise ValueError("a corridor needs at least 2 nodes")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.join_step < 0:
+            raise ValueError("join_step must be >= 0")
+        if self.leave_step is not None and self.leave_step <= self.join_step:
+            raise ValueError("leave_step must be > join_step")
+        if not 0.0 <= self.drop_prob < 1.0:
+            raise ValueError("drop_prob must lie in [0, 1)")
+
+
+@dataclass(frozen=True)
+class CityScenario:
+    """A full city run: the corridors plus the shared pipeline settings."""
+
+    corridors: tuple[CorridorSpec, ...]
+    fs: float = 8000.0
+    seed: int = 0
+    hop_batch: int = 8
+    localizer: str = "srp_fast"
+    n_azimuth: int = 36
+    n_elevation: int = 2
+    detector: str = "oracle"
+    siren_jitter: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not self.corridors:
+            raise ValueError("scenario needs at least one corridor")
+        if not 0.0 <= self.siren_jitter < 0.5:
+            raise ValueError("siren_jitter must lie in [0, 0.5)")
+        ids = [c.corridor_id for c in self.corridors]
+        if len(set(ids)) != len(ids):
+            raise ValueError("corridor ids must be unique")
+        if self.hop_batch < 1:
+            raise ValueError("hop_batch must be >= 1")
+        object.__setattr__(self, "corridors", tuple(self.corridors))
+
+
+def corridor_rngs(scenario: CityScenario) -> dict[str, np.random.Generator]:
+    """One independent RNG stream per corridor, derived from the root seed.
+
+    Uses :meth:`numpy.random.SeedSequence.spawn`, so streams are
+    statistically independent regardless of how many corridors the
+    scenario holds, and the whole city replays bit-identically from
+    ``scenario.seed``.
+    """
+    children = np.random.SeedSequence(scenario.seed).spawn(len(scenario.corridors))
+    return {
+        spec.corridor_id: np.random.default_rng(seq)
+        for spec, seq in zip(scenario.corridors, children)
+    }
+
+
+def render_corridor(
+    spec: CorridorSpec, scenario: CityScenario, rng: np.random.Generator
+) -> CorridorRecording:
+    """Render one corridor's traffic scene to its nodes.
+
+    The corridor's vehicles are synthesized from *its own* RNG stream (see
+    :func:`corridor_rngs`), so no two corridors in a city render identical
+    traffic while the whole scenario stays reproducible from one seed.
+    """
+    from repro.signals import synthesize_siren
+
+    from repro.acoustics.trajectory import LinearTrajectory
+
+    fs = scenario.fs
+    half = (spec.n_nodes - 1) / 2 * spec.spacing_m + 10.0
+    # siren_jitter > 0 perturbs each corridor's siren contours from the
+    # corridor's own RNG stream (regional variability, per the paper) — it
+    # is also what makes two corridors' traffic audibly distinct.
+    jitter = dict(rng=rng, jitter=scenario.siren_jitter) if scenario.siren_jitter else {}
+    vehicles = [
+        Vehicle(
+            "siren_wail",
+            LinearTrajectory([-half, 8.0, 0.8], [half, 8.0, 0.8], spec.speed_mps),
+            synthesize_siren("wail", spec.duration_s, fs, **jitter),
+        )
+    ]
+    if spec.speed2_mps is not None:
+        vehicles.append(
+            Vehicle(
+                "siren_yelp",
+                LinearTrajectory([half, 14.0, 0.8], [-half, 14.0, 0.8], spec.speed2_mps),
+                synthesize_siren("yelp", spec.duration_s, fs, **jitter),
+            )
+        )
+    nodes = place_corridor_nodes(spec.n_nodes, spec.spacing_m)
+    return synthesize_corridor(CorridorScene(vehicles, nodes), fs)
+
+
+def default_scenario(
+    n_corridors: int = 3,
+    *,
+    duration_s: float = 1.0,
+    n_nodes: int = 3,
+    seed: int = 0,
+    fs: float = 8000.0,
+    hop_batch: int = 8,
+    stagger_steps: int = 0,
+) -> CityScenario:
+    """The staggered demo city: N corridors, optionally joining over time.
+
+    With ``stagger_steps > 0`` corridor ``k`` joins at step
+    ``k * stagger_steps`` — the join/leave soak shape (sessions arriving
+    while others already run) without writing a scenario file.
+    """
+    if n_corridors < 1:
+        raise ValueError("need at least one corridor")
+    specs = tuple(
+        CorridorSpec(
+            corridor_id=f"corridor{k}",
+            n_nodes=n_nodes,
+            duration_s=duration_s,
+            join_step=k * stagger_steps,
+        )
+        for k in range(n_corridors)
+    )
+    return CityScenario(
+        corridors=specs, fs=fs, seed=seed, hop_batch=hop_batch
+    )
+
+
+def load_scenario(path: str) -> CityScenario:
+    """Read a :class:`CityScenario` from a JSON file.
+
+    Shape::
+
+        {
+          "fs": 8000, "seed": 0, "hop_batch": 8,
+          "corridors": [
+            {"corridor_id": "north", "n_nodes": 3, "duration_s": 1.0},
+            {"corridor_id": "south", "join_step": 8, "leave_step": 40}
+          ]
+        }
+
+    Unknown keys are rejected, so typos fail loudly instead of silently
+    running the default.
+    """
+    with open(path) as fh:
+        raw = json.load(fh)
+    if not isinstance(raw, Mapping):
+        raise ValueError("scenario file must hold a JSON object")
+    corridor_keys = {f.name for f in fields(CorridorSpec)}
+    scenario_keys = {f.name for f in fields(CityScenario)} - {"corridors"}
+    corridors = []
+    for entry in raw.get("corridors", []):
+        unknown = set(entry) - corridor_keys
+        if unknown:
+            raise ValueError(f"unknown corridor keys: {sorted(unknown)}")
+        corridors.append(CorridorSpec(**entry))
+    top = {k: v for k, v in raw.items() if k != "corridors"}
+    unknown = set(top) - scenario_keys
+    if unknown:
+        raise ValueError(f"unknown scenario keys: {sorted(unknown)}")
+    return CityScenario(corridors=tuple(corridors), **top)

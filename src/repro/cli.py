@@ -1,6 +1,6 @@
 """Command-line entry points.
 
-Five subcommands cover the workflows a downstream user runs most:
+Six subcommands cover the workflows a downstream user runs most:
 
 - ``generate-dataset`` — the Sec. IV-A clip generator (writes .npz);
   ``--features`` additionally stores batched log-mel maps for every clip;
@@ -11,8 +11,14 @@ Five subcommands cover the workflows a downstream user runs most:
   report; ``--stream`` runs the same corridor through the hop-clocked
   real-time ingest runtime instead (ring-buffer ingestion, per-hop fusion,
   live track updates and per-hop latency accounting);
+- ``city`` — run many corridor sessions concurrently on one shared worker
+  pool under the city supervisor (sessions join and leave mid-run per the
+  scenario schedule) and print the city-wide health rollup;
 - ``assess-array`` — the Sec. V geometry assessment for a built-in topology;
 - ``codesign`` — the Fig. 4 DSE loop from the full Cross3D baseline.
+
+``fleet --stream`` and ``city`` accept ``--json`` to emit the final health
+report as one machine-readable JSON document instead of the text report.
 
 Usage::
 
@@ -20,6 +26,8 @@ Usage::
     python -m repro.cli process --localizer srp_fast --duration 2.0
     python -m repro.cli fleet --n-nodes 3 --spacing 25 --duration 3.0
     python -m repro.cli fleet --stream --n-nodes 4 --duration 3.0 --drop-prob 0.01
+    python -m repro.cli city --corridors 3 --stagger 4 --workers 2
+    python -m repro.cli city --scenario city.json --json
     python -m repro.cli assess-array --topology uca --n-mics 6 --size 0.15
     python -m repro.cli codesign --error-budget 2.0
 """
@@ -129,6 +137,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated per-chunk driver drop probability (stream mode)",
     )
     flt.add_argument("--seed", type=int, default=0)
+    flt.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the final health report as one JSON document (stream mode)",
+    )
+
+    city = sub.add_parser(
+        "city",
+        help="run many corridor sessions on one shared worker pool under the "
+        "city supervisor",
+    )
+    city.add_argument(
+        "--scenario",
+        type=str,
+        default=None,
+        help="city scenario JSON file (see repro.city.scenario.load_scenario); "
+        "omit to build a default staggered scenario from the flags below",
+    )
+    city.add_argument("--corridors", type=int, default=3, help="corridors in the default scenario")
+    city.add_argument("--n-nodes", type=int, default=3, help="nodes per corridor (default scenario)")
+    city.add_argument("--duration", type=float, default=1.0, help="capture length per corridor, s")
+    city.add_argument(
+        "--stagger",
+        type=int,
+        default=0,
+        help="supervisor steps between corridor joins (default scenario)",
+    )
+    city.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="forked shard workers in the shared pool (0 = every session in-process)",
+    )
+    city.add_argument(
+        "--max-shards-per-worker",
+        type=int,
+        default=None,
+        help="admission control: sessions joining past this pool load run "
+        "in-process (degraded) instead of queueing the city",
+    )
+    city.add_argument("--hop-batch", type=int, default=8, help="hops per session step")
+    city.add_argument(
+        "--status-every",
+        type=int,
+        default=16,
+        help="print live per-session latency lines every N supervisor steps (0 = never)",
+    )
+    city.add_argument("--seed", type=int, default=0)
+    city.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the final city report as one JSON document",
+    )
 
     arr = sub.add_parser("assess-array", help="assess a microphone-array geometry")
     arr.add_argument("--topology", choices=("ula", "uca", "car_roof", "car_corner"), default="uca")
@@ -266,6 +327,12 @@ def _cmd_fleet(args) -> int:
     if args.n_nodes < 2:
         print("error: a corridor fleet needs at least 2 nodes", file=sys.stderr)
         return 1
+    if args.json and not args.stream:
+        print("error: --json requires --stream", file=sys.stderr)
+        return 1
+    # With --json the chatty progress lines are suppressed and one JSON
+    # health document is emitted at the end instead.
+    say = (lambda *a, **kw: None) if args.json else print
     fs = args.fs
     half = (args.n_nodes - 1) / 2 * args.spacing + 10.0
     rng = np.random.default_rng(args.seed)
@@ -290,9 +357,9 @@ def _cmd_fleet(args) -> int:
     scheduler = FleetScheduler(
         nodes, config, detector=detector, n_shards=args.shards, use_threads=args.threads
     )
-    print(f"corridor          : {args.n_nodes} nodes x {args.spacing:.0f} m, "
+    say(f"corridor          : {args.n_nodes} nodes x {args.spacing:.0f} m, "
           f"{args.duration:.1f} s at {fs:.0f} Hz")
-    print(f"vehicles          : 2 crossing ({args.speed:.0f} and {args.speed2:.0f} m/s), "
+    say(f"vehicles          : 2 crossing ({args.speed:.0f} and {args.speed2:.0f} m/s), "
           f"detector: {args.detector}")
     pacer_stats = None
     if args.stream:
@@ -311,18 +378,18 @@ def _cmd_fleet(args) -> int:
         engine = "streaming"
         if parallel:
             engine = f"parallel streaming, {session.workers} worker process(es)"
-        print(f"engine            : {engine} (hop batch {args.hop_batch}, "
+        say(f"engine            : {engine} (hop batch {args.hop_batch}, "
               f"chunk {config.hop_length} samples, drop prob {args.drop_prob:.2f})")
         n_steps = 0
         while not session.done:
             for update in session.step().updates:
                 if update.kind in ("confirmed", "retired"):
-                    print("  " + format_track_update(update, frame_period=config.frame_period_s))
+                    say("  " + format_track_update(update, frame_period=config.frame_period_s))
             n_steps += 1
             if parallel and n_steps % 32 == 0:
                 # Live stage-budget line: where the detect-to-update
                 # latency is going, per stage, so far.
-                print(format_stage_summary(summarize_budgets(session.stage_budgets)))
+                say(format_stage_summary(summarize_budgets(session.stage_budgets)))
         result = session.finalize()
         if parallel:
             session.close()
@@ -331,18 +398,18 @@ def _cmd_fleet(args) -> int:
             pacer_stats = result.node_pacer_stats()
         counts = summarize_updates(result.updates)
         hop = result.hop_latency
-        print(f"live updates      : " + ", ".join(f"{k} {v}" for k, v in counts.items()))
+        say(f"live updates      : " + ", ".join(f"{k} {v}" for k, v in counts.items()))
         late = sum(s.n_late_chunks for s in result.ingest.values())
         dropped = sum(s.n_dropped_chunks for s in result.ingest.values())
-        print(f"ingest            : {sum(s.n_chunks for s in result.ingest.values())} chunks, "
+        say(f"ingest            : {sum(s.n_chunks for s in result.ingest.values())} chunks, "
               f"{dropped} dropped, {late} late")
-        print(f"per-hop latency   : p95 {hop.p95_s * 1e3:.2f} ms vs "
+        say(f"per-hop latency   : p95 {hop.p95_s * 1e3:.2f} ms vs "
               f"{hop.deadline_s * 1e3:.1f} ms hop deadline "
               f"({'real-time' if result.realtime else 'OVERRUN'})")
         if parallel:
-            print(format_stage_summary(result.stage_summary()))
+            say(format_stage_summary(result.stage_summary()))
             d2u = result.detect_to_update
-            print(f"detect→update     : p95 {d2u.p95_s * 1e3:.1f} ms vs "
+            say(f"detect→update     : p95 {d2u.p95_s * 1e3:.1f} ms vs "
                   f"{d2u.deadline_s * 1e3:.1f} ms nominal budget")
     else:
         run = scheduler.run(recording)
@@ -357,12 +424,12 @@ def _cmd_fleet(args) -> int:
     report = fleet_report(
         tracks, run, frame_period=config.frame_period_s, pacer_stats=pacer_stats
     )
-    print(f"shards            : {run.shards} "
+    say(f"shards            : {run.shards} "
           f"({scheduler.n_shared_localizers} shared steering tensors)")
-    print(f"fleet wall time   : {run.fleet_latency.mean_s * 1e3:.1f} ms "
+    say(f"fleet wall time   : {run.fleet_latency.mean_s * 1e3:.1f} ms "
           f"for {run.fleet_latency.deadline_s:.1f} s of audio "
           f"({'real-time' if run.realtime else 'over budget'})")
-    print(format_report(report))
+    say(format_report(report))
 
     # Localization scorecard: fused tracks vs the best single node's
     # road-line bearing-only estimates, against the simulated ground truth.
@@ -372,10 +439,114 @@ def _cmd_fleet(args) -> int:
         report.tracks, run.node_results, nodes, truth, road_line_y=11.0
     )
     if np.all(np.isfinite(fused_rms)):
-        print(f"fused RMS error   : {np.sqrt(np.mean(np.square(fused_rms))):.1f} m "
+        say(f"fused RMS error   : {np.sqrt(np.mean(np.square(fused_rms))):.1f} m "
               f"(per vehicle: {', '.join(f'{e:.1f}' for e in fused_rms)})")
     if single_rms:
-        print(f"best single node  : {min(single_rms.values()):.1f} m (bearing-only, road-line)")
+        say(f"best single node  : {min(single_rms.values()):.1f} m (bearing-only, road-line)")
+
+    if args.json:
+        import json
+
+        hop = result.hop_latency
+        doc = {
+            "engine": "parallel" if parallel else "streaming",
+            "workers": args.workers or 0,
+            "realtime": bool(result.realtime),
+            "n_tracks": len(tracks),
+            "n_updates": len(result.updates),
+            "updates": counts,
+            "ingest": {
+                "n_chunks": sum(s.n_chunks for s in result.ingest.values()),
+                "n_dropped": dropped,
+                "n_late": late,
+            },
+            "hop_latency": {
+                "p95_ms": hop.p95_s * 1e3,
+                "deadline_ms": hop.deadline_s * 1e3,
+            },
+            "nodes": [
+                {
+                    "node_id": h.node_id,
+                    "n_frames": h.n_frames,
+                    "n_detections": h.n_detections,
+                    "n_alerts": h.n_alerts,
+                    "realtime": bool(h.realtime),
+                    "n_overruns": h.n_overruns,
+                    "n_overrun_alerts": h.n_overrun_alerts,
+                    "peak_hop_batch": h.peak_hop_batch,
+                }
+                for h in report.node_health
+            ],
+        }
+        if parallel and result.detect_to_update is not None:
+            d2u = result.detect_to_update
+            doc["detect_to_update"] = {
+                "mean_ms": d2u.mean_s * 1e3,
+                "p95_ms": d2u.p95_s * 1e3,
+                "max_ms": d2u.max_s * 1e3,
+                "deadline_ms": d2u.deadline_s * 1e3,
+            }
+        print(json.dumps(doc, indent=2))
+    return 0
+
+
+def _cmd_city(args) -> int:
+    import json
+
+    from repro.city import (
+        CitySupervisor,
+        city_report_json,
+        default_scenario,
+        format_city_report,
+        load_scenario,
+    )
+
+    if args.scenario is not None:
+        scenario = load_scenario(args.scenario)
+    else:
+        scenario = default_scenario(
+            args.corridors,
+            duration_s=args.duration,
+            n_nodes=args.n_nodes,
+            seed=args.seed,
+            hop_batch=args.hop_batch,
+            stagger_steps=args.stagger,
+        )
+    say = (lambda *a, **kw: None) if args.json else print
+    say(f"city              : {len(scenario.corridors)} corridor(s), "
+        f"{args.workers} shared pool worker(s), seed {scenario.seed}")
+
+    def on_step(result) -> None:
+        for cid in result.joined:
+            say(f"  [step {result.step_index:>3}] {cid} joined "
+                f"({result.n_live} live)")
+        for cid in result.left:
+            say(f"  [step {result.step_index:>3}] {cid} left "
+                f"({result.n_live} live)")
+        if args.status_every and (result.step_index + 1) % args.status_every == 0:
+            # Live per-session latency line: each live corridor's
+            # detect-to-update p95 so far.
+            parts = []
+            for session in supervisor.manager.live():
+                snap = session.snapshot()
+                if snap is None or snap.detect_to_update is None:
+                    continue
+                parts.append(
+                    f"{session.corridor_id} p95 {snap.detect_to_update.p95_s * 1e3:.1f} ms"
+                )
+            if parts:
+                say(f"  [step {result.step_index:>3}] " + " | ".join(parts))
+
+    with CitySupervisor(
+        scenario,
+        workers=args.workers,
+        max_shards_per_worker=args.max_shards_per_worker,
+    ) as supervisor:
+        report = supervisor.run(on_step=on_step)
+    if args.json:
+        print(json.dumps(city_report_json(report), indent=2))
+    else:
+        print(format_city_report(report))
     return 0
 
 
@@ -437,6 +608,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate-dataset": _cmd_generate_dataset,
         "process": _cmd_process,
         "fleet": _cmd_fleet,
+        "city": _cmd_city,
         "assess-array": _cmd_assess_array,
         "codesign": _cmd_codesign,
     }

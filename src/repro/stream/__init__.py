@@ -17,11 +17,18 @@ package closes that gap with a hop-clocked runtime over the same shared
   (the single-node real-time driver);
 - :mod:`repro.stream.pacer` — the adaptive hop-batch governor
   (:class:`Pacer`): overruns widen a shard's batch, headroom shrinks it,
-  optional monotonic-clock pacing replays at capture speed;
+  optional monotonic-clock pacing replays at capture speed; a
+  :class:`SharedCapacity` handle scales budgets by a shared pool's
+  oversubscription;
 - :mod:`repro.stream.budget` — the :class:`StageBudget` detect-to-update
   latency decomposition stamped on every fused update;
+- :mod:`repro.stream.pool` — the :class:`ShardWorkerPool` of forked
+  workers serving shard runners of *many* sessions (register/step/
+  release/recover protocol; worker death surfaces as
+  :class:`WorkerCrashed`);
 - :mod:`repro.stream.parallel` — the process-parallel fleet runtime
-  (:class:`ParallelFleetStream`).
+  (:class:`ParallelFleetStream`), one session over its own or a shared
+  pool.
 
 Execution tiers of the fleet stack, slowest-coupling first:
 
@@ -37,10 +44,16 @@ process      :class:`ParallelFleetStream` — each shard's kernel in a
              Python cost parallelizes too.  Wins for many-node fleets
              and dense (per-hop localization) workloads; costs a fork
              plus one pipe round-trip per step.
+supervisor   :class:`repro.city.CitySupervisor` — many concurrent
+             corridor sessions multiplexed onto one
+             :class:`ShardWorkerPool`, sessions joining and leaving
+             mid-run, per-session pacing judged against the shared
+             capacity, city-wide health rollups on top.
 ===========  ==========================================================
 
 All tiers drive the same :class:`~repro.core.hop.HopKernel` and produce
-bit-identical per-node results and fused tracks.
+bit-identical per-node results and fused tracks — including every
+session of a shared-pool city run vs the same corridor standalone.
 """
 
 from repro.stream.engine import IngestStats, NodeIngest, StreamPipeline, StreamRunResult
@@ -53,7 +66,8 @@ from repro.stream.budget import (
     percentile_ms,
     summarize_budgets,
 )
-from repro.stream.pacer import Pacer, PacerConfig, PacerStats
+from repro.stream.pacer import Pacer, PacerConfig, PacerStats, SharedCapacity
+from repro.stream.pool import ShardWorkerPool, WorkerCrashed
 
 # Imported last: parallel pulls in repro.fleet.fusion, which may re-enter
 # this package mid-initialization — everything it needs is already bound.
@@ -76,8 +90,11 @@ __all__ = [
     "RecordingChunkSource",
     "RingBuffer",
     "STAGES",
+    "SharedCapacity",
     "SharedRingBuffer",
+    "ShardWorkerPool",
     "StageBudget",
+    "WorkerCrashed",
     "StreamPipeline",
     "StreamRunResult",
     "format_stage_summary",

@@ -29,7 +29,55 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["PacerConfig", "PacerStats", "Pacer"]
+__all__ = ["PacerConfig", "PacerStats", "Pacer", "SharedCapacity"]
+
+
+class SharedCapacity:
+    """Fair-share accounting for shards contending for one worker pool.
+
+    A city supervisor runs many corridor sessions' shards on one fixed set
+    of workers; each session's pacers cannot judge their steps against the
+    full hop budget as if the machine were theirs.  One ``SharedCapacity``
+    is shared by every pacer on the pool: sessions :meth:`acquire` slots
+    for their shards on join and :meth:`release` them on leave, and
+    :meth:`oversubscription` reports how many shards currently contend for
+    each worker slot.  A :class:`Pacer` given a capacity divides its step
+    budget by that factor, so shards on an oversubscribed pool widen their
+    hop batches *earlier* — backpressure reacts to city load before wall
+    clocks actually slip, and relaxes as sessions leave.
+
+    Parameters
+    ----------
+    slots:
+        Concurrent execution slots (the pool's worker count).
+    """
+
+    def __init__(self, slots: int) -> None:
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        self.slots = int(slots)
+        self._held = 0
+
+    @property
+    def held(self) -> int:
+        """Slots currently acquired across every session."""
+        return self._held
+
+    def acquire(self, n: int = 1) -> None:
+        """Claim ``n`` shard slots (session join)."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        self._held += int(n)
+
+    def release(self, n: int = 1) -> None:
+        """Return ``n`` shard slots (session leave)."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        self._held = max(0, self._held - int(n))
+
+    def oversubscription(self) -> float:
+        """Shards per worker slot, floored at 1 (an idle pool scales nothing)."""
+        return max(1.0, self._held / self.slots)
 
 
 @dataclass(frozen=True)
@@ -109,6 +157,12 @@ class Pacer:
         Nominal (starting) hops per step.
     config:
         Backpressure policy; default bounds are ``[1, 8 x hop_batch]``.
+    capacity:
+        Optional :class:`SharedCapacity` of the worker pool this shard
+        contends on.  When set, each step's budget is divided by the pool's
+        current oversubscription before judging overrun/headroom, so a
+        shard sharing a worker with K others only gets a 1/K share of real
+        time — and widens its batch accordingly before wall clocks slip.
     clock, sleep:
         Injectable monotonic clock and sleeper (tests pass fakes).
     """
@@ -119,6 +173,7 @@ class Pacer:
         *,
         hop_batch: int = 8,
         config: PacerConfig | None = None,
+        capacity: SharedCapacity | None = None,
         clock=time.monotonic,
         sleep=time.sleep,
     ) -> None:
@@ -138,6 +193,7 @@ class Pacer:
         self.hop_period_s = float(hop_period_s)
         self.nominal_batch = int(hop_batch)
         self.config = cfg
+        self.capacity = capacity
         self._clock = clock
         self._sleep = sleep
         self._batch = min(max(int(hop_batch), cfg.min_batch), cfg.max_batch)
@@ -187,6 +243,11 @@ class Pacer:
             return
         self.n_steps += 1
         budget = hops_advanced * self.hop_period_s
+        if self.capacity is not None:
+            # Fair share of a contended pool: this shard is only entitled
+            # to 1/oversubscription of real time, so both the overrun
+            # judgement and the recorded budget reflect the scaled deadline.
+            budget /= self.capacity.oversubscription()
         self._records.append((float(wall_s), float(budget), self._batch))
         cfg = self.config
         if wall_s > budget:

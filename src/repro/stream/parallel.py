@@ -37,6 +37,16 @@ not by ring drops) and headroom shrinks it back.  Every emitted
 :class:`~repro.fleet.fusion.TrackUpdate` carries a
 :class:`~repro.stream.budget.StageBudget` decomposing its detect-to-update
 latency across capture → delivery → ingest → kernel → fusion → emit.
+
+The worker processes themselves live in :class:`~repro.stream.pool.
+ShardWorkerPool`: a session opened with ``workers=N`` forks a private pool
+whose workers inherit its runners (no pickling), while a session opened
+with ``pool=`` *registers* its runners on an existing shared pool — the
+multi-corridor mode :mod:`repro.city` builds on.  Either way a dead worker
+surfaces as a :class:`~repro.stream.pool.WorkerCrashed` naming the shards
+it owned, and the :meth:`ParallelFleetStream.step_begin` /
+:meth:`~ParallelFleetStream.step_end` split lets a supervisor overlap many
+sessions' kernel passes on the same workers.
 """
 
 from __future__ import annotations
@@ -62,7 +72,8 @@ from repro.ssl.refine import RefineState
 from repro.ssl.tracking import KalmanDoaTracker
 from repro.stream.budget import StageBudget, summarize_budgets
 from repro.stream.engine import IngestStats, NodeIngest
-from repro.stream.pacer import Pacer, PacerConfig, PacerStats
+from repro.stream.pacer import Pacer, PacerConfig, PacerStats, SharedCapacity
+from repro.stream.pool import ShardWorkerPool, WorkerCrashed
 from repro.stream.ring import RingBuffer, SharedRingBuffer
 from repro.stream.source import ChunkSource
 
@@ -79,6 +90,7 @@ __all__ = [
     "parallel_supported",
     "ParallelFleetStream",
     "ParallelStreamResult",
+    "WorkerCrashed",
 ]
 
 
@@ -110,13 +122,6 @@ class _ShardReply:
     nids: tuple[str, ...]
     results: dict[str, list[FrameResult]]
     kernel_s: float
-
-
-@dataclass(frozen=True)
-class _WorkerError:
-    """A worker's traceback, shipped over the pipe before it exits."""
-
-    traceback: str
 
 
 class _ShardRunner:
@@ -191,33 +196,26 @@ class _ShardRunner:
             results[nid] = out
         return _ShardReply(tuple(nids), results, time.perf_counter() - t0)
 
+    def state_dict(self) -> dict:
+        """The shard's mutable stream state (crash-recovery checkpoint).
 
-def _worker_main(runners: dict[int, _ShardRunner], conn) -> None:
-    """Worker loop: step every owned shard per command, reply with rows.
+        Small by construction — scalar Kalman trackers, refinement window
+        bookkeeping and frame counters, a few hundred bytes — so a pool
+        worker can afford to ship it with every step reply.  The rings are
+        deliberately *not* part of it: their headers live in shared memory
+        owned by the main process and survive a worker crash on their own.
+        """
+        return {
+            "trackers": self.trackers,
+            "refine": self.refine,
+            "counts": dict(self.counts),
+        }
 
-    Commands: any truthy message steps; ``None`` shuts down.  A kernel
-    exception ships its traceback back as :class:`_WorkerError` so the main
-    process can raise instead of deadlocking on a dead pipe.
-    """
-    import traceback
-
-    try:
-        while True:
-            msg = conn.recv()
-            if msg is None:
-                break
-            try:
-                conn.send([(si, runners[si].step()) for si in sorted(runners)])
-            except Exception:
-                conn.send(_WorkerError(traceback.format_exc()))
-                break
-    except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover
-        pass
-    finally:
-        try:
-            conn.close()
-        except OSError:  # pragma: no cover
-            pass
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (after a worker respawn)."""
+        self.trackers = dict(state["trackers"])
+        self.refine = dict(state["refine"])
+        self.counts = dict(state["counts"])
 
 
 @dataclass(frozen=True)
@@ -306,8 +304,26 @@ class ParallelFleetStream:
     workers:
         Worker processes; 0 runs every shard in-process through the exact
         same :class:`_ShardRunner` code (the determinism reference), >= 1
-        distributes shards round-robin over forked workers.  Clamped to
-        the shard count.
+        distributes shards round-robin over a *private* forked
+        :class:`~repro.stream.pool.ShardWorkerPool` (workers inherit the
+        runners, nothing is pickled).  Clamped to the shard count.
+        Ignored when ``pool`` is given.
+    pool:
+        An existing :class:`~repro.stream.pool.ShardWorkerPool` to *join*
+        instead of forking a private one: the session registers its shard
+        runners on the pool's workers (runners pickle once; rings attach
+        by shared-memory name) and releases them on :meth:`close`.  This
+        is how :class:`repro.city.CitySupervisor` runs many sessions on
+        one set of workers.  Registered runners checkpoint their state, so
+        the pool can restore them after a worker death.
+    session_id:
+        Name registered on the shared pool (default ``"fleet"``); must be
+        unique among the pool's live sessions.
+    capacity:
+        Optional :class:`~repro.stream.pacer.SharedCapacity` the session's
+        pacers judge their budgets against (shards on an oversubscribed
+        pool widen earlier).  The session acquires one slot per shard
+        while open.
     pacer:
         Per-shard backpressure policy (shared config, independent state);
         default :class:`PacerConfig` widens on overrun up to ``8 x
@@ -328,6 +344,9 @@ class ParallelFleetStream:
         *,
         hop_batch: int = 8,
         workers: int = 0,
+        pool: ShardWorkerPool | None = None,
+        session_id: str | None = None,
+        capacity: SharedCapacity | None = None,
         pacer: PacerConfig | None = None,
         fusion_config: FusionConfig | None = None,
         recordings: Mapping[str, np.ndarray] | None = None,
@@ -344,7 +363,11 @@ class ParallelFleetStream:
         cfg = scheduler.config
         self.scheduler = scheduler
         self.hop_batch = int(hop_batch)
-        self.workers = min(int(workers), len(scheduler.shards))
+        self.session_id = session_id if session_id is not None else "fleet"
+        if pool is not None:
+            self.workers = pool.workers
+        else:
+            self.workers = min(int(workers), len(scheduler.shards))
         if self.workers:
             reason = parallel_supported()
             if reason is not None:
@@ -399,9 +422,17 @@ class ParallelFleetStream:
             for shard in scheduler.shards
         ]
         self._pacers = [
-            Pacer(cfg.frame_period_s, hop_batch=self.hop_batch, config=pacer_cfg)
+            Pacer(
+                cfg.frame_period_s,
+                hop_batch=self.hop_batch,
+                config=pacer_cfg,
+                capacity=capacity,
+            )
             for _ in scheduler.shards
         ]
+        self._capacity = capacity
+        if capacity is not None:
+            capacity.acquire(len(scheduler.shards))
         self._t = [0.0 for _ in scheduler.shards]
         # Main-side mirror of every node's result stream (workers report
         # rows back each step; fusion and `done` read this copy).
@@ -427,10 +458,29 @@ class ParallelFleetStream:
         self._fused_upto = 0
         self._n_steps = 0
         self._closed = False
-        self._procs: list = []
-        self._conns: list = []
-        if self.workers:
-            self._start_workers()
+        self._pending: tuple[float, list[float]] | None = None
+        self._pool: ShardWorkerPool | None = None
+        self._owns_pool = False
+        if pool is not None:
+            # Join an existing shared pool: ship each runner over the pipe
+            # (pipelines pickle once, rings re-attach by segment name) so
+            # the pool's workers can serve this session alongside others.
+            pool.register(
+                self.session_id,
+                {si: runner for si, runner in enumerate(self._runners)},
+            )
+            self._pool = pool
+        elif self.workers:
+            # Private pool, PR 6 style: fork *after* building the runners so
+            # the workers inherit pipelines and rings without any pickling.
+            self._pool = ShardWorkerPool(
+                self.workers,
+                preload={
+                    (self.session_id, si): runner
+                    for si, runner in enumerate(self._runners)
+                },
+            )
+            self._owns_pool = True
 
     # ------------------------------------------------------------------ API
 
@@ -458,16 +508,31 @@ class ParallelFleetStream:
         in-process or in the shard's worker.  Replies merge in shard-index
         order, the fusion frontier advances exactly as in the serial
         runtime, and every emitted update gets its stage budget attached.
-        """
-        from repro.fleet.scheduler import FleetStepResult
 
+        Equivalent to :meth:`step_begin` + :meth:`step_end`; a supervisor
+        multiplexing several sessions calls the two halves itself so every
+        session's workers compute concurrently.
+        """
+        self.step_begin()
+        return self.step_end()
+
+    def step_begin(self) -> None:
+        """Deliver this step's audio and dispatch the kernel commands.
+
+        Advances every shard's stream clock, pulls the now-delivered chunks
+        into the (shared) rings, and — when the session runs on a pool —
+        enqueues the step commands and *returns without waiting*, so the
+        caller can ``step_begin`` other sessions while the workers compute.
+        Complete the step with :meth:`step_end`.
+        """
         if self._closed:
             raise RuntimeError("session is closed")
+        if self._pending is not None:
+            raise RuntimeError("a step is already in flight (call step_end)")
         cfg = self.scheduler.config
         t0 = time.perf_counter()
-        shard_list = self.scheduler.shards
         ingest_wall: list[float] = []
-        for si, shard in enumerate(shard_list):
+        for si, shard in enumerate(self.scheduler.shards):
             self._t[si] += self._pacers[si].batch * cfg.frame_period_s
             self._pacers[si].wait(self._t[si])
             t_ing = time.perf_counter()
@@ -475,12 +540,33 @@ class ParallelFleetStream:
                 ing = self._ingest[nid]
                 ing.pull(None if ing._exhausted else self._t[si])
             ingest_wall.append(time.perf_counter() - t_ing)
-        if self._procs:
-            for conn in self._conns:
-                conn.send(True)
-            replies = self._collect_replies()
+        if self._pool is not None:
+            self._pool.step_send(self.session_id)
+        self._pending = (t0, ingest_wall)
+
+    def step_end(self) -> "FleetStepResult":
+        """Collect the in-flight step's replies, fuse, and emit updates.
+
+        Raises :class:`~repro.stream.pool.WorkerCrashed` when a worker
+        owning one of this session's shards died; on a shared pool the
+        supervisor may call :meth:`~repro.stream.pool.ShardWorkerPool.
+        recover` and retry — the step stays pending until a collect
+        succeeds.
+        """
+        from repro.fleet.scheduler import FleetStepResult
+
+        if self._closed:
+            raise RuntimeError("session is closed")
+        if self._pending is None:
+            raise RuntimeError("no step in flight (call step_begin)")
+        cfg = self.scheduler.config
+        shard_list = self.scheduler.shards
+        t0, ingest_wall = self._pending
+        if self._pool is not None:
+            replies = self._pool.step_collect(self.session_id)
         else:
             replies = {si: runner.step() for si, runner in enumerate(self._runners)}
+        self._pending = None
         new_results: dict[str, list[FrameResult]] = {}
         hops_advanced = 0
         for si in range(len(shard_list)):
@@ -600,27 +686,28 @@ class ParallelFleetStream:
         )
 
     def close(self) -> None:
-        """Shut workers down and release shared-memory rings (idempotent)."""
+        """Leave/shut the pool and release shared-memory rings (idempotent).
+
+        A private pool (``workers=N``) is shut down outright; a shared pool
+        (``pool=``) only has this session's runners released — the pool and
+        its other sessions keep running.
+        """
         if self._closed:
             return
         self._closed = True
-        for conn in self._conns:
+        self._pending = None
+        if self._pool is not None:
             try:
-                conn.send(None)
-            except (OSError, BrokenPipeError):
+                if self._owns_pool:
+                    self._pool.close()
+                else:
+                    self._pool.release(self.session_id)
+            except (WorkerCrashed, RuntimeError):  # pragma: no cover - dying pool
                 pass
-        for proc in self._procs:
-            proc.join(timeout=5.0)
-            if proc.is_alive():  # pragma: no cover - stuck worker
-                proc.terminate()
-                proc.join(timeout=1.0)
-        for conn in self._conns:
-            try:
-                conn.close()
-            except OSError:  # pragma: no cover
-                pass
-        self._procs = []
-        self._conns = []
+            self._pool = None
+        if self._capacity is not None:
+            self._capacity.release(len(self.scheduler.shards))
+            self._capacity = None
         if self._shared_rings:
             for ring in self._rings.values():
                 try:
@@ -641,38 +728,6 @@ class ParallelFleetStream:
             pass
 
     # ------------------------------------------------------------- internals
-
-    def _start_workers(self) -> None:
-        ctx = multiprocessing.get_context("fork")
-        for w in range(self.workers):
-            owned = {
-                si: self._runners[si]
-                for si in range(len(self._runners))
-                if si % self.workers == w
-            }
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main, args=(owned, child_conn), daemon=True
-            )
-            proc.start()
-            child_conn.close()
-            self._procs.append(proc)
-            self._conns.append(parent_conn)
-
-    def _collect_replies(self) -> dict[int, _ShardReply]:
-        replies: dict[int, _ShardReply] = {}
-        for proc, conn in zip(self._procs, self._conns):
-            while not conn.poll(0.2):
-                if not proc.is_alive():  # pragma: no cover - crashed worker
-                    raise RuntimeError(
-                        f"shard worker pid={proc.pid} died (exit code {proc.exitcode})"
-                    )
-            msg = conn.recv()
-            if isinstance(msg, _WorkerError):
-                raise RuntimeError("shard worker failed:\n" + msg.traceback)
-            for si, rep in msg:
-                replies[si] = rep
-        return replies
 
     def _node_done(self, nid: str) -> bool:
         ing = self._ingest[nid]

@@ -1,0 +1,480 @@
+"""Shared pool of forked shard workers: one pool, many sessions.
+
+PR 6's :class:`~repro.stream.parallel.ParallelFleetStream` owned its worker
+processes outright — one pool per corridor session, workers inheriting the
+session's shard runners at fork.  A city of corridors cannot afford that:
+K concurrent sessions x W workers each oversubscribes the machine W-fold,
+and every join pays a full fork.  This module extracts the worker-pool
+protocol behind PR 6 into a standalone :class:`ShardWorkerPool` that **one
+set of forked workers serves many sessions**:
+
+- **runners are registered, not only inherited.**  A session that exists
+  when the pool forks can preload its runners (zero pickling, the PR 6
+  path); a session that *joins later* registers each shard runner over the
+  worker's pipe (the runner pickles its pipelines once; its
+  :class:`~repro.stream.ring.SharedRingBuffer` rings pickle by segment
+  name, so audio stays zero-copy).
+- **steps are two-phase and session-scoped.**  ``step_send(session)``
+  enqueues one step command per worker owning that session's shards;
+  ``step_collect(session)`` gathers the replies.  A supervisor sends for
+  *every* live session before collecting any, so corridor A's kernel pass
+  overlaps corridor B's in different workers.
+- **worker death is a typed, attributed error.**  Any pipe operation on a
+  dead worker raises :class:`WorkerCrashed` naming the shards that worker
+  owned (the PR 6 runtime either hung on the pipe or raised a bare
+  ``RuntimeError``).  Registered (non-preloaded) runners checkpoint their
+  mutable state with every step reply, so :meth:`ShardWorkerPool.recover`
+  can fork a replacement worker, re-register the lost shards and restore
+  them to their last completed step — a crash between steps loses nothing;
+  a crash mid-step loses at most the in-flight hop batch (the shared rings
+  keep the hop grid aligned either way).
+
+The pool is deliberately ignorant of what a "runner" is: anything with
+``step() -> reply`` works, plus ``state_dict()``/``load_state_dict(state)``
+when registered recoverably.  :mod:`repro.stream.parallel` provides the
+fleet runner; :mod:`repro.city` builds the multi-session supervisor on top.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = ["WorkerCrashed", "ShardWorkerPool"]
+
+
+class WorkerCrashed(RuntimeError):
+    """A forked shard worker died (killed, OOM, segfault) mid-session.
+
+    Attributes
+    ----------
+    worker_index, pid, exitcode:
+        Which worker process, and how it exited.
+    shards:
+        ``"session/shard"`` labels of every shard the dead worker owned —
+        the work that stalled with it.
+    """
+
+    def __init__(
+        self,
+        worker_index: int,
+        pid: int | None,
+        exitcode: int | None,
+        shards: tuple[str, ...],
+    ) -> None:
+        self.worker_index = int(worker_index)
+        self.pid = pid
+        self.exitcode = exitcode
+        self.shards = tuple(shards)
+        owned = ", ".join(self.shards) if self.shards else "(no shards)"
+        super().__init__(
+            f"shard worker {self.worker_index} (pid={pid}) died "
+            f"with exit code {exitcode}; owned shards: {owned}"
+        )
+
+
+@dataclass(frozen=True)
+class _WorkerError:
+    """A worker-side traceback, shipped over the pipe instead of a reply."""
+
+    traceback: str
+
+
+def _shard_label(sid: str, key: int) -> str:
+    return f"{sid}/shard{key}"
+
+
+def _pool_worker_main(owned: dict, checkpointed: set, conn) -> None:
+    """Worker loop: register/restore/step/release shard runners on command.
+
+    ``owned`` maps ``(session_id, shard_key)`` to a runner; preloaded
+    entries arrive via fork inheritance, later ones over the pipe.  Every
+    command gets exactly one reply (``("ok",)``, ``("stepped", rows)`` or
+    :class:`_WorkerError`), so the main side can treat each pipe as a FIFO
+    of request/response pairs.  ``None`` shuts the worker down.
+    """
+    import traceback
+
+    try:
+        while True:
+            msg = conn.recv()
+            if msg is None:
+                break
+            try:
+                cmd = msg[0]
+                if cmd == "step":
+                    sid = msg[1]
+                    rows = []
+                    for s, key in sorted(k for k in owned if k[0] == sid):
+                        runner = owned[(s, key)]
+                        reply = runner.step()
+                        state = (
+                            pickle.dumps(runner.state_dict(), protocol=pickle.HIGHEST_PROTOCOL)
+                            if (s, key) in checkpointed
+                            else None
+                        )
+                        rows.append((key, reply, state))
+                    conn.send(("stepped", sid, rows))
+                elif cmd == "register":
+                    _, sid, key, blob, checkpoint = msg
+                    owned[(sid, key)] = pickle.loads(blob)
+                    if checkpoint:
+                        checkpointed.add((sid, key))
+                    conn.send(("ok",))
+                elif cmd == "restore":
+                    _, sid, key, blob = msg
+                    owned[(sid, key)].load_state_dict(pickle.loads(blob))
+                    conn.send(("ok",))
+                elif cmd == "release":
+                    sid = msg[1]
+                    for k in [k for k in owned if k[0] == sid]:
+                        owned.pop(k, None)
+                        checkpointed.discard(k)
+                    conn.send(("ok",))
+                else:  # pragma: no cover - protocol misuse
+                    conn.send(_WorkerError(f"unknown command {cmd!r}"))
+            except Exception:
+                conn.send(_WorkerError(traceback.format_exc()))
+    except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class ShardWorkerPool:
+    """A fixed set of forked workers serving shard runners of many sessions.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (>= 1; a zero-worker "pool" is just in-process
+        execution and needs no pool object).
+    preload:
+        ``(session_id, shard_key) -> runner`` entries the workers inherit
+        at fork — the PR 6 single-session path, paying no pickling.
+        Preloaded runners are **not recoverable**: with no registration
+        payload to replay, a dead worker surfaces as :class:`WorkerCrashed`
+        to the caller instead of being respawned silently.
+    max_shards_per_worker:
+        Admission-control knob for :meth:`saturated`: a supervisor should
+        degrade new sessions to in-process execution once every worker
+        already carries this many registered shards.  ``None`` disables
+        the check (never saturated).
+
+    The pool must be closed (:meth:`close`) to join its workers; sessions
+    should :meth:`release` themselves when they finish so their slots free
+    up for later joiners.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        preload: Mapping[tuple[str, int], object] | None = None,
+        max_shards_per_worker: int | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1 (use in-process execution for 0)")
+        if max_shards_per_worker is not None and max_shards_per_worker < 1:
+            raise ValueError("max_shards_per_worker must be >= 1 (or None)")
+        self.workers = int(workers)
+        self.max_shards_per_worker = max_shards_per_worker
+        self._ctx = multiprocessing.get_context("fork")
+        self._procs: list = [None] * self.workers
+        self._conns: list = [None] * self.workers
+        # Main-side bookkeeping: shard -> worker, recovery payloads and the
+        # per-worker FIFO of in-flight step commands awaiting replies.
+        self._assign: dict[tuple[str, int], int] = {}
+        self._payloads: dict[tuple[str, int], bytes] = {}
+        self._checkpoints: dict[tuple[str, int], bytes] = {}
+        self._inflight: list[deque] = [deque() for _ in range(self.workers)]
+        self._stash: dict[tuple[int, str], list] = {}
+        self._closed = False
+        preload = dict(preload or {})
+        owned_per_worker: list[dict] = [{} for _ in range(self.workers)]
+        for i, key in enumerate(sorted(preload)):
+            w = i % self.workers
+            owned_per_worker[w][key] = preload[key]
+            self._assign[key] = w
+        for w in range(self.workers):
+            self._spawn(w, owned_per_worker[w])
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def load(self) -> int:
+        """Registered shards across every session currently on the pool."""
+        return len(self._assign)
+
+    def saturated(self) -> bool:
+        """Whether admission control should push new sessions in-process."""
+        if self.max_shards_per_worker is None:
+            return False
+        return self.load >= self.workers * self.max_shards_per_worker
+
+    def sessions(self) -> list[str]:
+        """Session ids currently registered, sorted."""
+        return sorted({sid for sid, _ in self._assign})
+
+    def register(self, session_id: str, runners: Mapping[int, object]) -> None:
+        """Register a joining session's shard runners (least-loaded workers).
+
+        The runners are pickled to their workers — pipelines once, rings by
+        shared-memory segment name — and checkpoint their mutable state on
+        every step so :meth:`recover` can restore them after a worker death.
+        """
+        self._check_open()
+        if not runners:
+            raise ValueError("need at least one runner")
+        if any(sid == session_id for sid, _ in self._assign):
+            raise ValueError(f"session {session_id!r} is already registered")
+        if any(self._inflight[w] for w in range(self.workers)):
+            raise RuntimeError("cannot register while steps are in flight")
+        loads = [0] * self.workers
+        for w in self._assign.values():
+            loads[w] += 1
+        for key in sorted(runners):
+            w = min(range(self.workers), key=lambda i: (loads[i], i))
+            loads[w] += 1
+            blob = pickle.dumps(runners[key], protocol=pickle.HIGHEST_PROTOCOL)
+            shard = (session_id, int(key))
+            self._send(w, ("register", session_id, int(key), blob, True))
+            self._expect_ok(w)
+            self._assign[shard] = w
+            self._payloads[shard] = blob
+
+    def release(self, session_id: str) -> None:
+        """Drop a session's runners from its workers (idempotent)."""
+        if self._closed:
+            return
+        if any(self._inflight[w] for w in range(self.workers)):
+            raise RuntimeError("cannot release while steps are in flight")
+        owners = {w for (sid, _), w in self._assign.items() if sid == session_id}
+        for w in sorted(owners):
+            self._stash.pop((w, session_id), None)
+            # A dead worker has nothing left to release; recovery (or the
+            # pool's close) handles its bookkeeping.
+            if self._procs[w] is not None and self._procs[w].is_alive():
+                try:
+                    self._send(w, ("release", session_id))
+                    self._expect_ok(w)
+                except WorkerCrashed:
+                    pass
+        for shard in [s for s in self._assign if s[0] == session_id]:
+            self._assign.pop(shard, None)
+            self._payloads.pop(shard, None)
+            self._checkpoints.pop(shard, None)
+
+    def owners(self, session_id: str) -> list[int]:
+        """Workers owning at least one of the session's shards, sorted."""
+        return sorted({w for (sid, _), w in self._assign.items() if sid == session_id})
+
+    def step_send(self, session_id: str) -> None:
+        """Enqueue one step command per worker owning the session's shards.
+
+        Returns immediately; the workers compute while the caller moves on
+        (e.g. to ``step_send`` other sessions).  Pair with
+        :meth:`step_collect`.
+        """
+        self._check_open()
+        for w in self.owners(session_id):
+            # Record the in-flight command *before* sending so a crash
+            # mid-send is re-queued by recover() like any lost step.
+            self._inflight[w].append(session_id)
+            self._send(w, ("step", session_id))
+
+    def step_collect(self, session_id: str) -> dict[int, object]:
+        """Gather one step's replies; returns ``shard_key -> reply``.
+
+        Raises :class:`WorkerCrashed` when a worker owning one of the
+        session's shards died; surviving workers' replies stay stashed, so
+        after :meth:`recover` a retry consumes them without re-stepping.
+        """
+        self._check_open()
+        replies: dict[int, object] = {}
+        for w in self.owners(session_id):
+            rows = self._stash.pop((w, session_id), None)
+            if rows is None:
+                rows = self._recv_step(w, session_id)
+            for key, reply, state in rows:
+                replies[int(key)] = reply
+                if state is not None:
+                    self._checkpoints[(session_id, int(key))] = state
+        return replies
+
+    def step(self, session_id: str) -> dict[int, object]:
+        """One synchronous step: :meth:`step_send` + :meth:`step_collect`."""
+        self.step_send(session_id)
+        return self.step_collect(session_id)
+
+    def recover(self) -> int:
+        """Respawn dead workers and restore their shards; returns how many.
+
+        Every shard of a dead worker is re-registered from its registration
+        payload and restored to its last step checkpoint; step commands that
+        were in flight on the dead worker are re-queued, so a pending
+        :meth:`step_collect` can simply be retried.  Raises
+        :class:`WorkerCrashed` when a dead worker owned a preloaded
+        (non-recoverable) shard.
+        """
+        self._check_open()
+        restarted = 0
+        for w in range(self.workers):
+            proc = self._procs[w]
+            if proc is None or proc.is_alive():
+                continue
+            shards = sorted(s for s, owner in self._assign.items() if owner == w)
+            lost = [s for s in shards if s not in self._payloads]
+            if lost:
+                raise WorkerCrashed(
+                    w,
+                    proc.pid,
+                    proc.exitcode,
+                    tuple(_shard_label(sid, key) for sid, key in lost),
+                )
+            pending = list(self._inflight[w])
+            self._inflight[w].clear()
+            try:
+                self._conns[w].close()
+            except OSError:  # pragma: no cover
+                pass
+            proc.join(timeout=1.0)
+            self._spawn(w, {})
+            for sid, key in shards:
+                self._send(w, ("register", sid, key, self._payloads[(sid, key)], True))
+                self._expect_ok(w)
+                state = self._checkpoints.get((sid, key))
+                if state is not None:
+                    self._send(w, ("restore", sid, key, state))
+                    self._expect_ok(w)
+            for sid in pending:
+                self._inflight[w].append(sid)
+                self._send(w, ("step", sid))
+            restarted += 1
+        return restarted
+
+    def close(self) -> None:
+        """Shut every worker down and join it (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            if conn is None:
+                continue
+            try:
+                conn.send(None)
+            except (OSError, BrokenPipeError):
+                pass
+        for proc in self._procs:
+            if proc is None:
+                continue
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            if conn is None:
+                continue
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._procs = [None] * self.workers
+        self._conns = [None] * self.workers
+        self._assign.clear()
+        self._payloads.clear()
+        self._checkpoints.clear()
+        self._stash.clear()
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- internals
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+
+    def _spawn(self, w: int, owned: dict) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        # Preloaded (fork-inherited) runners never checkpoint: with no
+        # registration payload to replay they are unrecoverable anyway, and
+        # skipping the per-step state pickle keeps the PR 6 zero-pickle path.
+        proc = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(owned, set(), child_conn),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._procs[w] = proc
+        self._conns[w] = parent_conn
+
+    def _crashed(self, w: int) -> WorkerCrashed:
+        proc = self._procs[w]
+        shards = tuple(
+            _shard_label(sid, key)
+            for (sid, key), owner in sorted(self._assign.items())
+            if owner == w
+        )
+        return WorkerCrashed(
+            w,
+            None if proc is None else proc.pid,
+            None if proc is None else proc.exitcode,
+            shards,
+        )
+
+    def _send(self, w: int, msg) -> None:
+        try:
+            self._conns[w].send(msg)
+        except (OSError, BrokenPipeError) as exc:
+            raise self._crashed(w) from exc
+
+    def _recv(self, w: int):
+        conn, proc = self._conns[w], self._procs[w]
+        try:
+            while not conn.poll(0.2):
+                if not proc.is_alive():
+                    raise self._crashed(w)
+            return conn.recv()
+        except (EOFError, OSError) as exc:
+            raise self._crashed(w) from exc
+
+    def _expect_ok(self, w: int) -> None:
+        msg = self._recv(w)
+        if isinstance(msg, _WorkerError):
+            raise RuntimeError("shard worker failed:\n" + msg.traceback)
+        if msg != ("ok",):  # pragma: no cover - protocol misuse
+            raise RuntimeError(f"unexpected worker reply: {msg!r}")
+
+    def _recv_step(self, w: int, session_id: str) -> list:
+        """Next step reply for ``session_id`` from worker ``w``.
+
+        Replies come back in command order; replies for other sessions that
+        arrive first are stashed for their own ``step_collect``.
+        """
+        while True:
+            msg = self._recv(w)
+            if isinstance(msg, _WorkerError):
+                if self._inflight[w]:
+                    self._inflight[w].popleft()
+                raise RuntimeError("shard worker failed:\n" + msg.traceback)
+            if not (isinstance(msg, tuple) and msg and msg[0] == "stepped"):
+                raise RuntimeError(  # pragma: no cover - protocol misuse
+                    f"unexpected worker reply: {msg!r}"
+                )
+            _, sid, rows = msg
+            if self._inflight[w] and self._inflight[w][0] == sid:
+                self._inflight[w].popleft()
+            if sid == session_id:
+                return rows
+            self._stash[(w, sid)] = rows

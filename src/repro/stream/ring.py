@@ -151,6 +151,32 @@ _HDR_FIELDS = 4
 _HDR_BYTES = _HDR_FIELDS * 8
 
 
+def _attach_nonowning(name: str, n_channels: int, capacity: int) -> "SharedRingBuffer":
+    """Unpickle target: attach to an existing segment without owning it.
+
+    The segment's lifetime belongs to its creator, so the attachment must
+    leave the resource tracker alone entirely.  On Python < 3.13 attaching
+    registers unconditionally, and *either* direction of cleanup is wrong:
+    a worker that shares the creator's (fork-inherited) tracker would, by
+    unregistering, delete the creator's sole cache entry (KeyError noise at
+    ``unlink()``); a worker that spawned its own tracker would, by leaving
+    the registration in place, have that tracker re-unlink every segment at
+    worker exit (leak + ENOENT noise).  Suppressing the register during
+    attach is correct in both regimes — ``SharedMemory`` resolves
+    ``resource_tracker.register`` at call time, and the worker is
+    single-threaded while unpickling.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = register
+    return SharedRingBuffer(n_channels, capacity, _shm=shm)
+
+
 def _hdr_field(index: int, doc: str):
     """An int64 slot of the shared header, exposed as a plain int attribute
     so the inherited push/pop logic reads and writes it transparently."""
@@ -240,6 +266,12 @@ class SharedRingBuffer(RingBuffer):
         from multiprocessing import shared_memory
 
         return cls(n_channels, capacity, _shm=shared_memory.SharedMemory(name=name))
+
+    def __reduce__(self):
+        # Pickling ships only the segment coordinates: the receiving process
+        # re-attaches to the same physical pages, so a shard runner handed to
+        # a pool worker over a pipe still pops audio zero-copy.
+        return (_attach_nonowning, (self._shm_name, self.n_channels, self.capacity))
 
     @property
     def name(self) -> str:

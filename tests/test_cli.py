@@ -111,6 +111,71 @@ class TestFleet:
         assert not args.threads
 
 
+class TestFleetJson:
+    def test_json_requires_stream(self, capsys):
+        assert main(["fleet", "--json"]) == 1
+        assert "--json requires --stream" in capsys.readouterr().err
+
+    def test_stream_json_document(self, capsys):
+        import json
+
+        code = main(
+            ["fleet", "--stream", "--n-nodes", "2", "--spacing", "12",
+             "--duration", "0.5", "--n-azimuth", "36", "--workers", "0",
+             "--json"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out)  # the ONLY stdout is one JSON document
+        assert doc["engine"] == "parallel"
+        assert doc["n_tracks"] > 0
+        assert {"p95_ms", "deadline_ms"} <= set(doc["hop_latency"])
+        assert "detect_to_update" in doc
+        assert len(doc["nodes"]) == 2
+        for node in doc["nodes"]:
+            assert {"node_id", "realtime", "n_overruns"} <= set(node)
+
+
+class TestCity:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["city"])
+        assert args.corridors == 3
+        assert args.workers == 1
+        assert not args.json
+
+    def test_default_scenario_run(self, capsys):
+        code = main(
+            ["city", "--corridors", "2", "--duration", "0.4", "--n-nodes", "2",
+             "--workers", "0", "--stagger", "1", "--status-every", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "city sessions     : 2" in out
+        assert "corridor0 joined" in out
+        assert "corridor1 joined" in out
+        assert "corridor0 left" in out
+        assert "detect→update" in out
+
+    def test_scenario_file_and_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "city.json"
+        path.write_text(json.dumps({
+            "seed": 4,
+            "corridors": [
+                {"corridor_id": "north", "n_nodes": 2, "duration_s": 0.4},
+                {"corridor_id": "south", "n_nodes": 2, "duration_s": 0.4,
+                 "join_step": 1},
+            ],
+        }))
+        code = main(["city", "--scenario", str(path), "--workers", "0", "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["n_sessions"] == 2
+        assert {c["corridor_id"] for c in doc["corridors"]} == {"north", "south"}
+        assert doc["n_left"] == 2
+
+
 class TestAssessArray:
     def test_uca_report(self, capsys):
         code = main(

@@ -15,6 +15,9 @@ The contract under test, in layers:
   adaptive hop-batch schedule the pacer might choose.
 """
 
+import os
+import signal
+
 import numpy as np
 import pytest
 
@@ -42,6 +45,7 @@ from repro.stream import (
     SharedRingBuffer,
     StageBudget,
     format_stage_summary,
+    WorkerCrashed,
     parallel_supported,
     summarize_budgets,
 )
@@ -529,6 +533,29 @@ class TestMultiWorker:
         assert_tracks_identical(offline_tracks, result.tracks)
         # Clamped to the shard count when fewer shards than workers exist.
         assert result.workers == min(workers, len(result.shards))
+
+    def test_worker_death_raises_workercrashed_naming_shard(self, scene):
+        """A killed shard worker must surface as a typed, attributed error
+        — not a hang on the pipe — naming the shards that died with it."""
+        nodes, recording = scene
+        sched = scheduler(nodes, config())
+        sources = CorridorStream(recording, chunk_samples=256).sources()
+        session = ParallelFleetStream(sched, sources, hop_batch=8, workers=2)
+        try:
+            session.step()  # both workers alive and stepping
+            victim = session._pool._procs[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join()
+            with pytest.raises(WorkerCrashed) as excinfo:
+                while not session.done:
+                    session.step()
+            err = excinfo.value
+            assert err.worker_index == 0
+            assert err.shards  # the dead worker's shards are named
+            assert all(s.startswith("fleet/shard") for s in err.shards)
+            assert "died" in str(err) and "fleet/shard" in str(err)
+        finally:
+            session.close()
 
 
 # --------------------------------------------------------------------------
