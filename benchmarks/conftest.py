@@ -105,10 +105,15 @@ def bench_json():
     return record
 
 
-def _check_min_speedups(session) -> bool:
-    """Enforce ``--bench-min-speedup`` guards; returns True when all hold."""
-    guards = session.config.getoption("--bench-min-speedup")
-    ok = True
+def min_speedup_failures(guards: list[str], rows: list[dict]) -> list[str]:
+    """Evaluate ``--bench-min-speedup`` guard specs against recorded rows.
+
+    Returns one message per violated guard (empty list = all hold).  A
+    non-finite speedup (NaN/inf from a degenerate timing) is a failure in
+    its own right: NaN compares False against any floor, so without the
+    explicit check a broken bench would *pass* the guard it exists to serve.
+    """
+    failures = []
     for spec in guards:
         name, _, floor = spec.partition("=")
         try:
@@ -116,28 +121,38 @@ def _check_min_speedups(session) -> bool:
         except ValueError:
             floor = None
         if not name or floor is None:
-            print(f"\nbench-min-speedup: malformed guard {spec!r} (want BENCH=SPEEDUP)")
-            ok = False
+            failures.append(f"bench-min-speedup: malformed guard {spec!r} (want BENCH=SPEEDUP)")
             continue
-        rows = [r for r in _BENCH_ROWS if r["bench"] == name]
-        if not rows:
-            print(f"\nbench-min-speedup: no recorded row named {name!r}")
-            ok = False
+        named = [r for r in rows if r["bench"] == name]
+        if not named:
+            failures.append(f"bench-min-speedup: no recorded row named {name!r}")
             continue
-        worst = min(r["speedup"] for r in rows)
+        values = [r["speedup"] for r in named]
+        if not all(np.isfinite(v) for v in values):
+            failures.append(
+                f"bench-min-speedup: {name} recorded a non-finite speedup "
+                f"({values}) — the bench itself is broken, not fast"
+            )
+            continue
+        worst = min(values)
         if worst < floor:
-            print(
-                f"\nbench-min-speedup: {name} regressed — "
+            failures.append(
+                f"bench-min-speedup: {name} regressed — "
                 f"recorded {worst:.2f}x, floor {floor:.2f}x"
             )
-            ok = False
-    return ok
+    return failures
 
 
-def _check_max_p95(session) -> bool:
-    """Enforce ``--bench-max-p95`` guards; returns True when all hold."""
-    guards = session.config.getoption("--bench-max-p95")
-    ok = True
+def max_p95_failures(guards: list[str], rows: list[dict]) -> list[str]:
+    """Evaluate ``--bench-max-p95`` guard specs against recorded rows.
+
+    Returns one message per violated guard (empty list = all hold).  A
+    NaN ``p95_ms`` (``percentile_ms([])`` of an update-less run) must fail
+    loudly: ``max(rows) > ceiling`` is False for NaN, so without the
+    explicit finiteness check an empty latency trail would silently pass
+    the latency guard.
+    """
+    failures = []
     for spec in guards:
         name, _, ceiling = spec.partition("=")
         try:
@@ -145,33 +160,41 @@ def _check_max_p95(session) -> bool:
         except ValueError:
             ceiling = None
         if not name or ceiling is None:
-            print(f"\nbench-max-p95: malformed guard {spec!r} (want BENCH=MS)")
-            ok = False
+            failures.append(f"bench-max-p95: malformed guard {spec!r} (want BENCH=MS)")
             continue
-        rows = [r for r in _BENCH_ROWS if r["bench"] == name]
-        if not rows:
-            print(f"\nbench-max-p95: no recorded row named {name!r}")
-            ok = False
+        named = [r for r in rows if r["bench"] == name]
+        if not named:
+            failures.append(f"bench-max-p95: no recorded row named {name!r}")
             continue
-        missing = [r for r in rows if "p95_ms" not in r]
+        missing = [r for r in named if "p95_ms" not in r]
         if missing:
-            print(f"\nbench-max-p95: rows named {name!r} carry no p95_ms field")
-            ok = False
+            failures.append(f"bench-max-p95: rows named {name!r} carry no p95_ms field")
             continue
-        worst = max(r["p95_ms"] for r in rows)
+        values = [r["p95_ms"] for r in named]
+        if not all(np.isfinite(v) for v in values):
+            failures.append(
+                f"bench-max-p95: {name} recorded a non-finite p95_ms "
+                f"({values}) — an empty or broken latency trail cannot pass "
+                f"a latency guard"
+            )
+            continue
+        worst = max(values)
         if worst > ceiling:
-            print(
-                f"\nbench-max-p95: {name} missed its deadline — "
+            failures.append(
+                f"bench-max-p95: {name} missed its deadline — "
                 f"recorded p95 {worst:.2f} ms, ceiling {ceiling:.2f} ms"
             )
-            ok = False
-    return ok
+    return failures
 
 
 def pytest_sessionfinish(session, exitstatus):
     if exitstatus == 0:
-        guards_ok = _check_min_speedups(session)
-        guards_ok = _check_max_p95(session) and guards_ok  # report both kinds
+        failures = min_speedup_failures(
+            session.config.getoption("--bench-min-speedup"), _BENCH_ROWS
+        ) + max_p95_failures(session.config.getoption("--bench-max-p95"), _BENCH_ROWS)
+        for message in failures:  # report every violated guard, not just the first
+            print(f"\n{message}")
+        guards_ok = not failures
     else:
         guards_ok = True
     if exitstatus == 0 and not guards_ok:

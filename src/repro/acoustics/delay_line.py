@@ -7,12 +7,17 @@ into the line at the sample rate and each receiver reads at a time-varying
 the source approaches compresses the waveform and raises its pitch — the
 Doppler effect emerges from the geometry with no explicit frequency shift.
 
-Two implementations are provided:
+Three implementations are provided:
 
 - :func:`render_varying_delay` — vectorized offline evaluation used by the
   simulator; supports linear, Lagrange and windowed-sinc interpolation.
-- :class:`VariableDelayLine` — a streaming ring-buffer version suitable for
-  sample-by-sample processing (used by the real-time pipeline tests).
+- :class:`StreamingDelayReader` — the same vectorized read, stateful across
+  block boundaries: feed source samples as they exist, read output hop
+  slices on demand, bit-identical to one offline call over the whole
+  signal.  This is what lets :class:`repro.fleet.corridor.CorridorStream`
+  render corridors incrementally instead of whole scenes up front.
+- :class:`VariableDelayLine` — a sample-by-sample ring-buffer version
+  (used by the real-time pipeline tests).
 """
 
 from __future__ import annotations
@@ -21,7 +26,12 @@ import numpy as np
 
 from repro.dsp.filters import lagrange_fractional_delay
 
-__all__ = ["VariableDelayLine", "render_varying_delay", "INTERPOLATORS"]
+__all__ = [
+    "VariableDelayLine",
+    "StreamingDelayReader",
+    "render_varying_delay",
+    "INTERPOLATORS",
+]
 
 INTERPOLATORS = ("linear", "lagrange", "sinc")
 
@@ -120,6 +130,151 @@ def render_varying_delay(
     if sinc_half_width < 2:
         raise ValueError("sinc_half_width must be >= 2")
     return _interp_sinc(x, pos, sinc_half_width)
+
+
+class StreamingDelayReader:
+    """Block-streaming fractional-delay read, bit-identical to the offline one.
+
+    :func:`render_varying_delay` evaluates ``out[n] = x[n - delay[n]]`` over
+    a whole signal at once; this class evaluates the *same* expression —
+    the same interpolators, the same batched gathers, the same zero
+    extension outside the source's support — but lets the caller interleave
+    feeding source samples and reading output slices:
+
+    >>> r = StreamingDelayReader(interpolation="linear")
+    >>> r.feed(x[:4096]); hop0 = r.read(delays[:, :256])
+    >>> r.feed(x[4096:]); r.end(); hop1 = r.read(delays[:, 256:512])
+
+    Successive :meth:`read` calls advance an output cursor: the k-th call
+    renders the next ``m`` output samples, where ``m`` is the last-axis
+    length of its ``delay_samples`` block (leading axes render a batch of
+    receivers, exactly as offline).  Concatenating every read reproduces
+    the offline render of the fed signal **bit for bit** — asserted in
+    ``tests/test_acoustics_delay_line.py`` — because interpolator tap
+    positions are computed from *absolute* sample indices, never from
+    block-relative ones, so block boundaries cannot introduce seams.
+
+    An interpolator reads a little *ahead* of the nominal position (one tap
+    for linear, more for Lagrange/sinc).  Mid-stream, a read that would
+    need source samples not fed yet raises rather than silently rendering
+    with a truncated kernel; after :meth:`end` declares the source
+    exhausted, reads past it zero-extend exactly like the offline call.
+
+    The fed signal is retained in full (delays may look arbitrarily far
+    back), so memory matches the offline path's — the win of streaming is
+    *latency*: each hop's render cost is paid when that hop is needed, not
+    all up front at session start.
+    """
+
+    def __init__(
+        self,
+        *,
+        interpolation: str = "lagrange",
+        order: int = 3,
+        sinc_half_width: int = 16,
+    ) -> None:
+        if interpolation not in INTERPOLATORS:
+            raise ValueError(
+                f"unknown interpolation {interpolation!r}; expected {INTERPOLATORS}"
+            )
+        if interpolation == "lagrange" and order < 1:
+            raise ValueError("order must be >= 1")
+        if interpolation == "sinc" and sinc_half_width < 2:
+            raise ValueError("sinc_half_width must be >= 2")
+        self.interpolation = interpolation
+        self.order = int(order)
+        self.sinc_half_width = int(sinc_half_width)
+        # Samples the interpolator reads past floor(pos).
+        if interpolation == "linear":
+            self._lookahead = 1
+        elif interpolation == "lagrange":
+            self._lookahead = self.order - (self.order - 1) // 2
+        else:
+            self._lookahead = self.sinc_half_width
+        self._buf = np.zeros(0)
+        self._n_fed = 0
+        self._n_read = 0
+        self._ended = False
+
+    @property
+    def n_fed(self) -> int:
+        """Source samples fed so far."""
+        return self._n_fed
+
+    @property
+    def n_read(self) -> int:
+        """Output samples rendered so far (the output cursor)."""
+        return self._n_read
+
+    @property
+    def ended(self) -> bool:
+        """Whether :meth:`end` declared the source exhausted."""
+        return self._ended
+
+    def feed(self, block: np.ndarray) -> None:
+        """Append source samples (1-D) to the line."""
+        if self._ended:
+            raise RuntimeError("cannot feed after end()")
+        block = np.asarray(block, dtype=np.float64)
+        if block.ndim != 1:
+            raise ValueError("block must be 1-D")
+        n = block.size
+        if self._n_fed + n > self._buf.size:
+            grown = np.zeros(max(2 * self._buf.size, self._n_fed + n, 4096))
+            grown[: self._n_fed] = self._buf[: self._n_fed]
+            self._buf = grown
+        self._buf[self._n_fed : self._n_fed + n] = block
+        self._n_fed += n
+
+    def end(self) -> None:
+        """Declare the source exhausted: further reads zero-extend past it,
+        exactly as the offline render treats samples outside the signal."""
+        self._ended = True
+
+    def read(self, delay_samples: np.ndarray) -> np.ndarray:
+        """Render the next block of output samples.
+
+        ``delay_samples`` has shape ``(m,)`` or ``(..., m)`` (a batch of
+        receivers); output sample ``n_read + j`` is the fed signal read at
+        absolute position ``(n_read + j) - delay_samples[..., j]``.  Raises
+        when the interpolator would need source samples not fed yet (feed
+        more, or call :meth:`end`).
+        """
+        delay = np.asarray(delay_samples, dtype=np.float64)
+        if delay.ndim < 1 or delay.shape[-1] == 0:
+            raise ValueError("delay_samples must have a non-empty last axis")
+        if np.any(delay < 0):
+            raise ValueError("delays must be non-negative")
+        m = delay.shape[-1]
+        pos = np.arange(self._n_read, self._n_read + m) - delay
+        if not self._ended:
+            needed = int(np.floor(pos.max())) + self._lookahead
+            if needed >= self._n_fed:
+                raise ValueError(
+                    f"read needs source sample {needed}, only {self._n_fed} fed "
+                    f"(feed more or call end())"
+                )
+        if self._n_fed == 0:
+            # Nothing fed (ended empty, or every read position precedes the
+            # signal): the zero extension is the whole answer.
+            self._n_read += m
+            return np.zeros(pos.shape)
+        x = self._buf[: self._n_fed]
+        if self.interpolation == "linear":
+            out = _interp_linear(x, pos)
+        elif self.interpolation == "lagrange":
+            out = _interp_lagrange(x, pos, self.order)
+        else:
+            out = _interp_sinc(x, pos, self.sinc_half_width)
+        self._n_read += m
+        return out
+
+    def reset(self) -> None:
+        """Clear all state (fed samples, cursors, end flag)."""
+        self._buf = np.zeros(0)
+        self._n_fed = 0
+        self._n_read = 0
+        self._ended = False
 
 
 class VariableDelayLine:

@@ -102,7 +102,13 @@ class CorridorSpec:
 
 @dataclass(frozen=True)
 class CityScenario:
-    """A full city run: the corridors plus the shared pipeline settings."""
+    """A full city run: the corridors plus the shared pipeline settings.
+
+    ``tap_window_s`` enables wide-baseline TDOA multilateration in every
+    session from rolling per-node sample taps of that many seconds —
+    populated during ingest, so no whole recording is needed (there is
+    none in a live city); ``None`` leaves fusion bearing-triangulated.
+    """
 
     corridors: tuple[CorridorSpec, ...]
     fs: float = 8000.0
@@ -113,12 +119,15 @@ class CityScenario:
     n_elevation: int = 2
     detector: str = "oracle"
     siren_jitter: float = 0.05
+    tap_window_s: float | None = None
 
     def __post_init__(self) -> None:
         if not self.corridors:
             raise ValueError("scenario needs at least one corridor")
         if not 0.0 <= self.siren_jitter < 0.5:
             raise ValueError("siren_jitter must lie in [0, 0.5)")
+        if self.tap_window_s is not None and self.tap_window_s <= 0:
+            raise ValueError("tap_window_s must be positive")
         ids = [c.corridor_id for c in self.corridors]
         if len(set(ids)) != len(ids):
             raise ValueError("corridor ids must be unique")

@@ -157,6 +157,7 @@ class CitySession:
             session_id=self.corridor_id,
             capacity=None if self.degraded else capacity,
             pacer=pacer,
+            tap_window_s=self.scenario.tap_window_s,
         )
         self.state = LIVE
 

@@ -106,6 +106,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="upgrade two-node fixes with wide-baseline TDOA multilateration",
     )
     flt.add_argument(
+        "--tap-window",
+        type=float,
+        default=None,
+        metavar="S",
+        help="with --stream --multilaterate: take TDOA windows from rolling "
+        "per-node sample taps of this many seconds (populated during "
+        "ingest) instead of re-reading full recordings — the only option "
+        "for truly live feeds",
+    )
+    flt.add_argument(
+        "--incremental",
+        action="store_true",
+        help="render corridor audio chunk-by-chunk as the stream pulls it "
+        "instead of the whole scene up front (stream mode)",
+    )
+    flt.add_argument(
         "--detector",
         choices=("oracle", "untrained"),
         default="oracle",
@@ -129,6 +145,19 @@ def build_parser() -> argparse.ArgumentParser:
         "many forked shard workers over shared-memory rings (0 = same "
         "runtime in-process); adds adaptive per-shard pacing and the live "
         "detect-to-update stage budget",
+    )
+    flt.add_argument(
+        "--pace",
+        action="store_true",
+        help="pace the parallel stream at capture cadence on the monotonic "
+        "clock (real-time replay) instead of free-running",
+    )
+    flt.add_argument(
+        "--min-batch",
+        type=int,
+        default=1,
+        help="lowest hop batch adaptive pacing may shrink to when steps "
+        "have headroom (parallel stream; lower = lower delivery latency)",
     )
     flt.add_argument(
         "--drop-prob",
@@ -178,6 +207,19 @@ def build_parser() -> argparse.ArgumentParser:
         "in-process (degraded) instead of queueing the city",
     )
     city.add_argument("--hop-batch", type=int, default=8, help="hops per session step")
+    city.add_argument(
+        "--pace",
+        action="store_true",
+        help="pace every session at capture cadence on the monotonic clock "
+        "instead of free-running",
+    )
+    city.add_argument(
+        "--min-batch",
+        type=int,
+        default=1,
+        help="lowest hop batch a session's adaptive pacing may shrink to "
+        "when steps have headroom",
+    )
     city.add_argument(
         "--status-every",
         type=int,
@@ -365,21 +407,57 @@ def _cmd_fleet(args) -> int:
     if args.stream:
         # Hop-clocked live session: ring-buffer ingest, per-hop fusion,
         # live track updates as they happen.
-        stream = CorridorStream(
-            recording, chunk_samples=config.hop_length, drop_prob=args.drop_prob, rng=rng
-        )
+        if args.incremental:
+            # Chunk-on-demand render: the whole-scene recording above is
+            # kept only for the ground-truth scorecard; the session's audio
+            # is rendered hop by hop as the sources are pulled.
+            stream = CorridorStream(
+                recording.scene,
+                fs,
+                chunk_samples=config.hop_length,
+                drop_prob=args.drop_prob,
+                rng=rng,
+                incremental=True,
+            )
+        else:
+            stream = CorridorStream(
+                recording, chunk_samples=config.hop_length, drop_prob=args.drop_prob, rng=rng
+            )
         parallel = args.workers is not None
+        pacer = None
+        if args.pace or args.min_batch != 1:
+            from repro.stream.pacer import PacerConfig
+
+            if not parallel:
+                print("error: --pace/--min-batch require --workers", file=sys.stderr)
+                return 1
+            pacer = PacerConfig(pace=args.pace, min_batch=args.min_batch)
+        use_taps = args.multilaterate and args.tap_window is not None
         session = scheduler.stream(
             stream.sources(),
             hop_batch=args.hop_batch,
             workers=args.workers,
-            recordings=recording.recordings if args.multilaterate else None,
+            pacer=pacer,
+            recordings=(
+                recording.recordings if args.multilaterate and not use_taps else None
+            ),
+            tap_window_s=args.tap_window if use_taps else None,
         )
         engine = "streaming"
         if parallel:
             engine = f"parallel streaming, {session.workers} worker process(es)"
+        mode_notes = []
+        if args.incremental:
+            mode_notes.append("incremental render")
+        if use_taps:
+            mode_notes.append(f"mlat taps {args.tap_window:.2f} s")
+        if pacer is not None:
+            mode_notes.append(
+                ("paced, " if args.pace else "") + f"min batch {args.min_batch}"
+            )
         say(f"engine            : {engine} (hop batch {args.hop_batch}, "
-              f"chunk {config.hop_length} samples, drop prob {args.drop_prob:.2f})")
+              f"chunk {config.hop_length} samples, drop prob {args.drop_prob:.2f}"
+              + (", " + ", ".join(mode_notes) if mode_notes else "") + ")")
         n_steps = 0
         while not session.done:
             for update in session.step().updates:
@@ -537,10 +615,16 @@ def _cmd_city(args) -> int:
             if parts:
                 say(f"  [step {result.step_index:>3}] " + " | ".join(parts))
 
+    pacer = None
+    if args.pace or args.min_batch != 1:
+        from repro.stream.pacer import PacerConfig
+
+        pacer = PacerConfig(pace=args.pace, min_batch=args.min_batch)
     with CitySupervisor(
         scenario,
         workers=args.workers,
         max_shards_per_worker=args.max_shards_per_worker,
+        pacer=pacer,
     ) as supervisor:
         report = supervisor.run(on_step=on_step)
     if args.json:

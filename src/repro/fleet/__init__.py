@@ -30,10 +30,12 @@ runtime) or ``examples/corridor_fleet.py``.
 """
 
 from repro.fleet.corridor import (
+    CorridorBlockRenderer,
     CorridorNode,
     CorridorRecording,
     CorridorScene,
     CorridorStream,
+    IncrementalCorridorSource,
     Vehicle,
     place_corridor_nodes,
     synthesize_corridor,
@@ -72,10 +74,12 @@ from repro.fleet.scheduler import (
 )
 
 __all__ = [
+    "CorridorBlockRenderer",
     "CorridorNode",
     "CorridorRecording",
     "CorridorScene",
     "CorridorStream",
+    "IncrementalCorridorSource",
     "Vehicle",
     "place_corridor_nodes",
     "synthesize_corridor",

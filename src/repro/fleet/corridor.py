@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.acoustics.air import Atmosphere
 from repro.acoustics.asphalt import RoadSurface
+from repro.acoustics.delay_line import StreamingDelayReader
 from repro.acoustics.environment import MicrophoneArray, Scene
 from repro.acoustics.simulator import RoadAcousticsSimulator
 from repro.acoustics.trajectory import Trajectory
@@ -28,7 +29,9 @@ __all__ = [
     "CorridorNode",
     "CorridorScene",
     "CorridorRecording",
+    "CorridorBlockRenderer",
     "CorridorStream",
+    "IncrementalCorridorSource",
     "place_corridor_nodes",
     "synthesize_corridor",
 ]
@@ -259,6 +262,220 @@ def synthesize_corridor(
     return CorridorRecording(fs=float(fs), recordings=recordings, scene=scene)
 
 
+class CorridorBlockRenderer:
+    """Render a corridor scene to its nodes in hop-sized slices, on demand.
+
+    :func:`synthesize_corridor` pays the whole render cost up front, which
+    makes a "live" session start late by the full scene duration's worth of
+    simulation.  This renderer produces the **same samples, bit for bit**
+    (asserted in ``tests/test_fleet_corridor_incremental.py``), but one block
+    at a time: each ``(node, vehicle)`` pair holds a
+    :class:`~repro.acoustics.delay_line.StreamingDelayReader` whose output
+    cursor advances with the node's capture clock, so the k-th requested
+    block costs only that block's delay-line gathers.
+
+    Only the *streamable* physics subset is supported — the direct path with
+    spreading loss, i.e. exactly what :func:`synthesize_corridor` renders
+    with its defaults (``surface=None``, ``air_absorption=False``).  Surface
+    reflections and air absorption need whole-signal FIR stages; asking for
+    them raises and the caller should render offline instead.
+
+    Differences from the offline path, by construction:
+
+    - A trajectory that dips below the road plane (``z <= 0``) raises when
+      the offending block is rendered, not at session start.
+    - Per-node sensor noise (``noise_std > 0``) is still pre-drawn whole at
+      construction — in scene node order, the exact generator call pattern
+      of :func:`synthesize_corridor` — so seeded incremental and offline
+      renders match bit for bit.
+
+    Blocks per node are strictly sequential (the delay readers carry
+    cross-boundary interpolator state); there is no random access.
+    """
+
+    def __init__(
+        self,
+        scene: CorridorScene,
+        fs: float,
+        *,
+        interpolation: str = "linear",
+        order: int = 3,
+        air_absorption: bool = False,
+        capture_samples: dict[str, int] | None = None,
+        noise_std: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if fs <= 0:
+            raise ValueError("fs must be positive")
+        if air_absorption:
+            raise ValueError(
+                "air absorption needs whole-signal FIR stages; "
+                "render offline with synthesize_corridor()"
+            )
+        if scene.surface is not None:
+            raise ValueError(
+                "surface reflections need whole-signal FIR stages; "
+                "render offline with synthesize_corridor()"
+            )
+        self.scene = scene
+        self.fs = float(fs)
+        self.min_distance = 0.5  # RoadAcousticsSimulator default
+        self.n_samples = max(v.signal.size for v in scene.vehicles)
+        self._capture: dict[str, int] = {}
+        for node in scene.nodes:
+            stop = self.n_samples
+            if capture_samples and node.node_id in capture_samples:
+                stop = int(capture_samples[node.node_id])
+                if not 0 < stop <= self.n_samples:
+                    raise ValueError("capture_samples must lie in (0, n_samples]")
+            self._capture[node.node_id] = stop
+        gen = rng if rng is not None else np.random.default_rng(0)
+        self._noise: dict[str, np.ndarray] = {}
+        if noise_std > 0:
+            for node in scene.nodes:
+                self._noise[node.node_id] = noise_std * gen.standard_normal(
+                    (node.array.n_mics, self.n_samples)
+                )
+        self._cursor = {node.node_id: 0 for node in scene.nodes}
+        # One streaming delay reader per (node, vehicle) propagation path.
+        # The padded source signal is fed whole (it already exists in
+        # memory); what streams is the per-block delay evaluation.
+        self._paths: dict[str, list[tuple[Vehicle, Scene]]] = {}
+        self._readers: dict[str, list[StreamingDelayReader]] = {}
+        for node in scene.nodes:
+            paths: list[tuple[Vehicle, Scene]] = []
+            readers: list[StreamingDelayReader] = []
+            for vehicle in scene.vehicles:
+                sub = Scene(
+                    vehicle.trajectory,
+                    node.array,
+                    surface=None,
+                    atmosphere=scene.atmosphere,
+                )
+                reader = StreamingDelayReader(interpolation=interpolation, order=order)
+                sig = vehicle.signal
+                if sig.size < self.n_samples:
+                    sig = np.pad(sig, (0, self.n_samples - sig.size))
+                reader.feed(sig)
+                reader.end()
+                paths.append((vehicle, sub))
+                readers.append(reader)
+            self._paths[node.node_id] = paths
+            self._readers[node.node_id] = readers
+
+    def capture_samples_of(self, node_id: str) -> int:
+        """Capture window of one node, samples."""
+        return self._capture[node_id]
+
+    def cursor(self, node_id: str) -> int:
+        """Samples rendered so far for one node."""
+        return self._cursor[node_id]
+
+    def render_next(self, node_id: str, n: int) -> np.ndarray:
+        """Render the next (up to) ``n`` samples of one node's capture.
+
+        Returns ``(n_mics, m)`` with ``m = min(n, samples remaining)``; the
+        final block of a capture window comes back short.  Raises once the
+        window is exhausted.
+        """
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        start = self._cursor[node_id]
+        stop = min(start + n, self._capture[node_id])
+        if stop <= start:
+            raise ValueError(f"capture window of {node_id!r} is exhausted")
+        t = np.arange(start, stop) / self.fs
+        out: np.ndarray | None = None
+        for (vehicle, sub), reader in zip(self._paths[node_id], self._readers[node_id]):
+            src = sub.trajectory.positions(t)
+            if np.any(src[:, 2] <= 0):
+                raise ValueError("trajectory dips to or below the road plane (z <= 0)")
+            mics = sub.array.positions
+            d = np.linalg.norm(src[None, :, :] - mics[:, None, :], axis=2)
+            block = reader.read(d / sub.speed_of_sound * self.fs)
+            term = vehicle.gain * (block / np.maximum(d, self.min_distance))
+            out = term if out is None else out + term
+        assert out is not None  # scene has >= 1 vehicle
+        if node_id in self._noise:
+            out = out + self._noise[node_id][:, start:stop]
+        self._cursor[node_id] = stop
+        return out
+
+
+class IncrementalCorridorSource:
+    """Chunk source that renders its node's audio on demand, block by block.
+
+    Implements the :class:`~repro.stream.source.ChunkSource` protocol
+    (``fs``, ``n_channels``, :meth:`next_chunk`) without inheriting it —
+    importing :mod:`repro.stream` at this module's top level would close an
+    import cycle (stream → parallel → fusion → corridor).
+
+    The incremental twin of :class:`~repro.stream.source.RecordingChunkSource`:
+    identical chunk framing (sequence numbers, capture timestamps, short
+    final chunk), identical driver-fault simulation (per-chunk drop draws,
+    jittered but non-decreasing arrival times, in the same generator call
+    order), but each chunk's samples come from
+    :meth:`CorridorBlockRenderer.render_next` at the moment the chunk is
+    pulled — no whole-scene render ever exists.  A dropped chunk is still
+    rendered (the "driver" captured it and lost it), which also keeps the
+    renderer's sequential cursor advancing.
+    """
+
+    def __init__(
+        self,
+        renderer: CorridorBlockRenderer,
+        node_id: str,
+        *,
+        chunk_samples: int,
+        drop_prob: float = 0.0,
+        jitter_s: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if chunk_samples < 1:
+            raise ValueError("chunk_samples must be >= 1")
+        if not 0.0 <= drop_prob < 1.0:
+            raise ValueError("drop_prob must lie in [0, 1)")
+        if jitter_s < 0.0:
+            raise ValueError("jitter_s must be non-negative")
+        self._renderer = renderer
+        self._node_id = node_id
+        self.fs = renderer.fs
+        self.n_channels = next(
+            node.array.n_mics for node in renderer.scene.nodes if node.node_id == node_id
+        )
+        self.chunk_samples = int(chunk_samples)
+        self._n_samples = renderer.capture_samples_of(node_id)
+        self._drop_prob = float(drop_prob)
+        self._jitter_s = float(jitter_s)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._seq = 0
+        self._last_arrival = 0.0
+
+    @property
+    def n_chunks_total(self) -> int:
+        """Chunks the capture window slices into (including dropped ones)."""
+        return -(-self._n_samples // self.chunk_samples)
+
+    def next_chunk(self):
+        """Render and deliver the next chunk; ``None`` once the window ends."""
+        from repro.stream.source import Chunk
+
+        while self._renderer.cursor(self._node_id) < self._n_samples:
+            data = self._renderer.render_next(self._node_id, self.chunk_samples)
+            seq = self._seq
+            self._seq += 1
+            if self._drop_prob > 0.0 and self._rng.random() < self._drop_prob:
+                continue  # the driver lost this one
+            t = self._renderer.cursor(self._node_id) / self.fs
+            arrival = t
+            if self._jitter_s > 0.0:
+                arrival += float(self._rng.uniform(0.0, self._jitter_s))
+                arrival = max(arrival, self._last_arrival)
+            self._last_arrival = arrival
+            return Chunk(data=data, seq=seq, t=t, arrival_s=arrival)
+        return None
+
+
 class CorridorStream:
     """A corridor scene as a *live* feed: hop-sized slices per node.
 
@@ -269,10 +486,16 @@ class CorridorStream:
     with simulated driver faults — chunk drops and delivery jitter — so the
     engine's late/dropped accounting can be exercised end to end.
 
-    The acoustic render itself is computed lazily in one pass on first use
-    (the fractional-delay simulator needs the whole trajectory for
-    continuity); *delivery* is what streams.  A hardware deployment replaces
-    these sources with ADC-backed :class:`~repro.stream.source.ChunkSource`
+    By default the acoustic render is computed lazily in one pass on first
+    use (cached whole); *delivery* is what streams.  With
+    ``incremental=True`` the render itself streams too: each
+    :meth:`sources` call builds a :class:`CorridorBlockRenderer` and
+    per-node :class:`IncrementalCorridorSource` feeds that render each
+    chunk's samples at pull time — bit-identical audio, but the session
+    starts without paying the whole-scene render cost up front (only the
+    streamable direct-path physics subset; see
+    :class:`CorridorBlockRenderer`).  A hardware deployment replaces these
+    sources with ADC-backed :class:`~repro.stream.source.ChunkSource`
     implementations and nothing above them changes.
 
     Parameters
@@ -289,6 +512,13 @@ class CorridorStream:
     rng:
         Generator seeding both the render (sensor noise) and the fault
         simulation; per-node sub-generators keep faults independent.
+    incremental:
+        Render each chunk on demand instead of the whole scene up front.
+        Requires a scene (not a pre-rendered recording).  With the same
+        seed, the *first* :meth:`sources` call yields the same audio and
+        fault draws as the non-incremental path; later calls match too
+        unless ``noise_std > 0`` (the cached whole render draws its noise
+        once, an incremental render re-draws per call).
     synth_kwargs:
         Extra keyword arguments for :func:`synthesize_corridor`.
     """
@@ -302,10 +532,14 @@ class CorridorStream:
         drop_prob: float = 0.0,
         jitter_s: float = 0.0,
         rng: np.random.Generator | None = None,
+        incremental: bool = False,
         **synth_kwargs,
     ) -> None:
         if chunk_samples < 1:
             raise ValueError("chunk_samples must be >= 1")
+        if incremental and isinstance(scene, CorridorRecording):
+            raise ValueError("incremental rendering needs a scene, not a recording")
+        self.incremental = bool(incremental)
         if isinstance(scene, CorridorRecording):
             self._recording: CorridorRecording | None = scene
             self._scene = scene.scene
@@ -342,9 +576,31 @@ class CorridorStream:
         Each call returns independent sources (rewound to t=0), so one
         stream object can feed several sessions — e.g. a live run and an
         offline equivalence check over the same audio.
+
+        In incremental mode each call builds a fresh
+        :class:`CorridorBlockRenderer` shared by that call's sources, and
+        chunks are rendered as they are pulled.  The stream RNG is consumed
+        in the same order as the non-incremental path (render noise first,
+        then one per-node fault seed in scene node order), so a seeded
+        incremental session reproduces the recorded session's faults.
         """
         from repro.stream.source import RecordingChunkSource
 
+        if self.incremental:
+            renderer = CorridorBlockRenderer(
+                self._scene, self.fs, rng=self._rng, **self._synth_kwargs
+            )
+            return {
+                node_id: IncrementalCorridorSource(
+                    renderer,
+                    node_id,
+                    chunk_samples=self.chunk_samples,
+                    drop_prob=self.drop_prob,
+                    jitter_s=self.jitter_s,
+                    rng=np.random.default_rng(self._rng.integers(2**32)),
+                )
+                for node_id in self.node_ids
+            }
         recording = self.recording
         return {
             node_id: RecordingChunkSource(

@@ -15,8 +15,13 @@ independent sensors into one global event picture:
    Kalman filter in road (x, y) coordinates;
 3. a track seen by two or more nodes in the same frame gets a *position*
    fix — wide-baseline TDOA :func:`~repro.ssl.multilateration.multilaterate`
-   across the node pair when raw recordings are available (and the solve
-   residual is sane), otherwise least-squares bearing triangulation;
+   across the node pair when raw audio is available (and the solve
+   residual is sane), otherwise least-squares bearing triangulation.  Raw
+   audio comes from either full per-node ``recordings`` (offline replay)
+   or rolling per-node :class:`~repro.stream.tap.SampleTap` windows
+   populated during live ingest — the streamed path reads the same sample
+   slice the offline path would, so fixes agree bit-for-bit whenever the
+   tap window still covers them;
 4. a track seen by a single node takes a linearized (EKF) bearing-only
    update, so vehicles covered by one node survive with growing range
    uncertainty and re-converge when a second node picks them up.
@@ -40,6 +45,7 @@ from repro.ssl.multilateration import localize_position
 
 if TYPE_CHECKING:  # imported lazily to keep fleet importable without stream
     from repro.stream.budget import StageBudget
+    from repro.stream.tap import SampleTap
 
 __all__ = [
     "FusionConfig",
@@ -449,11 +455,13 @@ class FusionEngine:
         fs: float | None,
         hop_length: int,
         c: float,
+        taps: "Mapping[str, SampleTap] | None" = None,
     ) -> None:
         self.nodes = {n.node_id: n for n in nodes}
         self.config = config
         self.frame_period = float(frame_period)
         self.recordings = recordings
+        self.taps = taps
         self.fs = fs
         self.hop_length = int(hop_length)
         self.c = float(c)
@@ -580,7 +588,7 @@ class FusionEngine:
         self, frame: int, dets: list[NodeDetection]
     ) -> tuple[np.ndarray | None, str]:
         cfg = self.config
-        if self.recordings is not None and self.fs is not None:
+        if (self.recordings is not None or self.taps is not None) and self.fs is not None:
             fix = self._multilaterate_pair(frame, dets[0], dets[1])
             if fix is not None:
                 return fix, "mlat"
@@ -589,23 +597,54 @@ class FusionEngine:
         xy = triangulate_bearings(origins, bearings, min_angle_deg=cfg.min_triangulation_deg)
         return xy, "triangulated"
 
+    def _mlat_window(self, a_id: str, b_id: str, start: int, stop: int) -> np.ndarray | None:
+        """The ``[start, stop)`` audio of both nodes, stacked, or ``None``.
+
+        Both sources apply the same end clamp against the shared sample
+        horizon — the recording length offline, the ingested-sample count
+        ``min(tap.n_written)`` live — so a tap whose window still covers the
+        clamped slice returns *bit-identical* audio to the offline read.
+        Mid-stream (``stop`` past the horizon) the clamp slides the window
+        back to the newest available block, and an evicted ``start`` returns
+        ``None``: better no fix than a fix on the wrong samples.
+        """
+        block = stop - start
+        if self.recordings is not None:
+            rec_a = self.recordings.get(a_id)
+            rec_b = self.recordings.get(b_id)
+            if rec_a is None or rec_b is None:
+                return None
+            n = min(rec_a.shape[1], rec_b.shape[1])
+            if stop > n:
+                start, stop = max(0, n - block), n
+            if stop - start < 256:
+                return None
+            return np.vstack([rec_a[:, start:stop], rec_b[:, start:stop]])
+        tap_a = self.taps.get(a_id) if self.taps is not None else None
+        tap_b = self.taps.get(b_id) if self.taps is not None else None
+        if tap_a is None or tap_b is None:
+            return None
+        n = min(tap_a.n_written, tap_b.n_written)
+        if stop > n:
+            start, stop = max(0, n - block), n
+        if stop - start < 256:
+            return None
+        win_a = tap_a.read(start, stop)
+        win_b = tap_b.read(start, stop)
+        if win_a is None or win_b is None:
+            return None
+        return np.vstack([win_a, win_b])
+
     def _multilaterate_pair(
         self, frame: int, a: NodeDetection, b: NodeDetection
     ) -> np.ndarray | None:
         """Wide-baseline TDOA fix across a node pair; None when implausible."""
         cfg = self.config
-        rec_a = self.recordings.get(a.node_id)
-        rec_b = self.recordings.get(b.node_id)
-        if rec_a is None or rec_b is None:
-            return None
         start = frame * self.hop_length
         stop = start + cfg.mlat_block
-        n = min(rec_a.shape[1], rec_b.shape[1])
-        if stop > n:
-            start, stop = max(0, n - cfg.mlat_block), n
-        if stop - start < 256:
+        frames = self._mlat_window(a.node_id, b.node_id, start, stop)
+        if frames is None:
             return None
-        frames = np.vstack([rec_a[:, start:stop], rec_b[:, start:stop]])
         positions = np.vstack(
             [self.nodes[a.node_id].array.positions, self.nodes[b.node_id].array.positions]
         )

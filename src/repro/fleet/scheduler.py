@@ -53,6 +53,7 @@ from repro.ssl.refine import RefineState
 from repro.ssl.tracking import KalmanDoaTracker
 from repro.stream.engine import IngestStats, NodeIngest
 from repro.stream.source import ChunkSource
+from repro.stream.tap import SampleTap, mlat_tap_capacity
 
 __all__ = [
     "OracleDetector",
@@ -285,6 +286,7 @@ class FleetScheduler:
         recordings: Mapping[str, np.ndarray] | None = None,
         ring_capacity: int | None = None,
         late_tolerance_s: float | None = None,
+        tap_window_s: float | None = None,
     ):
         """Open a hop-clocked live session over per-node chunk sources.
 
@@ -295,7 +297,10 @@ class FleetScheduler:
         tracks are identical to :meth:`run` + :func:`~repro.fleet.fusion.
         fuse_fleet` on the same audio.  Pass ``recordings`` to enable the
         wide-baseline multilateration upgrade, exactly as with
-        :func:`fuse_fleet`.
+        :func:`fuse_fleet` — or ``tap_window_s`` to enable it *without*
+        recordings, from rolling per-node sample taps populated during
+        ingest (the only option for truly live feeds, where whole
+        recordings never exist).
 
         With ``workers`` set (0 for the in-process reference path, >= 1
         for forked shard workers over shared-memory rings) the session is
@@ -317,6 +322,7 @@ class FleetScheduler:
                 recordings=recordings,
                 ring_capacity=ring_capacity,
                 late_tolerance_s=late_tolerance_s,
+                tap_window_s=tap_window_s,
             )
         if pacer is not None:
             raise ValueError("pacer requires the parallel runtime (pass workers=)")
@@ -328,6 +334,7 @@ class FleetScheduler:
             recordings=recordings,
             ring_capacity=ring_capacity,
             late_tolerance_s=late_tolerance_s,
+            tap_window_s=tap_window_s,
         )
 
     def close(self) -> None:
@@ -478,6 +485,7 @@ class FleetStream:
         recordings: Mapping[str, np.ndarray] | None = None,
         ring_capacity: int | None = None,
         late_tolerance_s: float | None = None,
+        tap_window_s: float | None = None,
     ) -> None:
         if hop_batch < 1:
             raise ValueError("hop_batch must be >= 1")
@@ -495,6 +503,19 @@ class FleetStream:
         self._origins = {nid: n.position[:2].copy() for nid, n in self._nodes.items()}
         if ring_capacity is None:
             ring_capacity = 2 * (cfg.frame_length + self.hop_batch * cfg.hop_length)
+        fcfg = fusion_config or FusionConfig()
+        self.taps: dict[str, SampleTap] | None = None
+        tap_capacity = 0
+        if tap_window_s is not None:
+            self.taps = {}
+            tap_capacity = mlat_tap_capacity(
+                cfg.fs,
+                frame_length=cfg.frame_length,
+                hop_length=cfg.hop_length,
+                hop_batch=self.hop_batch,
+                mlat_block=fcfg.mlat_block,
+                window_s=tap_window_s,
+            )
         self._ingest: dict[str, NodeIngest] = {}
         for node in scheduler.nodes:
             source = sources[node.node_id]
@@ -507,12 +528,17 @@ class FleetStream:
                 raise ValueError(
                     f"source fs {source.fs} does not match pipeline fs {cfg.fs}"
                 )
+            tap = None
+            if self.taps is not None:
+                tap = SampleTap(node.array.n_mics, tap_capacity)
+                self.taps[node.node_id] = tap
             self._ingest[node.node_id] = NodeIngest(
                 source,
                 cfg.frame_length,
                 cfg.hop_length,
                 capacity=ring_capacity,
                 late_tolerance_s=late_tolerance_s,
+                tap=tap,
             )
         # Stream-owned per-node state: fresh tracker/refinement per session,
         # exactly like the offline per-clip replay.
@@ -521,12 +547,13 @@ class FleetStream:
         self._results: dict[str, list[FrameResult]] = {nid: [] for nid in self._nodes}
         self.fusion = FusionEngine(
             scheduler.nodes,
-            fusion_config or FusionConfig(),
+            fcfg,
             cfg.frame_period_s,
             recordings=recordings,
-            fs=cfg.fs if recordings is not None else None,
+            fs=cfg.fs if (recordings is not None or self.taps is not None) else None,
             hop_length=cfg.hop_length,
             c=SPEED_OF_SOUND,
+            taps=self.taps,
         )
         self.updates: list[TrackUpdate] = []
         self.hop_monitor = LatencyMonitor(cfg.frame_period_s)

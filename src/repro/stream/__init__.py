@@ -68,6 +68,7 @@ from repro.stream.budget import (
 )
 from repro.stream.pacer import Pacer, PacerConfig, PacerStats, SharedCapacity
 from repro.stream.pool import ShardWorkerPool, WorkerCrashed
+from repro.stream.tap import SampleTap, mlat_tap_capacity
 
 # Imported last: parallel pulls in repro.fleet.fusion, which may re-enter
 # this package mid-initialization — everything it needs is already bound.
@@ -90,6 +91,7 @@ __all__ = [
     "RecordingChunkSource",
     "RingBuffer",
     "STAGES",
+    "SampleTap",
     "SharedCapacity",
     "SharedRingBuffer",
     "ShardWorkerPool",
@@ -99,6 +101,7 @@ __all__ = [
     "StreamRunResult",
     "format_stage_summary",
     "parallel_supported",
+    "mlat_tap_capacity",
     "percentile_ms",
     "summarize_budgets",
 ]

@@ -17,7 +17,9 @@ Stages, in stream order:
     popping it: hop-batch batching delay (up to ``hop_batch`` hop periods —
     the dominant term at the default batch of 8) plus any driver jitter or
     stall.  The adaptive pacer shrinks this by shrinking the batch when
-    headroom allows.
+    headroom allows; a session riding ``min_batch=1`` collapses it to ~zero
+    (every frame is popped the moment its hop completes), which is the
+    latency floor the E18 bench guards.
 ``ingest``
     Wall time spent pulling chunks and pushing them through the ring,
     attributed per frame.
@@ -35,7 +37,9 @@ after capture.  Delivery is measured on the stream clock and the rest on
 the wall clock: in a lock-step replay that is the honest decomposition (the
 structural batching delay does not shrink because the simulation runs
 faster than real time), and in a paced real-time session the two clocks
-advance together.
+advance together.  That split is also what lets the E18 min-batch bench
+free-run: the delivery a ``pace=True`` session would experience is already
+in the numbers, so nothing has to sleep through the scene to measure it.
 """
 
 from __future__ import annotations
@@ -63,7 +67,7 @@ class StageBudget:
 
     Attached to every :class:`~repro.fleet.fusion.TrackUpdate` the parallel
     runtime emits; :attr:`detect_to_update_ms` is the end-to-end figure the
-    E16 bench guards with ``--bench-max-p95``.
+    E16 and E18 benches guard with ``--bench-max-p95``.
     """
 
     capture_ms: float
@@ -133,7 +137,13 @@ def format_stage_summary(summary: Mapping[str, tuple[float, float]]) -> str:
 
 
 def percentile_ms(budgets: Sequence[StageBudget], q: float) -> float:
-    """Percentile of ``detect_to_update_ms`` over a budget feed."""
+    """Percentile of ``detect_to_update_ms`` over a budget feed.
+
+    An empty feed returns ``nan`` — deliberately *not* 0.0, which would
+    read as "infinitely fast".  The bench guards treat a non-finite
+    ``p95_ms`` as a hard failure, so an update-less run can never slip
+    under a latency ceiling.
+    """
     if not budgets:
         return float("nan")
     return float(np.percentile([b.detect_to_update_ms for b in budgets], q))

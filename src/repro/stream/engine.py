@@ -29,6 +29,7 @@ from repro.core.realtime import LatencyMonitor, LatencyStats
 from repro.nn.module import Module
 from repro.stream.ring import RingBuffer
 from repro.stream.source import ChunkSource
+from repro.stream.tap import SampleTap
 
 __all__ = ["IngestStats", "NodeIngest", "StreamRunResult", "StreamPipeline"]
 
@@ -78,6 +79,12 @@ class NodeIngest:
         :class:`~repro.stream.ring.SharedRingBuffer` so the pushed audio
         lands directly in the shard worker's shared pages.  ``capacity`` is
         ignored when given.
+    tap:
+        Optional :class:`~repro.stream.tap.SampleTap` mirroring every
+        ingested sample (including drop zero-fill, so absolute indices track
+        the nominal capture clock).  This is the live-stream audio source
+        for streamed multilateration: fusion reads detection windows out of
+        the tap instead of a pre-rendered full recording.
     """
 
     def __init__(
@@ -89,6 +96,7 @@ class NodeIngest:
         capacity: int | None = None,
         late_tolerance_s: float | None = None,
         ring: RingBuffer | None = None,
+        tap: SampleTap | None = None,
     ) -> None:
         self.source = source
         self.frame_length = int(frame_length)
@@ -101,6 +109,11 @@ class NodeIngest:
                 f"source has {source.n_channels}"
             )
         self.ring = ring if ring is not None else RingBuffer(source.n_channels, capacity)
+        if tap is not None and tap.n_channels != source.n_channels:
+            raise ValueError(
+                f"tap has {tap.n_channels} channels, source has {source.n_channels}"
+            )
+        self.tap = tap
         if late_tolerance_s is None:
             late_tolerance_s = self.hop_length / source.fs
         self.late_tolerance_s = float(late_tolerance_s)
@@ -158,13 +171,16 @@ class NodeIngest:
             if chunk.seq > self._next_seq:
                 gap = chunk.seq - self._next_seq
                 self.n_dropped_chunks += gap
-                self.ring.push(
-                    np.zeros((self.ring.n_channels, gap * self._chunk_samples))
-                )
+                fill = np.zeros((self.ring.n_channels, gap * self._chunk_samples))
+                self.ring.push(fill)
+                if self.tap is not None:
+                    self.tap.extend(fill)
             self._next_seq = chunk.seq + 1
             if chunk.arrival_s - chunk.t > self.late_tolerance_s:
                 self.n_late_chunks += 1
             self.ring.push(chunk.data)
+            if self.tap is not None:
+                self.tap.extend(chunk.data)
             self.n_chunks += 1
             ingested += 1
         return ingested

@@ -27,7 +27,7 @@ rollups in :mod:`repro.fleet.report` through the debounced
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 __all__ = ["PacerConfig", "PacerStats", "Pacer", "SharedCapacity"]
 
@@ -99,6 +99,14 @@ class PacerConfig:
     pace:
         Sleep on the monotonic clock so steps track the stream clock
         (real-time replay) instead of free-running.
+    resync_slip_s:
+        Pacing stall tolerance.  When a step comes due more than this many
+        seconds *late* (the loop stalled — GC pause, swapped page, noisy
+        neighbour), the pacer re-anchors its stream epoch to "due now"
+        instead of free-running the whole backlog: small slips are caught
+        up at full speed, but a long stall is *accepted* so delivery
+        cadence recovers immediately rather than staying late for the rest
+        of the session.
     """
 
     min_batch: int = 1
@@ -106,6 +114,7 @@ class PacerConfig:
     widen_factor: float = 2.0
     shrink_headroom: float = 0.5
     pace: bool = False
+    resync_slip_s: float = 0.5
 
     def __post_init__(self) -> None:
         if self.min_batch < 1:
@@ -116,6 +125,8 @@ class PacerConfig:
             raise ValueError("widen_factor must be > 1")
         if not 0.0 < self.shrink_headroom < 1.0:
             raise ValueError("shrink_headroom must lie in (0, 1)")
+        if self.resync_slip_s <= 0.0:
+            raise ValueError("resync_slip_s must be positive")
 
 
 @dataclass(frozen=True)
@@ -133,6 +144,7 @@ class PacerStats:
     n_shrinks: int
     min_batch_used: int
     max_batch_used: int
+    n_resyncs: int = 0
     records: tuple[tuple[float, float, int], ...] = field(default=())
 
     @property
@@ -183,13 +195,7 @@ class Pacer:
             raise ValueError("hop_batch must be >= 1")
         cfg = config or PacerConfig()
         if cfg.max_batch is None:
-            cfg = PacerConfig(
-                min_batch=cfg.min_batch,
-                max_batch=max(8 * hop_batch, cfg.min_batch),
-                widen_factor=cfg.widen_factor,
-                shrink_headroom=cfg.shrink_headroom,
-                pace=cfg.pace,
-            )
+            cfg = replace(cfg, max_batch=max(8 * hop_batch, cfg.min_batch))
         self.hop_period_s = float(hop_period_s)
         self.nominal_batch = int(hop_batch)
         self.config = cfg
@@ -203,6 +209,7 @@ class Pacer:
         self.n_overruns = 0
         self.n_widenings = 0
         self.n_shrinks = 0
+        self.n_resyncs = 0
         self._min_used = self._batch
         self._max_used = self._batch
         self._records: list[tuple[float, float, int]] = []
@@ -216,19 +223,33 @@ class Pacer:
 
     def wait(self, next_stream_t: float) -> float:
         """Sleep (monotonic clock) until stream time ``next_stream_t`` is
-        due; returns the seconds slept.  No-op when pacing is off."""
+        due; returns the seconds slept.  No-op when pacing is off.
+
+        The first call anchors the stream epoch so that *this* step is due
+        exactly now (``origin = now - next_stream_t``); every later step
+        then paces at capture cadence from that epoch.  (Anchoring at
+        ``origin = now`` — the original bug — shifted every due time one
+        step late, so a paced session permanently trailed the capture
+        clock by a full hop batch.)  A step arriving more than
+        ``resync_slip_s`` past its due time re-anchors the epoch the same
+        way, accepting the slip so pacing resumes immediately after a
+        stall instead of free-running the whole backlog.
+        """
         self._stream_t = float(next_stream_t)
         if not self.config.pace:
             return 0.0
         now = self._clock()
         if self._origin is None:
-            self._origin = now
+            self._origin = now - next_stream_t
             return 0.0
         due = self._origin + next_stream_t
         delay = due - now
         if delay > 0:
             self._sleep(delay)
             return delay
+        if -delay > self.config.resync_slip_s:
+            self._origin = now - next_stream_t
+            self.n_resyncs += 1
         return 0.0
 
     def observe(self, wall_s: float, hops_advanced: int) -> None:
@@ -276,5 +297,6 @@ class Pacer:
             n_shrinks=self.n_shrinks,
             min_batch_used=self._min_used,
             max_batch_used=self._max_used,
+            n_resyncs=self.n_resyncs,
             records=tuple(self._records),
         )

@@ -76,6 +76,7 @@ from repro.stream.pacer import Pacer, PacerConfig, PacerStats, SharedCapacity
 from repro.stream.pool import ShardWorkerPool, WorkerCrashed
 from repro.stream.ring import RingBuffer, SharedRingBuffer
 from repro.stream.source import ChunkSource
+from repro.stream.tap import SampleTap, mlat_tap_capacity
 
 if TYPE_CHECKING:  # pragma: no cover - circular at runtime, fine for typing
     from repro.core.batch import BlockPipeline
@@ -328,10 +329,18 @@ class ParallelFleetStream:
         Per-shard backpressure policy (shared config, independent state);
         default :class:`PacerConfig` widens on overrun up to ``8 x
         hop_batch`` and shrinks when headroom returns.
-    hop_batch, fusion_config, recordings, ring_capacity, late_tolerance_s:
+    hop_batch, fusion_config, recordings, ring_capacity, late_tolerance_s,
+    tap_window_s:
         As in :class:`~repro.fleet.scheduler.FleetStream`; the default ring
         capacity covers the pacer's *maximum* batch so an adaptively
-        widened step never overflows.
+        widened step never overflows.  ``tap_window_s`` enables streamed
+        multilateration from rolling per-node sample taps, so live
+        sessions get wide-baseline fixes without any pre-rendered
+        ``recordings``.
+    clock, sleep:
+        Injected monotonic clock / sleep for the per-shard pacers (tests
+        drive paced sessions on a fake clock; production uses the real
+        ones).
 
     Use as a context manager (or call :meth:`close`) so worker processes
     and shared-memory segments are torn down deterministically.
@@ -352,6 +361,9 @@ class ParallelFleetStream:
         recordings: Mapping[str, np.ndarray] | None = None,
         ring_capacity: int | None = None,
         late_tolerance_s: float | None = None,
+        tap_window_s: float | None = None,
+        clock=time.monotonic,
+        sleep=time.sleep,
     ) -> None:
         if hop_batch < 1:
             raise ValueError("hop_batch must be >= 1")
@@ -383,6 +395,19 @@ class ParallelFleetStream:
             # Cover the widest adaptive batch: a fully widened catch-up step
             # must fit without overwriting unread samples.
             ring_capacity = 2 * (cfg.frame_length + max_batch * cfg.hop_length)
+        fcfg = fusion_config or FusionConfig()
+        self.taps: dict[str, SampleTap] | None = None
+        tap_capacity = 0
+        if tap_window_s is not None:
+            self.taps = {}
+            tap_capacity = mlat_tap_capacity(
+                cfg.fs,
+                frame_length=cfg.frame_length,
+                hop_length=cfg.hop_length,
+                hop_batch=max_batch,  # taps must survive a fully widened step
+                mlat_block=fcfg.mlat_block,
+                window_s=tap_window_s,
+            )
         self._shared_rings = self.workers > 0
         self._rings: dict[str, RingBuffer] = {}
         self._ingest: dict[str, NodeIngest] = {}
@@ -403,12 +428,19 @@ class ParallelFleetStream:
             else:
                 ring = RingBuffer(node.array.n_mics, ring_capacity)
             self._rings[node.node_id] = ring
+            tap = None
+            if self.taps is not None:
+                # Taps live main-process-side (fusion reads them there), so
+                # they stay heap-backed even when the rings are shared.
+                tap = SampleTap(node.array.n_mics, tap_capacity)
+                self.taps[node.node_id] = tap
             self._ingest[node.node_id] = NodeIngest(
                 source,
                 cfg.frame_length,
                 cfg.hop_length,
                 late_tolerance_s=late_tolerance_s,
                 ring=ring,
+                tap=tap,
             )
         # One runner per shard: the kernel-side state a worker owns.
         self._runners = [
@@ -427,6 +459,8 @@ class ParallelFleetStream:
                 hop_batch=self.hop_batch,
                 config=pacer_cfg,
                 capacity=capacity,
+                clock=clock,
+                sleep=sleep,
             )
             for _ in scheduler.shards
         ]
@@ -443,12 +477,13 @@ class ParallelFleetStream:
         }
         self.fusion = FusionEngine(
             scheduler.nodes,
-            fusion_config or FusionConfig(),
+            fcfg,
             cfg.frame_period_s,
             recordings=recordings,
-            fs=cfg.fs if recordings is not None else None,
+            fs=cfg.fs if (recordings is not None or self.taps is not None) else None,
             hop_length=cfg.hop_length,
             c=SPEED_OF_SOUND,
+            taps=self.taps,
         )
         self.updates: list[TrackUpdate] = []
         self.stage_budgets: list[StageBudget] = []

@@ -77,9 +77,14 @@ class RecordingChunkSource(ChunkSource):
         sees a gap.
     jitter_s:
         Upper bound of a uniform random delivery delay added to each
-        chunk's arrival time (0 = ideal driver).
+        chunk's arrival time (0 = ideal driver).  Arrival times are kept
+        non-decreasing across chunks — a driver delivers over one ordered
+        transport, so chunk *k+1* can never become available before chunk
+        *k* even when its own jitter draw is smaller.
     rng:
         Generator for drops/jitter; seeded default keeps runs reproducible.
+        The generator state is snapshotted at construction so
+        :meth:`reset` replays the *same* drop/jitter pattern.
     """
 
     def __init__(
@@ -110,8 +115,13 @@ class RecordingChunkSource(ChunkSource):
         self._drop_prob = float(drop_prob)
         self._jitter_s = float(jitter_s)
         self._rng = rng if rng is not None else np.random.default_rng(0)
+        # Snapshot the generator state so reset() replays the exact same
+        # drop/jitter pattern — without this a reset replay silently draws a
+        # fresh fault sequence and "reproducible replay" is a lie.
+        self._rng_state0 = self._rng.bit_generator.state
         self._cursor = 0
         self._seq = 0
+        self._last_arrival = 0.0
 
     @property
     def n_chunks_total(self) -> int:
@@ -136,10 +146,17 @@ class RecordingChunkSource(ChunkSource):
             arrival = t
             if self._jitter_s > 0.0:
                 arrival += float(self._rng.uniform(0.0, self._jitter_s))
+                # Delivery is an ordered transport: chunk k+1 cannot become
+                # available before chunk k, however small its own jitter draw.
+                arrival = max(arrival, self._last_arrival)
+            self._last_arrival = arrival
             return Chunk(data=self._signals[:, start:stop], seq=seq, t=t, arrival_s=arrival)
         return None
 
     def reset(self) -> None:
-        """Rewind the feed to the start of the recording."""
+        """Rewind the feed to the start of the recording and restore the
+        fault RNG, so the replay reproduces the original drop/jitter draws."""
         self._cursor = 0
         self._seq = 0
+        self._last_arrival = 0.0
+        self._rng.bit_generator.state = self._rng_state0

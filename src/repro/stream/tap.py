@@ -1,0 +1,146 @@
+"""Rolling per-node sample taps: the live-stream source for multilateration.
+
+Wide-baseline TDOA localization (:func:`repro.ssl.multilateration.
+localize_position`) needs a contiguous ``mlat_block``-sample window of raw
+audio around a detection — historically sliced out of the *full* per-node
+recording that :class:`repro.fleet.fusion.FusionEngine` was handed up
+front.  A live session has no such recording: audio exists only as chunks
+flowing through :class:`repro.stream.engine.NodeIngest` into a bounded
+ring.  A :class:`SampleTap` closes that gap: it is a fixed-capacity,
+absolute-indexed recent-window view of one node's sample stream, populated
+during ingest (including the zero-fill that stands in for dropped chunks,
+so tap sample *i* equals recording sample *i* wherever data was actually
+delivered).  Fusion then reads the same ``[start, stop)`` slice it would
+have taken from the recording — bit-identical whenever the window still
+covers it, and honestly ``None`` (fall back to bearing triangulation) when
+the fix would need samples that have already been evicted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SampleTap", "mlat_tap_capacity"]
+
+
+def mlat_tap_capacity(
+    fs: float,
+    *,
+    frame_length: int,
+    hop_length: int,
+    hop_batch: int,
+    mlat_block: int,
+    window_s: float,
+) -> int:
+    """Tap capacity (samples) for streamed multilateration.
+
+    The requested ``window_s`` of history, floored at one multilateration
+    block plus a frame plus one hop batch — enough that the end-clamped
+    window fusion reads is always still resident even when the frontier
+    trails the newest ingested audio by a full step.
+    """
+    if window_s <= 0.0:
+        raise ValueError("window_s must be positive")
+    floor = int(mlat_block) + int(frame_length) + int(hop_batch) * int(hop_length)
+    return max(int(round(window_s * fs)), floor)
+
+
+class SampleTap:
+    """Fixed-capacity view of the most recent samples of one node's stream.
+
+    Unlike :class:`repro.stream.ring.RingBuffer` — a *consuming* store whose
+    pops advance a read head — a tap is purely observational: writes advance
+    an absolute sample counter, reads address absolute sample indices, and
+    nothing is ever consumed.  The last ``capacity`` samples are readable;
+    older ones are evicted by overwrite.
+
+    Parameters
+    ----------
+    n_channels:
+        Microphone count; pushed blocks are ``(n_channels, n)``.
+    capacity:
+        Samples retained per channel.  Size it to cover the multilateration
+        window *plus* the fusion lag: ``mlat_block`` samples of lookahead
+        past the detection frame, and however many hops the frontier may
+        trail the newest ingested audio.
+    """
+
+    def __init__(self, n_channels: int, capacity: int) -> None:
+        if n_channels < 1:
+            raise ValueError("n_channels must be >= 1")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.n_channels = int(n_channels)
+        self._buf = np.zeros((self.n_channels, int(capacity)))
+        self._n_written = 0
+
+    @property
+    def capacity(self) -> int:
+        """Samples retained per channel."""
+        return self._buf.shape[1]
+
+    @property
+    def n_written(self) -> int:
+        """Absolute samples observed so far (readable range upper bound)."""
+        return self._n_written
+
+    @property
+    def oldest(self) -> int:
+        """Smallest absolute sample index still readable."""
+        return max(0, self._n_written - self.capacity)
+
+    def extend(self, block: np.ndarray) -> None:
+        """Append a ``(n_channels, n)`` block of stream samples.
+
+        The caller (ingest) must push *every* stream sample in order —
+        including zero-fill for dropped chunks — so absolute indices stay
+        aligned with the nominal capture clock.
+        """
+        block = np.asarray(block, dtype=np.float64)
+        if block.ndim != 2 or block.shape[0] != self.n_channels:
+            raise ValueError(f"block must be ({self.n_channels}, n)")
+        n = block.shape[1]
+        cap = self.capacity
+        if n >= cap:
+            # Only the newest `cap` samples survive — but they must still
+            # land at their absolute modular positions, or later absolute
+            # reads would see a rotated window.
+            head = (self._n_written + n - cap) % cap
+            first = cap - head
+            self._buf[:, head:] = block[:, n - cap : n - cap + first]
+            self._buf[:, :head] = block[:, n - cap + first :]
+        else:
+            tail = self._n_written % cap
+            first = min(n, cap - tail)
+            self._buf[:, tail : tail + first] = block[:, :first]
+            if first < n:
+                self._buf[:, : n - first] = block[:, first:]
+        self._n_written += n
+
+    def read(self, start: int, stop: int) -> np.ndarray | None:
+        """The absolute slice ``[start, stop)``, or ``None`` if unavailable.
+
+        ``None`` means the window has moved past ``start`` (evicted) or the
+        stream has not reached ``stop`` yet — either way the caller cannot
+        get the samples the offline path would have read, and should fall
+        back rather than localize on wrong audio.
+        """
+        start, stop = int(start), int(stop)
+        if stop <= start:
+            raise ValueError("need stop > start")
+        if start < self.oldest or stop > self._n_written:
+            return None
+        cap = self.capacity
+        head = start % cap
+        n = stop - start
+        first = min(n, cap - head)
+        out = np.empty((self.n_channels, n))
+        out[:, :first] = self._buf[:, head : head + first]
+        if first < n:
+            out[:, first:] = self._buf[:, : n - first]
+        return out
+
+    def reset(self) -> None:
+        """Forget everything (absolute clock restarts at sample 0)."""
+        self._buf[:] = 0.0
+        self._n_written = 0

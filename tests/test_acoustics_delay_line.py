@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.acoustics.delay_line import (
     INTERPOLATORS,
+    StreamingDelayReader,
     VariableDelayLine,
     render_varying_delay,
 )
@@ -106,6 +107,116 @@ class TestStreamingDelayLine:
             VariableDelayLine(max_delay=0.0)
         with pytest.raises(ValueError):
             VariableDelayLine(max_delay=8.0, order=0)
+
+
+class TestStreamingDelayReader:
+    """Block-streamed reads must equal the offline render bit for bit."""
+
+    @pytest.mark.parametrize("interp", INTERPOLATORS)
+    def test_blockwise_bit_identical_to_offline(self, interp):
+        rng = np.random.default_rng(9)
+        x = rng.standard_normal(1500)
+        n = np.arange(1500)
+        delays = 25.0 + 8.0 * np.sin(n / 60.0)
+        offline = render_varying_delay(x, delays, interpolation=interp)
+        r = StreamingDelayReader(interpolation=interp)
+        r.feed(x)
+        r.end()
+        # Ragged block sizes straddle every internal boundary the offline
+        # call never sees; the concatenation must still be *exactly* equal.
+        out, cuts = [], [0, 1, 7, 200, 201, 456, 1024, 1499, 1500]
+        for a, b in zip(cuts[:-1], cuts[1:]):
+            out.append(r.read(delays[a:b]))
+        assert np.array_equal(np.concatenate(out), offline)
+
+    @pytest.mark.parametrize("interp", INTERPOLATORS)
+    def test_interleaved_feed_and_read(self, interp):
+        rng = np.random.default_rng(10)
+        x = rng.standard_normal(2048)
+        delays = np.stack(
+            [30.0 + 5.0 * np.sin(np.arange(2048) / 40.0), np.full(2048, 64.25)]
+        )
+        offline = render_varying_delay(x, delays, interpolation=interp)
+        r = StreamingDelayReader(interpolation=interp)
+        out = []
+        # Feed runs ahead of the read cursor by more than the max delay plus
+        # the interpolator lookahead, as a hop-clocked session would.
+        for k in range(0, 2048, 256):
+            r.feed(x[k : k + 256])
+            if k >= 256:
+                out.append(r.read(delays[:, k - 256 : k]))
+        r.end()
+        out.append(r.read(delays[:, 2048 - 256 :]))
+        assert np.array_equal(np.concatenate(out, axis=1), offline)
+
+    def test_midstream_read_past_fed_raises(self):
+        r = StreamingDelayReader(interpolation="linear")
+        r.feed(np.ones(100))
+        with pytest.raises(ValueError, match="feed more or call end"):
+            r.read(np.zeros(200))  # needs source sample 199, only 100 fed
+
+    def test_end_zero_extends_like_offline(self):
+        x = np.random.default_rng(11).standard_normal(64)
+        delays = np.full(128, 3.5)
+        padded = render_varying_delay(
+            np.concatenate([x, np.zeros(64)]), delays, interpolation="lagrange"
+        )
+        r = StreamingDelayReader()
+        r.feed(x)
+        r.end()
+        assert np.array_equal(r.read(delays), padded)
+
+    def test_nothing_fed_reads_zeros(self):
+        r = StreamingDelayReader()
+        r.end()
+        out = r.read(np.full((2, 16), 5.0))
+        assert out.shape == (2, 16)
+        assert np.array_equal(out, np.zeros((2, 16)))
+
+    def test_feed_after_end_raises(self):
+        r = StreamingDelayReader()
+        r.end()
+        with pytest.raises(RuntimeError):
+            r.feed(np.ones(4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown interpolation"):
+            StreamingDelayReader(interpolation="spline")
+        with pytest.raises(ValueError):
+            StreamingDelayReader(interpolation="lagrange", order=0)
+        with pytest.raises(ValueError):
+            StreamingDelayReader(interpolation="sinc", sinc_half_width=1)
+        r = StreamingDelayReader()
+        with pytest.raises(ValueError):
+            r.feed(np.ones((2, 4)))
+        r.feed(np.ones(64))
+        with pytest.raises(ValueError):
+            r.read(np.full(8, -1.0))
+        with pytest.raises(ValueError):
+            r.read(np.zeros(0))
+
+    def test_reset_clears_everything(self):
+        r = StreamingDelayReader(interpolation="linear")
+        r.feed(np.ones(32))
+        r.end()
+        r.read(np.zeros(16))
+        r.reset()
+        assert r.n_fed == 0 and r.n_read == 0 and not r.ended
+        r.feed(np.ones(8))  # feeding works again after reset
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=500), st.integers(min_value=0, max_value=2**32 - 1))
+    def test_random_splits_bit_identical(self, first_cut, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(500)
+        delays = rng.uniform(0.0, 80.0, 500)
+        offline = render_varying_delay(x, delays, interpolation="lagrange")
+        r = StreamingDelayReader()
+        r.feed(x)
+        r.end()
+        got = np.concatenate([r.read(delays[:first_cut]), r.read(delays[first_cut:])]) \
+            if first_cut < 500 else r.read(delays)
+        assert np.array_equal(got, offline)
 
 
 class TestBatchedDelays:

@@ -1,0 +1,96 @@
+"""The bench guard evaluators must fail loudly on degenerate rows.
+
+``--bench-min-speedup`` / ``--bench-max-p95`` exist to stop regressions
+from shipping, so the one way they must never behave is "broken bench →
+guard passes".  NaN is exactly that trap: ``nan < floor`` and
+``nan > ceiling`` are both False, so a bench whose timing collapsed (or
+whose latency trail was empty, making ``percentile_ms([]) = nan``) used
+to sail through both guards.  These tests pin the fixed behaviour.
+
+The benchmarks directory is not a package — its ``conftest.py`` is
+loaded by pytest path magic — so the guard functions are imported here
+by file path.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_CONFTEST = Path(__file__).resolve().parents[1] / "benchmarks" / "conftest.py"
+_spec = importlib.util.spec_from_file_location("bench_conftest", _CONFTEST)
+bench_conftest = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_conftest)
+
+min_speedup_failures = bench_conftest.min_speedup_failures
+max_p95_failures = bench_conftest.max_p95_failures
+
+
+def row(bench, speedup=1.0, **extra):
+    r = {"bench": bench, "wall_ms": 100.0, "speedup": speedup}
+    r.update(extra)
+    return r
+
+
+class TestMinSpeedupGuard:
+    def test_passing_and_failing_rows(self):
+        rows = [row("fast", speedup=6.2), row("slow", speedup=1.4)]
+        assert min_speedup_failures(["fast=5.0"], rows) == []
+        (msg,) = min_speedup_failures(["slow=2.0"], rows)
+        assert "slow" in msg and "regressed" in msg
+
+    def test_worst_row_governs(self):
+        rows = [row("b", speedup=9.0), row("b", speedup=1.1)]
+        (msg,) = min_speedup_failures(["b=2.0"], rows)
+        assert "1.10x" in msg
+
+    def test_missing_bench_fails(self):
+        (msg,) = min_speedup_failures(["ghost=1.0"], [row("other")])
+        assert "no recorded row" in msg
+
+    def test_malformed_spec_fails(self):
+        for spec in ["nofloor", "=3.0", "b=fast"]:
+            (msg,) = min_speedup_failures([spec], [row("b")])
+            assert "malformed" in msg
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_speedup_fails_not_passes(self, bad):
+        """The regression this guards: NaN compares False against any
+        floor, so a degenerate timing used to *pass* the guard."""
+        rows = [row("b", speedup=bad)]
+        (msg,) = min_speedup_failures(["b=0.0001"], rows)
+        assert "non-finite" in msg
+
+
+class TestMaxP95Guard:
+    def test_passing_and_failing_rows(self):
+        rows = [row("lat", p95_ms=22.0)]
+        assert max_p95_failures(["lat=32"], rows) == []
+        (msg,) = max_p95_failures(["lat=10"], rows)
+        assert "missed its deadline" in msg
+
+    def test_row_without_p95_field_fails(self):
+        (msg,) = max_p95_failures(["b=32"], [row("b")])
+        assert "no p95_ms" in msg
+
+    def test_missing_bench_fails(self):
+        (msg,) = max_p95_failures(["ghost=32"], [row("b", p95_ms=1.0)])
+        assert "no recorded row" in msg
+
+    def test_malformed_spec_fails(self):
+        (msg,) = max_p95_failures(["b=ms"], [row("b", p95_ms=1.0)])
+        assert "malformed" in msg
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_p95_fails_not_passes(self, bad):
+        """An update-less run records ``percentile_ms([]) = nan``; that
+        must read as "the bench is broken", never as "under the ceiling"."""
+        rows = [row("b", p95_ms=bad)]
+        (msg,) = max_p95_failures(["b=1e9"], rows)
+        assert "non-finite" in msg
+
+    def test_guards_evaluate_independently(self):
+        rows = [row("a", speedup=float("nan")), row("b", p95_ms=50.0)]
+        speed = min_speedup_failures(["a=1.0"], rows)
+        p95 = max_p95_failures(["b=10"], rows)
+        assert len(speed) == 1 and len(p95) == 1

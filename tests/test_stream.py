@@ -130,6 +130,62 @@ class TestRecordingChunkSource:
         c = src.next_chunk()
         assert c.arrival_s >= c.t
 
+    def test_jitter_keeps_arrivals_non_decreasing(self):
+        """Chunk k+1 must never become available before chunk k: delivery is
+        one ordered transport, whatever each chunk's own jitter draw says.
+        (Regression: independent uniform draws let a big-jitter chunk be
+        followed by a small-jitter one that 'arrived' earlier.)"""
+        x = np.zeros((1, 256 * 200))
+        src = RecordingChunkSource(
+            # Heavy jitter relative to the 32 ms chunk period, so unclamped
+            # draws would reorder arrivals constantly.
+            x, 8000.0, chunk_samples=256, jitter_s=0.5, rng=np.random.default_rng(11)
+        )
+        arrivals = []
+        while (c := src.next_chunk()) is not None:
+            arrivals.append(c.arrival_s)
+        assert arrivals == sorted(arrivals)
+        # The clamp delays chunks, it never time-travels them before capture.
+        assert all(a >= (k + 1) * 256 / 8000.0 for k, a in enumerate(arrivals))
+
+    def test_late_dropped_stats_sane_under_heavy_jitter(self):
+        fs = 8000.0
+        x = np.random.default_rng(12).standard_normal((2, 256 * 120))
+        src = RecordingChunkSource(
+            x, fs, chunk_samples=256, drop_prob=0.2, jitter_s=0.3,
+            rng=np.random.default_rng(13),
+        )
+        ingest = NodeIngest(src, 512, 256, late_tolerance_s=0.05)
+        ingest.pull(None)
+        s = ingest.stats
+        assert s.n_dropped_chunks > 0
+        assert s.n_late_chunks > 0
+        # Ordered delivery: every chunk after a late one is at least as late,
+        # so lateness counts stay consistent with the chunk count.
+        assert s.n_late_chunks <= s.n_chunks
+        # Drops are seen as sequence gaps between delivered chunks, so a run
+        # of drops at the very end of the stream is invisible — the counts
+        # must still never exceed the capture total.
+        assert s.n_chunks + s.n_dropped_chunks <= src.n_chunks_total
+
+    def test_reset_replays_identical_fault_pattern(self):
+        """reset() must rewind the fault RNG with the cursor: a replay that
+        draws a fresh drop/jitter sequence is not a replay.  (Regression:
+        reset() rewound cursor and seq but left the generator advanced.)"""
+        x = np.random.default_rng(14).standard_normal((1, 256 * 80))
+        src = RecordingChunkSource(
+            x, 8000.0, chunk_samples=256, drop_prob=0.3, jitter_s=0.2,
+            rng=np.random.default_rng(15),
+        )
+        def drain():
+            out = []
+            while (c := src.next_chunk()) is not None:
+                out.append((c.seq, c.t, c.arrival_s))
+            return out
+        first = drain()
+        src.reset()
+        assert drain() == first
+
 
 class TestNodeIngest:
     def test_gap_zero_fill_keeps_hop_grid(self):

@@ -233,14 +233,51 @@ class TestPacer:
             clock=lambda: now[0],
             sleep=slept.append,
         )
-        assert p.wait(0.256) == 0.0  # first call pins the origin, no sleep
-        now[0] += 0.1  # 0.1 s of work; next step due at origin + 0.512
+        # First call anchors the epoch so this step is due exactly now: the
+        # next step (one 0.256 s batch later) is due 0.256 s from here, not
+        # 0.512 s — the old `origin = now` anchoring ran one batch late.
+        assert p.wait(0.256) == 0.0
+        now[0] += 0.1  # 0.1 s of work; next step due at epoch + 0.512
         delay = p.wait(0.512)
-        assert delay == pytest.approx(0.412)
-        assert slept == [pytest.approx(0.412)]
+        assert delay == pytest.approx(0.156)
+        assert slept == [pytest.approx(0.156)]
         # A late step (stream time already passed) does not sleep.
         now[0] += 10.0
         assert p.wait(0.768) == 0.0
+
+    def test_paced_wait_reanchors_after_stall(self):
+        now = [50.0]
+        slept = []
+        p = Pacer(
+            0.032,
+            hop_batch=8,
+            config=PacerConfig(pace=True, resync_slip_s=0.5),
+            clock=lambda: now[0],
+            sleep=slept.append,
+        )
+        p.wait(0.256)
+        now[0] += 3.0  # long stall: far past the next due time
+        assert p.wait(0.512) == 0.0  # late, never sleeps...
+        assert p.n_resyncs == 1  # ...but accepts the slip and re-anchors
+        now[0] += 0.02
+        # Pacing resumes immediately from the new epoch: the next batch is
+        # due 0.256 s after the re-anchor, not after a multi-second free-run.
+        assert p.wait(0.768) == pytest.approx(0.236)
+        assert slept == [pytest.approx(0.236)]
+
+    def test_paced_wait_small_slip_catches_up_without_resync(self):
+        now = [10.0]
+        p = Pacer(
+            0.032,
+            hop_batch=8,
+            config=PacerConfig(pace=True, resync_slip_s=0.5),
+            clock=lambda: now[0],
+            sleep=lambda s: None,
+        )
+        p.wait(0.256)
+        now[0] += 0.4  # one slow step, within the slip tolerance
+        assert p.wait(0.512) == 0.0
+        assert p.n_resyncs == 0  # catch up by free-running, keep the epoch
 
     def test_unpaced_wait_never_sleeps(self):
         slept = []
@@ -261,6 +298,8 @@ class TestPacer:
             PacerConfig(widen_factor=1.0)
         with pytest.raises(ValueError):
             PacerConfig(shrink_headroom=1.5)
+        with pytest.raises(ValueError):
+            PacerConfig(resync_slip_s=0.0)
 
 
 class TestOverrunPolicy:
@@ -521,6 +560,79 @@ class TestParallelEquivalence:
             ParallelFleetStream(sched, sources, workers=-1)
         with pytest.raises(ValueError, match="missing sources"):
             ParallelFleetStream(sched, {})
+
+
+class TestPacedSessions:
+    """Real-time pacing at the session level, on a fake clock.
+
+    ``pace=True`` turns the free-running replay into a capture-clocked
+    session: every step waits until its hop batch is *due*.  On a machine
+    with headroom the pacer then rides ``min_batch``, and the dominant
+    detect→update stage — delivery, the stream-clock wait between a
+    frame's capture and its pop — collapses from a whole batch to a hop.
+    """
+
+    def paced_session(self, scene, pacer, now, slept):
+        nodes, recording = scene
+        sched = scheduler(nodes, config())
+        sources = CorridorStream(recording, chunk_samples=256).sources()
+
+        def sleep(s):
+            slept.append(s)
+            now[0] += s  # sleeping advances the fake capture clock
+
+        return ParallelFleetStream(
+            sched,
+            sources,
+            hop_batch=8,
+            workers=0,
+            pacer=pacer,
+            clock=lambda: now[0],
+            sleep=sleep,
+        )
+
+    def test_rides_min_batch_and_shrinks_delivery(self, scene):
+        now, slept = [0.0], []
+        cfg = PacerConfig(pace=True, min_batch=1)
+        with self.paced_session(scene, cfg, now, slept) as session:
+            result = session.run()
+        for stats in result.pacer_stats.values():
+            # Headroom (near-zero wall per step on the fake-clocked replay)
+            # shrinks 8 → 4 → 2 → 1 and stays there.
+            assert stats.n_shrinks >= 3
+            assert stats.min_batch_used == 1
+            assert stats.n_resyncs == 0
+        assert slept, "a paced session with headroom must actually wait"
+        deliveries = [b.delivery_ms for b in result.stage_budgets]
+        assert len(deliveries) >= 9
+        third = len(deliveries) // 3
+        head, tail = max(deliveries[:third]), max(deliveries[-third:])
+        # Early updates rode 8-hop batches (frames wait up to ~256 ms for
+        # their pop); once the batch reaches 1 the wait is a hop or two.
+        assert tail < head
+        assert tail <= 3 * config().frame_period_s * 1e3
+
+    def test_origin_reanchors_after_stall(self, scene):
+        now, slept = [0.0], []
+        cfg = PacerConfig(pace=True, min_batch=8, max_batch=8, resync_slip_s=0.5)
+        session = self.paced_session(scene, cfg, now, slept)
+        try:
+            session.step()  # first step anchors the epoch
+            session.step()  # second step paces normally
+            n_before = len(slept)
+            assert n_before > 0
+            now[0] += 5.0  # multi-second stall, far past the slip tolerance
+            session.step()  # late: free-runs, accepts the slip, re-anchors
+            while not session.done:
+                session.step()
+            result = session.finalize()
+        finally:
+            session.close()
+        for stats in result.pacer_stats.values():
+            assert stats.n_resyncs == 1
+        # Pacing resumed from the new epoch after the stall: later steps
+        # waited again instead of free-running the rest of the session.
+        assert len(slept) > n_before
 
 
 @pytest.mark.parallel
