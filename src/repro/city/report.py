@@ -65,6 +65,14 @@ class CorridorHealth:
         Raw pacer overruns, *debounced* overrun alerts over the corridor's
         step-wise worst shard, and the widest hop batch backpressure
         reached.
+    n_steals, n_migrations, queue_depth_p95:
+        Pool-scheduling accounting: shards of this session stolen by idle
+        workers, total migrations, and the p95 pool backlog sampled at the
+        session's dispatches (all zero for degraded/in-process sessions).
+    n_tap_misses:
+        Sample-tap reads that returned ``None`` due to eviction, summed
+        over the session's nodes (streamed multilateration wanted audio
+        older than the tap window keeps).
     alerts:
         The debounced :class:`~repro.core.alerts.BudgetAlert` transitions
         themselves (overrun and recovered, in step order).
@@ -87,6 +95,10 @@ class CorridorHealth:
     n_overruns: int
     n_overrun_alerts: int
     peak_hop_batch: int
+    n_steals: int = 0
+    n_migrations: int = 0
+    queue_depth_p95: float = 0.0
+    n_tap_misses: int = 0
     alerts: tuple[BudgetAlert, ...] = ()
 
     @property
@@ -176,6 +188,7 @@ def _corridor_health(
         result.as_run_result(),
         frame_period=frame_period,
         pacer_stats=result.node_pacer_stats(),
+        tap_misses=result.tap_misses,
     )
     merged = _stepwise_worst(
         [ps.records for ps in result.pacer_stats.values()]
@@ -203,6 +216,10 @@ def _corridor_health(
         peak_hop_batch=max(
             (ps.max_batch_used for ps in result.pacer_stats.values()), default=0
         ),
+        n_steals=result.n_steals,
+        n_migrations=result.n_migrations,
+        queue_depth_p95=result.queue_depth_p95,
+        n_tap_misses=sum(result.tap_misses.values()),
         alerts=alerts,
     )
     return health, merged, d2u_samples
@@ -283,6 +300,10 @@ def format_city_report(report: CityReport) -> str:
             f"tracks {c.n_tracks:>3}  d2u p95 {c.d2u_p95_ms:6.1f} ms  "
             f"alerts {c.n_overrun_alerts}  [{status}]"
         )
+        if c.n_steals or c.n_migrations:
+            line += f"  steals {c.n_steals}/{c.n_migrations} moved"
+        if c.n_tap_misses:
+            line += f"  tap misses {c.n_tap_misses}"
         if c.degraded:
             line += "  (degraded: in-process)"
         lines.append(line)
@@ -335,6 +356,10 @@ def city_report_json(report: CityReport) -> dict:
                 "n_overruns": c.n_overruns,
                 "n_overrun_alerts": c.n_overrun_alerts,
                 "peak_hop_batch": c.peak_hop_batch,
+                "n_steals": c.n_steals,
+                "n_migrations": c.n_migrations,
+                "queue_depth_p95": c.queue_depth_p95,
+                "n_tap_misses": c.n_tap_misses,
                 "realtime": bool(c.realtime),
             }
             for c in report.corridors

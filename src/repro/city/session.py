@@ -148,7 +148,12 @@ class CitySession:
             drop_prob=self.spec.drop_prob,
             rng=self._rng,
         )
-        self.degraded = pool is None or pool.saturated()
+        # Count the shards this session is about to register, not just the
+        # load already on the pool — a join burst admitted between steps
+        # must not overshoot max_shards_per_worker.
+        self.degraded = pool is None or pool.saturated(
+            incoming=len(self.scheduler.shards)
+        )
         self.stream = ParallelFleetStream(
             self.scheduler,
             feed.sources(),
@@ -194,6 +199,10 @@ class SessionManager:
         queueing the whole city behind them.
     pacer:
         Backpressure policy applied to every session's pacers.
+    steal:
+        Enable work stealing on a manager-forked pool (default); ``False``
+        pins shards to the worker that registered them.  Ignored when an
+        external ``pool`` is given (its own setting rules).
     """
 
     def __init__(
@@ -203,14 +212,22 @@ class SessionManager:
         pool: ShardWorkerPool | None = None,
         max_shards_per_worker: int | None = None,
         pacer: PacerConfig | None = None,
+        steal: bool = True,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self._owns_pool = pool is None and workers > 0
         if pool is None and workers > 0:
-            pool = ShardWorkerPool(workers, max_shards_per_worker=max_shards_per_worker)
+            pool = ShardWorkerPool(
+                workers, max_shards_per_worker=max_shards_per_worker, steal=steal
+            )
         self.pool = pool
         self.capacity = SharedCapacity(pool.workers) if pool is not None else None
+        if pool is not None and pool.capacity is None:
+            # Close the backpressure loop: the pool reports its backlog and
+            # steal rate into the same capacity the sessions' pacers read,
+            # so sustained pressure widens min_batch city-wide.
+            pool.capacity = self.capacity
         self.pacer = pacer
         self.sessions: dict[str, CitySession] = {}
         self.n_worker_restarts = 0

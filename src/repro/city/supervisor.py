@@ -34,13 +34,15 @@ running each corridor standalone (PR 5/6 invariant, now across sessions).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Mapping
 
 from repro.stream.pacer import PacerConfig
 from repro.stream.pool import ShardWorkerPool, WorkerCrashed
 
-from repro.city.report import CityReport, city_report
+from repro.city.report import CityReport, city_report, city_report_json
 from repro.city.scenario import CityScenario, corridor_rngs
 from repro.city.session import DRAINING, LIVE, SUBMITTED, CitySession, SessionManager
 
@@ -93,6 +95,15 @@ class CitySupervisor:
         budgets are judged against the *shared* pool capacity (see
         :class:`~repro.stream.pacer.SharedCapacity`), so a session only
         counts as overrunning when it misses its fair share of the pool.
+    steal:
+        Work stealing on the forked pool (default on; ``False`` restores
+        static shard pinning — the E19 baseline).
+    snapshot_path, snapshot_every:
+        Periodic health trail: every ``snapshot_every`` supervisor steps
+        (and on the final step), append one line to ``snapshot_path`` —
+        the JSON projection of :meth:`report` plus the step index — so a
+        long soak leaves a queryable JSONL history instead of only a final
+        rollup.  ``snapshot_path`` alone snapshots every step.
     """
 
     def __init__(
@@ -103,14 +114,26 @@ class CitySupervisor:
         pool: ShardWorkerPool | None = None,
         max_shards_per_worker: int | None = None,
         pacer: PacerConfig | None = None,
+        steal: bool = True,
+        snapshot_path: str | Path | None = None,
+        snapshot_every: int | None = None,
     ) -> None:
+        if snapshot_every is not None:
+            if snapshot_every < 1:
+                raise ValueError("snapshot_every must be >= 1")
+            if snapshot_path is None:
+                raise ValueError("snapshot_every needs snapshot_path")
         self.scenario = scenario
         self.manager = SessionManager(
             workers=workers,
             pool=pool,
             max_shards_per_worker=max_shards_per_worker,
             pacer=pacer,
+            steal=steal,
         )
+        self.snapshot_path = Path(snapshot_path) if snapshot_path is not None else None
+        self.snapshot_every = int(snapshot_every) if snapshot_every is not None else 1
+        self.n_snapshots = 0
         rngs = corridor_rngs(scenario)
         for spec in scenario.corridors:
             self.manager.submit(spec, scenario, rngs[spec.corridor_id])
@@ -170,6 +193,10 @@ class CitySupervisor:
                 self.manager.drain(session)
 
         self._step = idx + 1
+        if self.snapshot_path is not None and (
+            idx % self.snapshot_every == 0 or self.done
+        ):
+            self._snapshot(idx)
         return CityStepResult(
             step_index=idx,
             joined=tuple(joined),
@@ -177,6 +204,13 @@ class CitySupervisor:
             updates=updates,
             n_live=len(self.manager.live()),
         )
+
+    def _snapshot(self, idx: int) -> None:
+        """Append one JSONL health line (step index + city report)."""
+        row = {"step": idx, **city_report_json(self.report())}
+        with open(self.snapshot_path, "a", encoding="utf-8") as f:
+            f.write(json.dumps(row) + "\n")
+        self.n_snapshots += 1
 
     def _collect(self, session: CitySession):
         """``step_end`` with crash recovery: respawn, restore, retry once.

@@ -232,6 +232,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the final city report as one JSON document",
     )
+    city.add_argument(
+        "--no-steal",
+        action="store_true",
+        help="pin shards to the worker that registered them instead of "
+        "letting idle workers steal from the deepest queue",
+    )
+    city.add_argument(
+        "--snapshot-out",
+        type=str,
+        default=None,
+        help="append periodic city health snapshots (JSONL, one city report "
+        "per line) to this file",
+    )
+    city.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        help="supervisor steps between snapshots (needs --snapshot-out; "
+        "default 1 = every step)",
+    )
 
     arr = sub.add_parser("assess-array", help="assess a microphone-array geometry")
     arr.add_argument("--topology", choices=("ula", "uca", "car_roof", "car_corner"), default="uca")
@@ -404,6 +424,7 @@ def _cmd_fleet(args) -> int:
     say(f"vehicles          : 2 crossing ({args.speed:.0f} and {args.speed2:.0f} m/s), "
           f"detector: {args.detector}")
     pacer_stats = None
+    tap_misses = None
     if args.stream:
         # Hop-clocked live session: ring-buffer ingest, per-hop fusion,
         # live track updates as they happen.
@@ -481,6 +502,10 @@ def _cmd_fleet(args) -> int:
         dropped = sum(s.n_dropped_chunks for s in result.ingest.values())
         say(f"ingest            : {sum(s.n_chunks for s in result.ingest.values())} chunks, "
               f"{dropped} dropped, {late} late")
+        if use_taps and session.taps is not None:
+            tap_misses = {nid: tap.n_misses for nid, tap in session.taps.items()}
+            say(f"tap misses        : {sum(tap_misses.values())} evicted read(s) "
+                  f"across {sum(1 for v in tap_misses.values() if v)} node(s)")
         say(f"per-hop latency   : p95 {hop.p95_s * 1e3:.2f} ms vs "
               f"{hop.deadline_s * 1e3:.1f} ms hop deadline "
               f"({'real-time' if result.realtime else 'OVERRUN'})")
@@ -500,7 +525,11 @@ def _cmd_fleet(args) -> int:
             hop_length=config.hop_length,
         )
     report = fleet_report(
-        tracks, run, frame_period=config.frame_period_s, pacer_stats=pacer_stats
+        tracks,
+        run,
+        frame_period=config.frame_period_s,
+        pacer_stats=pacer_stats,
+        tap_misses=tap_misses,
     )
     say(f"shards            : {run.shards} "
           f"({scheduler.n_shared_localizers} shared steering tensors)")
@@ -552,6 +581,7 @@ def _cmd_fleet(args) -> int:
                     "n_overruns": h.n_overruns,
                     "n_overrun_alerts": h.n_overrun_alerts,
                     "peak_hop_batch": h.peak_hop_batch,
+                    "n_tap_misses": h.n_tap_misses,
                 }
                 for h in report.node_health
             ],
@@ -590,9 +620,13 @@ def _cmd_city(args) -> int:
             hop_batch=args.hop_batch,
             stagger_steps=args.stagger,
         )
+    if args.snapshot_every is not None and args.snapshot_out is None:
+        print("error: --snapshot-every requires --snapshot-out", file=sys.stderr)
+        return 1
     say = (lambda *a, **kw: None) if args.json else print
     say(f"city              : {len(scenario.corridors)} corridor(s), "
-        f"{args.workers} shared pool worker(s), seed {scenario.seed}")
+        f"{args.workers} shared pool worker(s), seed {scenario.seed}"
+        + (", shard stealing off" if args.no_steal else ""))
 
     def on_step(result) -> None:
         for cid in result.joined:
@@ -625,8 +659,14 @@ def _cmd_city(args) -> int:
         workers=args.workers,
         max_shards_per_worker=args.max_shards_per_worker,
         pacer=pacer,
+        steal=not args.no_steal,
+        snapshot_path=args.snapshot_out,
+        snapshot_every=args.snapshot_every,
     ) as supervisor:
         report = supervisor.run(on_step=on_step)
+        if supervisor.n_snapshots:
+            say(f"snapshots         : {supervisor.n_snapshots} line(s) -> "
+                f"{args.snapshot_out}")
     if args.json:
         print(json.dumps(city_report_json(report), indent=2))
     else:

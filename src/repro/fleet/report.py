@@ -89,6 +89,11 @@ class NodeHealth:
     peak_hop_batch:
         Widest effective hop batch the shard's pacer reached while
         catching up (0 when the session was not paced).
+    n_tap_misses:
+        Streamed-multilateration reads of this node's
+        :class:`~repro.stream.tap.SampleTap` that returned ``None``
+        because the window had been evicted — a sign the tap window is
+        undersized for the fusion lag (0 when taps were not used).
     """
 
     node_id: str
@@ -100,6 +105,7 @@ class NodeHealth:
     n_overruns: int = 0
     n_overrun_alerts: int = 0
     peak_hop_batch: int = 0
+    n_tap_misses: int = 0
 
     @property
     def detection_rate(self) -> float:
@@ -144,6 +150,7 @@ def fleet_report(
     alert_policy_factory=AlertPolicy,
     pacer_stats: Mapping[str, PacerStats] | None = None,
     overrun_policy_factory=OverrunPolicy,
+    tap_misses: Mapping[str, int] | None = None,
 ) -> FleetReport:
     """Build the corridor report from fused tracks and a fleet run.
 
@@ -152,7 +159,8 @@ def fleet_report(
     folds a paced session's overrun/catch-up accounting into each node's
     health row: the raw overrun count, the *debounced* overrun alerts from
     :class:`~repro.core.alerts.OverrunPolicy`, and the widest hop batch the
-    backpressure reached.
+    backpressure reached.  ``tap_misses`` (``node_id -> count``) folds in
+    each node's evicted sample-tap reads the same way.
     """
     if frame_period <= 0:
         raise ValueError("frame_period must be positive")
@@ -212,6 +220,7 @@ def fleet_report(
                 n_overruns=n_overruns,
                 n_overrun_alerts=n_overrun_alerts,
                 peak_hop_batch=peak_hop_batch,
+                n_tap_misses=int(tap_misses.get(node_id, 0)) if tap_misses else 0,
             )
         )
     return FleetReport(
@@ -323,5 +332,7 @@ def format_report(report: FleetReport) -> str:
                 f"  pacer: {h.n_overruns} overrun(s), "
                 f"{h.n_overrun_alerts} alert(s), peak batch {h.peak_hop_batch}"
             )
+        if h.n_tap_misses:
+            line += f"  tap misses {h.n_tap_misses}"
         lines.append(line)
     return "\n".join(lines)

@@ -26,9 +26,27 @@ package closes that gap with a hop-clocked runtime over the same shared
   workers serving shard runners of *many* sessions (register/step/
   release/recover protocol; worker death surfaces as
   :class:`WorkerCrashed`);
+- :mod:`repro.stream.slab` — :class:`SharedResultSlab`, the per-worker
+  seqlock'd shared-memory reply slots that carry each shard's
+  :class:`HopReply` back to the main process with zero pickling;
 - :mod:`repro.stream.parallel` — the process-parallel fleet runtime
   (:class:`ParallelFleetStream`), one session over its own or a shared
   pool.
+
+**Work stealing and shard migration.**  The pool does not pin shards to
+the worker that registered them: each worker has a deque of hop-step work
+items, and a worker that drains its own deque *steals* a registered shard
+from the deepest queue.  The stolen shard is dropped on the loser,
+re-registered on the thief and restored from its per-step ``state_dict()``
+checkpoint — exactly the machinery :meth:`ShardWorkerPool.recover` uses
+after a worker death, so fused tracks are bit-identical whether a shard
+ran its whole session on one worker or migrated a dozen times, and a
+crash *mid-migration* resolves through the same recover/retry path as any
+other :class:`WorkerCrashed`.  One skewed corridor can no longer stall
+its neighbours while other workers idle (``steal=False`` restores static
+pinning; preloaded fork-inherited shards never migrate).  Pool pressure
+(queue depth + steal rate) feeds :class:`SharedCapacity`, which scales
+every paced session's ``min_batch`` city-wide under sustained backlog.
 
 Execution tiers of the fleet stack, slowest-coupling first:
 
@@ -67,6 +85,7 @@ from repro.stream.budget import (
     summarize_budgets,
 )
 from repro.stream.pacer import Pacer, PacerConfig, PacerStats, SharedCapacity
+from repro.stream.slab import HopReply, SharedResultSlab, StringInterner
 from repro.stream.pool import ShardWorkerPool, WorkerCrashed
 from repro.stream.tap import SampleTap, mlat_tap_capacity
 
@@ -81,6 +100,7 @@ from repro.stream.parallel import (
 __all__ = [
     "Chunk",
     "ChunkSource",
+    "HopReply",
     "IngestStats",
     "NodeIngest",
     "Pacer",
@@ -93,9 +113,11 @@ __all__ = [
     "STAGES",
     "SampleTap",
     "SharedCapacity",
+    "SharedResultSlab",
     "SharedRingBuffer",
     "ShardWorkerPool",
     "StageBudget",
+    "StringInterner",
     "WorkerCrashed",
     "StreamPipeline",
     "StreamRunResult",

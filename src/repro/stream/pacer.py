@@ -46,17 +46,59 @@ class SharedCapacity:
     hop batches *earlier* — backpressure reacts to city load before wall
     clocks actually slip, and relaxes as sessions leave.
 
+    Since PR 9 the pool also feeds a **pressure signal** back through the
+    capacity: every ``step_send`` reports the pool's hop-item backlog and
+    steal rate via :meth:`note_pressure`.  Sustained pressure (an EMA of
+    backlog-per-slot staying above ``widen_pressure`` for ``patience``
+    observations) escalates :meth:`min_batch_scale` — the city-wide
+    ``min_batch`` multiplier every paced session applies — and sustained
+    headroom (EMA below ``shrink_pressure``) walks it back down.  Stealing
+    counts double: a steal means a worker went idle while another was
+    backed up, i.e. the pool is skew-bound, which wider batches amortize.
+
     Parameters
     ----------
     slots:
         Concurrent execution slots (the pool's worker count).
+    widen_pressure, shrink_pressure:
+        EMA thresholds (backlog per slot) above which the min-batch scale
+        doubles / below which it halves.
+    patience:
+        Consecutive hot (cool) observations required before scaling up
+        (down) — debounce, so one skewed tick does not widen the city.
+    max_min_batch_scale:
+        Ceiling of :meth:`min_batch_scale` (power-of-two ladder).
     """
 
-    def __init__(self, slots: int) -> None:
+    def __init__(
+        self,
+        slots: int,
+        *,
+        widen_pressure: float = 2.0,
+        shrink_pressure: float = 0.75,
+        patience: int = 4,
+        max_min_batch_scale: int = 8,
+    ) -> None:
         if slots < 1:
             raise ValueError("slots must be >= 1")
+        if shrink_pressure <= 0 or widen_pressure <= shrink_pressure:
+            raise ValueError("need widen_pressure > shrink_pressure > 0")
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if max_min_batch_scale < 1:
+            raise ValueError("max_min_batch_scale must be >= 1")
         self.slots = int(slots)
+        self.widen_pressure = float(widen_pressure)
+        self.shrink_pressure = float(shrink_pressure)
+        self.patience = int(patience)
+        self.max_min_batch_scale = int(max_min_batch_scale)
         self._held = 0
+        self._pressure = 0.0
+        self._scale = 1
+        self._hot = 0
+        self._cool = 0
+        self.n_pressure_widenings = 0
+        self.n_pressure_shrinks = 0
 
     @property
     def held(self) -> int:
@@ -78,6 +120,41 @@ class SharedCapacity:
     def oversubscription(self) -> float:
         """Shards per worker slot, floored at 1 (an idle pool scales nothing)."""
         return max(1.0, self._held / self.slots)
+
+    def note_pressure(self, backlog: int, steals: int = 0) -> None:
+        """Feed one pool observation: queued+in-flight hop items and the
+        steals since the last observation (the pool calls this per
+        ``step_send``)."""
+        if backlog < 0 or steals < 0:
+            raise ValueError("backlog and steals must be >= 0")
+        inst = (backlog + 2.0 * steals) / self.slots
+        self._pressure += 0.25 * (inst - self._pressure)
+        if self._pressure > self.widen_pressure:
+            self._hot += 1
+            self._cool = 0
+            if self._hot >= self.patience and self._scale < self.max_min_batch_scale:
+                self._scale *= 2
+                self._hot = 0
+                self.n_pressure_widenings += 1
+        elif self._pressure < self.shrink_pressure:
+            self._cool += 1
+            self._hot = 0
+            if self._cool >= self.patience and self._scale > 1:
+                self._scale //= 2
+                self._cool = 0
+                self.n_pressure_shrinks += 1
+        else:
+            self._hot = 0
+            self._cool = 0
+
+    def pressure(self) -> float:
+        """Smoothed backlog-per-slot (EMA of :meth:`note_pressure` feeds)."""
+        return self._pressure
+
+    def min_batch_scale(self) -> int:
+        """City-wide ``min_batch`` multiplier under sustained pool pressure
+        (1 = no pressure; doubles up to ``max_min_batch_scale``)."""
+        return self._scale
 
 
 @dataclass(frozen=True)
@@ -146,6 +223,7 @@ class PacerStats:
     max_batch_used: int
     n_resyncs: int = 0
     records: tuple[tuple[float, float, int], ...] = field(default=())
+    n_floor_raises: int = 0
 
     @property
     def overrun_rate(self) -> float:
@@ -210,6 +288,7 @@ class Pacer:
         self.n_widenings = 0
         self.n_shrinks = 0
         self.n_resyncs = 0
+        self.n_floor_raises = 0
         self._min_used = self._batch
         self._max_used = self._batch
         self._records: list[tuple[float, float, int]] = []
@@ -271,6 +350,18 @@ class Pacer:
             budget /= self.capacity.oversubscription()
         self._records.append((float(wall_s), float(budget), self._batch))
         cfg = self.config
+        # City-wide pressure floor: when the shared pool reports sustained
+        # backlog, every paced shard's minimum batch rises together (then
+        # relaxes as the pool drains) — the whole city amortizes harder,
+        # not just the shards that happen to overrun.
+        floor = cfg.min_batch
+        if self.capacity is not None and hasattr(self.capacity, "min_batch_scale"):
+            scale = self.capacity.min_batch_scale()
+            if scale > 1:
+                floor = min(cfg.min_batch * scale, cfg.max_batch)
+        if self._batch < floor:
+            self._batch = floor
+            self.n_floor_raises += 1
         if wall_s > budget:
             # Backpressure: the shard cannot keep up at this batch size —
             # amortize harder instead of letting the ring drop.
@@ -279,9 +370,10 @@ class Pacer:
             if widened != self._batch:
                 self._batch = widened
                 self.n_widenings += 1
-        elif wall_s < cfg.shrink_headroom * budget and self._batch > cfg.min_batch:
-            # Headroom returned: shrink toward the lowest delivery delay.
-            shrunk = max(cfg.min_batch, int(self._batch / cfg.widen_factor))
+        elif wall_s < cfg.shrink_headroom * budget and self._batch > floor:
+            # Headroom returned: shrink toward the lowest delivery delay
+            # (clamped at the pressure floor while the pool stays hot).
+            shrunk = max(floor, int(self._batch / cfg.widen_factor))
             if shrunk != self._batch:
                 self._batch = shrunk
                 self.n_shrinks += 1
@@ -299,4 +391,5 @@ class Pacer:
             max_batch_used=self._max_used,
             n_resyncs=self.n_resyncs,
             records=tuple(self._records),
+            n_floor_raises=self.n_floor_raises,
         )

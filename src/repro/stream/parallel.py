@@ -75,6 +75,7 @@ from repro.stream.engine import IngestStats, NodeIngest
 from repro.stream.pacer import Pacer, PacerConfig, PacerStats, SharedCapacity
 from repro.stream.pool import ShardWorkerPool, WorkerCrashed
 from repro.stream.ring import RingBuffer, SharedRingBuffer
+from repro.stream.slab import HopReply
 from repro.stream.source import ChunkSource
 from repro.stream.tap import SampleTap, mlat_tap_capacity
 
@@ -115,14 +116,11 @@ def parallel_supported() -> str | None:
     return None
 
 
-@dataclass(frozen=True)
-class _ShardReply:
-    """One shard's kernel pass: which nodes produced frames, their rows,
-    and the wall time the pass took (pop + kernel, seconds)."""
-
-    nids: tuple[str, ...]
-    results: dict[str, list[FrameResult]]
-    kernel_s: float
+# One shard's kernel pass: which nodes produced frames, their rows, and the
+# wall time the pass took.  Promoted to repro.stream.slab.HopReply in PR 9 so
+# the pool's shared-memory reply slots and this runtime share one definition
+# (a reply that *is* a HopReply rides the slab with zero pickling).
+_ShardReply = HopReply
 
 
 class _ShardRunner:
@@ -241,6 +239,19 @@ class ParallelStreamResult:
     detect_to_update:
         Distribution of ``detect_to_update_ms`` vs the nominal budget of
         one hop batch of delivery delay plus one hop of processing.
+    tap_misses:
+        Per-node count of :class:`~repro.stream.tap.SampleTap` reads that
+        returned ``None`` because the window had already been evicted
+        (streamed multilateration asked for audio older than the tap
+        keeps — a sizing signal, not an error).
+    n_steals, n_migrations, queue_depth_p95:
+        Pool-scheduling accounting for this session: shards stolen by idle
+        workers, total shard migrations (steals + forced), and the p95 of
+        the pool backlog sampled at each dispatch.  All zero in-process.
+    n_slab_replies, n_pipe_fallbacks:
+        How the session's hop replies traveled: decoded from the worker's
+        shared-memory slab (zero pickling) vs pickled over the pipe
+        (oversized or non-standard replies).
     """
 
     node_results: dict[str, list[FrameResult]]
@@ -257,6 +268,12 @@ class ParallelStreamResult:
     pacer_stats: dict[int, PacerStats]
     stage_budgets: tuple[StageBudget, ...] = field(default=())
     detect_to_update: LatencyStats | None = None
+    tap_misses: dict[str, int] = field(default_factory=dict)
+    n_steals: int = 0
+    n_migrations: int = 0
+    queue_depth_p95: float = 0.0
+    n_slab_replies: int = 0
+    n_pipe_fallbacks: int = 0
 
     @property
     def realtime(self) -> bool:
@@ -703,6 +720,21 @@ class ParallelFleetStream:
             detect_to_update = LatencyStats(
                 mean_s=0.0, p95_s=0.0, max_s=0.0, deadline_s=d2u_deadline
             )
+        if self._pool is not None:
+            sched = self._pool.session_stats(self.session_id)
+        else:
+            sched = {
+                "n_steals": 0,
+                "n_migrations": 0,
+                "queue_depth_p95": 0.0,
+                "n_slab_replies": 0,
+                "n_pipe_fallbacks": 0,
+            }
+        tap_misses = (
+            {nid: tap.n_misses for nid, tap in self.taps.items()}
+            if self.taps is not None
+            else {}
+        )
         return ParallelStreamResult(
             node_results=self.node_results,
             node_stats=node_stats,
@@ -718,6 +750,12 @@ class ParallelFleetStream:
             pacer_stats={si: p.stats() for si, p in enumerate(self._pacers)},
             stage_budgets=tuple(self.stage_budgets),
             detect_to_update=detect_to_update,
+            tap_misses=tap_misses,
+            n_steals=sched["n_steals"],
+            n_migrations=sched["n_migrations"],
+            queue_depth_p95=sched["queue_depth_p95"],
+            n_slab_replies=sched["n_slab_replies"],
+            n_pipe_fallbacks=sched["n_pipe_fallbacks"],
         )
 
     def close(self) -> None:

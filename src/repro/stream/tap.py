@@ -73,6 +73,7 @@ class SampleTap:
         self.n_channels = int(n_channels)
         self._buf = np.zeros((self.n_channels, int(capacity)))
         self._n_written = 0
+        self.n_misses = 0
 
     @property
     def capacity(self) -> int:
@@ -128,7 +129,12 @@ class SampleTap:
         start, stop = int(start), int(stop)
         if stop <= start:
             raise ValueError("need stop > start")
-        if start < self.oldest or stop > self._n_written:
+        if start < self.oldest:
+            # Eviction, not lag: the caller wanted audio the tap no longer
+            # holds — counted so reports can flag an undersized window.
+            self.n_misses += 1
+            return None
+        if stop > self._n_written:
             return None
         cap = self.capacity
         head = start % cap
@@ -144,3 +150,4 @@ class SampleTap:
         """Forget everything (absolute clock restarts at sample 0)."""
         self._buf[:] = 0.0
         self._n_written = 0
+        self.n_misses = 0

@@ -135,6 +135,26 @@ class TestFleetJson:
         for node in doc["nodes"]:
             assert {"node_id", "realtime", "n_overruns"} <= set(node)
 
+    def test_tap_misses_reported_with_streamed_mlat(self, capsys):
+        import json
+
+        code = main(
+            ["fleet", "--stream", "--n-nodes", "2", "--spacing", "12",
+             "--duration", "0.5", "--n-azimuth", "36", "--workers", "0",
+             "--multilaterate", "--tap-window", "1.0", "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        for node in doc["nodes"]:
+            assert node["n_tap_misses"] == 0  # sized window: no evictions
+        code = main(
+            ["fleet", "--stream", "--n-nodes", "2", "--spacing", "12",
+             "--duration", "0.5", "--n-azimuth", "36", "--workers", "0",
+             "--multilaterate", "--tap-window", "1.0"]
+        )
+        assert code == 0
+        assert "tap misses        : 0 evicted read(s)" in capsys.readouterr().out
+
 
 class TestCity:
     def test_parser_defaults(self):
@@ -155,6 +175,31 @@ class TestCity:
         assert "corridor1 joined" in out
         assert "corridor0 left" in out
         assert "detect→update" in out
+
+    def test_snapshot_trail_and_no_steal(self, tmp_path, capsys):
+        import json
+
+        trail = tmp_path / "trail.jsonl"
+        code = main(
+            ["city", "--corridors", "2", "--duration", "0.3", "--n-nodes", "2",
+             "--workers", "0", "--no-steal", "--snapshot-out", str(trail),
+             "--snapshot-every", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shard stealing off" in out
+        assert "snapshots" in out and "trail.jsonl" in out
+        rows = [json.loads(line) for line in trail.read_text().splitlines()]
+        assert rows
+        assert all({"step", "n_sessions", "corridors"} <= set(r) for r in rows)
+        assert rows[-1]["n_left"] == 2
+
+    def test_snapshot_every_requires_out(self, capsys):
+        code = main(
+            ["city", "--corridors", "1", "--workers", "0", "--snapshot-every", "2"]
+        )
+        assert code == 1
+        assert "--snapshot-out" in capsys.readouterr().err
 
     def test_scenario_file_and_json(self, tmp_path, capsys):
         import json

@@ -1,0 +1,203 @@
+"""Shared-memory reply slab tests: codec, interning, seqlock, no pickling.
+
+The contract under test:
+
+- a :class:`HopReply` round-trips through :meth:`SharedResultSlab.try_write`
+  / :meth:`read` bit-exactly (every :class:`FrameResult` field), including
+  the degenerate empty reply;
+- string interning ships each node id / label **exactly once**: the first
+  reply that uses a string returns it from ``take_fresh``-via-``try_write``,
+  later replies reusing it return nothing new;
+- an oversized reply is *refused* (``try_write`` returns ``None``) so the
+  caller falls back to the pipe instead of corrupting the slot;
+- the per-slot seqlock turns a torn write (worker died mid-encode) into a
+  raised error, never silently wrong data, and :meth:`reset` clears a torn
+  slot after a respawn;
+- the write/read path performs **zero pickling** (the whole point of the
+  slab) — asserted by a pickle-counter tripwire;
+- pickling the slab *object* re-attaches to the segment by name without
+  claiming ownership (how forked/spawned workers receive it).
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.pipeline import FrameResult
+from repro.stream import HopReply, SharedResultSlab, StringInterner
+
+
+def frame(i, label="siren_wail", detected=True):
+    return FrameResult(
+        frame_index=i,
+        label=label,
+        confidence=0.5 + 0.01 * i,
+        detected=detected,
+        azimuth=0.1 * i,
+        elevation=-0.05 * i,
+    )
+
+
+def reply_for(nids, frames_per_nid, label="siren_wail"):
+    results = {
+        nid: [frame(100 * k + i, label=label) for i in range(frames_per_nid)]
+        for k, nid in enumerate(nids)
+    }
+    return HopReply(tuple(nids), results, kernel_s=0.0123)
+
+
+class TestStringInterner:
+    def test_ids_stable_and_fresh_drains(self):
+        interner = StringInterner()
+        a = interner.intern("node_a")
+        b = interner.intern("node_b")
+        assert a != b
+        assert interner.intern("node_a") == a
+        assert interner.take_fresh() == ((a, "node_a"), (b, "node_b"))
+        # Reuse mints nothing; a genuinely new string ships once.
+        interner.intern("node_a")
+        assert interner.take_fresh() == ()
+        c = interner.intern("node_c")
+        assert interner.take_fresh() == ((c, "node_c"),)
+
+
+class TestSlabCodec:
+    @pytest.fixture()
+    def slab(self):
+        slab = SharedResultSlab(n_slots=2)
+        yield slab
+        slab.unlink()
+
+    def round_trip(self, slab, reply, slot=0, interner=None, strings=None):
+        interner = interner or StringInterner()
+        strings = strings if strings is not None else {}
+        fresh = slab.try_write(slot, reply, interner)
+        assert fresh is not None
+        strings.update(dict(fresh))
+        return slab.read(slot, strings)
+
+    def test_multi_node_multi_frame_round_trip(self, slab):
+        reply = reply_for(["node_a", "node_b", "node_c"], 4)
+        got = self.round_trip(slab, reply)
+        assert got == reply  # dataclass equality: nids, every row, kernel_s
+
+    def test_empty_reply_round_trips(self, slab):
+        reply = HopReply((), {}, kernel_s=0.5)
+        got = self.round_trip(slab, reply)
+        assert got == reply
+
+    def test_node_with_no_frames_round_trips(self, slab):
+        reply = HopReply(
+            ("quiet", "busy"),
+            {"quiet": [], "busy": [frame(7, detected=False)]},
+            kernel_s=0.0,
+        )
+        got = self.round_trip(slab, reply)
+        assert got == reply
+
+    def test_strings_ship_exactly_once(self, slab):
+        interner = StringInterner()
+        strings = {}
+        first = slab.try_write(0, reply_for(["node_a", "node_b"], 2), interner)
+        assert {s for _, s in first} == {"node_a", "node_b", "siren_wail"}
+        strings.update(dict(first))
+        # Same strings again: nothing new crosses; decode still works from
+        # the mirror table alone.
+        again = reply_for(["node_a", "node_b"], 3)
+        second = slab.try_write(1, again, interner)
+        assert second == ()
+        assert slab.read(1, strings) == again
+
+    def test_slots_are_independent(self, slab):
+        interner = StringInterner()
+        strings = {}
+        r0 = reply_for(["node_a"], 2)
+        r1 = reply_for(["node_b"], 5, label="car_horn")
+        strings.update(dict(slab.try_write(0, r0, interner)))
+        strings.update(dict(slab.try_write(1, r1, interner)))
+        assert slab.read(0, strings) == r0
+        assert slab.read(1, strings) == r1
+
+    def test_oversized_reply_is_refused(self):
+        slab = SharedResultSlab(n_slots=1, slot_ints=16, slot_floats=16)
+        try:
+            interner = StringInterner()
+            assert slab.try_write(0, reply_for(["node_a"], 64), interner) is None
+            # Refusal happens before interning: nothing was minted.
+            assert interner.take_fresh() == ()
+            # A fitting reply still works in the same slot afterwards.
+            small = reply_for(["node_a"], 1)
+            fresh = slab.try_write(0, small, interner)
+            assert fresh is not None
+            assert slab.read(0, dict(fresh)) == small
+        finally:
+            slab.unlink()
+
+    def test_torn_write_raises_and_reset_clears(self, slab):
+        interner = StringInterner()
+        strings = dict(slab.try_write(0, reply_for(["node_a"], 1), interner))
+        # Simulate a worker dying mid-encode: seqlock word left odd.
+        slab._hdr[0][0] |= 1
+        with pytest.raises(RuntimeError, match="torn"):
+            slab.read(0, strings)
+        # Respawn path: reset() clears the torn slot, a fresh write lands.
+        slab.reset()
+        reply = reply_for(["node_a"], 2)
+        fresh = slab.try_write(0, reply, interner)
+        strings.update(dict(fresh))
+        assert slab.read(0, strings) == reply
+
+    def test_write_over_torn_slot_recovers(self, slab):
+        """A new writer must produce a readable slot even when the previous
+        writer crashed mid-encode (the force-odd seqlock begin)."""
+        interner = StringInterner()
+        slab._hdr[0][0] = 7  # crashed predecessor: odd seq word
+        reply = reply_for(["node_a"], 1)
+        fresh = slab.try_write(0, reply, interner)
+        assert slab.read(0, dict(fresh)) == reply
+
+    def test_zero_pickling_on_the_result_path(self, slab, monkeypatch):
+        """The headline property: encode + decode never touch pickle."""
+        calls = []
+
+        def tripwire(*args, **kwargs):  # pragma: no cover - must not fire
+            calls.append(args)
+            raise AssertionError("pickle used on the slab result path")
+
+        monkeypatch.setattr(pickle, "dumps", tripwire)
+        monkeypatch.setattr(pickle, "loads", tripwire)
+        monkeypatch.setattr(pickle, "dump", tripwire)
+        monkeypatch.setattr(pickle, "load", tripwire)
+        interner = StringInterner()
+        reply = reply_for(["node_a", "node_b"], 8)
+        fresh = slab.try_write(0, reply, interner)
+        assert slab.read(0, dict(fresh)) == reply
+        assert calls == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_slots"):
+            SharedResultSlab(n_slots=0)
+        with pytest.raises(ValueError, match="too small"):
+            SharedResultSlab(slot_ints=1)
+
+
+class TestSlabAttach:
+    def test_pickle_reattaches_without_ownership(self):
+        owner = SharedResultSlab(n_slots=2, slot_ints=64, slot_floats=64)
+        try:
+            interner = StringInterner()
+            reply = reply_for(["node_a"], 2)
+            strings = dict(owner.try_write(0, reply, interner))
+            attached = pickle.loads(pickle.dumps(owner))
+            try:
+                assert attached.name == owner.name
+                assert attached.read(0, strings) == reply
+                # Writes through the attachment are visible to the owner.
+                other = reply_for(["node_b"], 1)
+                strings.update(dict(attached.try_write(1, other, interner)))
+                assert owner.read(1, strings) == other
+            finally:
+                attached.close()  # non-owner: must NOT unlink the segment
+            assert owner.read(0, strings) == reply  # segment still alive
+        finally:
+            owner.unlink()

@@ -43,6 +43,21 @@ class TestSampleTap:
         assert tap.read(200, 251) is None  # 250 not written yet
         assert tap.read(150, 250) is not None
 
+    def test_misses_count_eviction_but_not_lag(self):
+        """n_misses flags an undersized window (evicted reads); reads that
+        merely outran the stream are lag, not misses — and reset clears."""
+        tap = SampleTap(1, 100)
+        tap.extend(np.arange(250, dtype=float)[None, :])
+        assert tap.n_misses == 0
+        assert tap.read(149, 200) is None  # evicted: counted
+        assert tap.n_misses == 1
+        assert tap.read(200, 251) is None  # not written yet: NOT counted
+        assert tap.n_misses == 1
+        assert tap.read(150, 250) is not None  # a hit changes nothing
+        assert tap.n_misses == 1
+        tap.reset()
+        assert tap.n_misses == 0
+
     def test_giant_block_keeps_newest(self):
         tap = SampleTap(1, 64)
         tap.extend(np.arange(1000, dtype=float)[None, :])
