@@ -72,6 +72,11 @@ def _soak_scenario() -> CityScenario:
     so a 1 s corridor takes 4 live steps; corridor2 joins at step 4 and
     would finish at step 7 — ``leave_step=6`` yanks it one step early,
     while the others are still live.
+
+    ``tap_window_s`` is set, so every live session runs streamed TDOA
+    multilateration off rolling per-node sample taps populated at ingest —
+    the soak exercises the SampleTap path end to end, and the bit-identity
+    claim below covers the tap-refined fixes too.
     """
     specs = tuple(
         CorridorSpec(
@@ -83,7 +88,7 @@ def _soak_scenario() -> CityScenario:
         )
         for k in range(4)
     )
-    return CityScenario(corridors=specs, seed=17)
+    return CityScenario(corridors=specs, seed=17, tap_window_s=0.5)
 
 
 def _track_signature(tracks):
@@ -120,7 +125,11 @@ def _standalone_signature(spec, scenario):
     )
     t0 = time.perf_counter()
     with ParallelFleetStream(
-        sched, feed.sources(), hop_batch=scenario.hop_batch, workers=0
+        sched,
+        feed.sources(),
+        hop_batch=scenario.hop_batch,
+        workers=0,
+        tap_window_s=scenario.tap_window_s,
     ) as session:
         result = session.run()
     wall_ms = (time.perf_counter() - t0) * 1e3

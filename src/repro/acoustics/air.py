@@ -10,12 +10,21 @@ distance-dependent magnitude response 10^(-alpha(f) * d / 20).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
+from repro.dsp.block_fir import FirBank
 from repro.dsp.filters import fir_from_magnitude
 
-__all__ = ["Atmosphere", "air_absorption_coefficient", "air_absorption_fir", "speed_of_sound"]
+__all__ = [
+    "Atmosphere",
+    "AirFilterBank",
+    "air_absorption_coefficient",
+    "air_absorption_fir",
+    "shared_air_filter_bank",
+    "speed_of_sound",
+]
 
 _T0 = 293.15  # reference temperature, K (20 degC)
 _T01 = 273.16  # triple point of water, K
@@ -113,3 +122,88 @@ def air_absorption_fir(
     alpha = air_absorption_coefficient(grid, atmosphere)
     mags = 10.0 ** (-alpha * distance_m / 20.0)
     return fir_from_magnitude(grid, mags, n_taps, fs)
+
+
+class AirFilterBank:
+    """Distance-gridded air-absorption filters with shared cached spectra.
+
+    The simulator quantizes propagation distance to a ``grid_m`` grid (2 m by
+    default) and needs one FIR per occupied bin.  This bank designs each
+    bin's filter on first request, appends it to one
+    :class:`~repro.dsp.block_fir.FirBank`, and lets every caller in a scene —
+    all ``(node, vehicle)`` simulators, the streaming corridor renderer —
+    share the cached filter *spectra*, so each bin is designed and
+    FFT-transformed exactly once per scene (get a shared instance via
+    :func:`shared_air_filter_bank`).
+    """
+
+    def __init__(
+        self,
+        fs: float,
+        atmosphere: Atmosphere | None = None,
+        *,
+        n_taps: int = 63,
+        grid_m: float = 2.0,
+    ) -> None:
+        if fs <= 0:
+            raise ValueError("fs must be positive")
+        if grid_m <= 0:
+            raise ValueError("grid_m must be positive")
+        self.fs = float(fs)
+        self.atmosphere = atmosphere or Atmosphere()
+        self.n_taps = int(n_taps)
+        self.grid_m = float(grid_m)
+        self._rows: dict[int, int] = {}
+        self._bank: FirBank | None = None
+
+    @property
+    def n_bins(self) -> int:
+        """Distance bins designed so far."""
+        return len(self._rows)
+
+    def key_of(self, distance_m: float) -> int:
+        """Grid bin of a distance — the simulator's cache key, unchanged."""
+        return max(1, int(round(distance_m / self.grid_m)))
+
+    def index_of(self, key: int) -> int:
+        """Bank row of a grid bin, designing the filter on first request."""
+        row = self._rows.get(key)
+        if row is None:
+            fir = air_absorption_fir(
+                key * self.grid_m, self.fs, atmosphere=self.atmosphere, n_taps=self.n_taps
+            )
+            if self._bank is None:
+                self._bank = FirBank(fir)
+                row = 0
+            else:
+                row = self._bank.extend(fir)
+            self._rows[key] = row
+        return row
+
+    def fir(self, distance_m: float) -> np.ndarray:
+        """The FIR for a distance (designed/cached on its grid bin)."""
+        self.index_of(self.key_of(distance_m))
+        return self._bank.filters[self._rows[self.key_of(distance_m)]]
+
+    def convolve(
+        self, x: np.ndarray, indices: np.ndarray, *, zero_phase: bool = False
+    ) -> np.ndarray:
+        """Batched convolution by bank row (see :meth:`FirBank.convolve`)."""
+        return self._bank.convolve(x, indices, zero_phase=zero_phase)
+
+
+@lru_cache(maxsize=32)
+def shared_air_filter_bank(
+    fs: float,
+    atmosphere: Atmosphere | None = None,
+    *,
+    n_taps: int = 63,
+    grid_m: float = 2.0,
+) -> AirFilterBank:
+    """Process-wide shared :class:`AirFilterBank` per parameter set.
+
+    :class:`Atmosphere` is a frozen dataclass (hashable by value), so every
+    simulator of a scene — one per ``(node, vehicle)`` pair — resolves to the
+    same bank and the per-bin design/transform cost is paid once.
+    """
+    return AirFilterBank(fs, atmosphere, n_taps=n_taps, grid_m=grid_m)

@@ -10,6 +10,7 @@ design the reflection filter as ``|R(f)| = sqrt(1 - absorption(f))``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -86,7 +87,9 @@ def asphalt_reflection_fir(surface: RoadSurface | str, fs: float, *, n_taps: int
     """Linear-phase FIR realizing the surface reflection magnitude.
 
     ``surface`` may be a :class:`RoadSurface` or the name of a preset in
-    :data:`SURFACE_PRESETS`.
+    :data:`SURFACE_PRESETS`.  Designs are cached per ``(surface, fs,
+    n_taps)`` — every ``(node, vehicle)`` simulator of a corridor scene asks
+    for the same filter — and the returned array is read-only.
     """
     if isinstance(surface, str):
         try:
@@ -97,6 +100,13 @@ def asphalt_reflection_fir(surface: RoadSurface | str, fs: float, *, n_taps: int
             ) from None
     if fs <= 0:
         raise ValueError("fs must be positive")
+    return _design_reflection_fir(surface, float(fs), int(n_taps))
+
+
+@lru_cache(maxsize=64)
+def _design_reflection_fir(surface: RoadSurface, fs: float, n_taps: int) -> np.ndarray:
     grid = np.concatenate([[0.0], np.logspace(np.log10(20.0), np.log10(fs / 2.0), 64)])
     mags = reflection_magnitude(grid, surface)
-    return fir_from_magnitude(grid, mags, n_taps, fs)
+    fir = fir_from_magnitude(grid, mags, n_taps, fs)
+    fir.flags.writeable = False
+    return fir

@@ -21,14 +21,162 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.acoustics.air import air_absorption_fir
+from repro.acoustics.air import AirFilterBank, shared_air_filter_bank
 from repro.acoustics.asphalt import asphalt_reflection_fir
 from repro.acoustics.delay_line import INTERPOLATORS, render_varying_delay
 from repro.acoustics.environment import Scene
 from repro.acoustics.geometry import image_source
-from repro.dsp.filters import apply_fir
+from repro.dsp.block_fir import BlockFir
 
-__all__ = ["RoadAcousticsSimulator", "PathSnapshot"]
+__all__ = ["AirAbsorptionStage", "RoadAcousticsSimulator", "PathSnapshot"]
+
+
+class AirAbsorptionStage:
+    """Streaming distance-varying air absorption (windowed overlap-add).
+
+    The realization the simulator has always used — 50 %-overlapped periodic
+    Hann blocks, each filtered with the FIR of its mean distance quantized to
+    the bank's grid, overlap-added and normalized — restated as a *stateful*
+    stage: input (and the matching per-sample distances) arrive in arbitrary
+    slices, output comes back as soon as no future block can touch it.  The
+    Hann overlap is what crossfades between neighbouring distance-bin
+    filters, so a vehicle crossing a 2 m bin never produces a sample-step
+    discontinuity (asserted in ``tests/test_dsp_block_fir.py``).
+
+    Blocks are laid out on fixed boundaries of the *total* stream length
+    (``block = min(air_block, total)``, hop ``block // 2`` — exactly the
+    offline layout), so the emitted samples are bitwise invariant to how the
+    caller slices the feed; per-channel filtering happens in one batched
+    :meth:`~repro.acoustics.air.AirFilterBank.convolve` per block instead of
+    a per-mic Python loop.
+
+    Parameters
+    ----------
+    bank:
+        Shared per-scene :class:`~repro.acoustics.air.AirFilterBank`.
+    total:
+        Total samples the stream will carry (the block layout depends on it,
+        so it must be declared up front — callers always know the scene
+        length).
+    air_block:
+        Nominal OLA block length in samples.
+    """
+
+    def __init__(self, bank: AirFilterBank, total: int, *, air_block: int = 4096) -> None:
+        if total < 1:
+            raise ValueError("total must be >= 1")
+        if air_block < 256:
+            raise ValueError("air_block must be >= 256 samples")
+        self.bank = bank
+        self.total = int(total)
+        self.block = min(int(air_block), self.total)
+        self.hop = self.block // 2
+        self._win = 0.5 - 0.5 * np.cos(
+            2 * np.pi * np.arange(self.block) / self.block
+        )  # periodic Hann, COLA at 50%
+        self._x: np.ndarray | None = None  # (C, total) input
+        self._d: np.ndarray | None = None  # (C, total) distances
+        self._n_in = 0
+        self._next_start = 0
+        self._out: np.ndarray | None = None
+        self._norm = np.zeros(self.total + self.block)
+        self._n_final = 0
+        self._n_emitted = 0
+        self._finished = False
+
+    @property
+    def n_fed(self) -> int:
+        return self._n_in
+
+    @property
+    def n_emitted(self) -> int:
+        return self._n_emitted
+
+    def feed(self, x: np.ndarray, distances: np.ndarray) -> np.ndarray:
+        """Append ``(C, m)`` samples + matching distances; return what's final."""
+        if self._finished:
+            raise RuntimeError("cannot feed after finish()")
+        x = np.asarray(x, dtype=np.float64)
+        distances = np.asarray(distances, dtype=np.float64)
+        if x.ndim != 2 or x.shape != distances.shape:
+            raise ValueError("x and distances must both be (n_channels, m)")
+        if self._x is None:
+            n_ch = x.shape[0]
+            self._x = np.zeros((n_ch, self.total))
+            self._d = np.zeros((n_ch, self.total))
+            self._out = np.zeros((n_ch, self.total + self.block))
+        if x.shape[0] != self._x.shape[0]:
+            raise ValueError("channel count changed mid-stream")
+        m = x.shape[-1]
+        if self._n_in + m > self.total:
+            raise ValueError(f"stage sized for {self.total} samples, fed {self._n_in + m}")
+        self._x[:, self._n_in : self._n_in + m] = x
+        self._d[:, self._n_in : self._n_in + m] = distances
+        self._n_in += m
+        self._process_ready()
+        return self._drain()
+
+    def finish(self) -> np.ndarray:
+        """Flush; the stage must have been fed exactly ``total`` samples."""
+        if self._finished:
+            raise RuntimeError("finish() already called")
+        if self._n_in != self.total:
+            raise ValueError(f"stage fed {self._n_in} of {self.total} samples")
+        self._finished = True
+        if self.hop == 0:
+            # Degenerate single-sample stream: one whole-signal filter from
+            # the mean distance (the offline fallback for hop == 0).
+            dm = self._d.mean(axis=-1)
+            idx = self._indices(dm)
+            self._n_emitted = self.total
+            return self.bank.convolve(self._x, idx, zero_phase=True)
+        self._process_ready()
+        return self._drain()
+
+    # ------------------------------------------------------------- internals
+
+    def _indices(self, mean_distances: np.ndarray) -> np.ndarray:
+        return np.array(
+            [self.bank.index_of(self.bank.key_of(float(v))) for v in mean_distances]
+        )
+
+    def _process_ready(self) -> None:
+        if self.hop == 0:
+            return  # handled wholesale in finish()
+        starts = []
+        while self._next_start < self.total and self._n_in >= min(
+            self._next_start + self.block, self.total
+        ):
+            starts.append(self._next_start)
+            self._next_start += self.hop
+        if starts:
+            # All ready blocks go through ONE stacked convolution — rows are
+            # (block, channel) pairs, each selecting its own bank filter.  A
+            # whole-signal feed convolves the entire stream in one call; a
+            # hop-sliced feed sees one block at a time.  Per-row results are
+            # identical either way, so slicing invariance stays bitwise.
+            n_ch = self._x.shape[0]
+            segs = np.zeros((len(starts), n_ch, self.block))
+            idx = np.empty((len(starts), n_ch), dtype=np.intp)
+            for j, s in enumerate(starts):
+                stop = min(s + self.block, self.total)
+                segs[j, :, : stop - s] = self._x[:, s:stop]
+                idx[j] = self._indices(self._d[:, s:stop].mean(axis=-1))
+            segs *= self._win
+            y = self.bank.convolve(segs, idx, zero_phase=True)
+            for j, s in enumerate(starts):
+                self._out[:, s : s + self.block] += y[j]
+                self._norm[s : s + self.block] += self._win
+        self._n_final = self.total if self._next_start >= self.total else self._next_start
+
+    def _drain(self) -> np.ndarray:
+        lo, hi = self._n_emitted, self._n_final
+        self._n_emitted = hi
+        if self._out is None:
+            return np.zeros((0, 0))
+        # Interior samples see sum(win) == 1 (Hann COLA at 50 %); clamp the
+        # under-covered first/last half-blocks to avoid amplifying edges.
+        return self._out[:, lo:hi] / np.maximum(self._norm[lo:hi], 0.5)
 
 
 @dataclass(frozen=True)
@@ -94,7 +242,11 @@ class RoadAcousticsSimulator:
         self.min_distance = float(min_distance)
         self.air_block = int(air_block)
         self.air_taps = int(air_taps)
-        self._air_cache: dict[int, np.ndarray] = {}
+        self._air_bank = (
+            shared_air_filter_bank(self.fs, scene.atmosphere, n_taps=self.air_taps)
+            if self.air_absorption
+            else None
+        )
         self._refl_fir = (
             asphalt_reflection_fir(scene.surface, fs, n_taps=reflection_taps)
             if scene.surface is not None
@@ -149,8 +301,11 @@ class RoadAcousticsSimulator:
         """Render one propagation path to every microphone at once.
 
         The fractional-delay reads of all microphones happen in a single
-        batched gather (``(n_mics, n_samples)`` delay matrix); only the
-        distance-varying FIR stages remain per-mic.
+        batched gather (``(n_mics, n_samples)`` delay matrix); the FIR stages
+        run batched across microphones through the same stateful
+        :class:`~repro.dsp.block_fir.BlockFir` / :class:`AirAbsorptionStage`
+        objects the streaming corridor renderer uses, fed whole-signal — so
+        offline and incremental renders are bit-identical by construction.
         """
         d = np.linalg.norm(source[None, :, :] - mics[:, None, :], axis=2)
         out = render_varying_delay(
@@ -160,45 +315,12 @@ class RoadAcousticsSimulator:
             order=self.order,
         )
         out = out / np.maximum(d, self.min_distance)
-        for i in range(mics.shape[0]):
-            if reflected:
-                out[i] = apply_fir(out[i], self._refl_fir, zero_phase_pad=True)
-            if self.air_absorption:
-                out[i] = self._apply_air(out[i], d[i])
-        return out
-
-    def _air_fir(self, distance: float) -> np.ndarray:
-        """Air-absorption FIR for a distance, cached on a 2 m grid."""
-        key = max(1, int(round(distance / 2.0)))
-        fir = self._air_cache.get(key)
-        if fir is None:
-            fir = air_absorption_fir(
-                key * 2.0, self.fs, atmosphere=self.scene.atmosphere, n_taps=self.air_taps
+        if reflected:
+            fir = BlockFir(self._refl_fir, zero_phase=True)
+            out = np.concatenate([fir.feed(out), fir.finish()], axis=-1)
+        if self.air_absorption:
+            stage = AirAbsorptionStage(
+                self._air_bank, out.shape[-1], air_block=self.air_block
             )
-            self._air_cache[key] = fir
-        return fir
-
-    def _apply_air(self, x: np.ndarray, distances: np.ndarray) -> np.ndarray:
-        """Distance-varying air absorption via windowed overlap-add blocks."""
-        n = x.size
-        block = min(self.air_block, n)
-        hop = block // 2
-        if hop == 0:
-            return apply_fir(x, self._air_fir(float(distances.mean())), zero_phase_pad=True)
-        win = 0.5 - 0.5 * np.cos(2 * np.pi * np.arange(block) / block)  # periodic Hann, COLA at 50%
-        out = np.zeros(n + block)
-        norm = np.zeros(n + block)
-        start = 0
-        while start < n:
-            stop = min(start + block, n)
-            seg = np.zeros(block)
-            seg[: stop - start] = x[start:stop]
-            fir = self._air_fir(float(distances[start:stop].mean()))
-            seg = apply_fir(seg * win, fir, zero_phase_pad=True)
-            out[start : start + block] += seg
-            norm[start : start + block] += win
-            start += hop
-        # Interior samples see sum(win) == 1 (Hann COLA at 50 %); clamp the
-        # under-covered first/last half-blocks to avoid amplifying edges.
-        norm = np.maximum(norm, 0.5)
-        return (out / norm)[:n]
+            out = np.concatenate([stage.feed(out, d), stage.finish()], axis=-1)
+        return out

@@ -38,6 +38,7 @@ from repro.city.report import (
 from repro.city.scenario import (
     CityScenario,
     CorridorSpec,
+    build_corridor_scene,
     corridor_rngs,
     default_scenario,
     load_scenario,
@@ -57,6 +58,7 @@ from repro.city.supervisor import CityStepResult, CitySupervisor
 __all__ = [
     "CityScenario",
     "CorridorSpec",
+    "build_corridor_scene",
     "corridor_rngs",
     "default_scenario",
     "load_scenario",

@@ -40,6 +40,7 @@ __all__ = [
     "CorridorSpec",
     "CityScenario",
     "corridor_rngs",
+    "build_corridor_scene",
     "render_corridor",
     "default_scenario",
     "load_scenario",
@@ -72,6 +73,17 @@ class CorridorSpec:
     n_shards:
         Shard count for the corridor's :class:`~repro.fleet.scheduler.
         FleetScheduler` (``None`` = the scheduler's default).
+    surface:
+        Road-surface preset name (see
+        :data:`repro.acoustics.asphalt.SURFACE_PRESETS`) enabling the
+        reflected propagation path; ``None`` renders the direct path only.
+    air_absorption:
+        Apply distance-varying atmospheric absorption.
+    incremental:
+        Render the corridor's audio chunk-by-chunk at ingest time instead
+        of whole during warm-up — the session goes live without paying the
+        full scene render, and (same seed) produces bit-identical audio
+        and faults.  Works with the full physics set.
     """
 
     corridor_id: str
@@ -84,6 +96,9 @@ class CorridorSpec:
     join_step: int = 0
     leave_step: int | None = None
     n_shards: int | None = None
+    surface: str | None = None
+    air_absorption: bool = False
+    incremental: bool = False
 
     def __post_init__(self) -> None:
         if not self.corridor_id:
@@ -151,14 +166,17 @@ def corridor_rngs(scenario: CityScenario) -> dict[str, np.random.Generator]:
     }
 
 
-def render_corridor(
+def build_corridor_scene(
     spec: CorridorSpec, scenario: CityScenario, rng: np.random.Generator
-) -> CorridorRecording:
-    """Render one corridor's traffic scene to its nodes.
+) -> CorridorScene:
+    """Build one corridor's traffic scene (vehicles + nodes), unrendered.
 
     The corridor's vehicles are synthesized from *its own* RNG stream (see
     :func:`corridor_rngs`), so no two corridors in a city render identical
     traffic while the whole scenario stays reproducible from one seed.
+    Incremental sessions feed this scene to a streaming renderer instead of
+    calling :func:`render_corridor`; the RNG draw order is identical either
+    way, so the two paths replay the same city bit for bit.
     """
     from repro.signals import synthesize_siren
 
@@ -186,7 +204,15 @@ def render_corridor(
             )
         )
     nodes = place_corridor_nodes(spec.n_nodes, spec.spacing_m)
-    return synthesize_corridor(CorridorScene(vehicles, nodes), fs)
+    return CorridorScene(vehicles, nodes, surface=spec.surface)
+
+
+def render_corridor(
+    spec: CorridorSpec, scenario: CityScenario, rng: np.random.Generator
+) -> CorridorRecording:
+    """Render one corridor's traffic scene to its nodes (whole, up front)."""
+    scene = build_corridor_scene(spec, scenario, rng)
+    return synthesize_corridor(scene, scenario.fs, air_absorption=spec.air_absorption)
 
 
 def default_scenario(
@@ -198,12 +224,16 @@ def default_scenario(
     fs: float = 8000.0,
     hop_batch: int = 8,
     stagger_steps: int = 0,
+    tap_window_s: float | None = None,
 ) -> CityScenario:
     """The staggered demo city: N corridors, optionally joining over time.
 
     With ``stagger_steps > 0`` corridor ``k`` joins at step
     ``k * stagger_steps`` — the join/leave soak shape (sessions arriving
     while others already run) without writing a scenario file.
+    ``tap_window_s`` turns on streamed TDOA multilateration in every
+    session (rolling per-node sample taps populated at ingest; the ``repro
+    city`` demo sets it by default).
     """
     if n_corridors < 1:
         raise ValueError("need at least one corridor")
@@ -217,7 +247,7 @@ def default_scenario(
         for k in range(n_corridors)
     )
     return CityScenario(
-        corridors=specs, fs=fs, seed=seed, hop_batch=hop_batch
+        corridors=specs, fs=fs, seed=seed, hop_batch=hop_batch, tap_window_s=tap_window_s
     )
 
 

@@ -43,7 +43,12 @@ from repro.stream.pacer import PacerConfig, SharedCapacity
 from repro.stream.parallel import ParallelFleetStream, ParallelStreamResult
 from repro.stream.pool import ShardWorkerPool
 
-from repro.city.scenario import CityScenario, CorridorSpec, render_corridor
+from repro.city.scenario import (
+    CityScenario,
+    CorridorSpec,
+    build_corridor_scene,
+    render_corridor,
+)
 
 __all__ = [
     "SUBMITTED",
@@ -84,6 +89,7 @@ class CitySession:
         self.joined_step: int | None = None
         self.left_step: int | None = None
         self.recording = None
+        self.scene = None
         self.scheduler = None
         self.stream: ParallelFleetStream | None = None
         self.result: ParallelStreamResult | None = None
@@ -117,7 +123,14 @@ class CitySession:
             raise RuntimeError(f"cannot warm a {self.state} session")
         self.state = WARMING
         scn = self.scenario
-        self.recording = render_corridor(self.spec, scn, self._rng)
+        if self.spec.incremental:
+            # Build the traffic scene only; the audio renders chunk-by-chunk
+            # once the session is live (same RNG draw order as the whole
+            # render, so both paths replay bit-identically from one seed).
+            self.scene = build_corridor_scene(self.spec, scn, self._rng)
+        else:
+            self.recording = render_corridor(self.spec, scn, self._rng)
+            self.scene = self.recording.scene
         config = PipelineConfig(
             fs=scn.fs,
             localizer=scn.localizer,
@@ -126,7 +139,7 @@ class CitySession:
         )
         detector = OracleDetector("siren_wail") if scn.detector == "oracle" else None
         self.scheduler = FleetScheduler(
-            self.recording.scene.nodes,
+            self.scene.nodes,
             config,
             detector=detector,
             n_shards=self.spec.n_shards,
@@ -142,12 +155,23 @@ class CitySession:
 
         if self.state != WARMING:
             raise RuntimeError(f"cannot open a {self.state} session")
-        feed = CorridorStream(
-            self.recording,
-            chunk_samples=self.scheduler.config.hop_length,
-            drop_prob=self.spec.drop_prob,
-            rng=self._rng,
-        )
+        if self.spec.incremental:
+            feed = CorridorStream(
+                self.scene,
+                self.scenario.fs,
+                chunk_samples=self.scheduler.config.hop_length,
+                drop_prob=self.spec.drop_prob,
+                rng=self._rng,
+                incremental=True,
+                air_absorption=self.spec.air_absorption,
+            )
+        else:
+            feed = CorridorStream(
+                self.recording,
+                chunk_samples=self.scheduler.config.hop_length,
+                drop_prob=self.spec.drop_prob,
+                rng=self._rng,
+            )
         # Count the shards this session is about to register, not just the
         # load already on the pool — a join burst admitted between steps
         # must not overshoot max_shards_per_worker.

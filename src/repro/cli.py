@@ -96,6 +96,19 @@ def build_parser() -> argparse.ArgumentParser:
     flt.add_argument(
         "--speed2", type=float, default=12.0, help="second (crossing) vehicle speed, m/s"
     )
+    flt.add_argument(
+        "--surface",
+        choices=("dense_asphalt", "porous_asphalt", "concrete", "wet_asphalt"),
+        default=None,
+        help="road-surface preset enabling the reflected propagation path "
+        "(image source + asphalt reflection FIR)",
+    )
+    flt.add_argument(
+        "--air",
+        action="store_true",
+        help="apply distance-varying atmospheric absorption (ISO 9613-1 "
+        "FIR bank)",
+    )
     flt.add_argument("--localizer", choices=("srp", "srp_fast", "music"), default="srp_fast")
     flt.add_argument("--n-azimuth", type=int, default=72)
     flt.add_argument("--shards", type=int, default=None, help="round-robin shard count")
@@ -207,6 +220,16 @@ def build_parser() -> argparse.ArgumentParser:
         "in-process (degraded) instead of queueing the city",
     )
     city.add_argument("--hop-batch", type=int, default=8, help="hops per session step")
+    city.add_argument(
+        "--tap-window",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="wide-baseline TDOA multilateration from rolling per-node "
+        "sample taps of this many seconds, populated during ingest (live "
+        "city sessions have no whole recording to re-read); <= 0 disables "
+        "and leaves fusion bearing-triangulated (default scenario only)",
+    )
     city.add_argument(
         "--pace",
         action="store_true",
@@ -411,7 +434,8 @@ def _cmd_fleet(args) -> int:
         ),
     ]
     nodes = place_corridor_nodes(args.n_nodes, args.spacing)
-    recording = synthesize_corridor(CorridorScene(vehicles, nodes), fs)
+    scene = CorridorScene(vehicles, nodes, surface=args.surface)
+    recording = synthesize_corridor(scene, fs, air_absorption=args.air)
 
     config = PipelineConfig(fs=fs, localizer=args.localizer, n_azimuth=args.n_azimuth,
                             n_elevation=2)
@@ -423,6 +447,9 @@ def _cmd_fleet(args) -> int:
           f"{args.duration:.1f} s at {fs:.0f} Hz")
     say(f"vehicles          : 2 crossing ({args.speed:.0f} and {args.speed2:.0f} m/s), "
           f"detector: {args.detector}")
+    if args.surface or args.air:
+        say(f"physics           : surface {args.surface or 'none'}, "
+            f"air absorption {'on' if args.air else 'off'}")
     pacer_stats = None
     tap_misses = None
     if args.stream:
@@ -439,6 +466,7 @@ def _cmd_fleet(args) -> int:
                 drop_prob=args.drop_prob,
                 rng=rng,
                 incremental=True,
+                air_absorption=args.air,
             )
         else:
             stream = CorridorStream(
@@ -619,6 +647,7 @@ def _cmd_city(args) -> int:
             seed=args.seed,
             hop_batch=args.hop_batch,
             stagger_steps=args.stagger,
+            tap_window_s=args.tap_window if args.tap_window > 0 else None,
         )
     if args.snapshot_every is not None and args.snapshot_out is None:
         print("error: --snapshot-every requires --snapshot-out", file=sys.stderr)

@@ -1,5 +1,6 @@
 """Shared DSP substrate: framing, STFT, FIR design, levels, resampling."""
 
+from repro.dsp.block_fir import BlockFir, FirBank
 from repro.dsp.filters import (
     apply_fir,
     fir_from_magnitude,
@@ -36,6 +37,8 @@ __all__ = [
     "StreamingLogMel",
     "StreamingStft",
 
+    "BlockFir",
+    "FirBank",
     "apply_fir",
     "fir_from_magnitude",
     "fir_lowpass",

@@ -1,0 +1,343 @@
+"""Streaming overlap-save FIR engine: one convolution kernel, many drivers.
+
+Every FIR in the acoustics stack — asphalt reflection, distance-gridded air
+absorption, feature-bed lowpasses — ultimately multiplies a cached filter
+spectrum against an ``rfft`` of the signal.  This module owns that kernel in
+two shapes:
+
+- :class:`FirBank` — a stack of equal-length filters whose ``rfft`` spectra
+  are computed **once per FFT size** and cached; :meth:`FirBank.convolve`
+  applies one filter per channel to a whole batch of channels in a single
+  stacked rfft/multiply/irfft (the GEMM shape of convolution).  This is the
+  whole-signal path: :func:`repro.dsp.filters.apply_fir` is a thin wrapper
+  over a one-filter bank, and the simulator's air-absorption cache keeps one
+  shared bank per scene so each 2 m-bin filter is transformed exactly once.
+- :class:`BlockFir` — a *stateful* overlap-save convolver over the same
+  spectra.  Input arrives in arbitrary slices; output is **invariant to the
+  slicing, bit for bit**, because convolution happens on fixed internal step
+  boundaries regardless of how the caller partitions the feed.  Feeding a
+  signal whole therefore produces the identical float sequence as feeding it
+  hop by hop — the property that lets the offline
+  :class:`~repro.acoustics.simulator.RoadAcousticsSimulator` and the
+  incremental :class:`~repro.fleet.corridor.CorridorBlockRenderer` share one
+  filter implementation and stay bit-identical *by construction*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pocketfft's mixed-radix sizes beat pow2 padding by ~2x on our blocks
+    from scipy.fft import irfft as _irfft
+    from scipy.fft import next_fast_len as _next_fast_len
+    from scipy.fft import rfft as _rfft
+except ImportError:  # pragma: no cover - scipy is an optional accelerator
+    _next_fast_len = None
+    _rfft = np.fft.rfft
+    _irfft = np.fft.irfft
+
+__all__ = ["FirBank", "BlockFir", "DEFAULT_STEP"]
+
+DEFAULT_STEP = 4096
+"""Internal overlap-save step of :class:`BlockFir` (input samples per FFT)."""
+
+
+def _fft_len(n: int) -> int:
+    """Smallest efficient real-FFT length covering ``n`` output samples.
+
+    A 4096-sample step with a 63-tap filter needs 4158 points; padding to the
+    next power of two (8192) nearly doubles the FFT work, while pocketfft
+    handles 5-smooth lengths (here 4320) at full speed.  Falls back to the
+    next power of two when scipy is unavailable.
+    """
+    n = max(int(n), 1)
+    if _next_fast_len is not None:
+        return int(_next_fast_len(n, True))
+    return 1 << int(np.ceil(np.log2(n)))
+
+
+class FirBank:
+    """A stack of equal-length FIR filters with cached ``rfft`` spectra.
+
+    Parameters
+    ----------
+    filters:
+        ``(n_filters, n_taps)`` coefficient stack, or a single 1-D filter
+        (promoted to a one-row bank).
+
+    The bank never re-transforms a filter: :meth:`spectra` computes the
+    ``rfft`` of every row once per requested FFT size and caches the result;
+    :meth:`extend` appends rows and back-fills only the *new* rows into every
+    cached size.  :meth:`convolve` is the batched whole-signal driver — many
+    channels, one (possibly different) filter each, one stacked
+    rfft/multiply/irfft.
+    """
+
+    def __init__(self, filters: np.ndarray) -> None:
+        h = np.asarray(filters, dtype=np.float64)
+        if h.ndim == 1:
+            h = h[None, :]
+        if h.ndim != 2 or h.shape[1] == 0:
+            raise ValueError("filters must be 1-D or (n_filters, n_taps) with n_taps >= 1")
+        self._filters = h
+        self._spectra: dict[int, np.ndarray] = {}
+
+    @property
+    def n_filters(self) -> int:
+        return self._filters.shape[0]
+
+    @property
+    def n_taps(self) -> int:
+        return self._filters.shape[1]
+
+    @property
+    def filters(self) -> np.ndarray:
+        """The ``(n_filters, n_taps)`` coefficient stack (do not mutate)."""
+        return self._filters
+
+    @property
+    def group_delay(self) -> int:
+        """Linear-phase group delay ``(n_taps - 1) // 2`` in samples."""
+        return (self.n_taps - 1) // 2
+
+    def extend(self, filters: np.ndarray) -> int:
+        """Append filters (same tap count); returns the first new row index.
+
+        Every FFT size already cached gets spectra for the new rows only —
+        previously transformed filters are never recomputed.
+        """
+        h = np.asarray(filters, dtype=np.float64)
+        if h.ndim == 1:
+            h = h[None, :]
+        if h.ndim != 2 or h.shape[1] != self.n_taps:
+            raise ValueError(f"extension filters must have {self.n_taps} taps")
+        first = self.n_filters
+        self._filters = np.concatenate([self._filters, h], axis=0)
+        for n_fft, spec in self._spectra.items():
+            self._spectra[n_fft] = np.concatenate(
+                [spec, _rfft(h, n_fft, axis=-1)], axis=0
+            )
+        return first
+
+    def spectra(self, n_fft: int) -> np.ndarray:
+        """``(n_filters, n_fft // 2 + 1)`` filter spectra, cached per size."""
+        if n_fft < self.n_taps:
+            raise ValueError(f"n_fft {n_fft} shorter than the {self.n_taps}-tap filters")
+        spec = self._spectra.get(n_fft)
+        if spec is None:
+            spec = _rfft(self._filters, n_fft, axis=-1)
+            self._spectra[n_fft] = spec
+        return spec
+
+    def convolve(
+        self,
+        x: np.ndarray,
+        indices: np.ndarray | int | None = None,
+        *,
+        zero_phase: bool = False,
+    ) -> np.ndarray:
+        """Whole-signal FFT convolution, batched over channels.
+
+        Parameters
+        ----------
+        x:
+            ``(..., n)`` signal batch (or a single 1-D signal).
+        indices:
+            Filter row per channel, broadcastable to ``x.shape[:-1]``; an
+            ``int`` applies one row everywhere; ``None`` requires a one-row
+            bank.
+        zero_phase:
+            Remove the linear-phase group delay so the output stays
+            time-aligned with the input (``apply_fir``'s ``zero_phase_pad``).
+
+        Output has ``x``'s shape.  For a one-row bank and a 1-D signal this
+        computes exactly :func:`repro.dsp.filters.apply_fir` — same FFT size
+        (the smallest fast length covering the full convolution), same
+        slicing.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        n = x.shape[-1]
+        if n == 0:
+            return x.copy()
+        if indices is None:
+            if self.n_filters != 1:
+                raise ValueError("indices required for a multi-filter bank")
+            indices = 0
+        n_fft = _fft_len(n + self.n_taps - 1)
+        sel = self.spectra(n_fft)[np.asarray(indices)]
+        y = _irfft(_rfft(x, n_fft, axis=-1) * sel, n_fft, axis=-1)
+        if zero_phase:
+            gd = self.group_delay
+            return y[..., gd : gd + n]
+        return y[..., :n]
+
+
+class BlockFir:
+    """Stateful overlap-save convolver, bitwise invariant to feed slicing.
+
+    Parameters
+    ----------
+    h:
+        1-D filter coefficients, or a :class:`FirBank` (with ``index``
+        selecting the row) so several convolvers share one transformed
+        spectrum.
+    zero_phase:
+        Remove the linear-phase group delay ``(n_taps - 1) // 2``: output
+        sample ``t`` is the filtered signal at ``t`` (``apply_fir``'s
+        ``zero_phase_pad`` alignment).  :meth:`finish` flushes the trailing
+        group-delay samples, so the total output length always equals the
+        total input length.
+    step:
+        Fixed internal input step per FFT (FFT size is the smallest fast
+        real-FFT length covering ``step + n_taps - 1``).
+
+    :meth:`feed` accepts ``(..., m)`` slices of any length (leading axes are
+    a channel batch, fixed at first feed) and returns the newly computable
+    output; :meth:`finish` returns the remainder.  Convolution always runs on
+    multiples of ``step`` input samples counted from the start of the stream
+    — never on caller-chosen boundaries — so any partitioning of the input
+    produces the identical output floats.  Asserted bitwise in
+    ``tests/test_dsp_block_fir.py``.
+    """
+
+    def __init__(
+        self,
+        h: np.ndarray | FirBank,
+        *,
+        index: int = 0,
+        zero_phase: bool = False,
+        step: int = DEFAULT_STEP,
+    ) -> None:
+        if step < 1:
+            raise ValueError("step must be >= 1")
+        bank = h if isinstance(h, FirBank) else FirBank(h)
+        if not 0 <= index < bank.n_filters:
+            raise ValueError("index out of range for the bank")
+        self.step = int(step)
+        self.zero_phase = bool(zero_phase)
+        self._taps = bank.n_taps
+        self._gd = bank.group_delay if zero_phase else 0
+        self._n_fft = _fft_len(self.step + self._taps - 1)
+        self._spectrum = bank.spectra(self._n_fft)[index]
+        self._hist: np.ndarray | None = None  # (..., n_taps - 1) input history
+        self._parts: list[np.ndarray] = []
+        self._n_pending = 0
+        self._skip = self._gd  # leading convolution outputs still to discard
+        self._n_in = 0
+        self._n_out = 0
+        self._finished = False
+
+    @property
+    def n_taps(self) -> int:
+        return self._taps
+
+    @property
+    def n_fed(self) -> int:
+        """Input samples accepted so far."""
+        return self._n_in
+
+    @property
+    def n_emitted(self) -> int:
+        """Output samples returned so far."""
+        return self._n_out
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def _take(self, n: int) -> np.ndarray:
+        """Pop exactly ``n`` pending input samples (concatenated in order)."""
+        taken: list[np.ndarray] = []
+        got = 0
+        while got < n:
+            part = self._parts[0]
+            need = n - got
+            if part.shape[-1] <= need:
+                taken.append(part)
+                got += part.shape[-1]
+                self._parts.pop(0)
+            else:
+                taken.append(part[..., :need])
+                self._parts[0] = part[..., need:]
+                got = n
+        self._n_pending -= n
+        return taken[0] if len(taken) == 1 else np.concatenate(taken, axis=-1)
+
+    def _convolve_step(self, chunk: np.ndarray) -> np.ndarray:
+        """One overlap-save step: history + chunk in, ``step`` outputs out."""
+        ext = np.concatenate([self._hist, chunk], axis=-1)
+        y = _irfft(
+            _rfft(ext, self._n_fft, axis=-1) * self._spectrum,
+            self._n_fft,
+            axis=-1,
+        )
+        out = y[..., self._taps - 1 : self._taps - 1 + self.step]
+        self._hist = ext[..., ext.shape[-1] - (self._taps - 1) :].copy()
+        return out
+
+    def _emit(self, block: np.ndarray, valid: int) -> np.ndarray:
+        """Apply the zero-phase skip to the first ``valid`` step outputs."""
+        block = block[..., :valid]
+        if self._skip:
+            k = min(self._skip, block.shape[-1])
+            block = block[..., k:]
+            self._skip -= k
+        self._n_out += block.shape[-1]
+        return block
+
+    def feed(self, x: np.ndarray) -> np.ndarray:
+        """Append input samples; return every output now computable.
+
+        ``x`` is ``(..., m)``; the returned array is ``(..., k)`` with ``k``
+        depending only on the total samples fed so far, never on this call's
+        slicing.  Leading (channel) axes are fixed by the first feed.
+        """
+        if self._finished:
+            raise RuntimeError("cannot feed after finish()")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim < 1:
+            raise ValueError("input must have a sample axis")
+        if self._hist is None:
+            self._hist = np.zeros(x.shape[:-1] + (self._taps - 1,))
+        elif x.shape[:-1] != self._hist.shape[:-1]:
+            raise ValueError(
+                f"channel shape changed mid-stream: {x.shape[:-1]} != {self._hist.shape[:-1]}"
+            )
+        if x.shape[-1]:
+            self._parts.append(x)
+            self._n_pending += x.shape[-1]
+            self._n_in += x.shape[-1]
+        emitted: list[np.ndarray] = []
+        while self._n_pending >= self.step:
+            emitted.append(self._emit(self._convolve_step(self._take(self.step)), self.step))
+        if not emitted:
+            return np.zeros(self._lead_shape() + (0,))
+        return emitted[0] if len(emitted) == 1 else np.concatenate(emitted, axis=-1)
+
+    def finish(self) -> np.ndarray:
+        """Flush: return the remaining output (total out == total in)."""
+        if self._finished:
+            raise RuntimeError("finish() already called")
+        self._finished = True
+        if self._hist is None:
+            return np.zeros(0)
+        # Zero-extend by the group delay so the last aligned outputs exist,
+        # then run the remaining (fixed-boundary) steps; the final partial
+        # step is zero-padded and only its real outputs are emitted.
+        if self._gd:
+            self._parts.append(np.zeros(self._lead_shape() + (self._gd,)))
+            self._n_pending += self._gd
+        emitted: list[np.ndarray] = []
+        while self._n_pending > 0:
+            r = min(self.step, self._n_pending)
+            chunk = self._take(r)
+            if r < self.step:
+                pad = np.zeros(self._lead_shape() + (self.step - r,))
+                chunk = np.concatenate([chunk, pad], axis=-1)
+            emitted.append(self._emit(self._convolve_step(chunk), r))
+        if not emitted:
+            return np.zeros(self._lead_shape() + (0,))
+        return emitted[0] if len(emitted) == 1 else np.concatenate(emitted, axis=-1)
+
+    def _lead_shape(self) -> tuple[int, ...]:
+        return () if self._hist is None else self._hist.shape[:-1]

@@ -141,13 +141,17 @@ def apply_fir(x: np.ndarray, h: np.ndarray, *, zero_phase_pad: bool = False) -> 
 
     When ``zero_phase_pad`` is True the linear-phase group delay
     ``(len(h) - 1) // 2`` is removed so filtered features stay time-aligned.
+
+    This is a thin wrapper over :meth:`repro.dsp.block_fir.FirBank.convolve`
+    — the single convolution code path shared with the batched simulator
+    stages and the streaming :class:`~repro.dsp.block_fir.BlockFir`.  Callers
+    that reuse one filter across many signals should hold a
+    :class:`~repro.dsp.block_fir.FirBank` instead, so the filter spectrum is
+    transformed once rather than per call.
     """
+    from repro.dsp.block_fir import FirBank
+
     x = np.asarray(x, dtype=np.float64)
-    h = np.asarray(h, dtype=np.float64)
-    n = x.size + h.size - 1
-    n_fft = 1 << int(np.ceil(np.log2(max(n, 1))))
-    y = np.fft.irfft(np.fft.rfft(x, n_fft) * np.fft.rfft(h, n_fft), n_fft)[:n]
-    if zero_phase_pad:
-        gd = (h.size - 1) // 2
-        return y[gd : gd + x.size]
-    return y[: x.size]
+    if x.ndim != 1:
+        raise ValueError("x must be 1-D; use FirBank.convolve for channel batches")
+    return FirBank(h).convolve(x, zero_phase=zero_phase_pad)

@@ -15,12 +15,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.acoustics.air import Atmosphere
-from repro.acoustics.asphalt import RoadSurface
+from repro.acoustics.air import Atmosphere, shared_air_filter_bank
+from repro.acoustics.asphalt import RoadSurface, asphalt_reflection_fir
 from repro.acoustics.delay_line import StreamingDelayReader
 from repro.acoustics.environment import MicrophoneArray, Scene
-from repro.acoustics.simulator import RoadAcousticsSimulator
+from repro.acoustics.simulator import AirAbsorptionStage, RoadAcousticsSimulator
 from repro.acoustics.trajectory import Trajectory
+from repro.dsp.block_fir import BlockFir
 from repro.arrays.topologies import uniform_circular_array
 from repro.sed.events import EVENT_CLASSES
 
@@ -262,6 +263,106 @@ def synthesize_corridor(
     return CorridorRecording(fs=float(fs), recordings=recordings, scene=scene)
 
 
+class _SampleFifo:
+    """FIFO of ``(..., m)`` arrays popped in arbitrary sample counts."""
+
+    def __init__(self) -> None:
+        self._parts: list[np.ndarray] = []
+        self._n = 0
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def push(self, x: np.ndarray) -> None:
+        if x.shape[-1]:
+            self._parts.append(x)
+            self._n += x.shape[-1]
+
+    def pop(self, m: int) -> np.ndarray:
+        if m > self._n:
+            raise ValueError(f"pop of {m} from fifo holding {self._n}")
+        out: list[np.ndarray] = []
+        taken = 0
+        while taken < m:
+            part = self._parts[0]
+            need = m - taken
+            if part.shape[-1] <= need:
+                out.append(part)
+                taken += part.shape[-1]
+                self._parts.pop(0)
+            else:
+                out.append(part[..., :need])
+                self._parts[0] = part[..., need:]
+                taken = m
+        self._n -= m
+        return out[0] if len(out) == 1 else np.concatenate(out, axis=-1)
+
+
+class _PathChain:
+    """FIR stages of one propagation path, fed in raw-time slices.
+
+    Mirrors the stage order of
+    :meth:`~repro.acoustics.simulator.RoadAcousticsSimulator._render_path`
+    (reflection :class:`~repro.dsp.block_fir.BlockFir`, then the
+    distance-varying :class:`~repro.acoustics.simulator.AirAbsorptionStage`)
+    with the *same* stateful classes — fed in slices here, whole-signal
+    there, which by their block-boundary invariance yields bitwise identical
+    output.  The per-sample path distances the air stage needs are buffered
+    and consumed in lockstep with the (lagging) reflection-FIR output, so
+    they stay aligned to the zero-phase output sample they describe.
+    """
+
+    def __init__(
+        self,
+        refl_fir: np.ndarray | None,
+        air_bank,
+        total: int,
+    ) -> None:
+        self._fir = BlockFir(refl_fir, zero_phase=True) if refl_fir is not None else None
+        self._air = AirAbsorptionStage(air_bank, total) if air_bank is not None else None
+        self._dfifo = _SampleFifo() if self._air is not None else None
+
+    def push(self, x: np.ndarray, distances: np.ndarray) -> np.ndarray:
+        """Feed one raw slice (+ matching distances); return finalized samples."""
+        y = self._fir.feed(x) if self._fir is not None else x
+        if self._air is None:
+            return y
+        self._dfifo.push(distances)
+        k = y.shape[-1]
+        if k == 0:
+            return y
+        return self._air.feed(y, self._dfifo.pop(k))
+
+    def finish(self) -> np.ndarray:
+        """Flush both stages; total output equals total input."""
+        parts: list[np.ndarray] = []
+        if self._fir is not None:
+            tail = self._fir.finish()
+            if self._air is None:
+                parts.append(tail)
+            elif tail.shape[-1]:
+                parts.append(self._air.feed(tail, self._dfifo.pop(tail.shape[-1])))
+        if self._air is not None:
+            parts.append(self._air.finish())
+        return parts[0] if len(parts) == 1 else np.concatenate(parts, axis=-1)
+
+
+class _VehiclePaths:
+    """Streaming state of one ``(node, vehicle)`` pair under full physics."""
+
+    __slots__ = ("vehicle", "sub", "reader", "direct_chain", "refl_chain", "direct_fifo", "refl_fifo")
+
+    def __init__(self, vehicle, sub, reader, direct_chain, refl_chain):
+        self.vehicle = vehicle
+        self.sub = sub
+        self.reader = reader
+        self.direct_chain = direct_chain
+        self.refl_chain = refl_chain
+        self.direct_fifo = _SampleFifo()
+        self.refl_fifo = _SampleFifo() if refl_chain is not None else None
+
+
 class CorridorBlockRenderer:
     """Render a corridor scene to its nodes in hop-sized slices, on demand.
 
@@ -274,11 +375,17 @@ class CorridorBlockRenderer:
     cursor advances with the node's capture clock, so the k-th requested
     block costs only that block's delay-line gathers.
 
-    Only the *streamable* physics subset is supported — the direct path with
-    spreading loss, i.e. exactly what :func:`synthesize_corridor` renders
-    with its defaults (``surface=None``, ``air_absorption=False``).  Surface
-    reflections and air absorption need whole-signal FIR stages; asking for
-    them raises and the caller should render offline instead.
+    The full physics set streams.  Surface reflections run through the same
+    stateful :class:`~repro.dsp.block_fir.BlockFir` the offline simulator
+    uses; distance-varying air absorption through the same
+    :class:`~repro.acoustics.simulator.AirAbsorptionStage` (whose 50 %
+    Hann overlap crossfades air-filter switches at distance-bin crossings).
+    Both stages emit a sample only once no future input can change it, so a
+    full-physics node lags its raw render cursor by up to one FIR step plus
+    one air block — throughput is unchanged, only the first chunk waits.
+    Per-path finalized samples are staged in FIFOs and combined (direct +
+    reflected, summed over vehicles in scene order) exactly as the offline
+    path sums whole arrays.
 
     Differences from the offline path, by construction:
 
@@ -307,16 +414,6 @@ class CorridorBlockRenderer:
     ) -> None:
         if fs <= 0:
             raise ValueError("fs must be positive")
-        if air_absorption:
-            raise ValueError(
-                "air absorption needs whole-signal FIR stages; "
-                "render offline with synthesize_corridor()"
-            )
-        if scene.surface is not None:
-            raise ValueError(
-                "surface reflections need whole-signal FIR stages; "
-                "render offline with synthesize_corridor()"
-            )
         self.scene = scene
         self.fs = float(fs)
         self.min_distance = 0.5  # RoadAcousticsSimulator default
@@ -337,19 +434,36 @@ class CorridorBlockRenderer:
                     (node.array.n_mics, self.n_samples)
                 )
         self._cursor = {node.node_id: 0 for node in scene.nodes}
+        # Full physics (surface reflection and/or air absorption) streams
+        # through stateful FIR stages; the default physics subset keeps the
+        # lag-free direct path.
+        self._full_physics = bool(air_absorption) or scene.surface is not None
+        self._air = bool(air_absorption)
+        self._refl_fir = (
+            asphalt_reflection_fir(scene.surface, fs)
+            if scene.surface is not None
+            else None
+        )
+        air_bank = (
+            shared_air_filter_bank(self.fs, scene.atmosphere) if self._air else None
+        )
         # One streaming delay reader per (node, vehicle) propagation path.
         # The padded source signal is fed whole (it already exists in
         # memory); what streams is the per-block delay evaluation.
         self._paths: dict[str, list[tuple[Vehicle, Scene]]] = {}
         self._readers: dict[str, list[StreamingDelayReader]] = {}
+        self._full: dict[str, list[_VehiclePaths]] = {}
+        self._raw: dict[str, int] = {node.node_id: 0 for node in scene.nodes}
+        self._out: dict[str, _SampleFifo] = {node.node_id: _SampleFifo() for node in scene.nodes}
         for node in scene.nodes:
             paths: list[tuple[Vehicle, Scene]] = []
             readers: list[StreamingDelayReader] = []
+            full: list[_VehiclePaths] = []
             for vehicle in scene.vehicles:
                 sub = Scene(
                     vehicle.trajectory,
                     node.array,
-                    surface=None,
+                    surface=scene.surface if self._full_physics else None,
                     atmosphere=scene.atmosphere,
                 )
                 reader = StreamingDelayReader(interpolation=interpolation, order=order)
@@ -360,8 +474,19 @@ class CorridorBlockRenderer:
                 reader.end()
                 paths.append((vehicle, sub))
                 readers.append(reader)
+                if self._full_physics:
+                    direct_chain = (
+                        _PathChain(None, air_bank, self.n_samples) if self._air else None
+                    )
+                    refl_chain = (
+                        _PathChain(self._refl_fir, air_bank, self.n_samples)
+                        if self._refl_fir is not None
+                        else None
+                    )
+                    full.append(_VehiclePaths(vehicle, sub, reader, direct_chain, refl_chain))
             self._paths[node.node_id] = paths
             self._readers[node.node_id] = readers
+            self._full[node.node_id] = full
 
     def capture_samples_of(self, node_id: str) -> int:
         """Capture window of one node, samples."""
@@ -384,6 +509,16 @@ class CorridorBlockRenderer:
         stop = min(start + n, self._capture[node_id])
         if stop <= start:
             raise ValueError(f"capture window of {node_id!r} is exhausted")
+        if self._full_physics:
+            need = stop - start
+            fifo = self._out[node_id]
+            while fifo.n < need and self._raw[node_id] < self.n_samples:
+                self._advance_raw(node_id)
+            out = fifo.pop(need)
+            if node_id in self._noise:
+                out = out + self._noise[node_id][:, start:stop]
+            self._cursor[node_id] = stop
+            return out
         t = np.arange(start, stop) / self.fs
         out: np.ndarray | None = None
         for (vehicle, sub), reader in zip(self._paths[node_id], self._readers[node_id]):
@@ -400,6 +535,66 @@ class CorridorBlockRenderer:
             out = out + self._noise[node_id][:, start:stop]
         self._cursor[node_id] = stop
         return out
+
+    _RAW_CHUNK = 4096  # raw-time slice per advance; >= the air stage's hop
+
+    def _advance_raw(self, node_id: str) -> None:
+        """Push one raw-time slice through every path chain of a node.
+
+        Renders delays/spreading for ``_RAW_CHUNK`` samples, feeds each
+        path's FIR chain, and moves whatever every chain has finalized into
+        the node's output FIFO (combined over paths and vehicles in the
+        offline summation order).
+        """
+        start = self._raw[node_id]
+        stop = min(start + self._RAW_CHUNK, self.n_samples)
+        t = np.arange(start, stop) / self.fs
+        paths = self._full[node_id]
+        for p in paths:
+            src = p.sub.trajectory.positions(t)
+            if np.any(src[:, 2] <= 0):
+                raise ValueError("trajectory dips to or below the road plane (z <= 0)")
+            mics = p.sub.array.positions
+            d1 = np.linalg.norm(src[None, :, :] - mics[:, None, :], axis=2)
+            c = p.sub.speed_of_sound
+            if p.refl_chain is not None:
+                img = src.copy()
+                img[:, 2] = -img[:, 2]
+                d2 = np.linalg.norm(img[None, :, :] - mics[:, None, :], axis=2)
+                # Direct and image path share one reader: a single stacked
+                # gather over (2, n_mics, m) absolute-index delays.
+                block = p.reader.read(np.stack([d1, d2]) / c * self.fs)
+                raw_dir = block[0] / np.maximum(d1, self.min_distance)
+                raw_ref = block[1] / np.maximum(d2, self.min_distance)
+                p.refl_fifo.push(p.refl_chain.push(raw_ref, d2))
+            else:
+                block = p.reader.read(d1 / c * self.fs)
+                raw_dir = block / np.maximum(d1, self.min_distance)
+            if p.direct_chain is not None:
+                p.direct_fifo.push(p.direct_chain.push(raw_dir, d1))
+            else:
+                p.direct_fifo.push(raw_dir)
+        self._raw[node_id] = stop
+        if stop >= self.n_samples:
+            for p in paths:
+                if p.direct_chain is not None:
+                    p.direct_fifo.push(p.direct_chain.finish())
+                if p.refl_chain is not None:
+                    p.refl_fifo.push(p.refl_chain.finish())
+        m = min(
+            min(p.direct_fifo.n for p in paths),
+            min((p.refl_fifo.n for p in paths if p.refl_fifo is not None), default=np.inf),
+        )
+        m = int(m)
+        if m > 0:
+            acc: np.ndarray | None = None
+            for p in paths:
+                term = p.direct_fifo.pop(m)
+                if p.refl_fifo is not None:
+                    term = term + p.refl_fifo.pop(m)
+                term = p.vehicle.gain * term
+                acc = term if acc is None else acc + term
+            self._out[node_id].push(acc)
 
 
 class IncrementalCorridorSource:
@@ -492,8 +687,9 @@ class CorridorStream:
     :meth:`sources` call builds a :class:`CorridorBlockRenderer` and
     per-node :class:`IncrementalCorridorSource` feeds that render each
     chunk's samples at pull time — bit-identical audio, but the session
-    starts without paying the whole-scene render cost up front (only the
-    streamable direct-path physics subset; see
+    starts without paying the whole-scene render cost up front.  The full
+    physics set streams, including surface reflections and distance-varying
+    air absorption (stateful overlap-save FIR stages; see
     :class:`CorridorBlockRenderer`).  A hardware deployment replaces these
     sources with ADC-backed :class:`~repro.stream.source.ChunkSource`
     implementations and nothing above them changes.

@@ -11,10 +11,23 @@ property the dataset needs.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
-from repro.dsp.filters import apply_fir, fir_lowpass
+from repro.dsp.block_fir import FirBank
+from repro.dsp.filters import fir_lowpass
+
+
+@lru_cache(maxsize=8)
+def _lowpass_bank(cutoff_hz: float, fs: float) -> FirBank:
+    """Shared lowpass bank per (cutoff, fs) — designed and transformed once.
+
+    ``synthesize_urban_noise`` filters one vehicle bed per Poisson event, so
+    without the cache every swoosh would redesign the same 101-tap filter and
+    re-transform its spectrum.
+    """
+    return FirBank(fir_lowpass(cutoff_hz, fs, n_taps=101))
 
 __all__ = ["colored_noise", "UrbanNoiseSpec", "synthesize_urban_noise", "vehicle_pass_noise"]
 
@@ -71,7 +84,7 @@ def vehicle_pass_noise(
         pass_time = float(rng.uniform(0.2 * duration, 0.8 * duration))
     bed = rng.standard_normal(n)
     cutoff = min(2000.0, 0.45 * fs)
-    bed = apply_fir(bed, fir_lowpass(cutoff, fs, n_taps=101), zero_phase_pad=True)
+    bed = _lowpass_bank(cutoff, fs).convolve(bed, zero_phase=True)
     t = np.arange(n) / fs
     env = np.exp(-0.5 * ((t - pass_time) / pass_width) ** 2)
     x = bed * env

@@ -1,0 +1,7 @@
+"""Developer-facing maintenance tools (run as ``python -m repro.tools.*``).
+
+Unlike :mod:`repro.cli` — the user entry point for the pipeline itself —
+these are repo-maintenance utilities: they operate on artifacts the test and
+bench suites leave behind (the ``BENCH_pipeline.json`` performance trail)
+rather than on audio.
+"""

@@ -397,6 +397,36 @@ class TestCitySupervisor:
                 got = track_signature(sup.manager.sessions[cid].result.tracks)
                 assert got == want, f"{cid} diverged from its standalone run"
 
+    def test_incremental_full_physics_city_matches_replay(self):
+        """Sessions that render chunk-by-chunk at ingest (full physics on)
+        fuse the same tracks as whole-render replay sessions, per seed."""
+
+        def scn(incremental):
+            specs = tuple(
+                CorridorSpec(
+                    f"corridor{k}",
+                    n_nodes=2,
+                    duration_s=0.4,
+                    surface="dense_asphalt",
+                    air_absorption=True,
+                    incremental=incremental,
+                )
+                for k in range(2)
+            )
+            return CityScenario(corridors=specs, seed=9)
+
+        def run(incremental):
+            with CitySupervisor(scn(incremental), workers=0) as sup:
+                sup.run()
+                return {
+                    cid: track_signature(s.result.tracks)
+                    for cid, s in sup.manager.sessions.items()
+                }
+
+        replay, incremental = run(False), run(True)
+        assert replay == incremental
+        assert any(len(sig) > 0 for sig in replay.values())
+
     @needs_processes
     def test_shared_pool_city_matches_standalone(
         self, city_scenario, standalone_signatures

@@ -155,6 +155,26 @@ class TestFleetJson:
         assert code == 0
         assert "tap misses        : 0 evicted read(s)" in capsys.readouterr().out
 
+    def test_full_physics_incremental_stream(self, capsys):
+        import json
+
+        code = main(
+            ["fleet", "--stream", "--incremental", "--n-nodes", "2",
+             "--spacing", "12", "--duration", "0.5", "--n-azimuth", "36",
+             "--surface", "dense_asphalt", "--air", "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["n_tracks"] > 0
+        code = main(
+            ["fleet", "--stream", "--incremental", "--n-nodes", "2",
+             "--spacing", "12", "--duration", "0.5", "--n-azimuth", "36",
+             "--surface", "dense_asphalt", "--air"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "physics           : surface dense_asphalt, air absorption on" in out
+
 
 class TestCity:
     def test_parser_defaults(self):

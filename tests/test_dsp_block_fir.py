@@ -1,0 +1,309 @@
+"""Property suite for the streaming overlap-save FIR engine.
+
+Pins the contracts the acoustics stack now leans on:
+
+- :class:`~repro.dsp.block_fir.BlockFir` output is **bitwise** invariant to
+  how the caller slices the input stream (convolution always happens on fixed
+  step boundaries from stream start, never on caller boundaries);
+- batched :class:`~repro.dsp.block_fir.FirBank.convolve` matches the scalar
+  whole-signal path filter-by-filter;
+- the air-absorption OLA stage crossfades distance-bin filter switches with
+  no sample-step discontinuity;
+- the rewritten simulator matches the old per-mic scalar path to tight
+  tolerance (the legacy algorithm is reimplemented verbatim here).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acoustics import MicrophoneArray, RoadAcousticsSimulator, Scene
+from repro.acoustics.air import air_absorption_fir, shared_air_filter_bank
+from repro.acoustics.asphalt import asphalt_reflection_fir
+from repro.acoustics.delay_line import render_varying_delay
+from repro.acoustics.simulator import AirAbsorptionStage
+from repro.acoustics.trajectory import LinearTrajectory
+from repro.dsp import BlockFir, FirBank, apply_fir
+
+FS = 8000.0
+
+
+def _random_splits(rng: np.random.Generator, n: int) -> list[int]:
+    """Random partition of ``n`` into positive chunk sizes (may include 0s)."""
+    sizes = []
+    left = n
+    while left > 0:
+        take = int(rng.integers(0, left + 1))  # 0-length feeds must be legal
+        sizes.append(take)
+        left -= take
+    return sizes or [0]
+
+
+def _legacy_apply_fir(x, h, *, zero_phase_pad=False):
+    """The pre-bank scalar apply_fir, verbatim (regression reference)."""
+    x = np.asarray(x, dtype=np.float64)
+    h = np.asarray(h, dtype=np.float64)
+    n = x.size + h.size - 1
+    n_fft = 1 << int(np.ceil(np.log2(max(n, 1))))
+    y = np.fft.irfft(np.fft.rfft(x, n_fft) * np.fft.rfft(h, n_fft), n_fft)[:n]
+    if zero_phase_pad:
+        gd = (h.size - 1) // 2
+        return y[gd : gd + x.size]
+    return y[: x.size]
+
+
+class TestBlockFirSplitInvariance:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_taps=st.integers(min_value=1, max_value=200),
+        n=st.integers(min_value=0, max_value=12000),
+        zero_phase=st.booleans(),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_bitwise_invariant_to_block_boundaries(self, n_taps, n, zero_phase, seed):
+        rng = np.random.default_rng(seed)
+        h = rng.standard_normal(n_taps)
+        x = rng.standard_normal(n)
+
+        whole = BlockFir(h, zero_phase=zero_phase, step=512)
+        y_whole = np.concatenate([whole.feed(x), whole.finish()], axis=-1)
+
+        split = BlockFir(h, zero_phase=zero_phase, step=512)
+        parts, cursor = [], 0
+        for size in _random_splits(rng, n):
+            parts.append(split.feed(x[cursor : cursor + size]))
+            cursor += size
+        parts.append(split.finish())
+        y_split = np.concatenate(parts, axis=-1)
+
+        assert y_whole.shape == y_split.shape == (n,)
+        assert np.array_equal(y_whole, y_split)  # bitwise, not allclose
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n_taps=st.integers(min_value=1, max_value=80),
+        n=st.integers(min_value=1, max_value=6000),
+        zero_phase=st.booleans(),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_matches_apply_fir(self, n_taps, n, zero_phase, seed):
+        """Streamed output equals the whole-signal reference (incl. even L,
+        whose group delay (L-1)//2 must match apply_fir's slice)."""
+        rng = np.random.default_rng(seed)
+        h = rng.standard_normal(n_taps)
+        x = rng.standard_normal(n)
+        fir = BlockFir(h, zero_phase=zero_phase, step=256)
+        y = np.concatenate([fir.feed(x), fir.finish()], axis=-1)
+        ref = apply_fir(x, h, zero_phase_pad=zero_phase)
+        assert np.allclose(y, ref, atol=1e-10)
+
+    def test_multichannel_stream_matches_per_channel(self):
+        rng = np.random.default_rng(3)
+        h = rng.standard_normal(33)
+        x = rng.standard_normal((3, 5000))
+        fir = BlockFir(h, zero_phase=True)
+        y = np.concatenate([fir.feed(x), fir.finish()], axis=-1)
+        for ch in range(3):
+            assert np.allclose(y[ch], apply_fir(x[ch], h, zero_phase_pad=True), atol=1e-10)
+
+    def test_feed_after_finish_raises(self):
+        fir = BlockFir(np.ones(3))
+        fir.feed(np.zeros(10))
+        fir.finish()
+        with pytest.raises(RuntimeError):
+            fir.feed(np.zeros(1))
+        with pytest.raises(RuntimeError):
+            fir.finish()
+
+
+class TestFirBank:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n_filters=st.integers(min_value=1, max_value=6),
+        n_taps=st.integers(min_value=1, max_value=101),
+        n=st.integers(min_value=1, max_value=4000),
+        zero_phase=st.booleans(),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_batched_matches_scalar(self, n_filters, n_taps, n, zero_phase, seed):
+        """One stacked rfft/multiply/irfft == per-(channel, filter) scalar calls."""
+        rng = np.random.default_rng(seed)
+        filters = rng.standard_normal((n_filters, n_taps))
+        x = rng.standard_normal((n_filters, n))
+        bank = FirBank(filters)
+        idx = rng.integers(0, n_filters, size=n_filters)
+        y = bank.convolve(x, idx, zero_phase=zero_phase)
+        for ch in range(n_filters):
+            ref = apply_fir(x[ch], filters[idx[ch]], zero_phase_pad=zero_phase)
+            assert np.allclose(y[ch], ref, atol=1e-10)
+
+    def test_extend_backfills_cached_spectra(self):
+        rng = np.random.default_rng(5)
+        bank = FirBank(rng.standard_normal(17))
+        x = rng.standard_normal(400)
+        bank.convolve(x)  # populate a spectra cache entry
+        row = bank.extend(rng.standard_normal(17))
+        assert row == 1
+        y = bank.convolve(x, np.array(row))
+        assert np.allclose(y, apply_fir(x, bank.filters[row]), atol=1e-10)
+
+    def test_spectra_rejects_short_fft(self):
+        bank = FirBank(np.ones(64))
+        with pytest.raises(ValueError):
+            bank.spectra(32)
+
+
+class TestAirAbsorptionStage:
+    def _bank(self):
+        return shared_air_filter_bank(FS, None)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        total=st.integers(min_value=1, max_value=20000),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_split_invariance(self, total, seed):
+        """Output is bitwise invariant to feed slicing (fixed block layout)."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((2, total))
+        d = 5.0 + 40.0 * rng.random((2, total))
+        bank = self._bank()
+
+        whole = AirAbsorptionStage(bank, total)
+        y_whole = np.concatenate([whole.feed(x, d), whole.finish()], axis=-1)
+
+        split = AirAbsorptionStage(bank, total)
+        parts, cursor = [], 0
+        for size in _random_splits(rng, total):
+            parts.append(split.feed(x[:, cursor : cursor + size], d[:, cursor : cursor + size]))
+            cursor += size
+        parts.append(split.finish())
+        y_split = np.concatenate(parts, axis=-1)
+
+        assert y_whole.shape == y_split.shape == (2, total)
+        assert np.array_equal(y_whole, y_split)
+
+    def test_crossfade_continuity_at_bin_crossing(self):
+        """A distance ramp crossing 2 m grid bins must not step the output.
+
+        The 50 % Hann overlap crossfades neighbouring bins' filters, so the
+        output's sample-to-sample increments stay bounded by a small multiple
+        of the input's own increments even right at the bin switch.
+        """
+        total = 16384
+        t = np.arange(total) / FS
+        x = np.sin(2 * np.pi * 700.0 * t)[None, :]
+        d = np.linspace(9.0, 15.1, total)[None, :]  # crosses bins 5, 6, 7
+        stage = AirAbsorptionStage(self._bank(), total, air_block=1024)
+        y = np.concatenate([stage.feed(x, d), stage.finish()], axis=-1)[0]
+        in_step = np.max(np.abs(np.diff(x[0])))
+        out_step = np.max(np.abs(np.diff(y[1024:-1024])))  # interior, fully normalized
+        assert out_step <= 1.5 * in_step
+
+    def test_hard_bin_switch_vs_abrupt_filter_swap(self):
+        """The OLA crossfade beats switching filters at a sample boundary."""
+        total = 8192
+        t = np.arange(total) / FS
+        x = np.sin(2 * np.pi * 900.0 * t)
+        half = total // 2
+        d = np.concatenate([np.full(half, 10.0), np.full(half, 30.0)])
+        stage = AirAbsorptionStage(self._bank(), total, air_block=1024)
+        y = np.concatenate([stage.feed(x[None], d[None]), stage.finish()], axis=-1)[0]
+
+        fir_a = air_absorption_fir(10.0, FS)
+        fir_b = air_absorption_fir(30.0, FS)
+        abrupt = np.concatenate(
+            [
+                apply_fir(x, fir_a, zero_phase_pad=True)[:half],
+                apply_fir(x, fir_b, zero_phase_pad=True)[half:],
+            ]
+        )
+        mid = slice(half - 4, half + 4)
+        assert np.max(np.abs(np.diff(y[mid]))) < np.max(np.abs(np.diff(abrupt[mid])))
+
+    def test_feed_overflow_and_short_finish_raise(self):
+        stage = AirAbsorptionStage(self._bank(), 100)
+        stage.feed(np.zeros((1, 60)), np.full((1, 60), 10.0))
+        with pytest.raises(ValueError):
+            stage.feed(np.zeros((1, 60)), np.full((1, 60), 10.0))
+        with pytest.raises(ValueError):
+            stage.finish()  # only 60 of 100 fed
+
+
+class TestSimulatorRegression:
+    """The batched-bank simulator pins against the old per-mic scalar path."""
+
+    def _legacy_simulate(self, sim, signal):
+        """The pre-bank RoadAcousticsSimulator.simulate, reimplemented."""
+        air_cache = {}
+
+        def air_fir(distance):
+            key = max(1, int(round(distance / 2.0)))
+            if key not in air_cache:
+                air_cache[key] = air_absorption_fir(
+                    key * 2.0, sim.fs, atmosphere=sim.scene.atmosphere, n_taps=sim.air_taps
+                )
+            return air_cache[key]
+
+        def apply_air(x, distances):
+            n = x.size
+            block = min(sim.air_block, n)
+            hop = block // 2
+            if hop == 0:
+                return _legacy_apply_fir(x, air_fir(float(distances.mean())), zero_phase_pad=True)
+            win = 0.5 - 0.5 * np.cos(2 * np.pi * np.arange(block) / block)
+            out = np.zeros(n + block)
+            norm = np.zeros(n + block)
+            start = 0
+            while start < n:
+                stop = min(start + block, n)
+                seg = np.zeros(block)
+                seg[: stop - start] = x[start:stop]
+                seg = _legacy_apply_fir(seg * win, air_fir(float(distances[start:stop].mean())), zero_phase_pad=True)
+                out[start : start + block] += seg
+                norm[start : start + block] += win
+                start += hop
+            return (out / np.maximum(norm, 0.5))[:n]
+
+        def render_path(source, reflected):
+            mics = sim.scene.array.positions
+            d = np.linalg.norm(source[None, :, :] - mics[:, None, :], axis=2)
+            out = render_varying_delay(
+                signal, d / sim.scene.speed_of_sound * sim.fs,
+                interpolation=sim.interpolation, order=sim.order,
+            )
+            out = out / np.maximum(d, sim.min_distance)
+            refl_fir = (
+                asphalt_reflection_fir(sim.scene.surface, sim.fs) if reflected else None
+            )
+            for i in range(mics.shape[0]):
+                if reflected:
+                    out[i] = _legacy_apply_fir(out[i], refl_fir, zero_phase_pad=True)
+                if sim.air_absorption:
+                    out[i] = apply_air(out[i], d[i])
+            return out
+
+        t = np.arange(signal.size) / sim.fs
+        src = sim.scene.trajectory.positions(t)
+        img = src.copy()
+        img[:, 2] = -img[:, 2]
+        out = render_path(src, reflected=False)
+        if sim.scene.surface is not None:
+            out = out + render_path(img, reflected=True)
+        return out
+
+    @pytest.mark.parametrize("n", [1, 250, 4096, 12000])
+    def test_full_physics_matches_legacy_scalar_path(self, n):
+        mics = MicrophoneArray(
+            np.array([[0.0, 0.5, 1.2], [0.4, -0.5, 1.2], [-0.4, -0.5, 1.2]])
+        )
+        traj = LinearTrajectory([-30.0, 6.0, 0.8], [30.0, 6.0, 0.8], 15.0)
+        scene = Scene(traj, mics, surface="dense_asphalt")
+        sim = RoadAcousticsSimulator(scene, FS)
+        rng = np.random.default_rng(11)
+        x = rng.standard_normal(n)
+        new = sim.simulate(x)
+        legacy = self._legacy_simulate(sim, x)
+        assert new.shape == legacy.shape
+        assert np.allclose(new, legacy, atol=1e-9, rtol=1e-9)

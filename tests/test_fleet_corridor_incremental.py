@@ -81,14 +81,70 @@ class TestCorridorBlockRenderer:
         with pytest.raises(ValueError):
             rend.render_next("node1", 0)
 
-    def test_unstreamable_physics_raises(self):
-        scene = make_scene()
-        with pytest.raises(ValueError, match="air absorption"):
-            CorridorBlockRenderer(scene, FS, air_absorption=True)
-        scene_refl = make_scene()
-        scene_refl.surface = "dry_asphalt"
-        with pytest.raises(ValueError, match="surface reflections"):
-            CorridorBlockRenderer(scene_refl, FS)
+    @pytest.mark.parametrize("interp", ["linear", "lagrange", "sinc"])
+    def test_full_physics_bit_identical_to_offline(self, interp):
+        """Surface reflections + air absorption stream bit-exact: the same
+        stateful FIR stages run whole-signal offline and sliced here."""
+        scene = make_scene(n_nodes=2, n_samples=10_000)
+        scene.surface = "dense_asphalt"
+        offline = synthesize_corridor(scene, FS, interpolation=interp, air_absorption=True)
+        rend = CorridorBlockRenderer(scene, FS, interpolation=interp, air_absorption=True)
+        sizes = [256, 1, 2048, 709, 256]
+        for nid, ref in offline.recordings.items():
+            blocks, k = [], 0
+            while rend.cursor(nid) < rend.capture_samples_of(nid):
+                blocks.append(rend.render_next(nid, sizes[k % len(sizes)]))
+                k += 1
+            got = np.concatenate(blocks, axis=1)
+            assert got.shape == ref.shape
+            assert np.array_equal(got, ref)
+
+    @pytest.mark.parametrize(
+        "surface,air", [("dense_asphalt", False), (None, True)]
+    )
+    def test_single_stage_physics_bit_identical(self, surface, air):
+        """Reflection-only and absorption-only configurations stream too."""
+        scene = make_scene(n_nodes=2, two_vehicles=False)
+        scene.surface = surface
+        kw = dict(air_absorption=air, noise_std=0.01)
+        offline = synthesize_corridor(scene, FS, rng=np.random.default_rng(9), **kw)
+        rend = CorridorBlockRenderer(scene, FS, rng=np.random.default_rng(9), **kw)
+        for nid, ref in offline.recordings.items():
+            blocks = []
+            while rend.cursor(nid) < rend.capture_samples_of(nid):
+                blocks.append(rend.render_next(nid, 256))
+            assert np.array_equal(np.concatenate(blocks, axis=1), ref)
+
+    def test_full_physics_session_tracks_identical(self):
+        """A live session over the full-physics incremental render fuses the
+        exact tracks of the offline-rendered replay session."""
+        scene = make_scene(two_vehicles=False)
+        scene.surface = "dense_asphalt"
+        cfg = PipelineConfig(fs=FS, localizer="srp_fast", n_azimuth=36, n_elevation=2)
+        sch = FleetScheduler(
+            scene.nodes, cfg, detector=OracleDetector("siren_wail"), n_shards=2
+        )
+
+        def run(incremental):
+            stream = CorridorStream(
+                scene,
+                FS,
+                chunk_samples=cfg.hop_length,
+                rng=np.random.default_rng(3),
+                incremental=incremental,
+                air_absorption=True,
+            )
+            session = sch.stream(stream.sources(), hop_batch=8)
+            while not session.done:
+                session.step()
+            return session.finalize()
+
+        ref, inc = run(False), run(True)
+        assert len(ref.tracks) == len(inc.tracks) > 0
+        for ta, tb in zip(ref.tracks, inc.tracks):
+            assert np.array_equal(ta.frames(), tb.frames())
+            assert np.array_equal(ta.positions(), tb.positions())
+        sch.close()
 
     def test_validation(self):
         scene = make_scene()
